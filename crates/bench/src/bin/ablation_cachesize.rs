@@ -1,0 +1,44 @@
+//! Extension study: does prime indexing still matter at other L2 sizes?
+//!
+//! Conflict misses are a *placement* problem: growing the cache grows the
+//! number of sets, which moves the aliasing pattern but does not, by
+//! itself, remove aliases (the paper's 8-way argument, capacity edition).
+//! This study sweeps the L2 from 256 KB to 2 MB at constant 4-way
+//! associativity and reports the pMod speedup at each point.
+
+use primecache_bench::refs_from_args;
+use primecache_sim::report::render_table;
+use primecache_sim::{run_trace, MachineConfig, Scheme};
+use primecache_workloads::all;
+
+fn speedup(workload: &primecache_workloads::Workload, l2_size: u64, refs: u64) -> f64 {
+    let machine = MachineConfig {
+        l2_size,
+        ..MachineConfig::paper_default()
+    };
+    let base = run_trace(workload.trace(refs), Scheme::Base, &machine);
+    let pmod = run_trace(workload.trace(refs), Scheme::PrimeModulo, &machine);
+    base.breakdown.total() as f64 / pmod.breakdown.total() as f64
+}
+
+fn main() {
+    let refs = refs_from_args().min(300_000);
+    let sizes = [256u64, 512, 1024, 2048]; // KB
+    println!("L2-size sensitivity: pMod speedup over Base, 4-way, {refs} refs\n");
+    let mut header = vec!["app"];
+    let labels: Vec<String> = sizes.iter().map(|s| format!("{s} KB")).collect();
+    header.extend(labels.iter().map(String::as_str));
+    let mut rows = Vec::new();
+    for w in all().iter().filter(|w| w.expected_non_uniform) {
+        let mut row = vec![w.name.to_owned()];
+        for &kb in &sizes {
+            row.push(format!("{:.2}", speedup(w, kb * 1024, refs)));
+        }
+        rows.push(row);
+    }
+    print!("{}", render_table(&header, &rows));
+    println!("\nAligned-region conflicts scale with the cache (the aliasing period");
+    println!("grows with the set count, but so do the applications' aligned");
+    println!("allocations), while padded-struct conflicts dilute once the spread");
+    println!("footprint fits — the per-app trend tells which mechanism dominates.");
+}

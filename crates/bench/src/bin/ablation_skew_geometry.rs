@@ -1,0 +1,46 @@
+//! Extension study: skewed-cache geometry — the paper's 4 direct-mapped
+//! banks vs Seznec's original 2 banks x 2 ways \[18\], at equal capacity.
+
+use primecache_bench::refs_from_args;
+use primecache_cache::{CacheSim, SkewHashKind, SkewedCache, SkewedConfig};
+use primecache_sim::report::render_table;
+use primecache_workloads::all;
+
+fn misses(workload: &primecache_workloads::Workload, banks: u32, ways: u32, refs: u64) -> u64 {
+    let cfg = SkewedConfig::new(512 * 1024, banks, 64, SkewHashKind::PrimeDisplacement)
+        .with_ways_per_bank(ways);
+    let mut c = SkewedCache::new(cfg);
+    for ev in workload.trace(refs) {
+        if let Some(addr) = ev.addr() {
+            c.access(addr, matches!(ev, primecache_trace::Event::Store { .. }));
+        }
+    }
+    c.stats().misses
+}
+
+fn main() {
+    let refs = refs_from_args().min(300_000);
+    println!("Skewed geometry ablation (512 KB, prime-displacement banks), {refs} refs\n");
+    let mut rows = Vec::new();
+    for w in all() {
+        let four_dm = misses(w, 4, 1, refs);
+        let two_2w = misses(w, 2, 2, refs);
+        let eight_dm = misses(w, 8, 1, refs);
+        rows.push(vec![
+            w.name.to_owned(),
+            four_dm.to_string(),
+            format!("{:.3}", two_2w as f64 / four_dm.max(1) as f64),
+            format!("{:.3}", eight_dm as f64 / four_dm.max(1) as f64),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["app", "4x1 misses", "2 banks x 2 ways (ratio)", "8x1 (ratio)"],
+            &rows
+        )
+    );
+    println!("\nratios near 1: the paper's choice of four direct-mapped banks is not");
+    println!("load-bearing — the skewing functions, not the intra-bank associativity,");
+    println!("do the conflict absorption.");
+}

@@ -1,0 +1,74 @@
+//! Exports every figure's raw data as CSV into `figures/csv/`.
+//!
+//! `cargo run --release -p primecache-bench --bin export_csv [-- --refs N]`
+
+use std::fs;
+use std::path::Path;
+
+use primecache_bench::{groups, refs_from_args};
+use primecache_core::index::HashKind;
+use primecache_sim::experiments::{
+    exec_time_sweep, fig13_miss_distribution, fig5_balance, fig6_concentration,
+    miss_reduction_sweep,
+};
+use primecache_sim::export::{distribution_csv, misses_csv, stride_csv, times_csv};
+use primecache_sim::Scheme;
+
+fn write(dir: &Path, name: &str, data: String) {
+    let path = dir.join(name);
+    fs::write(&path, data).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let refs = refs_from_args().min(500_000);
+    let dir = Path::new("figures/csv");
+    fs::create_dir_all(dir).expect("cannot create figures/csv/");
+
+    for kind in HashKind::ALL {
+        write(
+            dir,
+            &format!("fig5_{}.csv", kind.label()),
+            stride_csv(&fig5_balance(kind, 2047)),
+        );
+        write(
+            dir,
+            &format!("fig6_{}.csv", kind.label()),
+            stride_csv(&fig6_concentration(kind, 2047)),
+        );
+    }
+
+    let (non_uniform, uniform) = groups();
+    let sweep = exec_time_sweep(
+        &[
+            Scheme::Base,
+            Scheme::EightWay,
+            Scheme::Xor,
+            Scheme::PrimeModulo,
+            Scheme::PrimeDisplacement,
+            Scheme::Skewed,
+            Scheme::SkewedPrimeDisplacement,
+        ],
+        refs,
+    );
+    write(dir, "fig7.csv", times_csv(&sweep, &Scheme::SINGLE_HASH, &non_uniform));
+    write(dir, "fig8.csv", times_csv(&sweep, &Scheme::SINGLE_HASH, &uniform));
+    write(dir, "fig9.csv", times_csv(&sweep, &Scheme::MULTI_HASH, &non_uniform));
+    write(dir, "fig10.csv", times_csv(&sweep, &Scheme::MULTI_HASH, &uniform));
+
+    let miss_sweep = miss_reduction_sweep(refs);
+    write(dir, "fig11.csv", misses_csv(&miss_sweep, &Scheme::MISS_REDUCTION, &non_uniform));
+    write(dir, "fig12.csv", misses_csv(&miss_sweep, &Scheme::MISS_REDUCTION, &uniform));
+
+    write(
+        dir,
+        "fig13_base.csv",
+        distribution_csv(&fig13_miss_distribution(Scheme::Base, refs)),
+    );
+    write(
+        dir,
+        "fig13_pmod.csv",
+        distribution_csv(&fig13_miss_distribution(Scheme::PrimeModulo, refs)),
+    );
+    println!("done.");
+}

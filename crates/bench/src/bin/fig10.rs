@@ -1,0 +1,22 @@
+//! Regenerates Fig. 10: normalized execution times of the multi-hash
+//! (skewed) schemes on the uniform applications — where the skewed
+//! caches' pathological slowdowns appear.
+
+use primecache_bench::{groups, print_normalized_times, refs_from_args};
+use primecache_sim::experiments::exec_time_sweep;
+use primecache_sim::Scheme;
+
+fn main() {
+    let refs = refs_from_args();
+    let sweep = exec_time_sweep(&Scheme::MULTI_HASH, refs);
+    let (_, uniform) = groups();
+    print_normalized_times(
+        &sweep,
+        &Scheme::MULTI_HASH,
+        &uniform,
+        "Fig. 10: multiple hashing functions, uniform applications",
+    );
+    println!("paper: SKW slows six apps by up to 9% (bzip2, charmm, is, parser, sparse, irr*),");
+    println!("       skw+pDisp slows three by up to 7% (bzip2, mgrid, sparse); pMod is safe");
+    println!("       (*irr appears in the paper's Fig. 10 slowdown list)");
+}

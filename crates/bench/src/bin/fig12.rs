@@ -1,0 +1,20 @@
+//! Regenerates Fig. 12: normalized L2 miss counts on the uniform
+//! applications — pMod/pDisp hold the line while skw+pDisp inflates some.
+
+use primecache_bench::{groups, print_normalized_misses, refs_from_args};
+use primecache_sim::experiments::miss_reduction_sweep;
+use primecache_sim::Scheme;
+
+fn main() {
+    let refs = refs_from_args();
+    let sweep = miss_reduction_sweep(refs);
+    let (_, uniform) = groups();
+    print_normalized_misses(
+        &sweep,
+        &Scheme::MISS_REDUCTION,
+        &uniform,
+        "Fig. 12: normalized L2 misses, uniform applications",
+    );
+    println!("paper: pMod never increases misses; skw+pDisp increases them by up to 20%");
+    println!("       in six apps (bzip2, mgrid, parser, sparse, swim, tomcatv)");
+}

@@ -1,0 +1,28 @@
+//! Regenerates Fig. 7: normalized execution times of the single-hash
+//! schemes on the applications with non-uniform cache accesses.
+
+use primecache_bench::{groups, print_breakdown_segments, print_normalized_times, refs_from_args};
+use primecache_sim::experiments::exec_time_sweep;
+use primecache_sim::Scheme;
+
+fn main() {
+    let refs = refs_from_args();
+    let segments = std::env::args().any(|a| a == "--segments");
+    let sweep = exec_time_sweep(&Scheme::SINGLE_HASH, refs);
+    let (non_uniform, _) = groups();
+    print_normalized_times(
+        &sweep,
+        &Scheme::SINGLE_HASH,
+        &non_uniform,
+        "Fig. 7: single hashing functions, non-uniform applications",
+    );
+    if segments {
+        print_breakdown_segments(
+            &sweep,
+            &Scheme::SINGLE_HASH,
+            &non_uniform,
+            "Fig. 7 stacked bars (Busy + Other Stalls + Memory Stall)",
+        );
+    }
+    println!("paper: pMod and pDisp average speedup 1.27, XOR 1.21 on this group");
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 8: normalized execution times of the single-hash
+//! schemes on the applications with uniform cache accesses.
+
+use primecache_bench::{groups, print_normalized_times, refs_from_args};
+use primecache_sim::experiments::exec_time_sweep;
+use primecache_sim::Scheme;
+
+fn main() {
+    let refs = refs_from_args();
+    let sweep = exec_time_sweep(&Scheme::SINGLE_HASH, refs);
+    let (_, uniform) = groups();
+    print_normalized_times(
+        &sweep,
+        &Scheme::SINGLE_HASH,
+        &uniform,
+        "Fig. 8: single hashing functions, uniform applications",
+    );
+    println!("paper: near-1.0 across the board; worst slowdowns ~2% (mst under 8-way,");
+    println!("       sparse under XOR/pMod)");
+}

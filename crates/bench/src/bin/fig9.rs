@@ -1,0 +1,29 @@
+//! Regenerates Fig. 9: normalized execution times of the multi-hash
+//! (skewed) schemes on the non-uniform applications.
+
+use primecache_bench::{groups, print_breakdown_segments, print_normalized_times, refs_from_args};
+use primecache_sim::experiments::exec_time_sweep;
+use primecache_sim::Scheme;
+
+fn main() {
+    let refs = refs_from_args();
+    let segments = std::env::args().any(|a| a == "--segments");
+    let sweep = exec_time_sweep(&Scheme::MULTI_HASH, refs);
+    let (non_uniform, _) = groups();
+    print_normalized_times(
+        &sweep,
+        &Scheme::MULTI_HASH,
+        &non_uniform,
+        "Fig. 9: multiple hashing functions, non-uniform applications",
+    );
+    if segments {
+        print_breakdown_segments(
+            &sweep,
+            &Scheme::MULTI_HASH,
+            &non_uniform,
+            "Fig. 9 stacked bars (Busy + Other Stalls + Memory Stall)",
+        );
+    }
+    println!("paper: skw+pDisp best on average (1.35), then SKW (1.31), then pMod (1.27);");
+    println!("       cg only speeds up under the skewed schemes");
+}

@@ -1,0 +1,181 @@
+//! Renders the paper's figures as SVG files into `figures/`.
+//!
+//! `cargo run --release -p primecache-bench --bin figures_svg [-- --refs N]`
+//!
+//! Produces `fig5.svg` … `fig13.svg`, visually comparable with the paper.
+
+use std::fs;
+use std::path::Path;
+
+use primecache_bench::{groups, refs_from_args};
+use primecache_core::index::HashKind;
+use primecache_sim::experiments::{
+    exec_time_sweep, fig13_miss_distribution, fig5_balance, fig6_concentration,
+    miss_reduction_sweep,
+};
+use primecache_sim::suite::Sweep;
+use primecache_sim::Scheme;
+use primecache_viz::{BarChart, BarGroup, LineChart, Series};
+
+fn write(dir: &Path, name: &str, svg: String) {
+    let path = dir.join(name);
+    fs::write(&path, svg).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn line_figure(
+    title: &str,
+    y_label: &str,
+    cap: Option<f64>,
+    data: impl Fn(HashKind) -> Vec<primecache_sim::experiments::StridePoint>,
+) -> String {
+    let mut chart = LineChart::new(title, "stride (blocks)", y_label);
+    if let Some(c) = cap {
+        chart = chart.with_y_cap(c);
+    }
+    for kind in HashKind::ALL {
+        let pts: Vec<(f64, f64)> = data(kind)
+            .into_iter()
+            .map(|p| (p.stride as f64, p.value))
+            .collect();
+        chart = chart.with_series(Series::new(kind.label(), pts));
+    }
+    chart.render(760, 420)
+}
+
+fn time_bars(sweep: &Sweep, schemes: &[Scheme], names: &[&str], title: &str) -> String {
+    let mut chart = BarChart::new(
+        title,
+        "normalized execution time",
+        &schemes.iter().map(|s| s.label()).collect::<Vec<_>>(),
+    );
+    for &name in names {
+        let values: Vec<f64> = schemes
+            .iter()
+            .map(|&s| sweep.normalized_time(name, s).unwrap_or(0.0))
+            .collect();
+        chart = chart.with_group(BarGroup::new(name, values));
+    }
+    chart.render(900, 420)
+}
+
+fn miss_bars(sweep: &Sweep, schemes: &[Scheme], names: &[&str], title: &str) -> String {
+    let mut chart = BarChart::new(
+        title,
+        "normalized L2 misses",
+        &schemes.iter().map(|s| s.label()).collect::<Vec<_>>(),
+    );
+    for &name in names {
+        let values: Vec<f64> = schemes
+            .iter()
+            .map(|&s| sweep.normalized_misses(name, s).unwrap_or(0.0))
+            .collect();
+        chart = chart.with_group(BarGroup::new(name, values));
+    }
+    chart.render(900, 420)
+}
+
+fn miss_histogram(title: &str, dist: &[u64], y_max: f64) -> String {
+    // Downsample the 2000+ sets into 64 buckets for a readable histogram.
+    let buckets = 64usize;
+    let chunk = dist.len().div_ceil(buckets);
+    let mut chart = BarChart::new(title, "misses", &["misses"]).with_y_max(y_max);
+    for (i, c) in dist.chunks(chunk).enumerate() {
+        let total: u64 = c.iter().sum();
+        chart = chart.with_group(BarGroup::new(
+            if i % 8 == 0 {
+                format!("{}", i * chunk)
+            } else {
+                String::new()
+            },
+            vec![total as f64],
+        ));
+    }
+    chart.render(900, 320)
+}
+
+fn main() {
+    let refs = refs_from_args().min(500_000);
+    let dir = Path::new("figures");
+    fs::create_dir_all(dir).expect("cannot create figures/");
+
+    println!("[1/4] metric sweeps ...");
+    write(
+        dir,
+        "fig5.svg",
+        line_figure("Fig. 5: balance vs stride", "balance (ideal 1)", Some(10.0), |k| {
+            fig5_balance(k, 2047)
+        }),
+    );
+    write(
+        dir,
+        "fig6.svg",
+        line_figure(
+            "Fig. 6: concentration vs stride",
+            "concentration (ideal 0)",
+            None,
+            |k| fig6_concentration(k, 2047),
+        ),
+    );
+
+    println!("[2/4] execution-time sweep ({refs} refs) ...");
+    let (non_uniform, uniform) = groups();
+    let sweep = exec_time_sweep(
+        &[
+            Scheme::Base,
+            Scheme::EightWay,
+            Scheme::Xor,
+            Scheme::PrimeModulo,
+            Scheme::PrimeDisplacement,
+            Scheme::Skewed,
+            Scheme::SkewedPrimeDisplacement,
+        ],
+        refs,
+    );
+    write(
+        dir,
+        "fig7.svg",
+        time_bars(&sweep, &Scheme::SINGLE_HASH, &non_uniform, "Fig. 7: single hash, non-uniform apps"),
+    );
+    write(
+        dir,
+        "fig8.svg",
+        time_bars(&sweep, &Scheme::SINGLE_HASH, &uniform, "Fig. 8: single hash, uniform apps"),
+    );
+    write(
+        dir,
+        "fig9.svg",
+        time_bars(&sweep, &Scheme::MULTI_HASH, &non_uniform, "Fig. 9: multi hash, non-uniform apps"),
+    );
+    write(
+        dir,
+        "fig10.svg",
+        time_bars(&sweep, &Scheme::MULTI_HASH, &uniform, "Fig. 10: multi hash, uniform apps"),
+    );
+
+    println!("[3/4] miss-reduction sweep ({refs} refs) ...");
+    let misses = miss_reduction_sweep(refs);
+    write(
+        dir,
+        "fig11.svg",
+        miss_bars(&misses, &Scheme::MISS_REDUCTION, &non_uniform, "Fig. 11: misses, non-uniform apps"),
+    );
+    write(
+        dir,
+        "fig12.svg",
+        miss_bars(&misses, &Scheme::MISS_REDUCTION, &uniform, "Fig. 12: misses, uniform apps"),
+    );
+
+    println!("[4/4] fig13 distributions ...");
+    let base = fig13_miss_distribution(Scheme::Base, refs);
+    let pmod = fig13_miss_distribution(Scheme::PrimeModulo, refs);
+    // Shared y scale so the elimination is visible, as in the paper.
+    let chunk = base.len().div_ceil(64);
+    let y_max = base
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<u64>() as f64)
+        .fold(1.0f64, f64::max);
+    write(dir, "fig13a.svg", miss_histogram("Fig. 13a: tree misses per set (Base)", &base, y_max));
+    write(dir, "fig13b.svg", miss_histogram("Fig. 13b: tree misses per set (pMod)", &pmod, y_max));
+    println!("done.");
+}

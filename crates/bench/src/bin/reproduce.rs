@@ -1,0 +1,134 @@
+//! Runs the complete reproduction: every table and figure, one after the
+//! other, sharing the expensive sweeps.
+//!
+//! `cargo run --release -p primecache-bench --bin reproduce [-- --refs N]`
+
+use primecache_bench::{groups, print_normalized_misses, print_normalized_times, refs_from_args};
+use primecache_core::index::HashKind;
+use primecache_primes::frag::table1;
+use primecache_sim::experiments::{
+    exec_time_sweep, fig13_miss_distribution, fig5_balance, fig6_concentration,
+    miss_reduction_sweep, sets_carrying_share,
+};
+use primecache_sim::report::{f2, render_table};
+use primecache_sim::suite::table4;
+use primecache_sim::Scheme;
+
+fn main() {
+    let refs = refs_from_args();
+    let (non_uniform, uniform) = groups();
+
+    println!("==================================================================");
+    println!(" primecache reproduction: every table and figure of the paper");
+    println!(" trace length: {refs} memory references per (workload, scheme)");
+    println!("==================================================================\n");
+
+    // ---- Table 1 -------------------------------------------------------
+    println!("--- Table 1: fragmentation ---");
+    for r in table1() {
+        println!(
+            "  {:>6} physical sets -> prime {:>6} ({:.2}% wasted)",
+            r.n_set_phys,
+            r.n_set,
+            r.fragmentation_pct()
+        );
+    }
+    println!();
+
+    // ---- Figs. 5/6 ------------------------------------------------------
+    println!("--- Figs. 5/6: balance & concentration over strides 1..2047 ---");
+    for kind in HashKind::ALL {
+        let bal = fig5_balance(kind, 2047);
+        let conc = fig6_concentration(kind, 2047);
+        let bad_bal = bal.iter().filter(|p| p.value > 1.05).count();
+        let bad_conc = conc.iter().filter(|p| p.value > 1.0).count();
+        println!(
+            "  {:>6}: non-ideal balance on {bad_bal} strides, non-ideal concentration on {bad_conc}",
+            kind.label()
+        );
+    }
+    println!();
+
+    // ---- Figs. 7-10 -----------------------------------------------------
+    eprintln!("[1/2] execution-time sweep ({} schemes x 23 apps) ...", 7);
+    let all_schemes = [
+        Scheme::Base,
+        Scheme::EightWay,
+        Scheme::Xor,
+        Scheme::PrimeModulo,
+        Scheme::PrimeDisplacement,
+        Scheme::Skewed,
+        Scheme::SkewedPrimeDisplacement,
+    ];
+    let sweep = exec_time_sweep(&all_schemes, refs);
+    print_normalized_times(&sweep, &Scheme::SINGLE_HASH, &non_uniform, "--- Fig. 7 ---");
+    print_normalized_times(&sweep, &Scheme::SINGLE_HASH, &uniform, "--- Fig. 8 ---");
+    print_normalized_times(&sweep, &Scheme::MULTI_HASH, &non_uniform, "--- Fig. 9 ---");
+    print_normalized_times(&sweep, &Scheme::MULTI_HASH, &uniform, "--- Fig. 10 ---");
+
+    // ---- Table 4 ---------------------------------------------------------
+    println!("--- Table 4 ---");
+    let rows = table4(
+        &sweep,
+        &[
+            Scheme::Xor,
+            Scheme::PrimeModulo,
+            Scheme::PrimeDisplacement,
+            Scheme::Skewed,
+            Scheme::SkewedPrimeDisplacement,
+        ],
+    );
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.label().to_owned(),
+                format!("{},{},{}", f2(r.uniform.0), f2(r.uniform.1), f2(r.uniform.2)),
+                format!(
+                    "{},{},{}",
+                    f2(r.non_uniform.0),
+                    f2(r.non_uniform.1),
+                    f2(r.non_uniform.2)
+                ),
+                r.pathological.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Hashing", "Uniform (min,avg,max)", "Nonuniform (min,avg,max)", "Patho."],
+            &table_rows
+        )
+    );
+    println!();
+
+    // ---- Figs. 11/12 -----------------------------------------------------
+    eprintln!("[2/2] miss-reduction sweep ({} schemes x 23 apps) ...", 5);
+    let miss_sweep = miss_reduction_sweep(refs);
+    print_normalized_misses(
+        &miss_sweep,
+        &Scheme::MISS_REDUCTION,
+        &non_uniform,
+        "--- Fig. 11 ---",
+    );
+    print_normalized_misses(
+        &miss_sweep,
+        &Scheme::MISS_REDUCTION,
+        &uniform,
+        "--- Fig. 12 ---",
+    );
+
+    // ---- Fig. 13 ---------------------------------------------------------
+    println!("--- Fig. 13: tree's per-set miss distribution ---");
+    for scheme in [Scheme::Base, Scheme::PrimeModulo] {
+        let dist = fig13_miss_distribution(scheme, refs);
+        let total: u64 = dist.iter().sum();
+        println!(
+            "  {:>5}: {total} misses; 90% of them in {:.1}% of the sets",
+            scheme.label(),
+            sets_carrying_share(&dist, 0.90) * 100.0
+        );
+    }
+    println!("\ndone.");
+}

@@ -1,0 +1,22 @@
+//! Regenerates the paper's Table 1: prime modulo set fragmentation.
+
+use primecache_primes::frag::table1;
+use primecache_sim::report::render_table;
+
+fn main() {
+    println!("Table 1: Prime modulo set fragmentation\n");
+    let rows: Vec<Vec<String>> = table1()
+        .iter()
+        .map(|r| {
+            vec![
+                r.n_set_phys.to_string(),
+                r.n_set.to_string(),
+                format!("{:.2}%", r.fragmentation_pct()),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["n_set_phys", "n_set", "Fragmentation (%)"], &rows)
+    );
+}

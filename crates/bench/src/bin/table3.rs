@@ -1,0 +1,34 @@
+//! Regenerates the paper's Table 3: parameters of the simulated machine.
+
+use primecache_sim::MachineConfig;
+
+fn main() {
+    let m = MachineConfig::paper_default();
+    println!("Table 3: Parameters of the simulated architecture\n");
+    println!("PROCESSOR");
+    println!(
+        "  {}-issue dynamic. 1.6 GHz. Pending ld, st: {}, {}. Branch penalty: {} cycles",
+        m.cpu.issue_width, m.cpu.max_pending_loads, m.cpu.max_pending_stores, m.cpu.branch_penalty
+    );
+    println!("MEMORY");
+    println!("  L1 data: write-back, 16 KB, 2 way, 32-B line, {}-cycle hit RT", m.cpu.l1_hit_cycles);
+    println!(
+        "  L2 data: write-back, {} KB, 4 way, {}-B line, {}-cycle hit RT",
+        m.l2_size / 1024,
+        m.l2_line,
+        m.cpu.l2_hit_cycles
+    );
+    println!(
+        "  RT memory latency: {} cycles (row miss), {} cycles (row hit)",
+        m.mem.row_miss_cycles, m.mem.row_hit_cycles
+    );
+    println!(
+        "  Memory bus: split-transaction, {} B, 400 MHz, 3.2 GB/sec peak ({} cycles per 64-B line)",
+        m.mem.bus_bytes,
+        m.mem.bus_occupancy_cycles()
+    );
+    println!(
+        "  DRAM: {} channels x {} banks, {}-B rows",
+        m.mem.channels, m.mem.banks_per_channel, m.mem.row_bytes
+    );
+}

@@ -1,0 +1,78 @@
+//! Cache simulator substrate: the set-associative, skewed-associative, and
+//! fully-associative caches the paper evaluates its hash functions on.
+//!
+//! The evaluation machine (Table 3) uses a 16 KB 2-way L1 and a 512 KB
+//! 4-way L2, both write-back. This crate models those structures at the
+//! block level with pluggable index functions from [`primecache_core`]:
+//!
+//! * [`Cache`] — a set-associative cache over any
+//!   [`SetIndexer`](primecache_core::index::SetIndexer), with the
+//!   replacement policies of [`replacement`],
+//! * [`SkewedCache`] — Seznec's four-bank skewed-associative design with
+//!   per-bank index functions and ENRU/NRUNRW replacement (§5.3),
+//! * [`FullyAssociative`] — the `FA` reference of Figs. 11/12,
+//! * [`Hierarchy`] — a two-level L1/L2 hierarchy returning which level
+//!   serviced each access (drives the timing model),
+//! * [`Tlb`] — a TLB that also caches the partial prime-modulo computation
+//!   (§3.1.1),
+//! * [`CacheStats`] — hit/miss/writeback counters plus per-set access and
+//!   miss histograms (for the §4 uniformity classification and Fig. 13).
+//!
+//! # Examples
+//!
+//! ```
+//! use primecache_cache::{Cache, CacheConfig, CacheSim};
+//! use primecache_core::index::HashKind;
+//!
+//! let mut l2 = Cache::new(
+//!     CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::PrimeModulo),
+//! );
+//! // 128 KB-strided blocks conflict badly under traditional indexing but
+//! // spread under prime modulo.
+//! for _round in 0..4 {
+//!     for i in 0..8u64 {
+//!         l2.access(i * 128 * 1024, false);
+//!     }
+//! }
+//! assert!(l2.stats().hits > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod fully_assoc;
+mod hierarchy;
+mod infinite;
+pub mod paging;
+pub mod replacement;
+mod set_assoc;
+mod skewed;
+mod stats;
+mod tlb;
+mod victim;
+
+pub use config::{CacheConfig, ReplacementKind, SkewHashKind, SkewReplacement, SkewedConfig};
+pub use fully_assoc::FullyAssociative;
+pub use hierarchy::{AccessOutcome, Hierarchy, HierarchyConfig, L2Organization};
+pub use infinite::InfiniteCache;
+pub use set_assoc::Cache;
+pub use skewed::SkewedCache;
+pub use stats::CacheStats;
+pub use tlb::{Tlb, TlbStats};
+pub use victim::VictimCache;
+
+/// Common behaviour shared by every cache organization in this crate.
+///
+/// `access` simulates one demand access and returns `true` on a hit.
+pub trait CacheSim {
+    /// Simulates an access to byte address `addr`; `write` marks stores.
+    /// Returns `true` on a hit.
+    fn access(&mut self, addr: u64, write: bool) -> bool;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &CacheStats;
+
+    /// Resets all statistics (contents are kept — useful for warmup).
+    fn reset_stats(&mut self);
+}

@@ -1,0 +1,301 @@
+//! The set-associative cache.
+
+use primecache_core::index::{Geometry, SetIndexer};
+
+use crate::replacement::Replacer;
+use crate::{CacheConfig, CacheSim, CacheStats};
+
+/// One cache line: the stored block address acts as the tag.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    block: u64,
+    valid: bool,
+    dirty: bool,
+}
+
+/// A write-back set-associative cache with a pluggable index function.
+///
+/// Lines are identified by their full block address, so any
+/// [`SetIndexer`] — including prime modulo, whose set count is not a power
+/// of two — can be used without tag-width bookkeeping.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_cache::{Cache, CacheConfig, CacheSim};
+/// use primecache_core::index::HashKind;
+///
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, 64).with_hash(HashKind::Xor));
+/// assert!(!c.access(0x1000, false)); // cold miss
+/// assert!(c.access(0x1000, false)); // hit
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    indexer: Box<dyn SetIndexer>,
+    assoc: usize,
+    line_shift: u32,
+    /// `n_set * assoc` lines, set-major.
+    lines: Vec<Line>,
+    replacers: Vec<Replacer>,
+    stats: CacheStats,
+    /// Block addresses written back (observable by an L2 below).
+    pending_writebacks: Vec<u64>,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let indexer = config.hash().build(Geometry::new(config.n_set_phys()));
+        Self::with_indexer(config, indexer)
+    }
+
+    /// Builds a cache with an explicit index function (e.g. a
+    /// [`PrimeDisplacement`](primecache_core::index::PrimeDisplacement)
+    /// with a non-default factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indexer maps into more sets than the configuration
+    /// provides.
+    #[must_use]
+    pub fn with_indexer(config: CacheConfig, indexer: Box<dyn SetIndexer>) -> Self {
+        assert!(
+            indexer.n_set() <= config.n_set_phys(),
+            "indexer needs {} sets but the cache has {}",
+            indexer.n_set(),
+            config.n_set_phys()
+        );
+        let n_set = indexer.n_set() as usize;
+        let assoc = config.assoc() as usize;
+        Self {
+            indexer,
+            assoc,
+            line_shift: config.line_bytes().trailing_zeros(),
+            lines: vec![Line::default(); n_set * assoc],
+            replacers: vec![
+                Replacer::new(config.replacement(), config.assoc());
+                n_set
+            ],
+            stats: CacheStats::new(n_set),
+            pending_writebacks: Vec::new(),
+            config,
+        }
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// The number of sets actually indexed (2039 for a prime-modulo 2048).
+    #[must_use]
+    pub fn n_set(&self) -> u64 {
+        self.indexer.n_set()
+    }
+
+    /// The index function's display name.
+    #[must_use]
+    pub fn hash_name(&self) -> &'static str {
+        self.indexer.name()
+    }
+
+    /// Drains the block addresses of lines written back since the last
+    /// call (the traffic an L2 below would observe).
+    pub fn take_writebacks(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_writebacks)
+    }
+
+    /// Converts a byte address to a block address.
+    #[inline]
+    fn block_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    /// Probes for `block`; returns its way on a hit.
+    fn probe(&self, set: usize, block: u64) -> Option<usize> {
+        let base = set * self.assoc;
+        self.lines[base..base + self.assoc]
+            .iter()
+            .position(|l| l.valid && l.block == block)
+    }
+
+    /// Simulates an access to a *block address* (no offset bits).
+    ///
+    /// Returns `true` on a hit. Lower-level code that already works in
+    /// block units (e.g. writeback traffic) uses this directly.
+    pub fn access_block(&mut self, block: u64, write: bool) -> bool {
+        let set = self.indexer.index(block) as usize;
+        let base = set * self.assoc;
+        if let Some(way) = self.probe(set, block) {
+            self.stats.record(set, false, write);
+            if write {
+                self.lines[base + way].dirty = true;
+                self.replacers[set].write_touch(way as u32);
+            } else {
+                self.replacers[set].touch(way as u32);
+            }
+            return true;
+        }
+        self.stats.record(set, true, write);
+        // Choose a victim: first invalid way, else the policy's pick.
+        let way = self.lines[base..base + self.assoc]
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| self.replacers[set].victim() as usize);
+        let victim = &mut self.lines[base + way];
+        if victim.valid && victim.dirty {
+            self.stats.record_writeback();
+            self.pending_writebacks.push(victim.block);
+        }
+        *victim = Line {
+            block,
+            valid: true,
+            dirty: write,
+        };
+        self.replacers[set].fill(way as u32);
+        false
+    }
+
+    /// The set index `addr` maps to (for stats attribution by callers).
+    #[must_use]
+    pub fn set_of(&self, addr: u64) -> usize {
+        self.indexer.index(self.block_of(addr)) as usize
+    }
+
+    /// Returns `true` if `addr`'s block is currently resident.
+    #[must_use]
+    pub fn contains(&self, addr: u64) -> bool {
+        let block = self.block_of(addr);
+        let set = self.indexer.index(block) as usize;
+        self.probe(set, block).is_some()
+    }
+}
+
+impl CacheSim for Cache {
+    fn access(&mut self, addr: u64, write: bool) -> bool {
+        let block = self.block_of(addr);
+        self.access_block(block, write)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primecache_core::index::HashKind;
+
+    fn tiny(hash: HashKind) -> Cache {
+        // 4 sets x 2 ways x 64-B lines = 512 B.
+        Cache::new(CacheConfig::new(512, 2, 64).with_hash(hash))
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny(HashKind::Traditional);
+        assert!(!c.access(0, false));
+        assert!(c.access(0, false));
+        assert!(c.access(63, false)); // same line
+        assert!(!c.access(64, false)); // next line
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny(HashKind::Traditional);
+        // Set 0 holds blocks 0 and 4 (4 sets); a third conflicting block
+        // evicts the least recent.
+        c.access(0 * 256, false); // block 0, set 0
+        c.access(1 * 256, false); // block 4, set 0
+        c.access(0 * 256, false); // touch block 0
+        c.access(2 * 256, false); // evicts block 4
+        assert!(c.contains(0));
+        assert!(!c.contains(256));
+        assert!(c.contains(512));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = tiny(HashKind::Traditional);
+        c.access(0, true); // dirty
+        c.access(256, false);
+        c.access(512, false); // evicts block 0 (dirty)
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.take_writebacks(), vec![0]);
+        assert!(c.take_writebacks().is_empty());
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = tiny(HashKind::Traditional);
+        c.access(0, false);
+        c.access(256, false);
+        c.access(512, false);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn prime_modulo_cache_uses_2039_like_sets() {
+        let c = Cache::new(
+            CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::PrimeModulo),
+        );
+        assert_eq!(c.n_set(), 2039);
+        assert_eq!(c.hash_name(), "pMod");
+    }
+
+    #[test]
+    fn conflict_pathology_fixed_by_pmod() {
+        // 128 KB stride on the paper's L2: under Base all blocks share a
+        // set (misses forever); under pMod they spread and hit.
+        let run = |hash| {
+            let mut c =
+                Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(hash));
+            for _ in 0..10 {
+                for i in 0..16u64 {
+                    c.access(i * 128 * 1024, false);
+                }
+            }
+            c.stats().miss_rate()
+        };
+        let base = run(HashKind::Traditional);
+        let pmod = run(HashKind::PrimeModulo);
+        assert!(base > 0.9, "base miss rate {base}");
+        assert!(pmod < 0.2, "pmod miss rate {pmod}");
+    }
+
+    #[test]
+    fn stats_see_every_access() {
+        let mut c = tiny(HashKind::Xor);
+        for a in 0..100u64 {
+            c.access(a * 64, a % 2 == 0);
+        }
+        assert_eq!(c.stats().accesses, 100);
+        assert_eq!(c.stats().writes, 50);
+    }
+
+    #[test]
+    fn reset_stats_preserves_contents() {
+        let mut c = tiny(HashKind::Traditional);
+        c.access(0, false);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0, false), "contents must survive a stats reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "indexer needs")]
+    fn oversized_indexer_rejected() {
+        use primecache_core::index::{Geometry, Traditional};
+        let cfg = CacheConfig::new(512, 2, 64); // 4 sets
+        let too_big = Box::new(Traditional::new(Geometry::new(8)));
+        let _ = Cache::with_indexer(cfg, too_big);
+    }
+}

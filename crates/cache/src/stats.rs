@@ -1,0 +1,125 @@
+//! Cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and histograms accumulated by a cache simulation.
+///
+/// Per-set histograms drive the paper's §4 uniformity classification
+/// (`stdev(accesses)/mean > 0.5`) and the Fig. 13 miss-distribution plots.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_cache::CacheStats;
+///
+/// let mut s = CacheStats::new(4);
+/// s.record(2, true, false);
+/// s.record(2, false, false);
+/// assert_eq!(s.accesses, 2);
+/// assert_eq!(s.misses, 1);
+/// assert_eq!(s.set_accesses[2], 2);
+/// assert_eq!(s.set_misses[2], 1);
+/// assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Store accesses (subset of `accesses`).
+    pub writes: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Demand accesses per set.
+    pub set_accesses: Vec<u64>,
+    /// Demand misses per set.
+    pub set_misses: Vec<u64>,
+}
+
+impl CacheStats {
+    /// Creates zeroed statistics for a cache with `n_set` sets.
+    #[must_use]
+    pub fn new(n_set: usize) -> Self {
+        Self {
+            accesses: 0,
+            hits: 0,
+            misses: 0,
+            writes: 0,
+            writebacks: 0,
+            set_accesses: vec![0; n_set],
+            set_misses: vec![0; n_set],
+        }
+    }
+
+    /// Records one demand access to `set`.
+    pub fn record(&mut self, set: usize, miss: bool, write: bool) {
+        self.accesses += 1;
+        self.set_accesses[set] += 1;
+        if write {
+            self.writes += 1;
+        }
+        if miss {
+            self.misses += 1;
+            self.set_misses[set] += 1;
+        } else {
+            self.hits += 1;
+        }
+    }
+
+    /// Records a dirty-line writeback.
+    pub fn record_writeback(&mut self) {
+        self.writebacks += 1;
+    }
+
+    /// Miss rate in `\[0, 1\]`; 0.0 when no accesses were made.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Zeroes every counter and histogram, keeping the set count.
+    pub fn reset(&mut self) {
+        let n = self.set_accesses.len();
+        *self = CacheStats::new(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_consistent() {
+        let mut s = CacheStats::new(8);
+        for i in 0..100usize {
+            s.record(i % 8, i % 3 == 0, i % 5 == 0);
+        }
+        assert_eq!(s.accesses, 100);
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.set_accesses.iter().sum::<u64>(), s.accesses);
+        assert_eq!(s.set_misses.iter().sum::<u64>(), s.misses);
+    }
+
+    #[test]
+    fn miss_rate_handles_empty() {
+        assert_eq!(CacheStats::new(4).miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_keeps_shape() {
+        let mut s = CacheStats::new(16);
+        s.record(3, true, true);
+        s.record_writeback();
+        s.reset();
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.writebacks, 0);
+        assert_eq!(s.set_accesses.len(), 16);
+    }
+}

@@ -1,0 +1,384 @@
+//! CLI subcommand implementations.
+
+use primecache_core::index::{Geometry, HashKind};
+use primecache_core::metrics::{
+    balance, concentration, strided_addresses, uniformity_ratio, violation_fraction,
+    OnlineMetrics,
+};
+use primecache_sim::report::render_table;
+use primecache_sim::suite::run_sweep;
+use primecache_sim::experiments::miss_taxonomy;
+use primecache_sim::{run_workload, Scheme};
+use primecache_trace::{read_trace, write_trace, TraceStats};
+use primecache_workloads::profile::profile_of;
+use primecache_workloads::{all, by_name};
+
+use crate::args::{flag_parsed, flag_value, positional};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pcache — prime-number cache indexing simulator (HPCA 2004 reproduction)
+
+USAGE:
+  pcache list [--verbose]                  list the 23 workload models
+  pcache run <app> [--scheme S] [--refs N] simulate one (workload, scheme)
+  pcache classify [--refs N]               uniformity classification (§4)
+  pcache sweep [--refs N]                  all apps x main schemes
+  pcache metrics --stride S                balance/concentration at a stride
+  pcache metrics --app <name> [--refs N]   same metrics over a workload trace
+  pcache taxonomy [--refs N]               three-C miss decomposition
+  pcache trace <app> --out FILE [--refs N] dump a binary trace
+  pcache inspect FILE                      summarize a binary trace
+
+SCHEMES: Base, 8-way, XOR, pMod, pDisp, SKW, skw+pDisp, FA
+";
+
+fn parse_scheme(label: &str) -> Option<Scheme> {
+    Scheme::ALL.into_iter().find(|s| s.label() == label)
+}
+
+/// `pcache list [--verbose]`
+pub fn list(args: &[String]) -> i32 {
+    let verbose = args.iter().any(|a| a == "--verbose");
+    if verbose {
+        let rows: Vec<Vec<String>> = all()
+            .iter()
+            .map(|w| {
+                let p = profile_of(w.name).expect("every workload has a profile");
+                vec![
+                    w.name.to_owned(),
+                    w.suite.to_owned(),
+                    if w.expected_non_uniform { "non-uniform" } else { "uniform" }.to_owned(),
+                    format!("{:?}", p.pattern),
+                    format!("{:?}", p.conflict),
+                    format!("{} KB", p.footprint_bytes / 1024),
+                    if p.has_dependent_loads { "yes" } else { "no" }.to_owned(),
+                ]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                &["app", "suite", "class (§4)", "pattern", "conflicts", "footprint", "chases"],
+                &rows
+            )
+        );
+    } else {
+        let rows: Vec<Vec<String>> = all()
+            .iter()
+            .map(|w| {
+                vec![
+                    w.name.to_owned(),
+                    w.suite.to_owned(),
+                    if w.expected_non_uniform { "non-uniform" } else { "uniform" }.to_owned(),
+                ]
+            })
+            .collect();
+        print!("{}", render_table(&["app", "suite", "class (§4)"], &rows));
+    }
+    0
+}
+
+/// `pcache run <app> [--scheme S] [--refs N]`
+pub fn run(args: &[String]) -> i32 {
+    let Some(name) = positional(args) else {
+        eprintln!("usage: pcache run <app> [--scheme S] [--refs N]");
+        return 2;
+    };
+    let Some(workload) = by_name(name) else {
+        eprintln!("unknown workload '{name}' (try `pcache list`)");
+        return 2;
+    };
+    let scheme_label = flag_value(args, "--scheme").unwrap_or("pMod");
+    let Some(scheme) = parse_scheme(scheme_label) else {
+        eprintln!("unknown scheme '{scheme_label}'");
+        return 2;
+    };
+    let refs = match flag_parsed(args, "--refs", 200_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let base = run_workload(workload, Scheme::Base, refs);
+    let r = if scheme == Scheme::Base {
+        base.clone()
+    } else {
+        run_workload(workload, scheme, refs)
+    };
+    println!("{name} under {scheme} ({refs} refs):");
+    println!(
+        "  cycles: {} (busy {}, other {}, mem {})",
+        r.breakdown.total(),
+        r.breakdown.busy,
+        r.breakdown.other_stall,
+        r.breakdown.mem_stall
+    );
+    println!(
+        "  L1: {} accesses, {:.2}% miss; L2 demand: {} accesses, {:.2}% miss",
+        r.l1.accesses,
+        r.l1.miss_rate() * 100.0,
+        r.l2.accesses,
+        r.l2.miss_rate() * 100.0
+    );
+    println!(
+        "  vs Base: time x{:.3}, misses x{:.3}",
+        r.breakdown.total() as f64 / base.breakdown.total() as f64,
+        r.l2.misses as f64 / base.l2.misses.max(1) as f64
+    );
+    println!(
+        "  DRAM: {} reads, {} writes, {:.1}% row hits",
+        r.dram.reads,
+        r.dram.writes,
+        r.dram.row_hit_rate() * 100.0
+    );
+    0
+}
+
+/// `pcache classify [--refs N]`
+pub fn classify(args: &[String]) -> i32 {
+    let refs = match flag_parsed(args, "--refs", 200_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut rows = Vec::new();
+    for w in all() {
+        let r = run_workload(w, Scheme::Base, refs);
+        let cv = uniformity_ratio(&r.l2.set_accesses);
+        rows.push(vec![
+            w.name.to_owned(),
+            format!("{cv:.3}"),
+            if cv > 0.5 { "non-uniform" } else { "uniform" }.to_owned(),
+            if (cv > 0.5) == w.expected_non_uniform { "=" } else { "MISMATCH" }.to_owned(),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(&["app", "stdev/mean", "class", "vs paper"], &rows)
+    );
+    0
+}
+
+/// `pcache sweep [--refs N]`
+pub fn sweep(args: &[String]) -> i32 {
+    let refs = match flag_parsed(args, "--refs", 100_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let schemes = [
+        Scheme::Base,
+        Scheme::Xor,
+        Scheme::PrimeModulo,
+        Scheme::PrimeDisplacement,
+        Scheme::SkewedPrimeDisplacement,
+    ];
+    let sweep = run_sweep(&schemes, refs);
+    let mut header = vec!["app"];
+    header.extend(schemes.iter().skip(1).map(|s| s.label()));
+    let mut rows = Vec::new();
+    for w in all() {
+        let mut row = vec![w.name.to_owned()];
+        for &s in schemes.iter().skip(1) {
+            row.push(format!(
+                "{:.3}",
+                sweep.normalized_time(w.name, s).unwrap_or(f64::NAN)
+            ));
+        }
+        rows.push(row);
+    }
+    println!("execution time normalized to Base ({refs} refs):\n");
+    print!("{}", render_table(&header, &rows));
+    0
+}
+
+/// `pcache metrics --stride S [--sets N]` or `--app <name> [--refs N]`
+pub fn metrics(args: &[String]) -> i32 {
+    if let Some(app) = flag_value(args, "--app") {
+        return metrics_app(app, args);
+    }
+    let stride = match flag_parsed(args, "--stride", 1u64) {
+        Ok(v) if v > 0 => v,
+        _ => {
+            eprintln!("usage: pcache metrics --stride S [--sets N]");
+            return 2;
+        }
+    };
+    let sets = match flag_parsed(args, "--sets", 2048u64) {
+        Ok(v) if v.is_power_of_two() && v >= 4 => v,
+        _ => {
+            eprintln!("--sets must be a power of two >= 4");
+            return 2;
+        }
+    };
+    let geom = Geometry::new(sets);
+    let addrs = strided_addresses(stride, (sets * 4) as usize);
+    let mut rows = Vec::new();
+    for kind in HashKind::ALL {
+        let idx = kind.build(geom);
+        rows.push(vec![
+            kind.label().to_owned(),
+            format!("{:.3}", balance(&idx, addrs.iter().copied())),
+            format!("{:.1}", concentration(&idx, addrs.iter().copied())),
+            format!("{:.4}", violation_fraction(&idx, &addrs)),
+        ]);
+    }
+    println!("stride {stride} over {sets} physical sets:\n");
+    print!(
+        "{}",
+        render_table(
+            &["hash", "balance (1=ideal)", "concentration (0=ideal)", "violations"],
+            &rows
+        )
+    );
+    0
+}
+
+/// `pcache taxonomy [--refs N]`
+pub fn taxonomy(args: &[String]) -> i32 {
+    let refs = match flag_parsed(args, "--refs", 150_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut rows = Vec::new();
+    for w in all() {
+        let t = miss_taxonomy(w, Scheme::Base, refs);
+        rows.push(vec![
+            w.name.to_owned(),
+            t.compulsory.to_string(),
+            t.capacity.to_string(),
+            t.conflict.to_string(),
+            format!("{:.0}%", t.conflict_fraction() * 100.0),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["app", "compulsory", "capacity", "conflict", "conflict share"],
+            &rows
+        )
+    );
+    0
+}
+
+/// `pcache metrics --app <name>`: the §2 metrics over a workload's block
+/// stream under each hash function.
+fn metrics_app(app: &str, args: &[String]) -> i32 {
+    let Some(workload) = by_name(app) else {
+        eprintln!("unknown workload '{app}' (try `pcache list`)");
+        return 2;
+    };
+    let refs = match flag_parsed(args, "--refs", 100_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let geom = Geometry::new(2048);
+    let blocks: Vec<u64> = workload
+        .trace(refs)
+        .iter()
+        .filter_map(|e| e.addr())
+        .map(|a| a / 64)
+        .collect();
+    let mut rows = Vec::new();
+    for kind in HashKind::ALL {
+        let idx = kind.build(geom);
+        let mut m = OnlineMetrics::new(idx.n_set());
+        for &b in &blocks {
+            m.observe(&idx, b);
+        }
+        rows.push(vec![
+            kind.label().to_owned(),
+            format!("{:.3}", m.balance()),
+            format!("{:.1}", m.concentration()),
+            format!("{:.3}", m.uniformity()),
+        ]);
+    }
+    println!("{app}: {} block accesses through a 2048-set geometry:
+", blocks.len());
+    print!(
+        "{}",
+        render_table(
+            &["hash", "balance", "concentration", "stdev/mean"],
+            &rows
+        )
+    );
+    0
+}
+
+/// `pcache trace <app> --out FILE [--refs N]`
+pub fn trace(args: &[String]) -> i32 {
+    let Some(name) = positional(args) else {
+        eprintln!("usage: pcache trace <app> --out FILE [--refs N]");
+        return 2;
+    };
+    let Some(workload) = by_name(name) else {
+        eprintln!("unknown workload '{name}'");
+        return 2;
+    };
+    let Some(out) = flag_value(args, "--out") else {
+        eprintln!("--out FILE is required");
+        return 2;
+    };
+    let refs = match flag_parsed(args, "--refs", 100_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let events = workload.trace(refs);
+    let bytes = write_trace(&events);
+    if let Err(e) = std::fs::write(out, &bytes) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    println!("wrote {} events ({} bytes) to {out}", events.len(), bytes.len());
+    0
+}
+
+/// `pcache inspect FILE`
+pub fn inspect(args: &[String]) -> i32 {
+    let Some(path) = positional(args) else {
+        eprintln!("usage: pcache inspect FILE");
+        return 2;
+    };
+    let data = match std::fs::read(path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let events = match read_trace(&data) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("cannot decode {path}: {e}");
+            return 1;
+        }
+    };
+    let stats: TraceStats = events.iter().collect();
+    println!("{path}: {} events", events.len());
+    println!("  instructions: {}", stats.instructions);
+    println!(
+        "  loads: {} ({} dependent), stores: {}",
+        stats.loads, stats.dependent_loads, stats.stores
+    );
+    println!(
+        "  branches: {} ({} mispredicted)",
+        stats.branches, stats.mispredicts
+    );
+    println!("  memory intensity: {:.1}%", stats.memory_intensity() * 100.0);
+    0
+}

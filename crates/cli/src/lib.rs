@@ -1,0 +1,5 @@
+//! Library surface of the `pcache` CLI (exposed for testing; the binary
+//! in `main.rs` is a thin dispatcher over [`commands`]).
+
+pub mod args;
+pub mod commands;

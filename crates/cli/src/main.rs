@@ -1,0 +1,37 @@
+//! `pcache` — command-line driver for the primecache simulators.
+//!
+//! ```text
+//! pcache list                              list the 23 workload models
+//! pcache run <app> [--scheme S] [--refs N] simulate one (workload, scheme)
+//! pcache classify [--refs N]               §4 uniformity classification
+//! pcache sweep [--refs N]                  all apps x main schemes
+//! pcache metrics --stride S                balance/concentration at a stride
+//! pcache trace <app> --out FILE [--refs N] dump a binary trace
+//! pcache inspect FILE                      summarize a binary trace
+//! ```
+
+use primecache_cli::commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("list") => commands::list(&argv[1..]),
+        Some("run") => commands::run(&argv[1..]),
+        Some("classify") => commands::classify(&argv[1..]),
+        Some("sweep") => commands::sweep(&argv[1..]),
+        Some("metrics") => commands::metrics(&argv[1..]),
+        Some("taxonomy") => commands::taxonomy(&argv[1..]),
+        Some("trace") => commands::trace(&argv[1..]),
+        Some("inspect") => commands::inspect(&argv[1..]),
+        Some("help") | None => {
+            print!("{}", commands::USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n");
+            eprint!("{}", commands::USAGE);
+            2
+        }
+    };
+    std::process::exit(code);
+}

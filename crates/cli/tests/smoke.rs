@@ -1,0 +1,61 @@
+//! Smoke tests of the CLI subcommands (exit codes; output goes to stdout).
+
+use primecache_cli::commands;
+
+fn args(items: &[&str]) -> Vec<String> {
+    items.iter().map(|s| (*s).to_owned()).collect()
+}
+
+#[test]
+fn list_succeeds() {
+    assert_eq!(commands::list(&args(&[])), 0);
+    assert_eq!(commands::list(&args(&["--verbose"])), 0);
+}
+
+#[test]
+fn run_validates_inputs() {
+    assert_eq!(commands::run(&args(&[])), 2);
+    assert_eq!(commands::run(&args(&["doom"])), 2);
+    assert_eq!(commands::run(&args(&["tree", "--scheme", "wat"])), 2);
+    assert_eq!(commands::run(&args(&["tree", "--refs", "nope"])), 2);
+    assert_eq!(
+        commands::run(&args(&["tree", "--scheme", "pMod", "--refs", "5000"])),
+        0
+    );
+}
+
+#[test]
+fn metrics_validates_inputs() {
+    assert_eq!(commands::metrics(&args(&["--stride", "0"])), 2);
+    assert_eq!(commands::metrics(&args(&["--stride", "7", "--sets", "100"])), 2);
+    assert_eq!(commands::metrics(&args(&["--stride", "7"])), 0);
+    assert_eq!(commands::metrics(&args(&["--app", "nothere"])), 2);
+    assert_eq!(commands::metrics(&args(&["--app", "tree", "--refs", "3000"])), 0);
+}
+
+#[test]
+fn trace_and_inspect_roundtrip() {
+    let dir = std::env::temp_dir().join("pcache_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.pct");
+    let path_str = path.to_str().unwrap();
+    assert_eq!(
+        commands::trace(&args(&["swim", "--out", path_str, "--refs", "2000"])),
+        0
+    );
+    assert_eq!(commands::inspect(&args(&[path_str])), 0);
+    assert_eq!(commands::inspect(&args(&["/nonexistent/file"])), 1);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn trace_requires_out_flag() {
+    assert_eq!(commands::trace(&args(&["swim"])), 2);
+    assert_eq!(commands::trace(&args(&[])), 2);
+}
+
+#[test]
+fn classify_and_taxonomy_run() {
+    assert_eq!(commands::classify(&args(&["--refs", "3000"])), 0);
+    assert_eq!(commands::taxonomy(&args(&["--refs", "3000"])), 0);
+}

@@ -1,0 +1,257 @@
+//! Analytic predictions for modulo-based hashing (§2.2 / §3.3).
+//!
+//! For the modulo family (`Traditional`, `PrimeModulo`) the paper's two
+//! properties have closed forms:
+//!
+//! * **Property 1 (ideal balance)** holds iff `gcd(s, n_set) = 1`; more
+//!   generally a stride `s` touches exactly `n_set / gcd(s, n_set)` sets,
+//!   each equally often.
+//! * **Property 2 (sequence invariance)** holds unconditionally, because
+//!   `H(a + s) = (H(a) + s) mod n_set` is a function of `H(a)` alone.
+//!
+//! These functions compute the predictions; the test suite (and the
+//! `table2` binary) verify them against the empirical metrics, which is
+//! how the reproduction *checks* Table 2 instead of just restating it.
+
+use primecache_primes::gcd;
+
+/// Number of distinct sets a strided sequence touches under
+/// `H(a) = a mod n_set`, in the limit: `n_set / gcd(s, n_set)`.
+///
+/// # Panics
+///
+/// Panics if `n_set == 0` or `stride == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::analysis::sets_touched_modulo;
+///
+/// assert_eq!(sets_touched_modulo(2, 2048), 1024); // even stride: half
+/// assert_eq!(sets_touched_modulo(3, 2048), 2048); // odd: all
+/// assert_eq!(sets_touched_modulo(2039, 2039), 1); // the pMod bad case
+/// ```
+#[must_use]
+pub fn sets_touched_modulo(stride: u64, n_set: u64) -> u64 {
+    assert!(n_set > 0, "set count must be positive");
+    assert!(stride > 0, "stride must be positive");
+    n_set / gcd(stride, n_set)
+}
+
+/// Property 1 for modulo hashing: ideal balance iff `gcd(s, n_set) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::analysis::modulo_ideal_balance;
+///
+/// assert!(!modulo_ideal_balance(512, 2048)); // traditional, even stride
+/// assert!(modulo_ideal_balance(512, 2039)); // prime modulo fixes it
+/// assert!(!modulo_ideal_balance(2039, 2039)); // except its own multiples
+/// ```
+#[must_use]
+pub fn modulo_ideal_balance(stride: u64, n_set: u64) -> bool {
+    gcd(stride, n_set) == 1
+}
+
+/// The asymptotic balance value (Eq. 1) of a strided sequence under
+/// modulo hashing with `m` accesses: `g = gcd(s, n_set)` sets-touched
+/// share the load, so each touched set holds `m·g/n_set` addresses.
+///
+/// Returns the predicted Eq.-1 score; 1.0-ish when `g = 1`, growing
+/// roughly linearly in `g`.
+///
+/// # Panics
+///
+/// Panics on zero `stride`, `n_set`, or `m`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::analysis::predicted_balance_modulo;
+///
+/// let ideal = predicted_balance_modulo(3, 2048, 8192);
+/// let bad = predicted_balance_modulo(512, 2048, 8192);
+/// assert!(ideal < 1.0 && bad > 100.0);
+/// ```
+#[must_use]
+pub fn predicted_balance_modulo(stride: u64, n_set: u64, m: u64) -> f64 {
+    assert!(m > 0, "need at least one access");
+    let g = gcd(stride, n_set);
+    let touched = n_set / g;
+    let per_set = m as f64 / touched as f64;
+    // Numerator of Eq. 1: `touched` sets of weight b(b+1)/2 each.
+    let numer = touched as f64 * (per_set * (per_set + 1.0) / 2.0);
+    let n_set = n_set as f64;
+    let m = m as f64;
+    let denom = m / (2.0 * n_set) * (m + 2.0 * n_set - 1.0);
+    numer / denom
+}
+
+/// The constant re-access distance of a strided sequence under modulo
+/// hashing (§2.2): every set is re-accessed after exactly
+/// `n_set / gcd(s, n_set)` accesses, which equals `n_set` when the ideal
+/// balance holds.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::analysis::reuse_distance_modulo;
+///
+/// assert_eq!(reuse_distance_modulo(1, 2039), 2039);
+/// assert_eq!(reuse_distance_modulo(2, 2048), 1024);
+/// ```
+#[must_use]
+pub fn reuse_distance_modulo(stride: u64, n_set: u64) -> u64 {
+    sets_touched_modulo(stride, n_set)
+}
+
+/// The predicted concentration (Eq. 2) of a strided sequence under modulo
+/// hashing: all gaps equal `d = n_set/g`, so the standard deviation around
+/// `n_set` is `|d − n_set| = n_set·(1 − 1/g)`.
+///
+/// Zero exactly when the ideal balance holds — Property 1 + sequence
+/// invariance ⇒ ideal concentration, the §2.2 argument in closed form.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::analysis::predicted_concentration_modulo;
+///
+/// assert_eq!(predicted_concentration_modulo(3, 2048), 0.0);
+/// assert_eq!(predicted_concentration_modulo(2, 2048), 1024.0);
+/// ```
+#[must_use]
+pub fn predicted_concentration_modulo(stride: u64, n_set: u64) -> f64 {
+    let g = gcd(stride, n_set);
+    n_set as f64 * (1.0 - 1.0 / g as f64)
+}
+
+/// Inter-bank dispersion of a pair of skewing functions: among blocks that
+/// collide in one bank, the fraction that also collide in the other.
+/// Seznec's design goal is to make this tiny ("blocks that are mapped to
+/// the same set in one bank are most likely not to map to the same set in
+/// the other banks", §3.3).
+///
+/// `blocks` supplies the population examined.
+///
+/// Returns a value in `\[0, 1\]`; 0.0 is perfect dispersion. Returns 0.0
+/// when no pair collides in the first bank.
+pub fn double_collision_rate<I, J>(bank_a: &I, bank_b: &J, blocks: &[u64]) -> f64
+where
+    I: crate::index::SetIndexer + ?Sized,
+    J: crate::index::SetIndexer + ?Sized,
+{
+    let mut collisions = 0u64;
+    let mut double = 0u64;
+    for (i, &x) in blocks.iter().enumerate() {
+        for &y in &blocks[i + 1..] {
+            if bank_a.index(x) == bank_a.index(y) {
+                collisions += 1;
+                if bank_b.index(x) == bank_b.index(y) {
+                    double += 1;
+                }
+            }
+        }
+    }
+    if collisions == 0 {
+        0.0
+    } else {
+        double as f64 / collisions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Geometry, PrimeModulo, SetIndexer, SkewDispBank, SkewXorBank, Traditional};
+    use crate::metrics::{balance, concentration, strided_addresses};
+
+    #[test]
+    fn predictions_match_measurements_for_traditional() {
+        let geom = Geometry::new(256);
+        let trad = Traditional::new(geom);
+        for stride in [1u64, 2, 3, 4, 8, 16, 64, 255, 256] {
+            let addrs = strided_addresses(stride, 4096);
+            let measured_b = balance(&trad, addrs.iter().copied());
+            let predicted_b = predicted_balance_modulo(stride, 256, 4096);
+            assert!(
+                (measured_b - predicted_b).abs() / predicted_b < 0.02,
+                "stride {stride}: measured {measured_b}, predicted {predicted_b}"
+            );
+            let measured_c = concentration(&trad, addrs.iter().copied());
+            let predicted_c = predicted_concentration_modulo(stride, 256);
+            assert!(
+                (measured_c - predicted_c).abs() < 1.0 + predicted_c * 0.02,
+                "stride {stride}: measured {measured_c}, predicted {predicted_c}"
+            );
+        }
+    }
+
+    #[test]
+    fn predictions_match_measurements_for_pmod() {
+        let geom = Geometry::new(256);
+        let pmod = PrimeModulo::new(geom); // 251 sets
+        for stride in [1u64, 2, 64, 250, 251, 502] {
+            let addrs = strided_addresses(stride, 4096);
+            let measured = concentration(&pmod, addrs.iter().copied());
+            let predicted = predicted_concentration_modulo(stride, 251);
+            assert!(
+                (measured - predicted).abs() < 1.0 + predicted * 0.05,
+                "stride {stride}: measured {measured}, predicted {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn sets_touched_is_exact() {
+        let geom = Geometry::new(1024);
+        let trad = Traditional::new(geom);
+        for stride in [2u64, 6, 8, 512, 1023] {
+            let addrs = strided_addresses(stride, 8192);
+            let distinct: std::collections::HashSet<u64> =
+                addrs.iter().map(|&a| trad.index(a)).collect();
+            assert_eq!(
+                distinct.len() as u64,
+                sets_touched_modulo(stride, 1024),
+                "stride {stride}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_banks_disperse_collisions() {
+        let geom = Geometry::new(512);
+        let blocks: Vec<u64> = (0..512u64).map(|i| i * 512).collect(); // all alias
+        let xor0 = SkewXorBank::new(geom, 0);
+        let xor1 = SkewXorBank::new(geom, 1);
+        let d_xor = double_collision_rate(&xor0, &xor1, &blocks);
+        assert!(d_xor < 0.25, "XOR banks: {d_xor}");
+
+        let pd0 = SkewDispBank::new(geom, 9);
+        let pd1 = SkewDispBank::new(geom, 19);
+        let d_pd = double_collision_rate(&pd0, &pd1, &blocks);
+        assert!(d_pd < 0.05, "pDisp banks: {d_pd}");
+    }
+
+    #[test]
+    fn same_function_doubles_every_collision() {
+        // Blocks built to all collide in bank 0: x = rotate(t1) makes
+        // H(a) = 0 for every t1. Using the same function twice must then
+        // report a 100% double-collision rate — the degenerate upper bound
+        // skewing is measured against.
+        let geom = Geometry::new(512);
+        let f0 = SkewXorBank::new(geom, 0); // bank 0: no rotation
+        let blocks: Vec<u64> = (0..512u64).map(|t1| (t1 << 9) | t1).collect();
+        assert!(blocks.iter().all(|&b| f0.index(b) == 0));
+        assert_eq!(double_collision_rate(&f0, &f0, &blocks), 1.0);
+    }
+
+    #[test]
+    fn no_collisions_yields_zero_rate() {
+        let geom = Geometry::new(512);
+        let f = SkewXorBank::new(geom, 1);
+        let blocks: Vec<u64> = (0..64u64).collect(); // distinct x, zero tag
+        assert_eq!(double_collision_rate(&f, &f, &blocks), 0.0);
+    }
+}

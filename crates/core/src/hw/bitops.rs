@@ -1,0 +1,187 @@
+//! Gate-level building blocks: carry-save compressors and a prefix adder.
+//!
+//! The §3.1 hardware schemes are "a set of narrow add operations"; this
+//! module implements the adders the way hardware would — a 3:2 carry-save
+//! tree feeding a Kogge–Stone carry-propagate adder — operating on plain
+//! `u64` words as bit vectors. [`sum_many`] is used by the test suite to
+//! re-validate the [`Wired2039`](super::Wired2039) unit with real gate
+//! structures instead of the `+` operator.
+
+/// One layer of 3:2 carry-save compression: three addends become two
+/// (a partial-sum word and a carry word), using only bitwise gates.
+///
+/// The returned pair satisfies `sum + 2*carry == a + b + c` (as integers).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::csa32;
+///
+/// let (s, c) = csa32(13, 9, 31);
+/// assert_eq!(s.wrapping_add(c << 1), 13 + 9 + 31);
+/// ```
+#[must_use]
+pub fn csa32(a: u64, b: u64, c: u64) -> (u64, u64) {
+    let sum = a ^ b ^ c;
+    let carry = (a & b) | (a & c) | (b & c);
+    (sum, carry)
+}
+
+/// Kogge–Stone parallel-prefix addition of two words — `log2(w)` prefix
+/// levels of generate/propagate merging, the adder structure a fast index
+/// unit would use.
+///
+/// Wraps on overflow like `wrapping_add` (hardware discards the carry
+/// out).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::kogge_stone_add;
+///
+/// assert_eq!(kogge_stone_add(2039, 9), 2048);
+/// assert_eq!(kogge_stone_add(u64::MAX, 1), 0);
+/// ```
+#[must_use]
+pub fn kogge_stone_add(a: u64, b: u64) -> u64 {
+    let mut g = a & b; // generate
+    let mut p = a ^ b; // propagate
+    let mut dist = 1u32;
+    while dist < 64 {
+        let g_shift = g << dist;
+        let p_shift = p << dist;
+        g |= p & g_shift;
+        p &= p_shift;
+        dist <<= 1;
+    }
+    // Sum bits: propagate XOR incoming carry (the prefix generate shifted
+    // into position).
+    (a ^ b) ^ (g << 1)
+}
+
+/// Sums a list of addends through a CSA (Wallace) tree and one final
+/// prefix add — the §3.1 "set of narrow add operations" as actual gates.
+///
+/// Returns the wrapped sum and the number of CSA levels used (the tree
+/// depth that determines the latency).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::sum_many;
+///
+/// let (sum, levels) = sum_many(&[1, 2, 3, 4, 5]);
+/// assert_eq!(sum, 15);
+/// assert!(levels >= 2);
+/// ```
+#[must_use]
+pub fn sum_many(addends: &[u64]) -> (u64, u32) {
+    match addends {
+        [] => (0, 0),
+        [a] => (*a, 0),
+        _ => {
+            let mut layer: Vec<u64> = addends.to_vec();
+            let mut levels = 0u32;
+            while layer.len() > 2 {
+                let mut next = Vec::with_capacity(layer.len().div_ceil(3) * 2);
+                for chunk in layer.chunks(3) {
+                    match *chunk {
+                        [a, b, c] => {
+                            let (s, carry) = csa32(a, b, c);
+                            next.push(s);
+                            next.push(carry << 1);
+                        }
+                        [a, b] => {
+                            next.push(a);
+                            next.push(b);
+                        }
+                        [a] => next.push(a),
+                        _ => unreachable!("chunks(3) yields 1..=3 items"),
+                    }
+                }
+                layer = next;
+                levels += 1;
+            }
+            let sum = if layer.len() == 2 {
+                kogge_stone_add(layer[0], layer[1])
+            } else {
+                layer[0]
+            };
+            (sum, levels)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csa_identity_holds_everywhere() {
+        for (a, b, c) in [
+            (0u64, 0u64, 0u64),
+            (1, 1, 1),
+            (u64::MAX, 1, 0),
+            (0xDEAD_BEEF, 0xCAFE_BABE, 0x1234_5678),
+        ] {
+            let (s, carry) = csa32(a, b, c);
+            assert_eq!(
+                s.wrapping_add(carry.wrapping_shl(1)),
+                a.wrapping_add(b).wrapping_add(c)
+            );
+        }
+    }
+
+    #[test]
+    fn kogge_stone_matches_wrapping_add() {
+        let vals = [
+            0u64,
+            1,
+            2039,
+            2048,
+            u32::MAX as u64,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+            0x5555_5555_5555_5555,
+        ];
+        for &a in &vals {
+            for &b in &vals {
+                assert_eq!(kogge_stone_add(a, b), a.wrapping_add(b), "{a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_many_matches_iterator_sum() {
+        let addends: Vec<u64> = (1..=20u64).map(|i| i * 1_000_003).collect();
+        let (sum, levels) = sum_many(&addends);
+        assert_eq!(sum, addends.iter().sum::<u64>());
+        // 20 addends compress in ~6 CSA levels.
+        assert!(levels <= 8, "{levels}");
+    }
+
+    #[test]
+    fn wired_2039_addends_sum_correctly_through_gates() {
+        // Re-validate the Fig. 3b unit using real gate structures: the
+        // five addends (with the 8*t1 carry-out folded by 2^11 ≡ 9) summed
+        // through the CSA tree + prefix adder are congruent to
+        // x + 9*t1 + 81*t2 — hence to the block address — modulo 2039.
+        for a in (0..(1u64 << 26)).step_by(1_048_573) {
+            let x = a & 0x7FF;
+            let t1 = (a >> 11) & 0x7FF;
+            let t2 = (a >> 22) & 0xF;
+            let addends = [x, t1, (t1 << 3) & 0x7FF, 9 * (t1 >> 8), 81 * t2];
+            let (sum, levels) = sum_many(&addends);
+            assert_eq!(sum % 2039, (x + 9 * t1 + 81 * t2) % 2039, "a = {a}");
+            assert_eq!(sum % 2039, a % 2039, "a = {a}");
+            assert!(levels <= 3, "five 11-bit numbers need <= 3 CSA levels");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(sum_many(&[]), (0, 0));
+        assert_eq!(sum_many(&[42]), (42, 0));
+        assert_eq!(sum_many(&[40, 2]).0, 42);
+    }
+}

@@ -1,0 +1,174 @@
+//! Gate-level latency estimates for the index computations (§3.1.1).
+//!
+//! The paper argues the prime-modulo index can be computed "in parallel
+//! with L1 accesses", so the L2 access time is not impacted. This module
+//! makes the claim checkable: it estimates each scheme's combinational
+//! depth in *gate stages*, using standard structures — a carry-save adder
+//! (Wallace) tree to compress the addend list, a prefix (Kogge–Stone)
+//! adder for the final sum, and a mux stage for the subtract&select.
+//!
+//! The unit is one 2-input-gate delay; a 2003-era cycle at 1.6 GHz fits
+//! roughly 16–20 of them (FO4-equivalent), so an L1 hit (3 cycles) offers
+//! ~50 stages of slack — which every scheme here clears easily.
+
+use crate::index::{Geometry, HashKind};
+
+/// Combinational-depth estimate of one index computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexLatency {
+    /// Scheme being estimated.
+    pub kind: HashKind,
+    /// Number of index-width addends entering the adder tree.
+    pub addends: u32,
+    /// CSA-tree levels (each ~2 gate stages).
+    pub csa_levels: u32,
+    /// Prefix-adder stages for the final carry-propagate add.
+    pub cpa_stages: u32,
+    /// Selector (mux) stages for subtract&select.
+    pub select_stages: u32,
+    /// Total gate stages.
+    pub total_stages: u32,
+}
+
+/// Gate stages a 1.6 GHz cycle accommodates (FO4-equivalent estimate).
+pub const STAGES_PER_CYCLE: u32 = 16;
+
+/// CSA-tree depth (in CSA levels) to compress `n` addends to 2.
+///
+/// Each 3:2 compressor level reduces the operand count by a factor of
+/// ~2/3: `n -> ceil(2n/3)`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::csa_levels;
+///
+/// assert_eq!(csa_levels(2), 0);
+/// assert_eq!(csa_levels(3), 1);
+/// assert_eq!(csa_levels(5), 3);
+/// ```
+#[must_use]
+pub fn csa_levels(n: u32) -> u32 {
+    let mut n = n.max(2);
+    let mut levels = 0;
+    while n > 2 {
+        n = n.div_ceil(3) * 2 - if n % 3 == 1 { 1 } else { 0 };
+        levels += 1;
+    }
+    levels
+}
+
+/// Estimates the index-computation latency of a hash scheme over a
+/// geometry, assuming a 32-bit physical address and 64-byte lines (the
+/// paper's worked configuration).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::{index_latency, STAGES_PER_CYCLE};
+/// use primecache_core::index::{Geometry, HashKind};
+///
+/// let l = index_latency(HashKind::PrimeModulo, Geometry::new(2048));
+/// // One cycle of slack is plenty: the computation overlaps the 3-cycle
+/// // L1 access (§3.1.1).
+/// assert!(l.total_stages <= 3 * STAGES_PER_CYCLE);
+/// ```
+#[must_use]
+pub fn index_latency(kind: HashKind, geom: Geometry) -> IndexLatency {
+    let k = geom.index_bits();
+    // Kogge-Stone prefix adder over k bits: log2(k) prefix stages plus
+    // pre/post processing.
+    let cpa_stages = 32u32.saturating_sub(k.leading_zeros()) + 2;
+    let (addends, select_stages) = match kind {
+        // Wire selection of the low bits.
+        HashKind::Traditional => (0, 0),
+        // One XOR level.
+        HashKind::Xor => (0, 1),
+        // §3.1.1 worked example: five narrow numbers (A..E), one carry
+        // fold treated as one extra CSA level via the +1 addend, and a
+        // 2-input subtract&select (one mux stage after a comparison add).
+        HashKind::PrimeModulo => (6, 2),
+        // p = 9 = 1001b: T + 8T + x = three addends, truncated (no
+        // selector, the mask is free).
+        HashKind::PrimeDisplacement => (3, 0),
+    };
+    let csa = csa_levels(addends.max(2));
+    let total = match kind {
+        HashKind::Traditional => 0,
+        HashKind::Xor => 1,
+        _ => 2 * csa + cpa_stages + select_stages,
+    };
+    IndexLatency {
+        kind,
+        addends,
+        csa_levels: csa,
+        cpa_stages,
+        select_stages,
+        total_stages: total,
+    }
+}
+
+/// Whether the scheme's index computation fits in the slack of an L1
+/// access of `l1_cycles` cycles — the §3.1.1 overlap argument.
+#[must_use]
+pub fn fits_l1_overlap(kind: HashKind, geom: Geometry, l1_cycles: u32) -> bool {
+    index_latency(kind, geom).total_stages <= l1_cycles * STAGES_PER_CYCLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csa_reduction_is_monotonic() {
+        let mut prev = 0;
+        for n in 2..64 {
+            let l = csa_levels(n);
+            assert!(l >= prev);
+            prev = l;
+        }
+        assert!(csa_levels(64) <= 10);
+    }
+
+    #[test]
+    fn traditional_is_free_and_xor_one_stage() {
+        let g = Geometry::new(2048);
+        assert_eq!(index_latency(HashKind::Traditional, g).total_stages, 0);
+        assert_eq!(index_latency(HashKind::Xor, g).total_stages, 1);
+    }
+
+    #[test]
+    fn every_scheme_overlaps_the_l1_access() {
+        // §3.1.1: with a 3-cycle L1, every scheme's index computation
+        // hides completely.
+        for phys in [256u64, 2048, 16384] {
+            let g = Geometry::new(phys);
+            for kind in HashKind::ALL {
+                assert!(
+                    fits_l1_overlap(kind, g, 3),
+                    "{kind:?} at {phys} sets does not fit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pmod_costs_more_than_pdisp_costs_more_than_xor() {
+        // The paper's qualitative cost ordering.
+        let g = Geometry::new(2048);
+        let pmod = index_latency(HashKind::PrimeModulo, g).total_stages;
+        let pdisp = index_latency(HashKind::PrimeDisplacement, g).total_stages;
+        let xor = index_latency(HashKind::Xor, g).total_stages;
+        assert!(pmod > pdisp);
+        assert!(pdisp > xor);
+    }
+
+    #[test]
+    fn pmod_fits_within_a_single_cycle_plus_slack() {
+        // The TLB-assisted variant is "much less than one clock cycle";
+        // even the full polynomial unit stays within two cycles.
+        let g = Geometry::new(2048);
+        let l = index_latency(HashKind::PrimeModulo, g);
+        assert!(l.total_stages <= 2 * STAGES_PER_CYCLE, "{l:?}");
+    }
+}

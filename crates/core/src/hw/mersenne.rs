@@ -1,0 +1,92 @@
+//! The Mersenne-prime special case (Eq. 5, Yang & Yang's scheme).
+
+/// Computes `a mod (2^k − 1)` by repeated folding of `k`-bit chunks:
+/// `a ≡ x + t1 + t2 + … (mod 2^k − 1)` — Eq. 5 of the paper, the `Δ = 1`
+/// special case of the polynomial method and exactly the scheme of the
+/// paper's reference \[25\].
+///
+/// The paper's point is that this *only* works when `2^k − 1` is prime
+/// (k = 2, 3, 5, 7, 13, 17, 19, 31, …), which severely restricts the cache
+/// sizes it can serve; the polynomial method removes the restriction.
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k >= 64`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::mersenne_fold;
+///
+/// // An 8192-set cache uses the Mersenne prime 8191 = 2^13 - 1.
+/// assert_eq!(mersenne_fold(123_456_789, 13), 123_456_789 % 8191);
+/// ```
+#[must_use]
+pub fn mersenne_fold(a: u64, k: u32) -> u64 {
+    assert!((1..64).contains(&k), "chunk width must be in 1..64, got {k}");
+    let m = (1u64 << k) - 1;
+    let mut v = a;
+    while v > m {
+        let mut folded = 0u64;
+        let mut rest = v;
+        while rest != 0 {
+            folded += rest & m;
+            rest >>= k;
+        }
+        v = folded;
+    }
+    // After folding, v may equal m itself (m ≡ 0 mod m).
+    if v == m {
+        0
+    } else {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primecache_primes::is_mersenne_prime;
+
+    #[test]
+    fn matches_reference_for_8191() {
+        for a in (0..100_000_000u64).step_by(1_000_003) {
+            assert_eq!(mersenne_fold(a, 13), a % 8191, "a = {a}");
+        }
+        for a in 0..20_000u64 {
+            assert_eq!(mersenne_fold(a, 13), a % 8191);
+        }
+    }
+
+    #[test]
+    fn matches_reference_for_all_small_mersennes() {
+        for k in [2u32, 3, 5, 7, 13, 17, 19, 31] {
+            let m = (1u64 << k) - 1;
+            assert!(is_mersenne_prime(m));
+            for a in (0..10_000_000u64).step_by(333_667) {
+                assert_eq!(mersenne_fold(a, k), a % m, "k = {k}, a = {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn works_on_full_width_values() {
+        for a in [u64::MAX, u64::MAX - 8191, 1u64 << 63] {
+            assert_eq!(mersenne_fold(a, 13), a % 8191);
+            assert_eq!(mersenne_fold(a, 31), a % ((1u64 << 31) - 1));
+        }
+    }
+
+    #[test]
+    fn multiples_of_modulus_fold_to_zero() {
+        for mult in [1u64, 2, 3, 1000, 8191] {
+            assert_eq!(mersenne_fold(8191 * mult, 13), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk width")]
+    fn zero_width_rejected() {
+        let _ = mersenne_fold(1, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Bit-level models of the paper's fast hardware implementations (§3.1).
+//!
+//! The prime modulo `a mod n_set` is never computed with an integer divider.
+//! The paper replaces it with narrow add networks; this module models each
+//! scheme at the bit level and exposes its hardware cost so the claims of
+//! §3.1 (Theorem 1, the five-addend 2039 unit, the sub-cycle TLB-assisted
+//! add) can be checked:
+//!
+//! * [`SubtractSelect`] — the terminal selector stage of Fig. 2,
+//! * [`IterativeLinear`] — the recursive `a' = Δ·T + x` reduction of Eq. 3,
+//!   with the Theorem 1 iteration bound,
+//! * [`Polynomial`] — the one-pass `a* = x + Σ t_j·Δ^j` reduction of Eq. 4,
+//! * [`mersenne_fold`] — the Δ = 1 special case (Eq. 5, Yang & Yang),
+//! * [`Wired2039`] — the concrete five-addend unit of Figs. 3–4 for a
+//!   2048-physical-set L2 on a 32-bit machine,
+//! * [`TlbAssist`] — the split page-index/page-offset computation cached in
+//!   the TLB (§3.1.1).
+//!
+//! Every model is verified against the arithmetic reference `a % n_set`.
+
+mod bitops;
+mod iterative;
+mod latency;
+mod mersenne;
+mod polynomial;
+mod subtract_select;
+mod tlb_assist;
+mod wired2039;
+
+pub use bitops::{csa32, kogge_stone_add, sum_many};
+pub use iterative::{theorem1_iterations, IterativeLinear};
+pub use latency::{csa_levels, fits_l1_overlap, index_latency, IndexLatency, STAGES_PER_CYCLE};
+pub use mersenne::mersenne_fold;
+pub use polynomial::Polynomial;
+pub use subtract_select::SubtractSelect;
+pub use tlb_assist::TlbAssist;
+pub use wired2039::Wired2039;
+
+/// Hardware cost summary of one index computation.
+///
+/// The unit of `adds` is one narrow (index-width) addition; `selector_inputs`
+/// is the width of the final subtract&select stage (Fig. 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HwCost {
+    /// Narrow additions performed.
+    pub adds: u32,
+    /// Iterations of the reduction loop (1 for single-pass schemes).
+    pub iterations: u32,
+    /// Number of inputs of the final subtract&select selector.
+    pub selector_inputs: u32,
+}

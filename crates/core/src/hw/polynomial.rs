@@ -1,0 +1,203 @@
+//! The polynomial method (Eq. 4).
+
+use crate::index::Geometry;
+use primecache_primes::prev_prime;
+
+use super::{HwCost, SubtractSelect};
+
+/// The polynomial reducer of §3.1: expresses the block address as a
+/// polynomial in `n_set_phys`, substitutes `n_set_phys ≡ Δ (mod n_set)`
+/// (binomial expansion, Eq. 4), and computes
+///
+/// ```text
+/// a* = x + t1·Δ + t2·Δ² + … + tn·Δⁿ   ≡ a (mod n_set)
+/// ```
+///
+/// in **one** pass of narrow adds. Because the `Δ^j` coefficients are known
+/// constants, each `t_j·Δ^j` term is wired shift-adds, and the final value
+/// is small enough for a [`SubtractSelect`] stage.
+///
+/// When `a*` would still exceed the selector's reach (deep polynomials on
+/// 64-bit addresses with larger `Δ`), the model folds `a*` through the same
+/// equation again — the hardware analogue of the carry-out folding the
+/// paper describes for Fig. 3b — and counts the extra pass in the cost.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::Polynomial;
+/// use primecache_core::index::Geometry;
+///
+/// let unit = Polynomial::new(Geometry::new(2048));
+/// assert_eq!(unit.n_set(), 2039);
+/// assert_eq!(unit.reduce(0x03FF_FFFF), 0x03FF_FFFF % 2039);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Polynomial {
+    geom: Geometry,
+    n_set: u64,
+    delta: u64,
+    /// `Δ^j mod n_set` for j = 0.., precomputed (wired constants).
+    delta_pows: Vec<u64>,
+    selector: SubtractSelect,
+}
+
+impl Polynomial {
+    /// Default selector width: generous enough for one-pass reduction of
+    /// 32-bit addresses with Table-1 deltas.
+    const SELECTOR_INPUTS: u32 = 16;
+
+    /// Creates a polynomial reducer for the geometry, using the largest
+    /// prime below the physical set count.
+    #[must_use]
+    pub fn new(geom: Geometry) -> Self {
+        let n_set = prev_prime(geom.n_set_phys()).expect("geometry guarantees n_set_phys >= 2");
+        let delta = geom.n_set_phys() - n_set;
+        let chunks = geom.chunks_for(64);
+        let mut delta_pows = Vec::with_capacity(chunks as usize + 1);
+        let mut p = 1u64;
+        delta_pows.push(p);
+        for _ in 0..chunks {
+            // Keep the wired constant reduced mod n_set so t_j * const
+            // stays narrow regardless of the chunk depth.
+            p = (p * delta) % n_set;
+            delta_pows.push(p);
+        }
+        Self {
+            geom,
+            n_set,
+            delta,
+            delta_pows,
+            selector: SubtractSelect::new(n_set, Self::SELECTOR_INPUTS),
+        }
+    }
+
+    /// The prime modulus in use.
+    #[must_use]
+    pub fn n_set(&self) -> u64 {
+        self.n_set
+    }
+
+    /// `Δ = n_set_phys − n_set`.
+    #[must_use]
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
+    /// One polynomial pass: `a* = x + Σ_j t_j · (Δ^j mod n_set)`.
+    fn one_pass(&self, v: u64, adds: &mut u32) -> u64 {
+        let mut acc = self.geom.x(v);
+        let chunks = self.geom.chunks_for(64 - v.leading_zeros());
+        for j in 1..=chunks {
+            let t_j = self.geom.tag_chunk(v, j);
+            if t_j != 0 {
+                // Each term is a wired shift-add network followed by one
+                // accumulate add.
+                acc += t_j * self.delta_pows[j as usize];
+                *adds += 1;
+            }
+        }
+        acc
+    }
+
+    /// Computes `block_addr mod n_set` and reports the hardware cost.
+    #[must_use]
+    pub fn reduce_with_cost(&self, block_addr: u64) -> (u64, HwCost) {
+        let mut adds = 0u32;
+        let mut iterations = 0u32;
+        let mut v = block_addr;
+        loop {
+            if let Some(idx) = self.selector.try_reduce(v) {
+                return (
+                    idx,
+                    HwCost {
+                        adds,
+                        iterations,
+                        selector_inputs: self.selector.inputs(),
+                    },
+                );
+            }
+            v = self.one_pass(v, &mut adds);
+            iterations += 1;
+            debug_assert!(iterations <= 8, "polynomial reduction must converge");
+        }
+    }
+
+    /// Computes `block_addr mod n_set`.
+    #[must_use]
+    pub fn reduce(&self, block_addr: u64) -> u64 {
+        self.reduce_with_cost(block_addr).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_modulo_32_bit() {
+        let unit = Polynomial::new(Geometry::new(2048));
+        // 26-bit block addresses (32-bit machine, 64-B lines).
+        for a in (0..(1u64 << 26)).step_by(99_991) {
+            assert_eq!(unit.reduce(a), a % 2039, "a = {a}");
+        }
+        for a in 0..10_000u64 {
+            assert_eq!(unit.reduce(a), a % 2039);
+        }
+    }
+
+    #[test]
+    fn matches_reference_modulo_64_bit() {
+        let unit = Polynomial::new(Geometry::new(2048));
+        for a in [
+            u64::MAX,
+            u64::MAX / 3,
+            1u64 << 57,
+            (1u64 << 58) - 1,
+            0xFEDC_BA98_7654_3210,
+        ] {
+            assert_eq!(unit.reduce(a), a % 2039, "a = {a:#x}");
+        }
+    }
+
+    #[test]
+    fn single_pass_for_32_bit_addresses() {
+        // §3.1: the polynomial method needs "only one step" for the worked
+        // 32-bit example.
+        let unit = Polynomial::new(Geometry::new(2048));
+        for a in (0..(1u64 << 26)).step_by(1_000_003) {
+            let (_, cost) = unit.reduce_with_cost(a);
+            assert!(cost.iterations <= 1, "a = {a}: {} passes", cost.iterations);
+        }
+    }
+
+    #[test]
+    fn all_table1_geometries_are_exact() {
+        for phys in [256u64, 512, 1024, 2048, 4096, 8192, 16384] {
+            let unit = Polynomial::new(Geometry::new(phys));
+            let n = unit.n_set();
+            for a in (0..100_000_000u64).step_by(7_777_777) {
+                assert_eq!(unit.reduce(a), a % n, "phys = {phys}, a = {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn mersenne_case_reduces_to_chunk_sum() {
+        // Δ = 1: every delta power is 1, so a* is just the chunk sum (Eq. 5).
+        let unit = Polynomial::new(Geometry::new(8192));
+        assert_eq!(unit.delta(), 1);
+        for a in (0..(1u64 << 40)).step_by(999_999_937) {
+            assert_eq!(unit.reduce(a), a % 8191);
+        }
+    }
+
+    #[test]
+    fn zero_maps_to_zero_with_no_adds() {
+        let unit = Polynomial::new(Geometry::new(2048));
+        let (idx, cost) = unit.reduce_with_cost(0);
+        assert_eq!(idx, 0);
+        assert_eq!(cost.adds, 0);
+        assert_eq!(cost.iterations, 0);
+    }
+}

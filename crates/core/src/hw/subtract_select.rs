@@ -1,0 +1,137 @@
+//! The subtract&select unit (Fig. 2).
+
+/// Models the subtract&select hardware of Fig. 2: `x`, `x - n_set`,
+/// `x - 2·n_set`, … are computed in parallel and a selector picks the
+/// rightmost non-negative input — i.e. `x mod n_set` for small `x`.
+///
+/// The number of selector inputs bounds the largest reducible value:
+/// an `n`-input unit handles `x < n · n_set`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::SubtractSelect;
+///
+/// // The final stage of the 2039-set polynomial unit needs only 2 inputs.
+/// let ss = SubtractSelect::new(2039, 2);
+/// assert_eq!(ss.reduce(2040), 1);
+/// assert_eq!(ss.try_reduce(5000), None); // out of range for 2 inputs
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubtractSelect {
+    n_set: u64,
+    inputs: u32,
+}
+
+impl SubtractSelect {
+    /// Creates a subtract&select unit for modulus `n_set` with `inputs`
+    /// selector inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_set == 0` or `inputs == 0`.
+    #[must_use]
+    pub fn new(n_set: u64, inputs: u32) -> Self {
+        assert!(n_set > 0, "modulus must be nonzero");
+        assert!(inputs > 0, "selector needs at least one input");
+        Self { n_set, inputs }
+    }
+
+    /// The modulus this unit reduces by.
+    #[must_use]
+    pub fn n_set(&self) -> u64 {
+        self.n_set
+    }
+
+    /// Number of selector inputs.
+    #[must_use]
+    pub fn inputs(&self) -> u32 {
+        self.inputs
+    }
+
+    /// Largest value this unit can reduce (exclusive).
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.n_set.saturating_mul(u64::from(self.inputs))
+    }
+
+    /// Reduces `x` to `x mod n_set`, or `None` when `x` exceeds the
+    /// capacity of the selector (more subtractions would be needed than
+    /// inputs exist).
+    #[must_use]
+    pub fn try_reduce(&self, x: u64) -> Option<u64> {
+        // Hardware: evaluate x - k*n_set for k = 0..inputs, select the
+        // rightmost non-negative. Software model: check range then mod.
+        if x >= self.capacity() {
+            return None;
+        }
+        let mut v = x;
+        // Walk the selector inputs exactly as the hardware is wired.
+        for _ in 0..self.inputs {
+            if v < self.n_set {
+                return Some(v);
+            }
+            v -= self.n_set;
+        }
+        Some(v)
+    }
+
+    /// Reduces `x` to `x mod n_set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x >= capacity()` — the hardware analogue of wiring a
+    /// too-wide value into the selector.
+    #[must_use]
+    pub fn reduce(&self, x: u64) -> u64 {
+        self.try_reduce(x).unwrap_or_else(|| {
+            panic!(
+                "subtract&select overflow: {x} needs more than {} inputs for n_set {}",
+                self.inputs, self.n_set
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_modulo_within_capacity() {
+        let ss = SubtractSelect::new(2039, 8);
+        for x in 0..ss.capacity() {
+            assert_eq!(ss.reduce(x), x % 2039);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let ss = SubtractSelect::new(2039, 2);
+        assert_eq!(ss.try_reduce(2 * 2039), None);
+        assert_eq!(ss.try_reduce(u64::MAX), None);
+        assert_eq!(ss.try_reduce(2 * 2039 - 1), Some(2038));
+    }
+
+    #[test]
+    fn single_input_selector_is_identity_below_modulus() {
+        let ss = SubtractSelect::new(100, 1);
+        assert_eq!(ss.reduce(99), 99);
+        assert_eq!(ss.try_reduce(100), None);
+    }
+
+    #[test]
+    fn paper_258_input_selector() {
+        // §3.1: "a 258-input selector" used with the iterative method on
+        // 64-bit machines.
+        let ss = SubtractSelect::new(2039, 258);
+        assert_eq!(ss.capacity(), 258 * 2039);
+        assert_eq!(ss.reduce(257 * 2039 + 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "subtract&select overflow")]
+    fn reduce_panics_out_of_range() {
+        let _ = SubtractSelect::new(2039, 2).reduce(10_000);
+    }
+}

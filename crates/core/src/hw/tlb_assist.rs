@@ -1,0 +1,155 @@
+//! TLB-assisted prime modulo computation (§3.1.1).
+
+use primecache_primes::prev_prime;
+
+use super::SubtractSelect;
+
+/// Models caching the partial prime-modulo computation in the TLB
+/// (§3.1.1): the modulo of the *page base* is computed once per TLB fill,
+/// and on an L1 miss only the page-offset block bits are added, followed by
+/// a tiny subtract&select — "much less than one clock cycle".
+///
+/// For a 4 KB page, 64-B lines and 2039 sets: `12 − 6 = 6` offset bits are
+/// added to the 11-bit precomputed modulo.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::TlbAssist;
+///
+/// let tlb = TlbAssist::new(2048, 4096, 64);
+/// let addr = 0x1234_5678u64;
+/// let entry = tlb.page_entry(addr >> 12);       // on TLB fill
+/// let idx = tlb.index(entry, addr & 0xFFF);     // on L1 miss
+/// assert_eq!(idx, (addr >> 6) % 2039);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TlbAssist {
+    n_set: u64,
+    page_size: u64,
+    line_size: u64,
+    selector: SubtractSelect,
+}
+
+impl TlbAssist {
+    /// Creates the unit for `n_set_phys` physical sets, a page size and a
+    /// cache line size (both powers of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` or `line_size` is not a power of two, or if
+    /// `line_size >= page_size`.
+    #[must_use]
+    pub fn new(n_set_phys: u64, page_size: u64, line_size: u64) -> Self {
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(line_size < page_size, "line must be smaller than a page");
+        let n_set = prev_prime(n_set_phys).expect("set count must be >= 2");
+        // The final add is (entry < n_set) + (offset blocks < page/line);
+        // size the selector for that reach.
+        let max = n_set - 1 + page_size / line_size - 1;
+        let inputs = (max / n_set + 1) as u32;
+        Self {
+            n_set,
+            page_size,
+            line_size,
+            selector: SubtractSelect::new(n_set, inputs.max(2)),
+        }
+    }
+
+    /// The prime modulus in use.
+    #[must_use]
+    pub fn n_set(&self) -> u64 {
+        self.n_set
+    }
+
+    /// Number of selector inputs of the final stage (2 for the paper's
+    /// 4 KB/64 B/2039 example).
+    #[must_use]
+    pub fn selector_inputs(&self) -> u32 {
+        self.selector.inputs()
+    }
+
+    /// The value stored in a TLB entry on fill: the modulo of the page's
+    /// first block address. Computed off the critical path (e.g. by the
+    /// polynomial unit); here modelled arithmetically.
+    #[must_use]
+    pub fn page_entry(&self, page_index: u64) -> u64 {
+        let blocks_per_page = self.page_size / self.line_size;
+        // (page_index * blocks_per_page) mod n_set, overflow-safe.
+        ((u128::from(page_index) * u128::from(blocks_per_page)) % u128::from(self.n_set)) as u64
+    }
+
+    /// The L1-miss-time computation: add the block bits of the page offset
+    /// to the precomputed entry, then subtract&select.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_offset >= page_size` or if `entry >= n_set` (a
+    /// corrupt TLB entry).
+    #[must_use]
+    pub fn index(&self, entry: u64, page_offset: u64) -> u64 {
+        assert!(page_offset < self.page_size, "offset beyond page");
+        assert!(entry < self.n_set, "TLB entry out of range");
+        let offset_blocks = page_offset / self.line_size;
+        self.selector.reduce(entry + offset_blocks)
+    }
+
+    /// Full computation from a byte address, modelling a TLB hit.
+    #[must_use]
+    pub fn index_addr(&self, byte_addr: u64) -> u64 {
+        let page_index = byte_addr / self.page_size;
+        let page_offset = byte_addr % self.page_size;
+        self.index(self.page_entry(page_index), page_offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equals_block_address_modulo() {
+        let tlb = TlbAssist::new(2048, 4096, 64);
+        for addr in (0..1u64 << 32).step_by(999_983) {
+            let block = addr / 64;
+            assert_eq!(tlb.index_addr(addr), block % 2039, "addr = {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn paper_example_needs_two_input_selector() {
+        // 4 KB page, 64-B line, 2039 sets: entry < 2039 plus 63 blocks
+        // fits a 2-input selector.
+        let tlb = TlbAssist::new(2048, 4096, 64);
+        assert_eq!(tlb.selector_inputs(), 2);
+    }
+
+    #[test]
+    fn large_pages_widen_the_selector() {
+        // 2 MB pages with 64-B lines: 32768 offset blocks >> 2039, the
+        // selector must widen accordingly (or the offset be pre-reduced).
+        let tlb = TlbAssist::new(2048, 2 * 1024 * 1024, 64);
+        assert!(tlb.selector_inputs() > 2);
+        for addr in (0..1u64 << 33).step_by(100_000_007) {
+            assert_eq!(tlb.index_addr(addr), (addr / 64) % 2039);
+        }
+    }
+
+    #[test]
+    fn entry_is_stable_within_a_page() {
+        let tlb = TlbAssist::new(2048, 4096, 64);
+        let entry = tlb.page_entry(42);
+        for off in (0..4096u64).step_by(64) {
+            let addr = 42 * 4096 + off;
+            assert_eq!(tlb.index(entry, off), (addr / 64) % 2039);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "TLB entry out of range")]
+    fn corrupt_entry_rejected() {
+        let tlb = TlbAssist::new(2048, 4096, 64);
+        let _ = tlb.index(2039, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The concrete five-addend unit of Figs. 3–4 (`n_set = 2039`, 32-bit
+//! machine, 64-byte lines).
+
+use super::{HwCost, SubtractSelect};
+
+/// Bit-exact model of the paper's worked hardware example (Figs. 3–4): an
+/// L2 with 2048 physical sets indexed modulo 2039 (`Δ = 9`), for 32-bit
+/// physical addresses and 64-byte blocks.
+///
+/// The block address (26 bits) splits into `x` (11 bits), `t1` (11 bits)
+/// and `t2` (4 bits), and the index is `x + 9·t1 + 81·t2 (mod 2039)`. As in
+/// Fig. 3b the computation is arranged as the sum of **five** narrow
+/// numbers:
+///
+/// 1. `A = x`
+/// 2. `B = t1`                         (the `1·t1` part of `9·t1`)
+/// 3. `C = (t1 << 3) & 0x7FF`          (the low bits of `8·t1`)
+/// 4. `D = 9·(t1 >> 8)`                (the carry-out of `8·t1`, folded by
+///    `2^11 ≡ 9`)
+/// 5. `E = 81·t2`
+///
+/// followed by one carry fold and a **2-input** subtract&select — the sum
+/// after folding "can only be slightly larger than 2039" (§3.1.1).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::hw::Wired2039;
+///
+/// let a: u32 = 0x89AB_CDE8;
+/// let block = u64::from(a >> 6); // strip 64-B block offset
+/// assert_eq!(Wired2039::index(block), block % 2039);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Wired2039;
+
+/// The prime modulus of the worked example.
+pub const N_SET: u64 = 2039;
+const MASK11: u64 = 0x7FF;
+
+impl Wired2039 {
+    /// Computes the set index of a 26-bit block address (32-bit machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_addr` does not fit in 26 bits — the unit is wired
+    /// for 32-bit physical addresses with 64-byte lines.
+    #[must_use]
+    pub fn index(block_addr: u64) -> u64 {
+        Self::index_with_cost(block_addr).0
+    }
+
+    /// Computes the set index and reports the hardware cost (four adds to
+    /// sum five numbers, one fold add, a 2-input selector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_addr` does not fit in 26 bits.
+    #[must_use]
+    pub fn index_with_cost(block_addr: u64) -> (u64, HwCost) {
+        assert!(
+            block_addr < (1u64 << 26),
+            "wired unit accepts 26-bit block addresses, got {block_addr:#x}"
+        );
+        let x = block_addr & MASK11;
+        let t1 = (block_addr >> 11) & MASK11;
+        let t2 = (block_addr >> 22) & 0xF;
+
+        // The five addends of Fig. 3b.
+        let a = x;
+        let b = t1;
+        let c = (t1 << 3) & MASK11;
+        let d = 9 * (t1 >> 8); // wired shift-add: (t1>>8)<<3 + (t1>>8)
+        let e = 81 * t2; // wired shift-adds of the constant 81 = 1010001b
+
+        let mut sum = a + b + c + d + e;
+        let mut adds = 4u32; // five numbers need four carry-save adds
+        // Fold any carry out of bit 10: 2^11 ≡ 9 (mod 2039). One fold is
+        // enough: sum <= 2047*3 + 63 + 1215 < 4*2048, so the folded value
+        // is < 9*3 + 2047 + 27 < 2*2039.
+        while sum >= 2048 {
+            sum = 9 * (sum >> 11) + (sum & MASK11);
+            adds += 1;
+        }
+        let selector = SubtractSelect::new(N_SET, 2);
+        (
+            selector.reduce(sum),
+            HwCost {
+                adds,
+                iterations: 1,
+                selector_inputs: 2,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_on_dense_sample() {
+        for a in (0..(1u64 << 26)).step_by(611) {
+            assert_eq!(Wired2039::index(a), a % 2039, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_boundaries() {
+        for a in [
+            0u64,
+            1,
+            2038,
+            2039,
+            2040,
+            2047,
+            2048,
+            (1 << 22) - 1,
+            1 << 22,
+            (1 << 26) - 1,
+        ] {
+            assert_eq!(Wired2039::index(a), a % 2039, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn selector_never_needs_more_than_two_inputs() {
+        // Implicit in reduce(): a panic here would mean the fold failed to
+        // bring the sum under 2*2039. Sweep a stressy pattern.
+        for a in ((1u64 << 26) - 70_000..(1u64 << 26)).step_by(7) {
+            let (_, cost) = Wired2039::index_with_cost(a);
+            assert_eq!(cost.selector_inputs, 2);
+        }
+    }
+
+    #[test]
+    fn cost_is_a_handful_of_narrow_adds() {
+        for a in (0..(1u64 << 26)).step_by(1_048_573) {
+            let (_, cost) = Wired2039::index_with_cost(a);
+            assert!(cost.adds <= 7, "a = {a}: {} adds", cost.adds);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "26-bit block addresses")]
+    fn wide_addresses_rejected() {
+        let _ = Wired2039::index(1 << 26);
+    }
+}

@@ -1,0 +1,124 @@
+//! Cache set-index (hash) functions.
+//!
+//! Every index function maps a *block address* (the memory address with the
+//! block-offset bits already stripped, Fig. 1 of the paper) to a set index.
+//! The [`SetIndexer`] trait abstracts over them so the cache simulator and
+//! the metrics can treat all schemes uniformly.
+//!
+//! Naming follows the paper's §3.3 comparison:
+//!
+//! | Paper name | Type |
+//! |---|---|
+//! | Traditional | [`Traditional`] |
+//! | XOR | [`Xor`] |
+//! | pMod | [`PrimeModulo`] |
+//! | pDisp | [`PrimeDisplacement`] |
+//! | Skewed (Seznec circular-shift XOR), one function per bank | [`SkewXorBank`] |
+//! | Skewed + pDisp, one prime per bank | [`SkewDispBank`] |
+
+mod geometry;
+mod kind;
+mod pdisp;
+mod pmod;
+mod skew;
+mod traditional;
+mod xor;
+mod xor_folded;
+
+pub use geometry::Geometry;
+pub use kind::HashKind;
+pub use pdisp::PrimeDisplacement;
+pub use pmod::PrimeModulo;
+pub use skew::{SkewDispBank, SkewXorBank, SKEW_DISP_FACTORS};
+pub use traditional::Traditional;
+pub use xor::Xor;
+pub use xor_folded::XorFolded;
+
+use std::fmt::Debug;
+
+/// A cache set-index function over block addresses.
+///
+/// Implementors map a 64-bit block address to a set index in
+/// `0..self.n_set()`. Implementations must be pure: the same block address
+/// always maps to the same set.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::index::{Geometry, SetIndexer, Traditional};
+///
+/// let trad = Traditional::new(Geometry::new(2048));
+/// assert_eq!(trad.index(0), 0);
+/// assert_eq!(trad.index(2048 + 5), 5);
+/// ```
+pub trait SetIndexer: Debug + Send + Sync {
+    /// Maps a block address to a set index in `0..self.n_set()`.
+    fn index(&self, block_addr: u64) -> u64;
+
+    /// Number of sets this function maps into.
+    ///
+    /// For prime-modulo indexing this is smaller than the physical
+    /// (power-of-two) set count; the difference is the fragmentation of
+    /// Table 1.
+    fn n_set(&self) -> u64;
+
+    /// Short display name matching the paper's figures (e.g. `"pMod"`).
+    fn name(&self) -> &'static str;
+}
+
+impl SetIndexer for Box<dyn SetIndexer> {
+    fn index(&self, block_addr: u64) -> u64 {
+        (**self).index(block_addr)
+    }
+
+    fn n_set(&self) -> u64 {
+        (**self).n_set()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_indexers(geom: Geometry) -> Vec<Box<dyn SetIndexer>> {
+        vec![
+            Box::new(Traditional::new(geom)),
+            Box::new(Xor::new(geom)),
+            Box::new(PrimeModulo::new(geom)),
+            Box::new(PrimeDisplacement::new(geom, 9)),
+            Box::new(SkewXorBank::new(Geometry::new(512), 0)),
+            Box::new(SkewDispBank::new(Geometry::new(512), 9)),
+        ]
+    }
+
+    #[test]
+    fn every_indexer_stays_in_range() {
+        for idx in all_indexers(Geometry::new(2048)) {
+            for block in (0..1_000_000u64).step_by(4099) {
+                let s = idx.index(block);
+                assert!(s < idx.n_set(), "{}: set {s} out of range", idx.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_indexer_is_deterministic() {
+        for idx in all_indexers(Geometry::new(1024)) {
+            for block in [0u64, 1, 12345, u32::MAX as u64, 1 << 40] {
+                assert_eq!(idx.index(block), idx.index(block), "{}", idx.name());
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_indexer_delegates() {
+        let boxed: Box<dyn SetIndexer> = Box::new(Traditional::new(Geometry::new(256)));
+        assert_eq!(boxed.n_set(), 256);
+        assert_eq!(boxed.index(257), 1);
+        assert_eq!(boxed.name(), "Base");
+    }
+}

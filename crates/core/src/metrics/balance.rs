@@ -1,0 +1,160 @@
+//! Balance (Eq. 1).
+
+use crate::index::SetIndexer;
+
+use super::set_histogram;
+
+/// Computes the balance of per-set address counts (Eq. 1, after Aho &
+/// Ullman):
+///
+/// ```text
+///            Σ_j b_j·(b_j+1)/2
+/// balance = --------------------------------
+///            m/(2·n_set) · (m + 2·n_set − 1)
+/// ```
+///
+/// where `b_j` is the number of addresses mapped to set `j` and `m` the
+/// total. The numerator is the actual sum of set weights, the denominator
+/// the weight under a perfectly even distribution; 1.0 is ideal, larger is
+/// worse.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty or `m == 0` (balance is undefined).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::metrics::balance_of_counts;
+///
+/// // Perfectly even: 4 sets, 2 addresses each => weights 4*3 = 12,
+/// // random-reference weight 8/(2*4)*(8 + 2*4 - 1) = 15.
+/// let b = balance_of_counts(&[2, 2, 2, 2]);
+/// assert!((b - 12.0 / 15.0).abs() < 1e-12);
+/// ```
+///
+/// Note that a perfectly *even* distribution scores slightly below 1
+/// (the denominator models a perfectly *random* one); the score tends to 1
+/// from below as `m/n_set` grows.
+#[must_use]
+pub fn balance_of_counts(counts: &[u64]) -> f64 {
+    assert!(!counts.is_empty(), "balance needs at least one set");
+    let n_set = counts.len() as f64;
+    let m: u64 = counts.iter().sum();
+    assert!(m > 0, "balance needs at least one address");
+    let m = m as f64;
+    let numer: f64 = counts
+        .iter()
+        .map(|&b| {
+            let b = b as f64;
+            b * (b + 1.0) / 2.0
+        })
+        .sum();
+    let denom = m / (2.0 * n_set) * (m + 2.0 * n_set - 1.0);
+    numer / denom
+}
+
+/// Computes the balance of an address sequence under an indexer.
+///
+/// The sequence must consist of distinct addresses (the paper's §2.1
+/// premise); duplicates are not detected and will skew the metric.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::index::{Geometry, PrimeModulo};
+/// use primecache_core::metrics::{balance, strided_addresses};
+///
+/// let pmod = PrimeModulo::new(Geometry::new(2048));
+/// // Power-of-two stride: prime modulo keeps the ideal balance of ~1.
+/// let b = balance(&pmod, strided_addresses(2048, 8192));
+/// assert!(b < 1.01);
+/// ```
+#[must_use]
+pub fn balance<I, A>(indexer: &I, addrs: A) -> f64
+where
+    I: SetIndexer + ?Sized,
+    A: IntoIterator<Item = u64>,
+{
+    balance_of_counts(&set_histogram(indexer, addrs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Geometry, PrimeModulo, Traditional, Xor};
+    use crate::metrics::strided_addresses;
+
+    const M: usize = 8192;
+
+    #[test]
+    fn even_distribution_matches_closed_form() {
+        // m = k*n_set spread perfectly => balance = (k+1)/(k+2-1/n_set).
+        let (k, n) = (8u64, 1024usize);
+        let counts = vec![k; n];
+        let b = balance_of_counts(&counts);
+        let expect = (k as f64 + 1.0) / (k as f64 + 2.0 - 1.0 / n as f64);
+        assert!((b - expect).abs() < 1e-12, "balance = {b}, expect {expect}");
+        assert!(b < 1.0);
+    }
+
+    #[test]
+    fn even_distribution_tends_to_one_from_below() {
+        let b_small = balance_of_counts(&vec![4u64; 256]);
+        let b_large = balance_of_counts(&vec![400u64; 256]);
+        assert!(b_small < b_large && b_large < 1.0);
+        assert!(b_large > 0.99);
+    }
+
+    #[test]
+    fn single_set_pileup_is_terrible() {
+        let mut counts = vec![0u64; 1024];
+        counts[0] = 8192;
+        let b = balance_of_counts(&counts);
+        assert!(b > 100.0, "balance = {b}");
+    }
+
+    #[test]
+    fn traditional_odd_strides_ideal_even_strides_bad() {
+        let t = Traditional::new(Geometry::new(2048));
+        for s in [1u64, 3, 5, 7, 999, 2047] {
+            let b = balance(&t, strided_addresses(s, M));
+            assert!(b < 1.01, "odd stride {s}: balance {b}");
+        }
+        for s in [2u64, 4, 512, 2048] {
+            let b = balance(&t, strided_addresses(s, M));
+            assert!(b > 1.5, "even stride {s}: balance {b}");
+        }
+    }
+
+    #[test]
+    fn pmod_ideal_for_all_strides_but_multiples_of_n_set() {
+        let p = PrimeModulo::new(Geometry::new(2048));
+        for s in [1u64, 2, 4, 512, 2048, 2047, 1024, 6] {
+            let b = balance(&p, strided_addresses(s, M));
+            assert!(b < 1.02, "stride {s}: balance {b}");
+        }
+        let b = balance(&p, strided_addresses(2039, M));
+        assert!(b > 100.0, "stride n_set must be the pathological case: {b}");
+    }
+
+    #[test]
+    fn xor_pathological_at_n_set_minus_one() {
+        // §3.3: s = n_set − 1 collapses XOR onto few sets.
+        let x = Xor::new(Geometry::new(2048));
+        let b = balance(&x, strided_addresses(2047, M));
+        assert!(b > 10.0, "balance = {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn empty_counts_rejected() {
+        let _ = balance_of_counts(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one address")]
+    fn zero_addresses_rejected() {
+        let _ = balance_of_counts(&[0, 0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Concentration (Eq. 2).
+
+use crate::index::SetIndexer;
+
+/// Computes the concentration of an address sequence under an indexer
+/// (Eq. 2):
+///
+/// ```text
+/// concentration = sqrt( Σ_i (d_i − n_set)² / m )
+/// ```
+///
+/// where `d_i` is the smallest positive distance with
+/// `H(a_i) = H(a_{i+d_i})` — the gap until set `H(a_i)` is re-accessed. In
+/// the ideal case every gap equals `n_set`, so the ideal concentration is
+/// 0. Large values mean bursts of accesses to the same set (gaps far below
+/// `n_set`) balanced by droughts (gaps far above), the signature of the
+/// pathological behaviour of §2.1.
+///
+/// Accesses whose set is never re-accessed before the sequence ends have
+/// no defined `d_i`; they are excluded from the average (the paper's
+/// formula assumes `m` large enough that the tail is negligible).
+///
+/// Returns 0.0 for sequences shorter than 2 accesses.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::index::{Geometry, PrimeModulo};
+/// use primecache_core::metrics::{concentration, strided_addresses};
+///
+/// let pmod = PrimeModulo::new(Geometry::new(2048));
+/// // Sequence invariance + ideal balance => ideal concentration.
+/// let c = concentration(&pmod, strided_addresses(4, 8192));
+/// assert!(c < 1.0);
+/// ```
+#[must_use]
+pub fn concentration<I, A>(indexer: &I, addrs: A) -> f64
+where
+    I: SetIndexer + ?Sized,
+    A: IntoIterator<Item = u64>,
+{
+    let n_set = indexer.n_set() as f64;
+    let mut last_pos: Vec<Option<usize>> = vec![None; indexer.n_set() as usize];
+    let mut sum_sq = 0.0f64;
+    let mut defined = 0u64;
+    for (pos, a) in addrs.into_iter().enumerate() {
+        let set = indexer.index(a) as usize;
+        if let Some(prev) = last_pos[set] {
+            let d = (pos - prev) as f64;
+            let dev = d - n_set;
+            sum_sq += dev * dev;
+            defined += 1;
+        }
+        last_pos[set] = Some(pos);
+    }
+    if defined == 0 {
+        return 0.0;
+    }
+    (sum_sq / defined as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Geometry, PrimeModulo, Traditional, Xor};
+    use crate::metrics::strided_addresses;
+
+    const M: usize = 8192;
+
+    #[test]
+    fn round_robin_is_ideal() {
+        // Unit stride through a traditional cache re-accesses each set
+        // exactly every n_set accesses.
+        let t = Traditional::new(Geometry::new(256));
+        let c = concentration(&t, strided_addresses(1, M));
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn traditional_even_strides_concentrate() {
+        let t = Traditional::new(Geometry::new(2048));
+        // Stride 2 uses only half the sets: gaps of n_set/2.
+        let c = concentration(&t, strided_addresses(2, M));
+        assert!(c > 500.0, "concentration = {c}");
+    }
+
+    #[test]
+    fn pmod_ideal_for_odd_and_even_strides() {
+        let p = PrimeModulo::new(Geometry::new(2048));
+        for s in [1u64, 2, 3, 4, 512, 2048] {
+            let c = concentration(&p, strided_addresses(s, M));
+            // Sequence invariant + ideal balance: all gaps equal n_set.
+            assert!(c < 1e-9, "stride {s}: concentration {c}");
+        }
+    }
+
+    #[test]
+    fn xor_never_ideal() {
+        // §3.3: XOR is not sequence invariant, so concentration is nonzero
+        // even on strides where balance is ideal.
+        let x = Xor::new(Geometry::new(2048));
+        let mut nonzero = 0;
+        for s in [1u64, 3, 5, 7, 9, 11] {
+            if concentration(&x, strided_addresses(s, M)) > 1.0 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero >= 4, "XOR should concentrate on most strides");
+    }
+
+    #[test]
+    fn empty_and_singleton_sequences_are_zero() {
+        let t = Traditional::new(Geometry::new(64));
+        assert_eq!(concentration(&t, std::iter::empty()), 0.0);
+        assert_eq!(concentration(&t, std::iter::once(5u64)), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Sequence invariance (Property 2).
+
+use crate::index::SetIndexer;
+
+/// Fraction of violated sequence-invariance implications for an address
+/// sequence under an indexer.
+///
+/// Property 2 (§2.2): a hash function is *sequence invariant* iff
+/// `H(a_i) = H(a_{i+x})` implies `H(a_{i+1}) = H(a_{i+x+1})`. This checker
+/// tests the implication at every consecutive re-access of each set (the
+/// pairs that determine the concentration) and returns
+/// `violations / implications_tested` — 0.0 for a fully sequence-invariant
+/// function, and > 0 otherwise. "Partial" sequence invariance (pDisp,
+/// §3.3) shows up as a small nonzero fraction.
+///
+/// Returns 0.0 when no implication can be tested (too short / no reuse).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::index::{Geometry, PrimeModulo, Xor};
+/// use primecache_core::metrics::{strided_addresses, violation_fraction};
+///
+/// let addrs = strided_addresses(3, 8192);
+/// let pmod = PrimeModulo::new(Geometry::new(2048));
+/// assert_eq!(violation_fraction(&pmod, &addrs), 0.0);
+/// ```
+#[must_use]
+pub fn violation_fraction<I>(indexer: &I, addrs: &[u64]) -> f64
+where
+    I: SetIndexer + ?Sized,
+{
+    if addrs.len() < 2 {
+        return 0.0;
+    }
+    let sets: Vec<u64> = addrs.iter().map(|&a| indexer.index(a)).collect();
+    let mut last_pos: Vec<Option<usize>> = vec![None; indexer.n_set() as usize];
+    let mut tested = 0u64;
+    let mut violated = 0u64;
+    for (pos, &set) in sets.iter().enumerate() {
+        if let Some(prev) = last_pos[set as usize] {
+            // Implication: sets[prev] == sets[pos] => sets[prev+1] == sets[pos+1].
+            if pos + 1 < sets.len() {
+                tested += 1;
+                if sets[prev + 1] != sets[pos + 1] {
+                    violated += 1;
+                }
+            }
+        }
+        last_pos[set as usize] = Some(pos);
+    }
+    if tested == 0 {
+        0.0
+    } else {
+        violated as f64 / tested as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Geometry, PrimeDisplacement, PrimeModulo, Traditional, Xor};
+    use crate::metrics::strided_addresses;
+
+    const M: usize = 8192;
+
+    #[test]
+    fn modulo_hashes_are_sequence_invariant() {
+        // Both traditional and prime modulo satisfy Property 2 exactly
+        // (Table 2), for any stride.
+        let trad = Traditional::new(Geometry::new(2048));
+        let pmod = PrimeModulo::new(Geometry::new(2048));
+        for s in [1u64, 2, 3, 15, 64, 2039, 2048] {
+            let addrs = strided_addresses(s, M);
+            assert_eq!(violation_fraction(&trad, &addrs), 0.0, "trad s={s}");
+            assert_eq!(violation_fraction(&pmod, &addrs), 0.0, "pmod s={s}");
+        }
+    }
+
+    #[test]
+    fn xor_is_not_sequence_invariant() {
+        // Table 2: XOR — "Sequence invariant? No".
+        let xor = Xor::new(Geometry::new(2048));
+        let mut violating_strides = 0;
+        for s in [1u64, 3, 5, 7, 9, 11, 13] {
+            if violation_fraction(&xor, &strided_addresses(s, M)) > 0.0 {
+                violating_strides += 1;
+            }
+        }
+        assert!(violating_strides >= 5, "{violating_strides} strides violated");
+    }
+
+    #[test]
+    fn pdisp_is_partially_sequence_invariant() {
+        // Table 2: pDisp — "Partial": all but one set per subsequence obey
+        // the implication, so the violation fraction is small but may be
+        // nonzero.
+        let pd = PrimeDisplacement::new(Geometry::new(2048), 9);
+        let mut worst: f64 = 0.0;
+        for s in [1u64, 2, 3, 4, 5, 8, 16] {
+            let v = violation_fraction(&pd, &strided_addresses(s, M));
+            worst = worst.max(v);
+            assert!(v < 0.05, "stride {s}: violation fraction {v}");
+        }
+        // And it should genuinely be *partial*, not perfect, on some stride.
+        let mut any = false;
+        for s in 1u64..64 {
+            if violation_fraction(&pd, &strided_addresses(s, M)) > 0.0 {
+                any = true;
+                break;
+            }
+        }
+        assert!(any, "pDisp should violate occasionally (it is only partial)");
+    }
+
+    #[test]
+    fn degenerate_sequences_return_zero() {
+        let trad = Traditional::new(Geometry::new(64));
+        assert_eq!(violation_fraction(&trad, &[]), 0.0);
+        assert_eq!(violation_fraction(&trad, &[1]), 0.0);
+        assert_eq!(violation_fraction(&trad, &[1, 2]), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Streaming (online) computation of the §2 metrics.
+//!
+//! The batch functions in this module's siblings take a materialized
+//! address slice; [`OnlineMetrics`] accumulates the same statistics one
+//! access at a time with O(n_set) memory, so the metrics can be evaluated
+//! over full workload traces (`pcache metrics --app <name>`).
+
+use crate::index::SetIndexer;
+
+use super::{balance_of_counts, uniformity_ratio};
+
+/// Incremental accumulator for balance (Eq. 1), concentration (Eq. 2) and
+/// the uniformity ratio over an arbitrary access stream.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::index::{Geometry, PrimeModulo, SetIndexer};
+/// use primecache_core::metrics::OnlineMetrics;
+///
+/// let pmod = PrimeModulo::new(Geometry::new(2048));
+/// let mut m = OnlineMetrics::new(pmod.n_set());
+/// for i in 0..8192u64 {
+///     m.observe(&pmod, i * 4);
+/// }
+/// assert!(m.balance() < 1.01);
+/// assert!(m.concentration() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineMetrics {
+    counts: Vec<u64>,
+    last_pos: Vec<Option<u64>>,
+    pos: u64,
+    gap_sq_sum: f64,
+    gaps: u64,
+    n_set: u64,
+}
+
+impl OnlineMetrics {
+    /// Creates an accumulator for an indexer with `n_set` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_set == 0`.
+    #[must_use]
+    pub fn new(n_set: u64) -> Self {
+        assert!(n_set > 0, "need at least one set");
+        Self {
+            counts: vec![0; n_set as usize],
+            last_pos: vec![None; n_set as usize],
+            pos: 0,
+            gap_sq_sum: 0.0,
+            gaps: 0,
+            n_set,
+        }
+    }
+
+    /// Feeds one block address through the indexer.
+    pub fn observe<I: SetIndexer + ?Sized>(&mut self, indexer: &I, block_addr: u64) {
+        debug_assert_eq!(indexer.n_set(), self.n_set, "indexer/accumulator mismatch");
+        let set = indexer.index(block_addr) as usize;
+        self.counts[set] += 1;
+        if let Some(prev) = self.last_pos[set] {
+            let dev = (self.pos - prev) as f64 - self.n_set as f64;
+            self.gap_sq_sum += dev * dev;
+            self.gaps += 1;
+        }
+        self.last_pos[set] = Some(self.pos);
+        self.pos += 1;
+    }
+
+    /// Accesses observed so far.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.pos
+    }
+
+    /// Balance (Eq. 1) of the accesses so far; `f64::NAN` when empty.
+    #[must_use]
+    pub fn balance(&self) -> f64 {
+        if self.pos == 0 {
+            f64::NAN
+        } else {
+            balance_of_counts(&self.counts)
+        }
+    }
+
+    /// Concentration (Eq. 2) of the accesses so far (0.0 when no set has
+    /// been re-accessed yet).
+    #[must_use]
+    pub fn concentration(&self) -> f64 {
+        if self.gaps == 0 {
+            0.0
+        } else {
+            (self.gap_sq_sum / self.gaps as f64).sqrt()
+        }
+    }
+
+    /// Uniformity ratio `stdev/mean` of the per-set access counts (§4).
+    #[must_use]
+    pub fn uniformity(&self) -> f64 {
+        uniformity_ratio(&self.counts)
+    }
+
+    /// The per-set access histogram accumulated so far.
+    #[must_use]
+    pub fn histogram(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Geometry, HashKind};
+    use crate::metrics::{balance, concentration, strided_addresses};
+
+    #[test]
+    fn online_matches_batch_for_every_hash() {
+        let geom = Geometry::new(256);
+        for kind in HashKind::ALL {
+            let idx = kind.build(geom);
+            for stride in [1u64, 2, 7, 255, 256] {
+                let addrs = strided_addresses(stride, 2048);
+                let mut online = OnlineMetrics::new(idx.n_set());
+                for &a in &addrs {
+                    online.observe(&idx, a);
+                }
+                let batch_b = balance(&idx, addrs.iter().copied());
+                let batch_c = concentration(&idx, addrs.iter().copied());
+                assert!(
+                    (online.balance() - batch_b).abs() < 1e-9,
+                    "{kind:?} stride {stride}: {} vs {batch_b}",
+                    online.balance()
+                );
+                assert!(
+                    (online.concentration() - batch_c).abs() < 1e-9,
+                    "{kind:?} stride {stride}: {} vs {batch_c}",
+                    online.concentration()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_accumulator_is_well_defined() {
+        let m = OnlineMetrics::new(64);
+        assert!(m.balance().is_nan());
+        assert_eq!(m.concentration(), 0.0);
+        assert_eq!(m.accesses(), 0);
+    }
+
+    #[test]
+    fn histogram_tracks_counts() {
+        let geom = Geometry::new(16);
+        let idx = HashKind::Traditional.build(geom);
+        let mut m = OnlineMetrics::new(16);
+        for a in 0..64u64 {
+            m.observe(&idx, a);
+        }
+        assert_eq!(m.histogram().iter().sum::<u64>(), 64);
+        assert!(m.histogram().iter().all(|&c| c == 4));
+        assert_eq!(m.uniformity(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Uniform / non-uniform application classification (§4).
+
+/// The paper's classification threshold: an application is *non-uniform*
+/// when `stdev(f_i) / mean(f_i) > 0.5` over per-set access frequencies.
+pub const NON_UNIFORM_THRESHOLD: f64 = 0.5;
+
+/// Computes the uniformity ratio `stdev(f) / mean(f)` (the coefficient of
+/// variation) of a per-set access histogram.
+///
+/// Applications with a ratio above [`NON_UNIFORM_THRESHOLD`] "likely suffer
+/// from conflict misses, and hence alternative hashing functions are
+/// expected to speed them up" (§4).
+///
+/// Returns 0.0 for an empty histogram or one with no accesses.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::metrics::uniformity_ratio;
+///
+/// assert_eq!(uniformity_ratio(&[5, 5, 5, 5]), 0.0);
+/// assert!(uniformity_ratio(&[100, 0, 0, 0]) > 0.5);
+/// ```
+#[must_use]
+pub fn uniformity_ratio(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<u64>() as f64 / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+/// Applies the paper's §4 criterion to a per-set access histogram.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_core::metrics::is_non_uniform;
+///
+/// assert!(!is_non_uniform(&[10, 11, 9, 10]));
+/// assert!(is_non_uniform(&[1000, 1, 1, 1]));
+/// ```
+#[must_use]
+pub fn is_non_uniform(counts: &[u64]) -> bool {
+    uniformity_ratio(counts) > NON_UNIFORM_THRESHOLD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_histogram_is_perfectly_uniform() {
+        assert_eq!(uniformity_ratio(&[7; 2048]), 0.0);
+    }
+
+    #[test]
+    fn point_mass_ratio_grows_with_set_count() {
+        // All mass in one of n sets: CV = sqrt(n - 1).
+        let mut counts = vec![0u64; 16];
+        counts[0] = 160;
+        let cv = uniformity_ratio(&counts);
+        assert!((cv - (15.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_matches_paper() {
+        assert_eq!(NON_UNIFORM_THRESHOLD, 0.5);
+        // Just below and above.
+        assert!(!is_non_uniform(&[15, 10, 10, 10])); // cv ≈ 0.19
+        assert!(is_non_uniform(&[40, 10, 10, 10])); // cv ≈ 0.74
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(uniformity_ratio(&[]), 0.0);
+        assert_eq!(uniformity_ratio(&[0, 0, 0]), 0.0);
+        assert_eq!(uniformity_ratio(&[5]), 0.0);
+    }
+}

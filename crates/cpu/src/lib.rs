@@ -1,0 +1,46 @@
+//! Trace-driven superscalar timing model (the PROCESSOR half of Table 3).
+//!
+//! The paper drives its caches from an execution-driven model of a 6-issue
+//! dynamic superscalar core \[9\]. This crate substitutes a trace-driven
+//! cycle-accounting model with the same first-order parameters:
+//!
+//! * 6-issue, so `n` non-memory instructions retire in `⌈n/6⌉` cycles
+//!   (*Busy* time),
+//! * a 12-cycle branch-misprediction penalty (*Other Stalls*),
+//! * at most 8 pending loads and 16 pending stores; independent misses
+//!   overlap within those windows, dependent (pointer-chase) loads expose
+//!   their full latency (*Memory Stall*),
+//! * L1 hits (3-cycle round trip) are fully pipelined; L2 hits cost the
+//!   16-cycle round trip; L2 misses go to the DRAM model of
+//!   [`primecache_mem`] and see row-hit/row-miss latency plus queueing.
+//!
+//! The output is the [`ExecBreakdown`] the paper's Figs. 7–10 plot: Busy /
+//! Other Stalls / Memory Stall.
+//!
+//! # Examples
+//!
+//! ```
+//! use primecache_cache::{CacheConfig, Hierarchy, HierarchyConfig, L2Organization};
+//! use primecache_cpu::{Cpu, CpuConfig};
+//! use primecache_mem::{Dram, MemConfig};
+//! use primecache_trace::strided;
+//!
+//! let mut hierarchy = Hierarchy::new(HierarchyConfig::paper_default(
+//!     L2Organization::SetAssoc(CacheConfig::new(512 * 1024, 4, 64)),
+//! ));
+//! let mut dram = Dram::new(MemConfig::paper_default());
+//! let mut cpu = Cpu::new(CpuConfig::paper_default());
+//! let breakdown = cpu.run(strided(64, 10_000, 12), &mut hierarchy, &mut dram);
+//! assert!(breakdown.total() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod breakdown;
+mod config;
+mod model;
+
+pub use breakdown::ExecBreakdown;
+pub use config::CpuConfig;
+pub use model::Cpu;

@@ -1,0 +1,450 @@
+//! The cycle-accounting core model.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use primecache_cache::{AccessOutcome, Hierarchy};
+use primecache_mem::Dram;
+use primecache_trace::Event;
+
+use crate::{CpuConfig, ExecBreakdown};
+
+/// Trace-driven timing model of the Table-3 core.
+///
+/// See the crate docs for the modelling rules. A [`Cpu`] is reusable:
+/// each [`Cpu::run`] starts from a clean pipeline.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    config: CpuConfig,
+}
+
+/// Issue class of an instruction (which functional units it occupies).
+#[derive(Debug, Clone, Copy)]
+enum IssueClass {
+    /// Integer / control work: only the global issue width limits it.
+    Generic,
+    /// Floating-point operation.
+    Fp,
+    /// Load or store.
+    Mem,
+}
+
+/// One in-flight load, retired in program order.
+#[derive(Debug, Clone, Copy)]
+struct InflightLoad {
+    completion: u64,
+    issued_at_instr: u64,
+}
+
+/// Mutable per-run state.
+struct RunState {
+    now: u64,
+    busy: u64,
+    other_stall: u64,
+    mem_stall: u64,
+    /// Instructions issued so far (for the ROB-window constraint).
+    instr_total: u64,
+    /// Floating-point instructions issued so far (FP-FU constraint).
+    fp_total: u64,
+    /// Memory instructions issued so far (ld/st-FU constraint).
+    mem_total: u64,
+    /// In-flight loads in program order (front = oldest).
+    pending_loads: VecDeque<InflightLoad>,
+    /// Completion times of in-flight stores (min-heap; the store buffer
+    /// drains out of order and does not occupy the ROB).
+    pending_stores: BinaryHeap<Reverse<u64>>,
+}
+
+impl RunState {
+    fn new() -> Self {
+        Self {
+            now: 0,
+            busy: 0,
+            other_stall: 0,
+            mem_stall: 0,
+            instr_total: 0,
+            fp_total: 0,
+            mem_total: 0,
+            pending_loads: VecDeque::new(),
+            pending_stores: BinaryHeap::new(),
+        }
+    }
+
+    /// Retires instructions through the issue stage, honouring the
+    /// per-class functional-unit limits: busy time is the maximum of the
+    /// class throughput requirements
+    /// (`total/issue_width`, `fp/fp_width`, `mem/mem_width`).
+    fn issue(&mut self, n: u64, class: IssueClass, cfg: &CpuConfig) {
+        self.instr_total += n;
+        match class {
+            IssueClass::Generic => {}
+            IssueClass::Fp => self.fp_total += n,
+            IssueClass::Mem => self.mem_total += n,
+        }
+        let target = (self.instr_total / u64::from(cfg.issue_width))
+            .max(self.fp_total / u64::from(cfg.fp_width))
+            .max(self.mem_total / u64::from(cfg.mem_width));
+        if target > self.busy {
+            let delta = target - self.busy;
+            self.busy += delta;
+            self.now += delta;
+        }
+    }
+
+    /// Drops pending operations that completed by `now` (in program order
+    /// for loads — the ROB retires in order).
+    fn retire_completed(&mut self) {
+        while matches!(self.pending_loads.front(), Some(l) if l.completion <= self.now) {
+            self.pending_loads.pop_front();
+        }
+        while matches!(self.pending_stores.peek(), Some(&Reverse(t)) if t <= self.now) {
+            self.pending_stores.pop();
+        }
+    }
+
+    /// Stalls until the oldest in-flight load completes.
+    fn wait_oldest_load(&mut self) {
+        if let Some(l) = self.pending_loads.pop_front() {
+            if l.completion > self.now {
+                self.mem_stall += l.completion - self.now;
+                self.now = l.completion;
+            }
+            self.retire_completed();
+        }
+    }
+
+    /// Enforces the ROB window: the core cannot run more than `rob`
+    /// instructions past an outstanding load.
+    fn enforce_rob(&mut self, rob: u64) {
+        while matches!(
+            self.pending_loads.front(),
+            Some(l) if self.instr_total.saturating_sub(l.issued_at_instr) >= rob
+        ) {
+            self.wait_oldest_load();
+        }
+    }
+}
+
+impl Cpu {
+    /// Creates a core model with the given configuration.
+    #[must_use]
+    pub fn new(config: CpuConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Runs a trace through the hierarchy and DRAM, returning the cycle
+    /// breakdown.
+    ///
+    /// Dirty L2 victims are issued to DRAM as write traffic (they occupy
+    /// banks and bus but nothing waits on them).
+    pub fn run<T>(&mut self, trace: T, hierarchy: &mut Hierarchy, dram: &mut Dram) -> ExecBreakdown
+    where
+        T: IntoIterator<Item = Event>,
+    {
+        let cfg = self.config;
+        let line = match hierarchy.config().l2 {
+            primecache_cache::L2Organization::SetAssoc(c) => c.line_bytes(),
+            primecache_cache::L2Organization::Skewed(c) => c.line_bytes(),
+            primecache_cache::L2Organization::FullyAssociative { line_bytes, .. } => line_bytes,
+        };
+        let mut st = RunState::new();
+        for ev in trace {
+            st.retire_completed();
+            st.enforce_rob(cfg.rob_size);
+            match ev {
+                Event::Work(n) | Event::FpWork(n) => {
+                    let class = if matches!(ev, Event::FpWork(_)) {
+                        IssueClass::Fp
+                    } else {
+                        IssueClass::Generic
+                    };
+                    // Issue in ROB-sized chunks so an outstanding load
+                    // stalls the pipeline mid-burst, not only at event
+                    // boundaries.
+                    let mut remaining = u64::from(n);
+                    let chunk = (cfg.rob_size / 4).max(1);
+                    while remaining > 0 {
+                        let step = remaining.min(chunk);
+                        st.issue(step, class, &cfg);
+                        remaining -= step;
+                        if remaining > 0 {
+                            st.retire_completed();
+                            st.enforce_rob(cfg.rob_size);
+                        }
+                    }
+                }
+                Event::Branch { mispredict } => {
+                    st.issue(1, IssueClass::Generic, &cfg);
+                    if mispredict {
+                        st.now += cfg.branch_penalty;
+                        st.other_stall += cfg.branch_penalty;
+                    }
+                }
+                Event::Load { addr, dep } => {
+                    st.issue(1, IssueClass::Mem, &cfg);
+                    let completion = self.service(addr, false, &mut st, hierarchy, dram);
+                    match completion {
+                        None => {} // L1 hit: fully pipelined
+                        // Serializing load: expose the full latency.
+                        Some(t) if dep && t > st.now => {
+                            st.mem_stall += t - st.now;
+                            st.now = t;
+                        }
+                        Some(_) if dep => {}
+                        Some(t) => {
+                            if st.pending_loads.len() >= cfg.max_pending_loads {
+                                st.wait_oldest_load();
+                            }
+                            st.pending_loads.push_back(InflightLoad {
+                                completion: t,
+                                issued_at_instr: st.instr_total,
+                            });
+                        }
+                    }
+                }
+                Event::Store { addr } => {
+                    st.issue(1, IssueClass::Mem, &cfg);
+                    if let Some(t) = self.service(addr, true, &mut st, hierarchy, dram) {
+                        if st.pending_stores.len() >= cfg.max_pending_stores {
+                            if let Some(Reverse(done)) = st.pending_stores.pop() {
+                                if done > st.now {
+                                    st.mem_stall += done - st.now;
+                                    st.now = done;
+                                }
+                            }
+                        }
+                        st.pending_stores.push(Reverse(t));
+                    }
+                }
+            }
+            // Dirty L2 victims stream to DRAM without blocking the core.
+            for block in hierarchy.take_memory_writes() {
+                dram.request(block * line, st.now, true);
+            }
+        }
+        // The program cannot finish before its last load returns.
+        let last = st.pending_loads.iter().map(|l| l.completion).max();
+        if let Some(t) = last {
+            if t > st.now {
+                st.mem_stall += t - st.now;
+                st.now = t;
+            }
+        }
+        ExecBreakdown {
+            busy: st.busy,
+            other_stall: st.other_stall,
+            mem_stall: st.mem_stall,
+        }
+    }
+
+    /// Services one memory reference; returns its completion time, or
+    /// `None` for a (pipelined) L1 hit.
+    fn service(
+        &self,
+        addr: u64,
+        write: bool,
+        st: &mut RunState,
+        hierarchy: &mut Hierarchy,
+        dram: &mut Dram,
+    ) -> Option<u64> {
+        match hierarchy.access(addr, write) {
+            AccessOutcome::L1Hit => None,
+            AccessOutcome::L2Hit => Some(st.now + self.config.l2_hit_cycles),
+            AccessOutcome::Memory => {
+                let c = dram.request(addr, st.now + self.config.l2_hit_cycles, false);
+                Some(c.complete)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primecache_cache::{CacheConfig, HierarchyConfig, L2Organization};
+    use primecache_mem::MemConfig;
+    use primecache_trace::strided;
+
+    fn setup() -> (Hierarchy, Dram, Cpu) {
+        (
+            Hierarchy::new(HierarchyConfig::paper_default(L2Organization::SetAssoc(
+                CacheConfig::new(512 * 1024, 4, 64),
+            ))),
+            Dram::new(MemConfig::paper_default()),
+            Cpu::new(CpuConfig::paper_default()),
+        )
+    }
+
+    #[test]
+    fn pure_compute_is_all_busy() {
+        let (mut h, mut d, mut cpu) = setup();
+        let b = cpu.run([Event::Work(600)], &mut h, &mut d);
+        assert_eq!(b.busy, 100);
+        assert_eq!(b.other_stall, 0);
+        assert_eq!(b.mem_stall, 0);
+    }
+
+    #[test]
+    fn issue_width_rounds_across_events() {
+        let (mut h, mut d, mut cpu) = setup();
+        // 4 x Work(3) = 12 instructions = exactly 2 cycles at width 6.
+        let b = cpu.run(vec![Event::Work(3); 4], &mut h, &mut d);
+        assert_eq!(b.busy, 2);
+    }
+
+    #[test]
+    fn fp_work_is_four_wide() {
+        let (mut h, mut d, mut cpu) = setup();
+        let b = cpu.run([Event::FpWork(600)], &mut h, &mut d);
+        assert_eq!(b.busy, 150, "600 FP ops at 4/cycle");
+        let (mut h2, mut d2, _) = setup();
+        let b2 = cpu.run([Event::Work(600)], &mut h2, &mut d2);
+        assert_eq!(b2.busy, 100, "600 generic ops at 6/cycle");
+    }
+
+    #[test]
+    fn memory_ops_are_two_wide() {
+        // 64 back-to-back L1 hits: throughput-bound at 2/cycle.
+        let (mut h, mut d, mut cpu) = setup();
+        cpu.run([Event::load(0)], &mut h, &mut d); // warm the line
+        let b = cpu.run(vec![Event::load(0); 64], &mut h, &mut d);
+        assert_eq!(b.busy, 32);
+    }
+
+    #[test]
+    fn mixed_classes_take_the_maximum_requirement() {
+        // 16 FP + 16 generic = 32 total: total/6 = 5, fp/4 = 4 => busy 5.
+        let (mut h, mut d, mut cpu) = setup();
+        let b = cpu.run([Event::FpWork(16), Event::Work(16)], &mut h, &mut d);
+        assert_eq!(b.busy, 5);
+    }
+
+    #[test]
+    fn mispredicts_cost_twelve_cycles() {
+        let (mut h, mut d, mut cpu) = setup();
+        let b = cpu.run(
+            [
+                Event::Branch { mispredict: true },
+                Event::Branch { mispredict: false },
+                Event::Branch { mispredict: true },
+            ],
+            &mut h,
+            &mut d,
+        );
+        assert_eq!(b.other_stall, 24);
+    }
+
+    #[test]
+    fn l1_hits_are_free_of_stall() {
+        let (mut h, mut d, mut cpu) = setup();
+        // Warm one line, then hammer it.
+        let warm: Vec<Event> = vec![Event::load(0)];
+        cpu.run(warm, &mut h, &mut d);
+        let b = cpu.run(vec![Event::load(0); 100], &mut h, &mut d);
+        assert_eq!(b.mem_stall, 0);
+    }
+
+    #[test]
+    fn dependent_misses_expose_full_memory_latency() {
+        let (mut h, mut d, mut cpu) = setup();
+        // 64 cold dependent loads, far apart: every one is an L2 miss and
+        // fully serialized (≥ row-miss or row-hit latency apiece).
+        let trace: Vec<Event> = (0..64u64).map(|i| Event::chase(i * 1 << 20)).collect();
+        let b = cpu.run(trace, &mut h, &mut d);
+        assert!(
+            b.mem_stall >= 64 * 200,
+            "mem stall {} for 64 serialized misses",
+            b.mem_stall
+        );
+    }
+
+    #[test]
+    fn independent_misses_overlap() {
+        // Addresses chosen to spread across channels and banks (odd line
+        // stride), so the window — not the memory system — is the limit.
+        let spread = |i: u64| i * 64 * 65;
+        let (mut h1, mut d1, mut cpu) = setup();
+        let dep: Vec<Event> = (0..64u64).map(|i| Event::chase(spread(i))).collect();
+        let b_dep = cpu.run(dep, &mut h1, &mut d1);
+
+        let (mut h2, mut d2, _) = setup();
+        let indep: Vec<Event> = (0..64u64).map(|i| Event::load(spread(i))).collect();
+        let b_ind = cpu.run(indep, &mut h2, &mut d2);
+
+        assert!(
+            b_ind.mem_stall * 2 < b_dep.mem_stall,
+            "independent {} vs dependent {}",
+            b_ind.mem_stall,
+            b_dep.mem_stall
+        );
+    }
+
+    #[test]
+    fn rob_limits_latency_hiding() {
+        // A lone miss followed by a long compute tail: with a 128-entry
+        // ROB at width 6, only ~21 cycles of the ~224-cycle miss can be
+        // hidden — the rest must surface as memory stall.
+        let (mut h, mut d, mut cpu) = setup();
+        let trace = vec![Event::load(1 << 22), Event::Work(6000)];
+        let b = cpu.run(trace, &mut h, &mut d);
+        assert!(
+            b.mem_stall > 150,
+            "ROB must expose most of an isolated miss: stall {}",
+            b.mem_stall
+        );
+        assert!(b.busy >= 1000);
+    }
+
+    #[test]
+    fn dense_misses_amortize_within_the_rob() {
+        // Eight misses issued back-to-back resolve together: total stall
+        // is far less than eight full latencies.
+        let (mut h, mut d, mut cpu) = setup();
+        let mut trace: Vec<Event> = (0..8u64).map(|i| Event::load(i * 64 * 65)).collect();
+        trace.push(Event::Work(6000));
+        let b = cpu.run(trace, &mut h, &mut d);
+        assert!(
+            b.mem_stall < 4 * 240,
+            "dense misses must overlap: stall {}",
+            b.mem_stall
+        );
+    }
+
+    #[test]
+    fn l2_hits_cost_less_than_memory() {
+        // Working set fits L2 but not L1: second pass is all L2 hits.
+        let (mut h, mut d, mut cpu) = setup();
+        let pass: Vec<Event> = (0..1024u64).map(|i| Event::chase(i * 256)).collect();
+        cpu.run(pass.clone(), &mut h, &mut d); // cold pass: memory
+        let warm = cpu.run(pass, &mut h, &mut d); // warm pass: L2 hits
+        let per_load = warm.mem_stall as f64 / 1024.0;
+        assert!(
+            per_load < 20.0,
+            "L2-hit chase should cost ~16 cycles, got {per_load}"
+        );
+        assert!(per_load > 10.0, "L2 hits are not free, got {per_load}");
+    }
+
+    #[test]
+    fn breakdown_total_is_consistent() {
+        let (mut h, mut d, mut cpu) = setup();
+        let b = cpu.run(strided(4096, 5000, 12), &mut h, &mut d);
+        assert_eq!(b.total(), b.busy + b.other_stall + b.mem_stall);
+        assert!(b.busy > 0 && b.mem_stall > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let (mut h, mut d, mut cpu) = setup();
+            cpu.run(strided(4096, 5000, 12), &mut h, &mut d)
+        };
+        assert_eq!(run(), run());
+    }
+}

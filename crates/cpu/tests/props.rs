@@ -1,0 +1,74 @@
+//! Property-based tests of the timing model.
+
+use primecache_cache::{CacheConfig, Hierarchy, HierarchyConfig, L2Organization};
+use primecache_cpu::{Cpu, CpuConfig};
+use primecache_mem::{Dram, MemConfig};
+use primecache_trace::Event;
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        (1u32..200).prop_map(Event::Work),
+        any::<bool>().prop_map(|mispredict| Event::Branch { mispredict }),
+        (0u64..(1 << 24), any::<bool>()).prop_map(|(a, dep)| Event::Load { addr: a * 8, dep }),
+        (0u64..(1 << 24)).prop_map(|a| Event::Store { addr: a * 8 }),
+    ]
+}
+
+fn run(events: &[Event]) -> primecache_cpu::ExecBreakdown {
+    let mut h = Hierarchy::new(HierarchyConfig::paper_default(L2Organization::SetAssoc(
+        CacheConfig::new(512 * 1024, 4, 64),
+    )));
+    let mut d = Dram::new(MemConfig::paper_default());
+    Cpu::new(CpuConfig::paper_default()).run(events.to_vec(), &mut h, &mut d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn busy_time_equals_instruction_throughput(events in prop::collection::vec(arb_event(), 1..400)) {
+        let b = run(&events);
+        let instrs: u64 = events.iter().map(|e| e.instructions()).sum();
+        // Busy time is instructions / width, within rounding.
+        prop_assert!(b.busy <= instrs);
+        prop_assert!(b.busy >= (instrs / 6).saturating_sub(1));
+    }
+
+    #[test]
+    fn other_stall_is_exactly_branch_penalties(events in prop::collection::vec(arb_event(), 1..400)) {
+        let b = run(&events);
+        let mispredicts = events
+            .iter()
+            .filter(|e| matches!(e, Event::Branch { mispredict: true }))
+            .count() as u64;
+        prop_assert_eq!(b.other_stall, mispredicts * 12);
+    }
+
+    #[test]
+    fn total_is_sum_of_parts(events in prop::collection::vec(arb_event(), 1..400)) {
+        let b = run(&events);
+        prop_assert_eq!(b.total(), b.busy + b.other_stall + b.mem_stall);
+    }
+
+    #[test]
+    fn adding_work_never_reduces_time(events in prop::collection::vec(arb_event(), 1..200)) {
+        let t1 = run(&events).total();
+        let mut more = events.clone();
+        more.push(Event::Work(600));
+        let t2 = run(&more).total();
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn dependent_loads_never_run_faster(seed in prop::collection::vec(0u64..(1 << 24), 1..200)) {
+        let indep: Vec<Event> = seed.iter().map(|&a| Event::load(a * 64)).collect();
+        let dep: Vec<Event> = seed.iter().map(|&a| Event::chase(a * 64)).collect();
+        prop_assert!(run(&dep).total() >= run(&indep).total());
+    }
+
+    #[test]
+    fn runs_are_deterministic(events in prop::collection::vec(arb_event(), 1..200)) {
+        prop_assert_eq!(run(&events), run(&events));
+    }
+}

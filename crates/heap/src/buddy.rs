@@ -1,0 +1,201 @@
+//! Binary buddy allocation.
+
+use std::collections::BTreeSet;
+
+use crate::Allocator;
+
+/// Minimum block size handed out (glibc-era allocators bottom out around
+/// a cache line for mid-size objects; 32 keeps the model general).
+const MIN_BLOCK: u64 = 32;
+
+/// A binary buddy allocator over a power-of-two arena: every request is
+/// rounded up to the next power of two, blocks split recursively on
+/// allocation and coalesce with their buddy on free.
+///
+/// The rounding is the interesting part for the paper: a 260-byte tree
+/// node occupies a 512-byte block, so node headers land on 512-byte
+/// boundaries — 1/8th of the cache sets.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_heap::{Allocator, BuddyAllocator};
+///
+/// let mut b = BuddyAllocator::new(0, 1 << 16);
+/// let a1 = b.alloc(260).unwrap();
+/// let a2 = b.alloc(260).unwrap();
+/// assert_eq!(a1 % 512, 0);
+/// assert_eq!(a2 - a1, 512);
+/// b.free(a1, 260);
+/// b.free(a2, 260);
+/// // Fully coalesced: a max-size allocation succeeds again.
+/// assert!(b.alloc(1 << 16).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BuddyAllocator {
+    base: u64,
+    arena: u64,
+    /// Free lists per order: `free[k]` holds offsets of free blocks of
+    /// size `MIN_BLOCK << k`.
+    free: Vec<BTreeSet<u64>>,
+    live: u64,
+}
+
+impl BuddyAllocator {
+    /// Creates a buddy allocator over `[base, base + arena_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `arena_bytes` is a power of two `>= MIN_BLOCK`.
+    #[must_use]
+    pub fn new(base: u64, arena_bytes: u64) -> Self {
+        assert!(
+            arena_bytes.is_power_of_two() && arena_bytes >= MIN_BLOCK,
+            "arena must be a power of two >= {MIN_BLOCK}"
+        );
+        let orders = (arena_bytes / MIN_BLOCK).trailing_zeros() as usize + 1;
+        let mut free = vec![BTreeSet::new(); orders];
+        free[orders - 1].insert(0);
+        Self {
+            base,
+            arena: arena_bytes,
+            free,
+            live: 0,
+        }
+    }
+
+    fn order_for(&self, size: u64) -> usize {
+        let block = size.max(1).next_power_of_two().max(MIN_BLOCK);
+        (block / MIN_BLOCK).trailing_zeros() as usize
+    }
+
+    fn block_size(order: usize) -> u64 {
+        MIN_BLOCK << order
+    }
+
+    /// Number of free blocks currently tracked (all orders).
+    #[must_use]
+    pub fn free_blocks(&self) -> usize {
+        self.free.iter().map(BTreeSet::len).sum()
+    }
+
+    /// The arena size in bytes.
+    #[must_use]
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena
+    }
+}
+
+impl Allocator for BuddyAllocator {
+    fn alloc(&mut self, size: u64) -> Option<u64> {
+        if size == 0 || size > self.arena {
+            return None;
+        }
+        let want = self.order_for(size);
+        // Find the smallest order >= want with a free block.
+        let from = (want..self.free.len()).find(|&k| !self.free[k].is_empty())?;
+        let mut offset = *self.free[from].iter().next().expect("non-empty");
+        self.free[from].remove(&offset);
+        // Split down to the wanted order, releasing the upper halves.
+        let mut k = from;
+        while k > want {
+            k -= 1;
+            let buddy = offset + Self::block_size(k);
+            self.free[k].insert(buddy);
+        }
+        let _ = &mut offset; // offset stays the low half throughout
+        self.live += size;
+        Some(self.base + offset)
+    }
+
+    fn free(&mut self, addr: u64, size: u64) {
+        let mut offset = addr - self.base;
+        let mut k = self.order_for(size);
+        // Coalesce with the buddy while possible.
+        while k + 1 < self.free.len() {
+            let buddy = offset ^ Self::block_size(k);
+            if self.free[k].remove(&buddy) {
+                offset = offset.min(buddy);
+                k += 1;
+            } else {
+                break;
+            }
+        }
+        self.free[k].insert(offset);
+        self.live = self.live.saturating_sub(size);
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_powers_of_two() {
+        let mut b = BuddyAllocator::new(0, 1 << 16);
+        for (size, align) in [(33u64, 64u64), (65, 128), (300, 512), (513, 1024)] {
+            let a = b.alloc(size).unwrap();
+            assert_eq!(a % align, 0, "size {size}");
+        }
+    }
+
+    #[test]
+    fn splits_and_coalesces_cleanly() {
+        let mut b = BuddyAllocator::new(0x1000, 1 << 12);
+        let first = b.alloc(500).unwrap();
+        // Splitting 4 KB down to 512 leaves one free buddy per level:
+        // 512, 1024, 2048.
+        assert_eq!(b.free_blocks(), 3);
+        let mut addrs = vec![first];
+        addrs.extend((0..7).map(|_| b.alloc(500).unwrap()));
+        assert_eq!(b.free_blocks(), 0);
+        assert!(b.alloc(500).is_none(), "arena of 8 x 512 exhausted");
+        for &a in &addrs {
+            b.free(a, 500);
+        }
+        assert_eq!(b.free_blocks(), 1, "everything must coalesce back");
+        assert_eq!(b.alloc(1 << 12), Some(0x1000));
+    }
+
+    #[test]
+    fn buddy_layout_reproduces_the_tree_pathology() {
+        // 260-byte "tree nodes": headers land on 512-B slots, touching
+        // only every 8th 64-B cache block.
+        let mut b = BuddyAllocator::new(0, 1 << 22);
+        let headers: Vec<u64> = (0..1000).map(|_| b.alloc(260).unwrap() / 64).collect();
+        assert!(headers.iter().all(|h| h % 8 == 0));
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut b = BuddyAllocator::new(0, 1 << 10);
+        let mut got = 0;
+        while b.alloc(MIN_BLOCK).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, (1 << 10) / MIN_BLOCK);
+        assert_eq!(b.alloc(1), None);
+    }
+
+    #[test]
+    fn oversized_requests_rejected() {
+        let mut b = BuddyAllocator::new(0, 1 << 10);
+        assert_eq!(b.alloc((1 << 10) + 1), None);
+        assert_eq!(b.alloc(0), None);
+    }
+
+    #[test]
+    fn live_accounting() {
+        let mut b = BuddyAllocator::new(0, 1 << 14);
+        let a = b.alloc(100).unwrap();
+        let c = b.alloc(200).unwrap();
+        assert_eq!(b.live_bytes(), 300);
+        b.free(a, 100);
+        b.free(c, 200);
+        assert_eq!(b.live_bytes(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Slab-style size-class allocation.
+
+use crate::Allocator;
+
+/// A size-class (slab) allocator: each request is served from the
+/// smallest class that fits, classes carve their own contiguous runs, and
+/// freed slots are recycled LIFO per class.
+///
+/// Like the buddy allocator it pads objects — to the class size rather
+/// than a power of two — so a 512-byte class reproduces the `tree` layout
+/// while, say, a 96-byte class stays set-uniform (96 is not a multiple of
+/// the 64-byte line).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_heap::{Allocator, SizeClassAllocator};
+///
+/// let mut slab = SizeClassAllocator::new(0x1000, &[64, 512]);
+/// let a = slab.alloc(300).unwrap();
+/// assert_eq!(a % 512, 0x1000 % 512);
+/// slab.free(a, 300);
+/// assert_eq!(slab.alloc(300), Some(a)); // slot recycled
+/// ```
+#[derive(Debug, Clone)]
+pub struct SizeClassAllocator {
+    classes: Vec<Class>,
+    live: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Class {
+    size: u64,
+    base: u64,
+    next: u64,
+    free_list: Vec<u64>,
+}
+
+/// Bytes reserved per class run (1 GiB of address space — the model never
+/// touches memory, only addresses).
+const CLASS_SPAN: u64 = 1 << 30;
+
+impl SizeClassAllocator {
+    /// Creates an allocator at `base` with the given ascending class
+    /// sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_sizes` is empty or not strictly ascending.
+    #[must_use]
+    pub fn new(base: u64, class_sizes: &[u64]) -> Self {
+        assert!(!class_sizes.is_empty(), "need at least one size class");
+        assert!(
+            class_sizes.windows(2).all(|w| w[0] < w[1]),
+            "class sizes must be strictly ascending"
+        );
+        let classes = class_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| Class {
+                size,
+                base: base + i as u64 * CLASS_SPAN,
+                next: 0,
+                free_list: Vec::new(),
+            })
+            .collect();
+        Self { classes, live: 0 }
+    }
+
+    /// The class sizes in use.
+    #[must_use]
+    pub fn class_sizes(&self) -> Vec<u64> {
+        self.classes.iter().map(|c| c.size).collect()
+    }
+
+    fn class_for(&mut self, size: u64) -> Option<&mut Class> {
+        self.classes.iter_mut().find(|c| c.size >= size)
+    }
+}
+
+impl Allocator for SizeClassAllocator {
+    fn alloc(&mut self, size: u64) -> Option<u64> {
+        if size == 0 {
+            return None;
+        }
+        let class = self.class_for(size)?;
+        let addr = class.free_list.pop().unwrap_or_else(|| {
+            let a = class.base + class.next * class.size;
+            class.next += 1;
+            a
+        });
+        self.live += size;
+        Some(addr)
+    }
+
+    fn free(&mut self, addr: u64, size: u64) {
+        if let Some(class) = self.class_for(size) {
+            class.free_list.push(addr);
+        }
+        self.live = self.live.saturating_sub(size);
+    }
+
+    fn live_bytes(&self) -> u64 {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_smallest_fitting_class() {
+        let mut s = SizeClassAllocator::new(0, &[64, 256, 512]);
+        let a64 = s.alloc(10).unwrap();
+        let a256 = s.alloc(65).unwrap();
+        let a512 = s.alloc(257).unwrap();
+        assert!(a64 < CLASS_SPAN);
+        assert!((CLASS_SPAN..2 * CLASS_SPAN).contains(&a256));
+        assert!((2 * CLASS_SPAN..3 * CLASS_SPAN).contains(&a512));
+    }
+
+    #[test]
+    fn slots_are_class_strided() {
+        let mut s = SizeClassAllocator::new(0, &[512]);
+        let addrs: Vec<u64> = (0..10).map(|_| s.alloc(300).unwrap()).collect();
+        for w in addrs.windows(2) {
+            assert_eq!(w[1] - w[0], 512);
+        }
+    }
+
+    #[test]
+    fn free_slots_recycle_lifo() {
+        let mut s = SizeClassAllocator::new(0, &[128]);
+        let a = s.alloc(100).unwrap();
+        let b = s.alloc(100).unwrap();
+        s.free(a, 100);
+        s.free(b, 100);
+        assert_eq!(s.alloc(100), Some(b));
+        assert_eq!(s.alloc(100), Some(a));
+    }
+
+    #[test]
+    fn oversized_requests_rejected() {
+        let mut s = SizeClassAllocator::new(0, &[64, 128]);
+        assert_eq!(s.alloc(129), None);
+        assert_eq!(s.alloc(0), None);
+    }
+
+    #[test]
+    fn odd_class_sizes_spread_cache_blocks() {
+        // A 96-byte class tiles blocks densely (not a multiple of 64)...
+        let mut s = SizeClassAllocator::new(0, &[96]);
+        let blocks: std::collections::HashSet<u64> =
+            (0..256).map(|_| s.alloc(90).unwrap() / 64).collect();
+        assert!(blocks.len() > 200, "{}", blocks.len());
+        // ...while a 512-byte class hits only every 8th block.
+        let mut s512 = SizeClassAllocator::new(0, &[512]);
+        let blocks512: Vec<u64> = (0..256).map(|_| s512.alloc(300).unwrap() / 64).collect();
+        assert!(blocks512.iter().all(|b| b % 8 == 0));
+    }
+}

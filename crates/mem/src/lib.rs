@@ -1,0 +1,28 @@
+//! DRAM and memory-bus timing model (the MEMORY half of Table 3).
+//!
+//! The paper's machine: round-trip memory latency of 243 cycles on a DRAM
+//! row miss and 208 cycles on a row hit; a split-transaction 8-byte
+//! 400 MHz memory bus (3.2 GB/s peak) in front of dual-channel DRAM
+//! (2 bytes × 800 MHz per channel). This crate models that back-end with
+//! per-bank open-row state and bus/bank occupancy, so L2 misses experience
+//! realistic queueing and row-locality effects.
+//!
+//! # Examples
+//!
+//! ```
+//! use primecache_mem::{Dram, MemConfig};
+//!
+//! let mut dram = Dram::new(MemConfig::paper_default());
+//! let first = dram.request(0x0000, 0, false);
+//! let again = dram.request(0x0040, first.complete, false);
+//! assert!(first.latency >= again.latency, "second access hits the open row");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod dram;
+
+pub use config::{DramMapping, MemConfig};
+pub use dram::{Completion, Dram, DramStats};

@@ -1,0 +1,238 @@
+//! Modular-arithmetic helpers.
+
+/// Computes the greatest common divisor of `a` and `b`.
+///
+/// `gcd(0, 0)` is defined as `0`.
+///
+/// The paper's ideal-balance condition for modulo-based hashing (Property 1)
+/// is `gcd(s, n_set) == 1` for a stride `s`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::gcd;
+/// assert_eq!(gcd(12, 18), 6);
+/// assert_eq!(gcd(7, 2048), 1);
+/// ```
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Computes the least common multiple of `a` and `b`.
+///
+/// Returns `0` when either argument is `0`.
+///
+/// # Panics
+///
+/// Panics if the true LCM overflows `u64`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::lcm;
+/// assert_eq!(lcm(4, 6), 12);
+/// ```
+#[must_use]
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    a / gcd(a, b) * b
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` such that `a*x + b*y == g == gcd(a, b)`, with the
+/// Bézout coefficients as signed 128-bit integers so no overflow occurs for
+/// any pair of `u64` inputs.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::egcd;
+/// let (g, x, y) = egcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+#[must_use]
+pub fn egcd(a: u64, b: u64) -> (u64, i128, i128) {
+    let (mut old_r, mut r) = (i128::from(a), i128::from(b));
+    let (mut old_s, mut s) = (1i128, 0i128);
+    let (mut old_t, mut t) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    (old_r as u64, old_s, old_t)
+}
+
+/// Computes `(a * b) mod m` without overflow.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+#[must_use]
+pub fn mod_mul(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// Computes `base^exp mod m` by square-and-multiply.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::mod_pow;
+/// assert_eq!(mod_pow(2, 10, 1000), 24);
+/// ```
+#[must_use]
+pub fn mod_pow(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m != 0, "modulus must be nonzero");
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mod_mul(acc, base, m);
+        }
+        base = mod_mul(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Computes the modular inverse of `a` modulo `m`, if it exists.
+///
+/// Returns `None` when `gcd(a, m) != 1` (no inverse). The inverse exists for
+/// every nonzero residue when `m` is prime — the property that makes an odd
+/// displacement factor invertible modulo a power of two (the paper's
+/// footnote 2 on the "prime" displacement name).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::mod_inv;
+/// assert_eq!(mod_inv(3, 7), Some(5)); // 3*5 = 15 ≡ 1 (mod 7)
+/// assert_eq!(mod_inv(2, 4), None);
+/// ```
+#[must_use]
+pub fn mod_inv(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    let (g, x, _) = egcd(a % m, m);
+    if g != 1 {
+        return None;
+    }
+    let m_i = i128::from(m);
+    Some((x.rem_euclid(m_i)) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic_identities() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(1, u64::MAX), 1);
+        assert_eq!(gcd(48, 36), 12);
+    }
+
+    #[test]
+    fn gcd_is_commutative() {
+        for a in [2u64, 15, 100, 2039, 4096] {
+            for b in [3u64, 9, 64, 509] {
+                assert_eq!(gcd(a, b), gcd(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(0, 7), 0);
+        assert_eq!(lcm(7, 0), 0);
+        assert_eq!(lcm(6, 8), 24);
+        assert_eq!(lcm(2039, 2048), 2039 * 2048);
+    }
+
+    #[test]
+    fn egcd_bezout_holds() {
+        for (a, b) in [(240u64, 46u64), (2039, 2048), (0, 9), (9, 0), (1, 1)] {
+            let (g, x, y) = egcd(a, b);
+            assert_eq!(g, gcd(a, b));
+            assert_eq!(i128::from(a) * x + i128::from(b) * y, i128::from(g));
+        }
+    }
+
+    #[test]
+    fn mod_mul_matches_wide_arithmetic() {
+        let big = u64::MAX - 58;
+        assert_eq!(
+            mod_mul(big, big, 2039),
+            ((u128::from(big) * u128::from(big)) % 2039) as u64
+        );
+    }
+
+    #[test]
+    fn mod_pow_fermat_little_theorem() {
+        // a^(p-1) ≡ 1 (mod p) for prime p and a not divisible by p.
+        for p in [2039u64, 509, 8191] {
+            for a in [2u64, 3, 9, 1234567] {
+                assert_eq!(mod_pow(a, p - 1, p), 1, "a={a} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        assert_eq!(mod_pow(5, 0, 7), 1);
+        assert_eq!(mod_pow(0, 5, 7), 0);
+        assert_eq!(mod_pow(5, 5, 1), 0);
+    }
+
+    #[test]
+    fn mod_inv_roundtrip() {
+        for m in [2039u64, 2048, 509] {
+            for a in 1..50u64 {
+                match mod_inv(a, m) {
+                    Some(inv) => assert_eq!(mod_mul(a, inv, m), 1, "a={a} m={m}"),
+                    None => assert_ne!(gcd(a, m), 1, "a={a} m={m}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_numbers_invertible_mod_power_of_two() {
+        // Footnote 2: odd numbers form a multiplicative group mod 2^k.
+        for a in (1u64..128).step_by(2) {
+            assert!(mod_inv(a, 2048).is_some(), "odd {a} must be invertible");
+        }
+        for a in (2u64..128).step_by(2) {
+            assert!(mod_inv(a, 2048).is_none(), "even {a} must not be invertible");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be nonzero")]
+    fn mod_mul_zero_modulus_panics() {
+        let _ = mod_mul(1, 1, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integer factorization (trial division, u64-scale).
+
+/// Returns the prime factorization of `n` as `(prime, exponent)` pairs in
+/// ascending prime order. Returns an empty vector for `n < 2`.
+///
+/// Used by the modulus-choice ablation: the paper's §3.1 aside observes
+/// that `n_set_phys − 1` is "often a product of two prime numbers"
+/// (2047 = 23·89), making it a decent non-prime modulus.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::factorize;
+///
+/// assert_eq!(factorize(2047), vec![(23, 1), (89, 1)]);
+/// assert_eq!(factorize(2048), vec![(2, 11)]);
+/// assert_eq!(factorize(2039), vec![(2039, 1)]);
+/// assert!(factorize(1).is_empty());
+/// ```
+#[must_use]
+pub fn factorize(mut n: u64) -> Vec<(u64, u32)> {
+    let mut out = Vec::new();
+    let mut push = |p: u64, e: u32| {
+        if e > 0 {
+            out.push((p, e));
+        }
+    };
+    let mut e = 0;
+    while n.is_multiple_of(2) {
+        n /= 2;
+        e += 1;
+    }
+    push(2, e);
+    let mut d = 3u64;
+    while d.saturating_mul(d) <= n {
+        let mut e = 0;
+        while n.is_multiple_of(d) {
+            n /= d;
+            e += 1;
+        }
+        push(d, e);
+        d += 2;
+    }
+    if n > 1 {
+        push(n, 1);
+    }
+    out
+}
+
+/// Euler's totient `φ(n)`: the count of residues coprime with `n` — for a
+/// power of two, the number of valid prime-displacement factors.
+///
+/// Returns 0 for `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::totient;
+///
+/// assert_eq!(totient(2048), 1024); // the odd residues
+/// assert_eq!(totient(2039), 2038); // prime
+/// assert_eq!(totient(12), 4);
+/// ```
+#[must_use]
+pub fn totient(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let mut result = n;
+    for (p, _) in factorize(n) {
+        result = result / p * (p - 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_prime;
+
+    #[test]
+    fn factorization_reconstructs_n() {
+        for n in 2..5_000u64 {
+            let product: u64 = factorize(n)
+                .iter()
+                .map(|&(p, e)| p.pow(e))
+                .product();
+            assert_eq!(product, n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn factors_are_prime_and_sorted() {
+        for n in [2047u64, 2046, 2045, 360, 1 << 20, 999_999] {
+            let f = factorize(n);
+            for w in f.windows(2) {
+                assert!(w[0].0 < w[1].0);
+            }
+            for (p, _) in f {
+                assert!(is_prime(p), "{p} from factorize({n})");
+            }
+        }
+    }
+
+    #[test]
+    fn totient_brute_force_agreement() {
+        let gcd = crate::gcd;
+        for n in 1..500u64 {
+            let brute = (1..=n).filter(|&k| gcd(k, n) == 1).count() as u64;
+            assert_eq!(totient(n), brute, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn table1_neighbors() {
+        // The §3.1 aside's example: 2047 is a semiprime.
+        assert_eq!(factorize(2047).len(), 2);
+        assert!(factorize(2047).iter().all(|&(_, e)| e == 1));
+    }
+}

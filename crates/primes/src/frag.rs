@@ -1,0 +1,130 @@
+//! Set fragmentation of prime-modulo indexing (the paper's Table 1).
+//!
+//! Using a prime number of sets `n_set < n_set_phys` wastes
+//! `Δ = n_set_phys - n_set` physical sets. This module computes the wasted
+//! fraction for any physical set count and reproduces Table 1.
+
+use crate::search::prev_prime;
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragRow {
+    /// Physical (power-of-two) number of sets.
+    pub n_set_phys: u64,
+    /// Largest prime `<= n_set_phys`, used as the logical set count.
+    pub n_set: u64,
+    /// Wasted sets `Δ = n_set_phys - n_set`.
+    pub delta: u64,
+}
+
+impl FragRow {
+    /// Fraction of physical sets wasted, in `[0, 1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use primecache_primes::frag::fragmentation_row;
+    /// let row = fragmentation_row(2048).unwrap();
+    /// assert!((row.fragmentation() - 9.0 / 2048.0).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn fragmentation(&self) -> f64 {
+        self.delta as f64 / self.n_set_phys as f64
+    }
+
+    /// Fragmentation as a percentage, the unit used by Table 1.
+    #[must_use]
+    pub fn fragmentation_pct(&self) -> f64 {
+        self.fragmentation() * 100.0
+    }
+}
+
+/// Computes the fragmentation row for a physical set count.
+///
+/// Returns `None` when no prime `<= n_set_phys` exists (i.e. below 2).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::frag::fragmentation_row;
+/// let row = fragmentation_row(8192).unwrap();
+/// assert_eq!(row.n_set, 8191);
+/// assert_eq!(row.delta, 1);
+/// ```
+#[must_use]
+pub fn fragmentation_row(n_set_phys: u64) -> Option<FragRow> {
+    let n_set = prev_prime(n_set_phys)?;
+    Some(FragRow {
+        n_set_phys,
+        n_set,
+        delta: n_set_phys - n_set,
+    })
+}
+
+/// The physical set counts listed in the paper's Table 1.
+pub const TABLE1_PHYS_SETS: [u64; 7] = [256, 512, 1024, 2048, 4096, 8192, 16384];
+
+/// Reproduces the paper's Table 1: fragmentation for common L2 set counts.
+#[must_use]
+pub fn table1() -> Vec<FragRow> {
+    TABLE1_PHYS_SETS
+        .iter()
+        .map(|&p| fragmentation_row(p).expect("all Table 1 sizes exceed 2"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let expect = [
+            (256u64, 251u64, 1.95f64),
+            (512, 509, 0.59),
+            (1024, 1021, 0.29),
+            (2048, 2039, 0.44),
+            (4096, 4093, 0.07),
+            (8192, 8191, 0.01),
+            (16384, 16381, 0.02),
+        ];
+        let rows = table1();
+        assert_eq!(rows.len(), expect.len());
+        for (row, (phys, prime, pct)) in rows.iter().zip(expect) {
+            assert_eq!(row.n_set_phys, phys);
+            assert_eq!(row.n_set, prime);
+            // Paper reports two decimals; match to rounding.
+            assert!(
+                (row.fragmentation_pct() - pct).abs() < 0.005,
+                "phys={phys}: got {:.4}%, paper says {pct}%",
+                row.fragmentation_pct()
+            );
+        }
+    }
+
+    #[test]
+    fn fragmentation_below_one_percent_from_512_sets() {
+        // The paper's claim: "fragmentation falls below 1% when there are
+        // 512 physical sets or more".
+        for row in table1().iter().filter(|r| r.n_set_phys >= 512) {
+            assert!(row.fragmentation_pct() < 1.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn delta_is_small_for_all_table1_sizes() {
+        // Δ is "at most 9" per the paper (within Table 1's range).
+        for row in table1() {
+            assert!(row.delta <= 9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(fragmentation_row(0).is_none());
+        assert!(fragmentation_row(1).is_none());
+        let row = fragmentation_row(2).unwrap();
+        assert_eq!(row.delta, 0);
+        assert_eq!(row.fragmentation(), 0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Number-theory substrate for prime-number cache indexing.
+//!
+//! This crate provides the arithmetic foundations used throughout the
+//! reproduction of *"Using Prime Numbers for Cache Indexing to Eliminate
+//! Conflict Misses"* (Kharbutli, Irwin, Solihin, Lee — HPCA 2004):
+//!
+//! * deterministic primality testing for `u64` ([`is_prime`]),
+//! * prime search ([`prev_prime`], [`next_prime`]) used to pick the number
+//!   of cache sets `n_set` as the largest prime below a power of two,
+//! * Mersenne primes ([`mersenne_exponents`], [`is_mersenne_prime`]) for the
+//!   restricted fast-modulo scheme of Yang & Yang that the paper generalizes,
+//! * modular arithmetic helpers ([`gcd`], [`mod_pow`], [`mod_inv`]), and
+//! * the L2 set-fragmentation computation of the paper's Table 1
+//!   ([`frag::fragmentation_row`], [`frag::table1`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use primecache_primes::{prev_prime, is_prime};
+//!
+//! // The paper's running example: a 2048-set L2 uses 2039 = 2^11 - 9 sets.
+//! assert_eq!(prev_prime(2048), Some(2039));
+//! assert!(is_prime(2039));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arith;
+mod factor;
+mod primality;
+mod search;
+mod sieve;
+
+pub mod frag;
+
+pub use arith::{egcd, gcd, lcm, mod_inv, mod_mul, mod_pow};
+pub use factor::{factorize, totient};
+pub use primality::is_prime;
+pub use search::{
+    is_mersenne_prime, mersenne_exponents, mersenne_primes_below, next_prime, prev_prime,
+};
+pub use sieve::{primes_below, Sieve};

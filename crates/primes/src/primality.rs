@@ -1,0 +1,121 @@
+//! Deterministic primality testing for `u64`.
+
+use crate::arith::{mod_mul, mod_pow};
+
+/// Witness set that makes Miller–Rabin deterministic for all `u64` inputs.
+///
+/// Established by Sinclair (2011): testing these twelve bases is sufficient
+/// for every `n < 3,317,044,064,679,887,385,961,981`.
+const WITNESSES: [u64; 12] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37];
+
+/// Returns `true` when `n` is prime.
+///
+/// Deterministic for the whole `u64` range: small inputs are handled by
+/// trial division against a few small primes, the rest by Miller–Rabin with
+/// a witness set proven sufficient below 3.3e24.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::is_prime;
+/// assert!(is_prime(2039));            // the paper's 2048-set L2 prime
+/// assert!(is_prime(8191));            // Mersenne prime 2^13 - 1
+/// assert!(!is_prime(2047));           // 23 * 89
+/// assert!(!is_prime(1));
+/// ```
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // Write n-1 = d * 2^s with d odd.
+    let mut d = n - 1;
+    let mut s = 0u32;
+    while d & 1 == 0 {
+        d >>= 1;
+        s += 1;
+    }
+    'witness: for &a in &WITNESSES {
+        let mut x = mod_pow(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 1..s {
+            x = mod_mul(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference trial-division check used to validate Miller–Rabin.
+    fn is_prime_slow(n: u64) -> bool {
+        if n < 2 {
+            return false;
+        }
+        let mut d = 2u64;
+        while d * d <= n {
+            if n % d == 0 {
+                return false;
+            }
+            d += 1;
+        }
+        true
+    }
+
+    #[test]
+    fn matches_trial_division_below_10000() {
+        for n in 0..10_000u64 {
+            assert_eq!(is_prime(n), is_prime_slow(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn paper_table1_primes_are_prime() {
+        for p in [251u64, 509, 1021, 2039, 4093, 8191, 16381] {
+            assert!(is_prime(p), "{p} from Table 1 must be prime");
+        }
+    }
+
+    #[test]
+    fn mersenne_exponent_composites_detected() {
+        // 2^11 - 1 = 2047 = 23*89 and 2^23 - 1 are classic pseudoprime traps.
+        assert!(!is_prime((1u64 << 11) - 1));
+        assert!(!is_prime((1u64 << 23) - 1));
+        assert!(is_prime((1u64 << 13) - 1));
+        assert!(is_prime((1u64 << 17) - 1));
+        assert!(is_prime((1u64 << 19) - 1));
+        assert!(is_prime((1u64 << 31) - 1));
+    }
+
+    #[test]
+    fn strong_pseudoprimes_to_base_2_rejected() {
+        // Strong pseudoprimes to base 2; deterministic witness set must
+        // still reject them.
+        for n in [2047u64, 3277, 4033, 4681, 8321, 15841, 29341] {
+            assert!(!is_prime(n), "{n} is composite");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        assert!(is_prime(2_147_483_647)); // 2^31 - 1
+        assert!(is_prime(18_446_744_073_709_551_557)); // largest u64 prime
+        assert!(!is_prime(u64::MAX));
+    }
+}

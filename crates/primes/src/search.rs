@@ -1,0 +1,174 @@
+//! Prime search: neighbours of a value and Mersenne primes.
+
+use crate::primality::is_prime;
+
+/// Returns the largest prime `<= n`, or `None` when no prime exists below.
+///
+/// The paper chooses the number of cache sets as `prev_prime(n_set_phys)`,
+/// the largest prime not exceeding the physical power-of-two set count.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::prev_prime;
+/// assert_eq!(prev_prime(2048), Some(2039));
+/// assert_eq!(prev_prime(8192), Some(8191)); // a Mersenne prime: Δ = 1
+/// assert_eq!(prev_prime(1), None);
+/// ```
+#[must_use]
+pub fn prev_prime(n: u64) -> Option<u64> {
+    let mut k = n;
+    loop {
+        if k < 2 {
+            return None;
+        }
+        if is_prime(k) {
+            return Some(k);
+        }
+        k -= 1;
+    }
+}
+
+/// Returns the smallest prime `>= n`.
+///
+/// Returns `None` only if the search would overflow `u64` (no prime in
+/// `[n, u64::MAX]`), which cannot happen for any `n <= 18446744073709551557`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::next_prime;
+/// assert_eq!(next_prime(2040), Some(2053));
+/// assert_eq!(next_prime(0), Some(2));
+/// ```
+#[must_use]
+pub fn next_prime(n: u64) -> Option<u64> {
+    let mut k = n.max(2);
+    loop {
+        if is_prime(k) {
+            return Some(k);
+        }
+        k = k.checked_add(1)?;
+    }
+}
+
+/// Returns `true` when `n` is a Mersenne prime, i.e. prime and of the form
+/// `2^k - 1`.
+///
+/// Yang & Yang's fast cache-indexing scheme (the paper's reference \[25\])
+/// only works for these; the paper's polynomial method generalizes it to
+/// arbitrary primes.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::is_mersenne_prime;
+/// assert!(is_mersenne_prime(8191));   // 2^13 - 1
+/// assert!(!is_mersenne_prime(2039));  // prime but 2^11 - 9
+/// assert!(!is_mersenne_prime(2047));  // 2^11 - 1 but composite
+/// ```
+#[must_use]
+pub fn is_mersenne_prime(n: u64) -> bool {
+    // n = 2^k - 1  <=>  n+1 is a power of two (and n != 0).
+    n != 0 && (n + 1).is_power_of_two() && is_prime(n)
+}
+
+/// Exponents `k <= 63` for which `2^k - 1` is a Mersenne prime.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::mersenne_exponents;
+/// assert!(mersenne_exponents().starts_with(&[2, 3, 5, 7, 13]));
+/// ```
+#[must_use]
+pub fn mersenne_exponents() -> &'static [u32] {
+    &[2, 3, 5, 7, 13, 17, 19, 31, 61]
+}
+
+/// All Mersenne primes strictly below `limit`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_primes::mersenne_primes_below;
+/// assert_eq!(mersenne_primes_below(10_000), vec![3, 7, 31, 127, 8191]);
+/// ```
+#[must_use]
+pub fn mersenne_primes_below(limit: u64) -> Vec<u64> {
+    mersenne_exponents()
+        .iter()
+        .map(|&k| (1u64 << k) - 1)
+        .filter(|&m| m < limit)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pairs_match_paper() {
+        // (n_set_phys, n_set) pairs from the paper's Table 1.
+        let pairs = [
+            (256u64, 251u64),
+            (512, 509),
+            (1024, 1021),
+            (2048, 2039),
+            (4096, 4093),
+            (8192, 8191),
+            (16384, 16381),
+        ];
+        for (phys, prime) in pairs {
+            assert_eq!(prev_prime(phys), Some(prime), "phys = {phys}");
+        }
+    }
+
+    #[test]
+    fn prev_prime_edge_cases() {
+        assert_eq!(prev_prime(0), None);
+        assert_eq!(prev_prime(1), None);
+        assert_eq!(prev_prime(2), Some(2));
+        assert_eq!(prev_prime(3), Some(3));
+        assert_eq!(prev_prime(4), Some(3));
+    }
+
+    #[test]
+    fn next_prime_and_prev_prime_bracket_composites() {
+        for n in [4u64, 100, 2040, 4094, 1_000_000] {
+            let p = prev_prime(n).unwrap();
+            let q = next_prime(n).unwrap();
+            assert!(p <= n && n <= q);
+            for k in (p + 1)..q {
+                assert!(!is_prime(k), "no prime may lie strictly between {p} and {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn mersenne_exponents_yield_primes() {
+        for &k in mersenne_exponents() {
+            assert!(is_mersenne_prime((1u64 << k) - 1), "2^{k} - 1");
+        }
+    }
+
+    #[test]
+    fn mersenne_gaps_are_composite() {
+        // Exponents *not* in the list (and prime-valued, so plausible traps).
+        for k in [11u32, 23, 29, 37, 41, 43, 47, 53, 59] {
+            assert!(!is_mersenne_prime((1u64 << k) - 1), "2^{k} - 1 is composite");
+        }
+    }
+
+    #[test]
+    fn mersenne_sparseness_motivates_generalization() {
+        // Between 256 and 16384 physical sets there are 7 power-of-two sizes
+        // but only one Mersenne prime (8191): the paper's motivation for the
+        // general polynomial method.
+        let in_range: Vec<u64> = mersenne_primes_below(16_384)
+            .into_iter()
+            .filter(|&m| m >= 256)
+            .collect();
+        assert_eq!(in_range, vec![8191]);
+    }
+}

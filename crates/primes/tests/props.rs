@@ -1,0 +1,108 @@
+//! Property-based tests for the number-theory substrate.
+
+use primecache_primes::{
+    egcd, gcd, is_prime, lcm, mod_inv, mod_mul, mod_pow, next_prime, prev_prime,
+};
+use proptest::prelude::*;
+
+/// Reference trial division, valid for any u64 (slow — keep inputs small).
+fn is_prime_ref(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2u64;
+    while d.saturating_mul(d) <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+proptest! {
+    #[test]
+    fn primality_matches_trial_division(n in 0u64..2_000_000) {
+        prop_assert_eq!(is_prime(n), is_prime_ref(n));
+    }
+
+    #[test]
+    fn prev_prime_is_largest_prime_below(n in 2u64..1_000_000) {
+        let p = prev_prime(n).expect("n >= 2 always has a prime below");
+        prop_assert!(p <= n);
+        prop_assert!(is_prime(p));
+        for k in (p + 1)..=n {
+            prop_assert!(!is_prime(k));
+        }
+    }
+
+    #[test]
+    fn next_prime_is_smallest_prime_above(n in 0u64..1_000_000) {
+        let q = next_prime(n).expect("range cannot overflow");
+        prop_assert!(q >= n.max(2));
+        prop_assert!(is_prime(q));
+        for k in n.max(2)..q {
+            prop_assert!(!is_prime(k));
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both_and_is_maximal(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let g = gcd(a, b);
+        if a != 0 || b != 0 {
+            prop_assert!(g > 0);
+            if a > 0 { prop_assert_eq!(a % g, 0); }
+            if b > 0 { prop_assert_eq!(b % g, 0); }
+        } else {
+            prop_assert_eq!(g, 0);
+        }
+    }
+
+    #[test]
+    fn egcd_bezout_identity(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let (g, x, y) = egcd(a, b);
+        prop_assert_eq!(g, gcd(a, b));
+        prop_assert_eq!(i128::from(a) * x + i128::from(b) * y, i128::from(g));
+    }
+
+    #[test]
+    fn lcm_gcd_product_identity(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        prop_assert_eq!(u128::from(lcm(a, b)) * u128::from(gcd(a, b)),
+                        u128::from(a) * u128::from(b));
+    }
+
+    #[test]
+    fn mod_mul_matches_wide(a: u64, b: u64, m in 1u64..u64::MAX) {
+        let expect = ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64;
+        prop_assert_eq!(mod_mul(a, b, m), expect);
+    }
+
+    #[test]
+    fn mod_pow_matches_iterated_mul(base: u64, exp in 0u64..64, m in 1u64..u64::MAX) {
+        let mut expect = 1u64 % m;
+        for _ in 0..exp {
+            expect = mod_mul(expect, base % m, m);
+        }
+        prop_assert_eq!(mod_pow(base, exp, m), expect);
+    }
+
+    #[test]
+    fn mod_inv_is_a_real_inverse(a in 1u64..1_000_000, m in 2u64..1_000_000) {
+        match mod_inv(a, m) {
+            Some(inv) => {
+                prop_assert!(inv < m);
+                prop_assert_eq!(mod_mul(a % m, inv, m), 1);
+            }
+            None => prop_assert!(gcd(a, m) != 1),
+        }
+    }
+
+    #[test]
+    fn fermat_holds_for_table1_primes(a in 1u64..u64::MAX) {
+        for p in [251u64, 509, 1021, 2039, 4093, 8191, 16381] {
+            if a % p != 0 {
+                prop_assert_eq!(mod_pow(a, p - 1, p), 1);
+            }
+        }
+    }
+}

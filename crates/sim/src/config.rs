@@ -1,0 +1,213 @@
+//! Machine configuration and the compared cache schemes.
+
+use primecache_cache::{
+    CacheConfig, HierarchyConfig, L2Organization, ReplacementKind, SkewHashKind, SkewedConfig,
+};
+use primecache_core::index::HashKind;
+use primecache_cpu::CpuConfig;
+use primecache_mem::MemConfig;
+use serde::{Deserialize, Serialize};
+
+/// The cache configurations the paper's figures compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Traditional 4-way L2 (`Base`).
+    Base,
+    /// Traditional 8-way same-size L2 (`8-way`, Figs. 7/8).
+    EightWay,
+    /// XOR-indexed 4-way L2 (`XOR`).
+    Xor,
+    /// Prime-modulo 4-way L2 (`pMod`).
+    PrimeModulo,
+    /// Prime-displacement 4-way L2 (`pDisp`).
+    PrimeDisplacement,
+    /// Seznec's skewed L2 with circular-shift XOR (`SKW`).
+    Skewed,
+    /// Skewed L2 with prime displacement per bank (`skw+pDisp`).
+    SkewedPrimeDisplacement,
+    /// Fully-associative same-size L2 (`FA`, Figs. 11/12).
+    FullyAssociative,
+}
+
+impl Scheme {
+    /// All schemes, in presentation order.
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Base,
+        Scheme::EightWay,
+        Scheme::Xor,
+        Scheme::PrimeModulo,
+        Scheme::PrimeDisplacement,
+        Scheme::Skewed,
+        Scheme::SkewedPrimeDisplacement,
+        Scheme::FullyAssociative,
+    ];
+
+    /// The single-hash schemes of Figs. 7/8.
+    pub const SINGLE_HASH: [Scheme; 5] = [
+        Scheme::Base,
+        Scheme::EightWay,
+        Scheme::Xor,
+        Scheme::PrimeModulo,
+        Scheme::PrimeDisplacement,
+    ];
+
+    /// The multi-hash comparison of Figs. 9/10.
+    pub const MULTI_HASH: [Scheme; 4] = [
+        Scheme::Base,
+        Scheme::PrimeModulo,
+        Scheme::Skewed,
+        Scheme::SkewedPrimeDisplacement,
+    ];
+
+    /// The miss-count comparison of Figs. 11/12.
+    pub const MISS_REDUCTION: [Scheme; 5] = [
+        Scheme::Base,
+        Scheme::PrimeModulo,
+        Scheme::PrimeDisplacement,
+        Scheme::SkewedPrimeDisplacement,
+        Scheme::FullyAssociative,
+    ];
+
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Base => "Base",
+            Scheme::EightWay => "8-way",
+            Scheme::Xor => "XOR",
+            Scheme::PrimeModulo => "pMod",
+            Scheme::PrimeDisplacement => "pDisp",
+            Scheme::Skewed => "SKW",
+            Scheme::SkewedPrimeDisplacement => "skw+pDisp",
+            Scheme::FullyAssociative => "FA",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The full simulated machine (Table 3) with a scheme-selected L2.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_sim::{MachineConfig, Scheme};
+///
+/// let m = MachineConfig::paper_default();
+/// let h = m.hierarchy_config(Scheme::PrimeModulo);
+/// assert_eq!(h.l1.size_bytes(), 16 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Processor parameters.
+    pub cpu: CpuConfig,
+    /// Memory-system parameters.
+    pub mem: MemConfig,
+    /// L2 capacity in bytes.
+    pub l2_size: u64,
+    /// L2 line size in bytes.
+    pub l2_line: u64,
+}
+
+impl MachineConfig {
+    /// The paper's Table-3 machine.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            cpu: CpuConfig::paper_default(),
+            mem: MemConfig::paper_default(),
+            l2_size: 512 * 1024,
+            l2_line: 64,
+        }
+    }
+
+    /// The L2 organization for a scheme.
+    #[must_use]
+    pub fn l2_organization(&self, scheme: Scheme) -> L2Organization {
+        let set_assoc = |assoc: u32, hash: HashKind| {
+            L2Organization::SetAssoc(
+                CacheConfig::new(self.l2_size, assoc, self.l2_line)
+                    .with_hash(hash)
+                    .with_replacement(ReplacementKind::Lru),
+            )
+        };
+        match scheme {
+            Scheme::Base => set_assoc(4, HashKind::Traditional),
+            Scheme::EightWay => set_assoc(8, HashKind::Traditional),
+            Scheme::Xor => set_assoc(4, HashKind::Xor),
+            Scheme::PrimeModulo => set_assoc(4, HashKind::PrimeModulo),
+            Scheme::PrimeDisplacement => set_assoc(4, HashKind::PrimeDisplacement),
+            Scheme::Skewed => L2Organization::Skewed(SkewedConfig::new(
+                self.l2_size,
+                4,
+                self.l2_line,
+                SkewHashKind::Xor,
+            )),
+            Scheme::SkewedPrimeDisplacement => L2Organization::Skewed(SkewedConfig::new(
+                self.l2_size,
+                4,
+                self.l2_line,
+                SkewHashKind::PrimeDisplacement,
+            )),
+            Scheme::FullyAssociative => L2Organization::FullyAssociative {
+                size_bytes: self.l2_size,
+                line_bytes: self.l2_line,
+            },
+        }
+    }
+
+    /// The full hierarchy configuration for a scheme (paper L1 in front).
+    #[must_use]
+    pub fn hierarchy_config(&self, scheme: Scheme) -> HierarchyConfig {
+        HierarchyConfig::paper_default(self.l2_organization(scheme))
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scheme::SkewedPrimeDisplacement.label(), "skw+pDisp");
+        assert_eq!(Scheme::EightWay.to_string(), "8-way");
+    }
+
+    #[test]
+    fn every_scheme_builds_a_hierarchy() {
+        let m = MachineConfig::paper_default();
+        for s in Scheme::ALL {
+            let cfg = m.hierarchy_config(s);
+            let _ = primecache_cache::Hierarchy::new(cfg);
+        }
+    }
+
+    #[test]
+    fn eight_way_has_double_assoc() {
+        let m = MachineConfig::paper_default();
+        match m.l2_organization(Scheme::EightWay) {
+            L2Organization::SetAssoc(c) => {
+                assert_eq!(c.assoc(), 8);
+                assert_eq!(c.size_bytes(), 512 * 1024);
+            }
+            other => panic!("unexpected organization {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheme_groups_have_expected_sizes() {
+        assert_eq!(Scheme::SINGLE_HASH.len(), 5);
+        assert_eq!(Scheme::MULTI_HASH.len(), 4);
+        assert_eq!(Scheme::MISS_REDUCTION.len(), 5);
+    }
+}

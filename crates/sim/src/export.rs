@@ -1,0 +1,121 @@
+//! CSV export of experiment data (for external plotting/analysis).
+//!
+//! All builders return plain CSV strings with a header row; the
+//! `export_csv` binary in `primecache-bench` writes one file per figure.
+
+use crate::experiments::StridePoint;
+use crate::suite::Sweep;
+use crate::Scheme;
+
+/// Escapes a CSV field (quotes when it contains a comma/quote/newline).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// CSV of normalized execution times: `app,scheme1,scheme2,...`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_sim::export::times_csv;
+/// use primecache_sim::suite::run_sweep;
+/// use primecache_sim::Scheme;
+///
+/// let sweep = run_sweep(&[Scheme::Base], 2_000);
+/// let csv = times_csv(&sweep, &[Scheme::Base], &["tree"]);
+/// assert!(csv.starts_with("app,Base\n"));
+/// assert!(csv.contains("tree,1.0000"));
+/// ```
+#[must_use]
+pub fn times_csv(sweep: &Sweep, schemes: &[Scheme], names: &[&str]) -> String {
+    let mut out = String::from("app");
+    for s in schemes {
+        out.push(',');
+        out.push_str(&field(s.label()));
+    }
+    out.push('\n');
+    for &name in names {
+        out.push_str(&field(name));
+        for &s in schemes {
+            let v = sweep.normalized_time(name, s).unwrap_or(f64::NAN);
+            out.push_str(&format!(",{v:.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV of normalized L2 miss counts, same layout as [`times_csv`].
+#[must_use]
+pub fn misses_csv(sweep: &Sweep, schemes: &[Scheme], names: &[&str]) -> String {
+    let mut out = String::from("app");
+    for s in schemes {
+        out.push(',');
+        out.push_str(&field(s.label()));
+    }
+    out.push('\n');
+    for &name in names {
+        out.push_str(&field(name));
+        for &s in schemes {
+            let v = sweep.normalized_misses(name, s).unwrap_or(f64::NAN);
+            out.push_str(&format!(",{v:.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// CSV of a stride sweep (Figs. 5/6): `stride,value`.
+#[must_use]
+pub fn stride_csv(points: &[StridePoint]) -> String {
+    let mut out = String::from("stride,value\n");
+    for p in points {
+        out.push_str(&format!("{},{:.6}\n", p.stride, p.value));
+    }
+    out
+}
+
+/// CSV of a per-set distribution (Fig. 13): `set,misses`.
+#[must_use]
+pub fn distribution_csv(dist: &[u64]) -> String {
+    let mut out = String::from("set,misses\n");
+    for (i, &m) in dist.iter().enumerate() {
+        out.push_str(&format!("{i},{m}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::StridePoint;
+
+    #[test]
+    fn stride_csv_layout() {
+        let csv = stride_csv(&[
+            StridePoint { stride: 1, value: 1.0 },
+            StridePoint { stride: 2, value: 3.5 },
+        ]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "stride,value");
+        assert_eq!(lines[1], "1,1.000000");
+        assert_eq!(lines[2], "2,3.500000");
+    }
+
+    #[test]
+    fn distribution_csv_layout() {
+        let csv = distribution_csv(&[5, 0, 7]);
+        assert_eq!(csv, "set,misses\n0,5\n1,0\n2,7\n");
+    }
+
+    #[test]
+    fn fields_are_escaped() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment framework: machine configuration, cache-hashing schemes, run
+//! drivers, and the per-table/per-figure experiments of the paper's §5.
+//!
+//! The public surface mirrors the paper's evaluation:
+//!
+//! * [`Scheme`] — the eight cache configurations compared (Base, 8-way,
+//!   XOR, pMod, pDisp, SKW, skw+pDisp, FA),
+//! * [`run_workload`] — one (workload, scheme) simulation returning the
+//!   execution breakdown and cache statistics,
+//! * [`suite`] — the full 23-application sweep with parallel fan-out and
+//!   the Table-4 summary,
+//! * [`experiments`] — data producers for every figure (5 through 13) and
+//!   table, each returning plain data structures the bench binaries print,
+//! * [`report`] — text-table rendering.
+//!
+//! # Examples
+//!
+//! ```
+//! use primecache_sim::{run_workload, Scheme};
+//! use primecache_workloads::by_name;
+//!
+//! let tree = by_name("tree").unwrap();
+//! let base = run_workload(tree, Scheme::Base, 50_000);
+//! let pmod = run_workload(tree, Scheme::PrimeModulo, 50_000);
+//! assert!(pmod.l2.misses < base.l2.misses);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiments;
+pub mod export;
+pub mod report;
+mod run;
+pub mod suite;
+
+pub use config::{MachineConfig, Scheme};
+pub use run::{run_trace, run_workload, run_workload_warm, RunResult};

@@ -1,0 +1,176 @@
+//! Single-run driver.
+
+use primecache_cache::{CacheStats, Hierarchy};
+use primecache_cpu::{Cpu, ExecBreakdown};
+use primecache_mem::{Dram, DramStats};
+use primecache_trace::Event;
+use primecache_workloads::Workload;
+use serde::{Deserialize, Serialize};
+
+use crate::{MachineConfig, Scheme};
+
+/// Everything one simulation produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// The scheme simulated.
+    pub scheme: Scheme,
+    /// Execution-time breakdown (Figs. 7–10).
+    pub breakdown: ExecBreakdown,
+    /// L1 statistics.
+    pub l1: CacheStats,
+    /// L2 demand statistics (Figs. 11–13 count these misses).
+    pub l2: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+}
+
+impl RunResult {
+    /// L2 demand misses — the paper's miss metric.
+    #[must_use]
+    pub fn l2_misses(&self) -> u64 {
+        self.l2.misses
+    }
+}
+
+/// Runs an explicit trace under a scheme on the paper's machine.
+#[must_use]
+pub fn run_trace(trace: Vec<Event>, scheme: Scheme, machine: &MachineConfig) -> RunResult {
+    let mut hierarchy = Hierarchy::new(machine.hierarchy_config(scheme));
+    let mut dram = Dram::new(machine.mem);
+    let mut cpu = Cpu::new(machine.cpu);
+    let breakdown = cpu.run(trace, &mut hierarchy, &mut dram);
+    RunResult {
+        scheme,
+        breakdown,
+        l1: hierarchy.l1_stats().clone(),
+        l2: hierarchy.l2_stats().clone(),
+        dram: *dram.stats(),
+    }
+}
+
+/// Runs a workload under a scheme on the paper's default machine.
+///
+/// `target_refs` controls the trace length (memory references).
+///
+/// # Examples
+///
+/// ```
+/// use primecache_sim::{run_workload, Scheme};
+/// use primecache_workloads::by_name;
+///
+/// let r = run_workload(by_name("swim").unwrap(), Scheme::Base, 20_000);
+/// assert!(r.breakdown.total() > 0);
+/// ```
+#[must_use]
+pub fn run_workload(workload: &Workload, scheme: Scheme, target_refs: u64) -> RunResult {
+    run_trace(
+        workload.trace(target_refs),
+        scheme,
+        &MachineConfig::paper_default(),
+    )
+}
+
+/// Runs a workload with a warmup phase: the first `warm_refs` memory
+/// references fill the caches and open the DRAM rows, then every
+/// statistic (and the cycle clock) resets and only the next
+/// `measure_refs` references are measured — excluding compulsory misses
+/// from the figures, as steady-state methodology prescribes.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_sim::{run_workload_warm, Scheme};
+/// use primecache_workloads::by_name;
+///
+/// let r = run_workload_warm(by_name("tree").unwrap(), Scheme::PrimeModulo, 20_000, 20_000);
+/// assert!(r.l1.accesses >= 20_000);
+/// ```
+#[must_use]
+pub fn run_workload_warm(
+    workload: &Workload,
+    scheme: Scheme,
+    warm_refs: u64,
+    measure_refs: u64,
+) -> RunResult {
+    let machine = MachineConfig::paper_default();
+    let trace = workload.trace(warm_refs + measure_refs);
+    // Split at the event where `warm_refs` memory references have passed.
+    let mut seen = 0u64;
+    let split = trace
+        .iter()
+        .position(|e| {
+            if e.is_memory() {
+                seen += 1;
+            }
+            seen >= warm_refs
+        })
+        .map_or(trace.len(), |i| i + 1);
+    let (warm, measure) = trace.split_at(split);
+
+    let mut hierarchy = Hierarchy::new(machine.hierarchy_config(scheme));
+    let mut dram = Dram::new(machine.mem);
+    let mut cpu = Cpu::new(machine.cpu);
+    let _ = cpu.run(warm.to_vec(), &mut hierarchy, &mut dram);
+    hierarchy.reset_stats();
+    dram.new_epoch();
+    let breakdown = cpu.run(measure.to_vec(), &mut hierarchy, &mut dram);
+    RunResult {
+        scheme,
+        breakdown,
+        l1: hierarchy.l1_stats().clone(),
+        l2: hierarchy.l2_stats().clone(),
+        dram: *dram.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primecache_workloads::by_name;
+
+    #[test]
+    fn run_produces_consistent_stats() {
+        let r = run_workload(by_name("swim").unwrap(), Scheme::Base, 20_000);
+        assert!(r.l1.accesses >= 20_000);
+        assert_eq!(r.l2.hits + r.l2.misses, r.l2.accesses);
+        assert!(r.breakdown.total() > 0);
+    }
+
+    #[test]
+    fn tree_pmod_beats_base() {
+        let tree = by_name("tree").unwrap();
+        let base = run_workload(tree, Scheme::Base, 60_000);
+        let pmod = run_workload(tree, Scheme::PrimeModulo, 60_000);
+        assert!(
+            pmod.l2_misses() * 2 < base.l2_misses(),
+            "pMod {} vs Base {}",
+            pmod.l2_misses(),
+            base.l2_misses()
+        );
+        assert!(pmod.breakdown.total() < base.breakdown.total());
+    }
+
+    #[test]
+    fn warm_runs_exclude_cold_misses() {
+        let tree = by_name("tree").unwrap();
+        let cold = run_workload(tree, Scheme::PrimeModulo, 60_000);
+        let warm = run_workload_warm(tree, Scheme::PrimeModulo, 60_000, 60_000);
+        // Warmed pMod tree is nearly all hits: its measured miss rate must
+        // be far below the cold-start run's.
+        assert!(
+            warm.l2.miss_rate() < cold.l2.miss_rate() / 2.0,
+            "warm {} vs cold {}",
+            warm.l2.miss_rate(),
+            cold.l2.miss_rate()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = by_name("mcf").unwrap();
+        let a = run_workload(w, Scheme::Xor, 10_000);
+        let b = run_workload(w, Scheme::Xor, 10_000);
+        assert_eq!(a.breakdown, b.breakdown);
+        assert_eq!(a.l2.misses, b.l2.misses);
+    }
+}

@@ -1,0 +1,213 @@
+//! Full-suite sweeps: all 23 applications across schemes, in parallel.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use primecache_workloads::{all, Workload};
+use serde::{Deserialize, Serialize};
+
+use crate::{run_workload, RunResult, Scheme};
+
+/// Results of one (workload, scheme) cell of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Whether the workload is in the paper's non-uniform group.
+    pub non_uniform: bool,
+    /// The run's results.
+    pub result: RunResult,
+}
+
+/// A complete sweep: `results[workload][scheme]`.
+#[derive(Debug, Default, Serialize)]
+pub struct Sweep {
+    /// All cells, keyed by workload then scheme label.
+    pub cells: BTreeMap<&'static str, BTreeMap<&'static str, Cell>>,
+}
+
+impl Sweep {
+    /// Looks up one cell.
+    #[must_use]
+    pub fn get(&self, workload: &str, scheme: Scheme) -> Option<&Cell> {
+        self.cells.get(workload)?.get(scheme.label())
+    }
+
+    /// Normalized execution time of `scheme` vs `Base` for a workload
+    /// (the y-axis of Figs. 7–10).
+    #[must_use]
+    pub fn normalized_time(&self, workload: &str, scheme: Scheme) -> Option<f64> {
+        let base = self.get(workload, Scheme::Base)?;
+        let cell = self.get(workload, scheme)?;
+        Some(
+            cell.result
+                .breakdown
+                .normalized_to(&base.result.breakdown),
+        )
+    }
+
+    /// Speedup of `scheme` vs `Base` for a workload.
+    #[must_use]
+    pub fn speedup(&self, workload: &str, scheme: Scheme) -> Option<f64> {
+        self.normalized_time(workload, scheme).map(|n| 1.0 / n)
+    }
+
+    /// Normalized L2 miss count vs `Base` (the y-axis of Figs. 11/12).
+    /// Returns 0.0 when the baseline had no misses.
+    #[must_use]
+    pub fn normalized_misses(&self, workload: &str, scheme: Scheme) -> Option<f64> {
+        let base = self.get(workload, Scheme::Base)?.result.l2_misses();
+        let mine = self.get(workload, scheme)?.result.l2_misses();
+        Some(if base == 0 {
+            0.0
+        } else {
+            mine as f64 / base as f64
+        })
+    }
+}
+
+/// Runs `schemes` × all 23 workloads with `target_refs`-long traces,
+/// fanning out across CPU cores.
+#[must_use]
+pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
+    let tasks: Vec<(&'static Workload, Scheme)> = all()
+        .iter()
+        .flat_map(|w| schemes.iter().map(move |&s| (w, s)))
+        .collect();
+    let results: Mutex<Vec<Cell>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(tasks.len().max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(w, s)) = tasks.get(i) else { break };
+                let result = run_workload(w, s, target_refs);
+                results.lock().push(Cell {
+                    workload: w.name,
+                    non_uniform: w.expected_non_uniform,
+                    result,
+                });
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+    let mut sweep = Sweep::default();
+    for cell in results.into_inner() {
+        sweep
+            .cells
+            .entry(cell.workload)
+            .or_default()
+            .insert(cell.result.scheme.label(), cell);
+    }
+    sweep
+}
+
+/// One row of the paper's Table 4.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// The hashing scheme.
+    pub scheme: Scheme,
+    /// (min, avg, max) speedup over the uniform applications.
+    pub uniform: (f64, f64, f64),
+    /// (min, avg, max) speedup over the non-uniform applications.
+    pub non_uniform: (f64, f64, f64),
+    /// Applications slowed down by more than 1% (pathological cases).
+    pub pathological: usize,
+}
+
+/// Computes Table 4 from a sweep that includes `Base` and the listed
+/// schemes.
+#[must_use]
+pub fn table4(sweep: &Sweep, schemes: &[Scheme]) -> Vec<Table4Row> {
+    let stats = |names: &[&str], scheme: Scheme| -> (f64, f64, f64) {
+        let speedups: Vec<f64> = names
+            .iter()
+            .filter_map(|n| sweep.speedup(n, scheme))
+            .collect();
+        if speedups.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().copied().fold(0.0f64, f64::max);
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        (min, avg, max)
+    };
+    let uniform = primecache_workloads::uniform_names();
+    let non_uniform = primecache_workloads::non_uniform_names();
+    let everything: Vec<&str> = uniform.iter().chain(non_uniform.iter()).copied().collect();
+    schemes
+        .iter()
+        .map(|&scheme| {
+            let pathological = everything
+                .iter()
+                .filter_map(|n| sweep.speedup(n, scheme))
+                .filter(|&s| s < 0.99)
+                .count();
+            Table4Row {
+                scheme,
+                uniform: stats(&uniform, scheme),
+                non_uniform: stats(&non_uniform, scheme),
+                pathological,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sweep_covers_everything() {
+        let sweep = run_sweep(&[Scheme::Base, Scheme::PrimeModulo], 5_000);
+        assert_eq!(sweep.cells.len(), 23);
+        for (name, per_scheme) in &sweep.cells {
+            assert_eq!(per_scheme.len(), 2, "{name}");
+        }
+        assert!(sweep.normalized_time("tree", Scheme::PrimeModulo).is_some());
+    }
+
+    #[test]
+    fn table4_has_one_row_per_scheme() {
+        let sweep = run_sweep(&[Scheme::Base, Scheme::PrimeModulo], 5_000);
+        let rows = table4(&sweep, &[Scheme::PrimeModulo]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        assert!(r.non_uniform.0 <= r.non_uniform.1 && r.non_uniform.1 <= r.non_uniform.2);
+    }
+
+    #[test]
+    fn parallel_sweeps_are_deterministic() {
+        // The fan-out must not introduce ordering nondeterminism.
+        let a = run_sweep(&[Scheme::Base, Scheme::Xor], 4_000);
+        let b = run_sweep(&[Scheme::Base, Scheme::Xor], 4_000);
+        for w in primecache_workloads::all() {
+            for s in [Scheme::Base, Scheme::Xor] {
+                assert_eq!(
+                    a.get(w.name, s).unwrap().result.l2.misses,
+                    b.get(w.name, s).unwrap().result.l2.misses,
+                    "{}/{}",
+                    w.name,
+                    s.label()
+                );
+                assert_eq!(
+                    a.get(w.name, s).unwrap().result.breakdown,
+                    b.get(w.name, s).unwrap().result.breakdown
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn base_normalizes_to_one() {
+        let sweep = run_sweep(&[Scheme::Base], 5_000);
+        for w in ["swim", "tree", "mcf"] {
+            let n = sweep.normalized_time(w, Scheme::Base).unwrap();
+            assert!((n - 1.0).abs() < 1e-12, "{w}: {n}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Synthetic strided trace generation (the §5.1 benchmark).
+
+use crate::Event;
+
+/// Iterator produced by [`strided`] / [`strided_bytes`].
+///
+/// Emits `Load(i·stride)` events, each followed by `work` non-memory
+/// instructions (when `work > 0`), for `count` loads. Every address is
+/// distinct, matching the §2.1 premise for the balance/concentration
+/// metrics.
+#[derive(Debug, Clone)]
+pub struct Strided {
+    stride: u64,
+    count: u64,
+    work: u32,
+    next_i: u64,
+    emit_work: bool,
+}
+
+impl Iterator for Strided {
+    type Item = Event;
+
+    fn next(&mut self) -> Option<Event> {
+        if self.emit_work {
+            self.emit_work = false;
+            return Some(Event::Work(self.work));
+        }
+        if self.next_i >= self.count {
+            return None;
+        }
+        let addr = self.next_i * self.stride;
+        self.next_i += 1;
+        if self.work > 0 && self.next_i < self.count {
+            self.emit_work = true;
+        }
+        Some(Event::load(addr))
+    }
+}
+
+/// A strided trace of `count` loads at byte addresses `0, stride, 2·stride,
+/// …`, with `work` instructions of compute between consecutive loads.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_trace::strided;
+///
+/// let loads = strided(128, 10, 0).filter(|e| e.is_memory()).count();
+/// assert_eq!(loads, 10);
+/// ```
+#[must_use]
+pub fn strided(stride: u64, count: u64, work: u32) -> Strided {
+    Strided {
+        stride,
+        count,
+        work,
+        next_i: 0,
+        emit_work: false,
+    }
+}
+
+/// Like [`strided`], but the stride is given in cache *blocks* of
+/// `block_bytes` — the unit Figs. 5/6 sweep (stride 1..2047 blocks).
+#[must_use]
+pub fn strided_bytes(block_stride: u64, block_bytes: u64, count: u64, work: u32) -> Strided {
+    strided(block_stride * block_bytes, count, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_multiples_of_stride() {
+        let addrs: Vec<u64> = strided(96, 5, 0).filter_map(|e| e.addr()).collect();
+        assert_eq!(addrs, [0, 96, 192, 288, 384]);
+    }
+
+    #[test]
+    fn work_interleaves_between_loads() {
+        let evs: Vec<Event> = strided(64, 3, 7).collect();
+        assert_eq!(
+            evs,
+            [
+                Event::load(0),
+                Event::Work(7),
+                Event::load(64),
+                Event::Work(7),
+                Event::load(128),
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_work_emits_only_loads() {
+        assert!(strided(64, 100, 0).all(|e| e.is_memory()));
+    }
+
+    #[test]
+    fn empty_trace() {
+        assert_eq!(strided(64, 0, 5).count(), 0);
+    }
+
+    #[test]
+    fn block_strides_scale_by_line_size() {
+        let a: Vec<u64> = strided_bytes(3, 64, 4, 0).filter_map(|e| e.addr()).collect();
+        assert_eq!(a, [0, 192, 384, 576]);
+    }
+}

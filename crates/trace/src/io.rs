@@ -1,0 +1,208 @@
+//! Compact binary trace (de)serialization.
+//!
+//! The format is a stream of tagged records:
+//!
+//! | tag | record |
+//! |---|---|
+//! | `0` | `Work(u32 le)` |
+//! | `1` | `Branch { mispredict: u8 }` |
+//! | `2` | `Load { addr: u64 le, dep: u8 }` |
+//! | `3` | `Store { addr: u64 le }` |
+//! | `4` | `FpWork(u32 le)` |
+//!
+//! preceded by the magic `b"PCT1"` and a `u64` event count.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::Event;
+
+const MAGIC: &[u8; 4] = b"PCT1";
+
+/// Errors produced when decoding a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceCodecError {
+    /// The magic header was wrong or missing.
+    BadMagic,
+    /// The stream ended mid-record.
+    Truncated,
+    /// An unknown record tag was found.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for TraceCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceCodecError::BadMagic => write!(f, "bad trace magic"),
+            TraceCodecError::Truncated => write!(f, "truncated trace stream"),
+            TraceCodecError::BadTag(t) => write!(f, "unknown trace record tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceCodecError {}
+
+/// Encodes events into the binary trace format.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_trace::{read_trace, write_trace, Event};
+///
+/// let trace = vec![Event::load(64), Event::Work(3)];
+/// let bytes = write_trace(&trace);
+/// assert_eq!(read_trace(&bytes).unwrap(), trace);
+/// ```
+#[must_use]
+pub fn write_trace(events: &[Event]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12 + events.len() * 10);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(events.len() as u64);
+    for ev in events {
+        match *ev {
+            Event::Work(n) => {
+                buf.put_u8(0);
+                buf.put_u32_le(n);
+            }
+            Event::Branch { mispredict } => {
+                buf.put_u8(1);
+                buf.put_u8(u8::from(mispredict));
+            }
+            Event::Load { addr, dep } => {
+                buf.put_u8(2);
+                buf.put_u64_le(addr);
+                buf.put_u8(u8::from(dep));
+            }
+            Event::Store { addr } => {
+                buf.put_u8(3);
+                buf.put_u64_le(addr);
+            }
+            Event::FpWork(n) => {
+                buf.put_u8(4);
+                buf.put_u32_le(n);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a binary trace produced by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`TraceCodecError`] on a bad magic, a truncated stream, or an
+/// unknown tag.
+pub fn read_trace(mut data: &[u8]) -> Result<Vec<Event>, TraceCodecError> {
+    if data.remaining() < 12 {
+        return Err(TraceCodecError::BadMagic);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceCodecError::BadMagic);
+    }
+    let count = data.get_u64_le() as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        if data.remaining() < 1 {
+            return Err(TraceCodecError::Truncated);
+        }
+        let tag = data.get_u8();
+        let ev = match tag {
+            0 => {
+                if data.remaining() < 4 {
+                    return Err(TraceCodecError::Truncated);
+                }
+                Event::Work(data.get_u32_le())
+            }
+            1 => {
+                if data.remaining() < 1 {
+                    return Err(TraceCodecError::Truncated);
+                }
+                Event::Branch {
+                    mispredict: data.get_u8() != 0,
+                }
+            }
+            2 => {
+                if data.remaining() < 9 {
+                    return Err(TraceCodecError::Truncated);
+                }
+                let addr = data.get_u64_le();
+                let dep = data.get_u8() != 0;
+                Event::Load { addr, dep }
+            }
+            3 => {
+                if data.remaining() < 8 {
+                    return Err(TraceCodecError::Truncated);
+                }
+                Event::Store {
+                    addr: data.get_u64_le(),
+                }
+            }
+            4 => {
+                if data.remaining() < 4 {
+                    return Err(TraceCodecError::Truncated);
+                }
+                Event::FpWork(data.get_u32_le())
+            }
+            t => return Err(TraceCodecError::BadTag(t)),
+        };
+        events.push(ev);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let trace = vec![
+            Event::Work(0),
+            Event::Work(u32::MAX),
+            Event::FpWork(123),
+            Event::Branch { mispredict: true },
+            Event::Branch { mispredict: false },
+            Event::load(0),
+            Event::chase(u64::MAX),
+            Event::Store { addr: 0xDEAD_BEEF },
+        ];
+        let bytes = write_trace(&trace);
+        assert_eq!(read_trace(&bytes).unwrap(), trace);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let bytes = write_trace(&[]);
+        assert_eq!(read_trace(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_detected() {
+        assert_eq!(read_trace(b"XXXX12345678"), Err(TraceCodecError::BadMagic));
+        assert_eq!(read_trace(b""), Err(TraceCodecError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = write_trace(&[Event::load(1), Event::load(2)]);
+        for cut in 13..bytes.len() {
+            let r = read_trace(&bytes[..cut]);
+            assert_eq!(r, Err(TraceCodecError::Truncated), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let mut raw = write_trace(&[Event::Work(1)]).to_vec();
+        raw[12] = 99; // first record tag
+        assert_eq!(read_trace(&raw), Err(TraceCodecError::BadTag(99)));
+    }
+
+    #[test]
+    fn large_roundtrip() {
+        let trace: Vec<Event> = crate::strided(64, 10_000, 4).collect();
+        let bytes = write_trace(&trace);
+        assert_eq!(read_trace(&bytes).unwrap(), trace);
+    }
+}

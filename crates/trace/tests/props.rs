@@ -1,0 +1,66 @@
+//! Property-based tests of the trace codec and generators.
+
+use primecache_trace::{read_trace, strided, write_trace, Event, TraceStats};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        any::<u32>().prop_map(Event::Work),
+        any::<u32>().prop_map(Event::FpWork),
+        any::<bool>().prop_map(|mispredict| Event::Branch { mispredict }),
+        (any::<u64>(), any::<bool>()).prop_map(|(addr, dep)| Event::Load { addr, dep }),
+        any::<u64>().prop_map(|addr| Event::Store { addr }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrips(events in prop::collection::vec(arb_event(), 0..500)) {
+        let bytes = write_trace(&events);
+        prop_assert_eq!(read_trace(&bytes).unwrap(), events);
+    }
+
+    #[test]
+    fn truncated_streams_never_panic(
+        events in prop::collection::vec(arb_event(), 1..50),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = write_trace(&events);
+        let cut = (bytes.len() as f64 * cut_fraction) as usize;
+        // Must return an error or a (possibly shorter-declared) trace,
+        // never panic.
+        let _ = read_trace(&bytes[..cut]);
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic(
+        events in prop::collection::vec(arb_event(), 1..50),
+        pos_seed: u64,
+        value: u8,
+    ) {
+        let mut bytes = write_trace(&events).to_vec();
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] = value;
+        let _ = read_trace(&bytes);
+    }
+
+    #[test]
+    fn strided_generator_counts_add_up(stride in 1u64..10_000, count in 0u64..2_000, work in 0u32..50) {
+        let stats: TraceStats = strided(stride, count, work).collect();
+        prop_assert_eq!(stats.loads, count);
+        prop_assert_eq!(stats.stores, 0);
+        let expected_work = if work > 0 && count > 1 {
+            u64::from(work) * (count - 1)
+        } else {
+            0
+        };
+        prop_assert_eq!(stats.instructions, count + expected_work);
+    }
+
+    #[test]
+    fn strided_addresses_are_unique(stride in 1u64..100_000, count in 1u64..2_000) {
+        let addrs: Vec<u64> = strided(stride, count, 0).filter_map(|e| e.addr()).collect();
+        let set: std::collections::HashSet<u64> = addrs.iter().copied().collect();
+        prop_assert_eq!(set.len() as u64, count);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dependency-free SVG rendering for the reproduction's figures.
+//!
+//! The bench harness prints every figure as text; this crate additionally
+//! renders them as standalone SVG files (`figures_svg` binary in
+//! `primecache-bench`) so the reproduction's Figs. 5–13 can be compared
+//! with the paper's visually:
+//!
+//! * [`Svg`] — a minimal SVG document builder (rects, lines, polylines,
+//!   text, with XML escaping),
+//! * [`LineChart`] — multi-series line plots (Figs. 5/6),
+//! * [`BarChart`] — grouped, optionally stacked, bar plots
+//!   (Figs. 7–12 and the Fig. 13 histograms).
+//!
+//! # Examples
+//!
+//! ```
+//! use primecache_viz::{LineChart, Series};
+//!
+//! let chart = LineChart::new("balance vs stride", "stride", "balance")
+//!     .with_series(Series::new("pMod", vec![(1.0, 1.0), (2.0, 1.0)]));
+//! let svg = chart.render(640, 400);
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("pMod"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chart;
+mod svg;
+
+pub use chart::{BarChart, BarGroup, LineChart, Series, PALETTE};
+pub use svg::Svg;

@@ -1,0 +1,310 @@
+//! Structured-grid workloads: swim, mgrid, applu, tomcatv, euler (uniform)
+//! and bt, sp (non-uniform).
+//!
+//! The uniform codes model Fortran stencil sweeps over grids with *odd*
+//! leading dimensions (513, 130, 33…), the layout that naturally spreads
+//! accesses over cache sets. The NAS `bt`/`sp` models capture the opposite:
+//! many solution/RHS arrays allocated at large power-of-two alignments plus
+//! boundary-plane phases, so a handful of 128 KB-periodic regions overlay
+//! the same L2 sets and thrash a 4-way cache — the conflict pattern prime
+//! indexing untangles.
+
+use primecache_trace::Event;
+
+use crate::util::{Lcg, TraceSink};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// SPEC swim: shallow-water stencils over 513x513 REAL*8 grids.
+///
+/// Three-source one-destination sweeps, unit stride, odd row length —
+/// uniform set usage, misses dominated by capacity (streaming).
+pub fn swim(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let n = 513u64; // odd grid dimension, as in the real code
+    let elems = n * n;
+    let base = |arr: u64| arr * (elems * 8 + 8 * 1024) + 0x1000_0000;
+    'outer: loop {
+        // U, V, P -> UNEW (and cyclic renaming across iterations).
+        for i in 0..elems {
+            t.load(base(0) + i * 8);
+            t.load(base(1) + i * 8);
+            t.load(base(2) + i * 8);
+            t.store(base(3) + i * 8);
+            t.fp_work(10);
+            if t.refs() >= target_refs {
+                break 'outer;
+            }
+        }
+    }
+    t.into_events()
+}
+
+/// SPEC mgrid: multigrid V-cycles on a 130^3-padded grid.
+///
+/// 27-point restriction/prolongation at several resolutions; strides are
+/// odd multiples of the line size, so sets are used uniformly. The cyclic
+/// reuse of the near-capacity fine grid is what a pseudo-LRU skewed cache
+/// mishandles (one of the paper's Fig. 10 pathological apps).
+pub fn mgrid(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let n = 66u64; // odd-ish padded dimension (64 + 2 ghost)
+    let plane = n * n;
+    let base = 0x2000_0000u64;
+    // Working set ~ n^3 * 8 * 2 arrays ≈ 4.6 MB fine grid; the hot coarse
+    // levels cycle within the L2.
+    'outer: loop {
+        for level in [1u64, 2, 4] {
+            let stride = 8 * level;
+            let count = (n * plane) / level;
+            for i in 0..count {
+                let a = base + i * stride;
+                t.load(a);
+                t.load(a + plane * 8 * level);
+                t.load(a + n * 8 * level);
+                t.store(base + 48 * MB + i * stride);
+                t.fp_work(12);
+                if t.refs() >= target_refs {
+                    break 'outer;
+                }
+            }
+        }
+        // Coarse-level relaxations: small grid, heavy reuse.
+        let coarse = 17u64 * 17 * 17;
+        for _ in 0..4 {
+            for i in 0..coarse {
+                t.load(base + 96 * MB + i * 8);
+                t.fp_work(6);
+                if t.refs() >= target_refs {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    t.into_events()
+}
+
+/// SPEC applu: SSOR solver, 33^3 grid of 5-variable cells (AoS, 40 B).
+///
+/// Forward/backward wavefront sweeps; the 40-byte element size keeps
+/// block usage dense and uniform.
+pub fn applu(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let n = 33u64;
+    let cells = n * n * n;
+    let elem = 40u64; // 5 doubles
+    let base = 0x3000_0000u64;
+    let rhs = base + cells * elem + 4 * KB + 40; // odd offset
+    'outer: loop {
+        // Forward sweep.
+        for c in 0..cells {
+            for v in 0..5 {
+                t.load(base + c * elem + v * 8);
+            }
+            t.store(rhs + c * elem);
+            t.fp_work(24);
+            if t.refs() >= target_refs {
+                break 'outer;
+            }
+        }
+        // Backward sweep.
+        for c in (0..cells).rev() {
+            t.load(rhs + c * elem);
+            t.store(base + c * elem);
+            t.fp_work(16);
+            if t.refs() >= target_refs {
+                break 'outer;
+            }
+        }
+    }
+    t.into_events()
+}
+
+/// SPEC tomcatv: mesh generation, 513x513 grids, row and column sweeps.
+///
+/// Column sweeps have a stride of 513*8 = 4104 bytes — 64.125 blocks, an
+/// odd walk that rotates through every set.
+pub fn tomcatv(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let n = 513u64;
+    let base = |arr: u64| 0x4000_0000 + arr * (n * n * 8 + 3 * KB + 24);
+    'outer: loop {
+        // Row-major residual sweep over X and Y meshes.
+        for i in 0..n * n {
+            t.load(base(0) + i * 8);
+            t.load(base(1) + i * 8);
+            t.store(base(2) + i * 8);
+            t.fp_work(14);
+            if t.refs() >= target_refs {
+                break 'outer;
+            }
+        }
+        // Column solve (tridiagonal along columns).
+        for col in 0..n {
+            for row in 0..n {
+                let idx = row * n + col;
+                t.load(base(2) + idx * 8);
+                t.store(base(3) + idx * 8);
+                t.fp_work(8);
+            }
+            t.branch(col % 16 == 0);
+            if t.refs() >= target_refs {
+                break 'outer;
+            }
+        }
+    }
+    t.into_events()
+}
+
+/// NASA euler: 3D flux solver on a 50^3 grid, 5-variable AoS cells.
+///
+/// Non-power-of-two everything; the three directional sweeps walk at 40 B,
+/// 2 KB and 100 KB strides — all odd in block units, hence uniform, but
+/// with enough L2-scale reuse that a fully-associative cache still removes
+/// some conflict misses (as in the paper's Fig. 12).
+pub fn euler(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let n = 50u64;
+    let elem = 40u64;
+    let base = 0x5000_0000u64;
+    let cells = n * n * n;
+    'outer: loop {
+        for (stride_cells, label_work) in [(1u64, 20u32), (n, 16), (n * n, 16)] {
+            let mut c = 0u64;
+            for _ in 0..cells {
+                let a = base + (c % cells) * elem;
+                t.load(a);
+                t.load(a + 8);
+                t.load(a + 16);
+                t.store(a + 24);
+                t.fp_work(label_work);
+                c += stride_cells;
+                if c >= cells {
+                    c = c % cells + 1; // next pencil
+                }
+                if t.refs() >= target_refs {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    t.into_events()
+}
+
+/// Shared machinery of the NAS `bt`/`sp` models: an iterative solver
+/// sweeping `regions` solution/RHS arrays (`region_bytes` each, all based
+/// at multiples of `align`, so their blocks alias under traditional
+/// indexing) one after the other, every iteration.
+///
+/// The combined working set fits the L2 — but under traditional indexing
+/// each set must hold one block *per region*, and with more regions than
+/// even an 8-way cache has ways the whole sweep misses every iteration.
+/// A prime index spreads the regions apart and the steady state becomes
+/// all-hits. Because the sweeps are unit-stride, the Base misses are
+/// cheap streaming misses (DRAM row hits, MLP-overlapped), which keeps
+/// the memory-stall share of execution at realistic levels.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn aligned_multiarray(
+    target_refs: u64,
+    seed: u64,
+    regions: u64,
+    region_bytes: u64,
+    align: u64,
+    loads_per_block: u64,
+    work_per_load: u32,
+    sweeps_per_region: u32,
+) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let mut rng = Lcg::new(seed);
+    let hot_base = |r: u64| 0x8000_0000 + r * align;
+    let blocks_per_region = region_bytes / 64;
+    'outer: loop {
+        for r in 0..regions {
+            // Several solver sub-stages sweep the same region in a row;
+            // the repeats hit under any indexing, diluting the conflict
+            // misses of the first pass to a realistic share of execution.
+            for _ in 0..sweeps_per_region {
+                for b in 0..blocks_per_region {
+                    let block_addr = hot_base(r) + b * 64;
+                    for e in 0..loads_per_block {
+                        t.load(block_addr + (e * 8) % 64);
+                        t.fp_work(work_per_load);
+                    }
+                    if b % 8 == 0 {
+                        t.store(block_addr + 56);
+                    }
+                    if b % 32 == 0 {
+                        t.branch(rng.chance(1, 24));
+                    }
+                    if t.refs() >= target_refs {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    t.into_events()
+}
+
+/// NAS bt: block-tridiagonal solver. Twelve power-of-two-aligned solution
+/// and RHS arrays swept every iteration — more aliased regions than even
+/// an 8-way cache has ways, so only rehashing helps (the archetypal
+/// non-uniform app). The 5x5 block solves give heavy per-element compute.
+pub fn bt(target_refs: u64) -> Vec<Event> {
+    aligned_multiarray(target_refs, 0xB7, 12, 32 * KB, 4 * MB + 128 * KB, 6, 150, 1)
+}
+
+/// NAS sp: scalar-pentadiagonal solver. Ten aligned 24 KB working planes,
+/// lighter per-element compute than bt.
+pub fn sp(target_refs: u64) -> Vec<Event> {
+    aligned_multiarray(target_refs, 0x59, 10, 24 * KB, 2 * MB, 5, 130, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primecache_trace::TraceStats;
+
+    #[test]
+    fn all_generators_hit_their_target() {
+        for (name, f) in [
+            ("swim", swim as fn(u64) -> Vec<Event>),
+            ("mgrid", mgrid),
+            ("applu", applu),
+            ("tomcatv", tomcatv),
+            ("euler", euler),
+            ("bt", bt),
+            ("sp", sp),
+        ] {
+            let trace = f(5_000);
+            let stats: TraceStats = trace.iter().collect();
+            assert!(stats.memory_refs() >= 5_000, "{name}: {stats:?}");
+            assert!(stats.memory_refs() < 6_000, "{name} overshoots: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        assert_eq!(bt(2_000), bt(2_000));
+        assert_eq!(swim(2_000), swim(2_000));
+    }
+
+    #[test]
+    fn bt_touches_aligned_regions() {
+        let trace = bt(10_000);
+        let hot = trace
+            .iter()
+            .filter_map(|e| e.addr())
+            .filter(|&a| (0x8000_0000..0x4_0000_0000).contains(&a))
+            .count();
+        assert!(hot > 5_000, "bt must be dominated by the hot arrays: {hot}");
+    }
+
+    #[test]
+    fn swim_emits_stores() {
+        let stats: TraceStats = swim(8_000).iter().collect();
+        assert!(stats.stores > 1_000);
+        assert!(stats.loads > 3 * stats.stores / 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! NAS kernels: ft (non-uniform), is and lu (uniform).
+
+use primecache_trace::Event;
+
+use crate::util::{Lcg, TraceSink};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// NAS ft: 3D FFT. The model captures the transpose-based structure: a set
+/// of power-of-two-aligned stage buffers (pencil scratch areas) reused
+/// across butterfly stages, plus unit-stride bit-reversal passes.
+///
+/// The six 64 KB stage buffers all sit at 2 MB alignments, so under
+/// traditional indexing they overlay the same 1024 L2 sets — six ways of
+/// pressure on a 4-way cache — while the other half of the cache idles:
+/// non-uniform *and* conflict-bound, the paper's ft signature.
+pub fn ft(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let mut rng = Lcg::new(0xF7);
+    let stage_base = |s: u64| 0x8000_0000 + s * (4 * MB);
+    let stages = 10u64;
+    let buf_blocks = 24 * KB / 64; // 384 blocks per stage buffer
+    let data_base = 0x4_0000_0000u64;
+    let data_elems = 4 * MB / 16; // complex doubles, streamed
+    // Twiddle-factor table walked with a near-power-of-two block stride
+    // (2047): harmless to modulo indexing (odd, and coprime with 2039)
+    // but the classic XOR pathology of §3.3.
+    let twiddle_base = 0x6_0000_0000u64;
+    let twiddle_lines = 96u64;
+    let mut pos = 0u64;
+    let mut twiddle_pos = 0u64;
+    'outer: loop {
+        // Butterfly stages: sweep each pencil buffer in turn. All buffers
+        // alias under traditional indexing, so the cross-stage reuse
+        // misses every pass; the unit-stride sweep keeps those misses
+        // cheap streaming misses.
+        for s in 0..stages {
+            // Three butterfly sub-stages per pencil: the repeats hit under
+            // any indexing; only the first pass pays the cross-stage
+            // conflicts.
+            for _pass in 0..3 {
+                for o in 0..buf_blocks {
+                    for e in 0..4u64 {
+                        t.load(stage_base(s) + o * 64 + e * 16);
+                        t.fp_work(140);
+                    }
+                    t.store(stage_base(s) + o * 64);
+                    // Twiddle walk at a near-power-of-two block stride:
+                    // the classic XOR pathology of §3.3, harmless to
+                    // pMod and Base.
+                    if o % 8 == 0 {
+                        t.load(twiddle_base + (twiddle_pos % twiddle_lines) * 2047 * 64);
+                        twiddle_pos += 1;
+                        t.fp_work(12);
+                    }
+                    if t.refs() >= target_refs {
+                        break 'outer;
+                    }
+                }
+            }
+            t.branch(rng.chance(1, 8));
+        }
+        // Bit-reversal copy pass over the main data: unit-stride stream.
+        for _ in 0..4 * buf_blocks {
+            t.load(data_base + (pos % data_elems) * 16);
+            t.store(data_base + 64 * MB + (pos % data_elems) * 16);
+            t.fp_work(10);
+            pos += 1;
+            if t.refs() >= target_refs {
+                break 'outer;
+            }
+        }
+    }
+    t.into_events()
+}
+
+/// NAS is: integer sort. Random keys stream in, histogram buckets count
+/// them; bucket indices are uniformly distributed, so set usage is even.
+pub fn is(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let mut rng = Lcg::new(0x15);
+    let keys_base = 0x6000_0000u64;
+    let buckets_base = 0x7000_0000u64 + 8 * KB + 24; // odd offset
+    let n_buckets = 1u64 << 16; // 256 KB of 4-byte counters
+    let n_keys = 1u64 << 22;
+    let mut i = 0u64;
+    while t.refs() < target_refs {
+        // Sequential key read.
+        t.load(keys_base + (i % n_keys) * 4);
+        // Random-bucket increment: load + store.
+        let b = rng.below(n_buckets);
+        t.load(buckets_base + b * 4);
+        t.store(buckets_base + b * 4);
+        t.fp_work(6);
+        if i.is_multiple_of(32) {
+            t.branch(rng.chance(1, 12));
+        }
+        i += 1;
+    }
+    t.into_events()
+}
+
+/// NAS lu: blocked dense LU factorization (right-looking). Each step
+/// factors a 32x32 panel and then updates the whole trailing submatrix,
+/// so coverage of the (odd-pitch) matrix is dense and set usage uniform;
+/// the active panel enjoys L2-resident reuse.
+pub fn lu(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let n = 768u64; // matrix dimension (multiple of the 32 block)
+    let bs = 32u64;
+    let row_bytes = n * 8 + 64; // padded, non-power-of-two pitch
+    let base = 0x9000_0000u64;
+    let addr = |r: u64, c: u64| base + r * row_bytes + c * 8;
+    let nb = n / bs;
+    'outer: loop {
+        for k in 0..nb {
+            // Factor the diagonal panel: rows k*bs.., column block k.
+            for r in k * bs..(k + 1) * bs {
+                for c in k * bs..(k + 1) * bs {
+                    t.load(addr(r, c));
+                    t.load(addr(c, r)); // the transposed pivot access
+                    t.store(addr(r, c));
+                    t.fp_work(9);
+                }
+                if t.refs() >= target_refs {
+                    break 'outer;
+                }
+            }
+            // Trailing update: the whole remaining submatrix, row-major.
+            for r in (k + 1) * bs..n {
+                for c in ((k + 1) * bs..n).step_by(8) {
+                    t.load(addr(r, c));
+                    t.load(addr(k * bs + (r % bs), c)); // panel row reuse
+                    t.store(addr(r, c));
+                    t.fp_work(20);
+                }
+                if t.refs() >= target_refs {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    t.into_events()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primecache_trace::TraceStats;
+
+    #[test]
+    fn generators_reach_target() {
+        for (name, f) in [
+            ("ft", ft as fn(u64) -> Vec<Event>),
+            ("is", is),
+            ("lu", lu),
+        ] {
+            let stats: TraceStats = f(5_000).iter().collect();
+            assert!(stats.memory_refs() >= 5_000, "{name}");
+            assert!(stats.memory_refs() < 5_200, "{name} overshoots");
+        }
+    }
+
+    #[test]
+    fn ft_hot_buffers_dominate() {
+        let trace = ft(20_000);
+        let hot = trace
+            .iter()
+            .filter_map(|e| e.addr())
+            .filter(|&a| a < 0x4_0000_0000)
+            .count();
+        let total = trace.iter().filter(|e| e.is_memory()).count();
+        assert!(hot * 2 > total, "{hot}/{total}");
+    }
+
+    #[test]
+    fn is_buckets_spread() {
+        let trace = is(30_000);
+        let buckets: std::collections::HashSet<u64> = trace
+            .iter()
+            .filter_map(|e| e.addr())
+            .filter(|&a| a >= 0x7000_0000)
+            .map(|a| (a - 0x7000_0000) / 4)
+            .collect();
+        assert!(buckets.len() > 5_000, "{}", buckets.len());
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(ft(3_000), ft(3_000));
+        assert_eq!(is(3_000), is(3_000));
+        assert_eq!(lu(3_000), lu(3_000));
+    }
+}

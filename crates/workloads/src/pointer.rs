@@ -1,0 +1,148 @@
+//! Pointer-chasing workloads: tree (non-uniform) and mst (uniform).
+
+use primecache_trace::Event;
+
+use crate::util::{Lcg, TraceSink};
+
+/// The Hawaii Barnes–Hut treecode (`tree`): force evaluation walks an
+/// octree whose cell nodes the allocator rounds up to 512-byte slots, but
+/// each visit touches only the 64-byte header — so just 12.5% of the L2
+/// sets carry the whole traversal (Fig. 13a shows ~10% of sets hot). The
+/// upper tree levels are revisited for every body, so the piled-up sets
+/// thrash a 4-way cache; prime indexing spreads the nodes and removes
+/// nearly all misses (the paper's biggest win, ~2.3–2.6x).
+pub fn tree(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let mut rng = Lcg::new(0x7E);
+    // 4000 x 512-B allocator slots: 250 KB of *touched* node headers —
+    // inside the L2 when spread by a prime index, but piled 15-deep onto
+    // 256 sets (4 ways) under traditional indexing.
+    let node_base = 0x8000_0000u64;
+    let n_nodes = 4_000u64;
+    let bodies_base = 0x9000_0000u64 + 40;
+    let n_bodies = 2_048u64; // 192 KB of bodies: L2-resident
+    let mut body = 0u64;
+    while t.refs() < target_refs {
+        // Load the body being updated.
+        t.load(bodies_base + body * 96);
+        // Walk from the root: upper levels are shared and hot, deeper
+        // nodes are body-specific (skewed draw => node 0 is the root,
+        // small indices are the upper levels).
+        let depth = 6 + rng.below(4);
+        for level in 0..depth {
+            let node = if level < 3 {
+                // Upper levels: one of the first few nodes.
+                rng.below(1 << (3 * level).min(9))
+            } else {
+                rng.skewed(n_nodes)
+            };
+            t.chase(node_base + node * 512);
+            // The multipole acceptance test + force kernel per cell.
+            t.work(300);
+        }
+        // Accumulate force into the body.
+        t.store(bodies_base + body * 96 + 48);
+        t.work(30);
+        t.branch(rng.chance(1, 10));
+        body = (body + 1) % n_bodies;
+    }
+    t.into_events()
+}
+
+/// Olden mst: minimum spanning tree over a hash-table-based graph. Hash
+/// entries are packed 64-byte records spread uniformly, chased
+/// dependently. Uniform sets, but with cross-set reuse patterns a skewed
+/// cache can exploit (mst only speeds up under SKW in the paper, Fig. 10).
+pub fn mst(target_refs: u64) -> Vec<Event> {
+    let mut t = TraceSink::with_target(target_refs);
+    let mut rng = Lcg::new(0x57);
+    // Hash-table entries are allocated all over the heap: ~8500 scattered
+    // blocks, randomly placed, with combined footprint right at the L2
+    // capacity. Every single-hash placement sees the same Poisson set
+    // imbalance, so Base/pMod/pDisp tie — only the skewed caches, with a
+    // different placement per bank, absorb the overflow (the paper: "with
+    // cg and mst, only the skewed associative schemes obtain speedups").
+    let hash_base = 0xA000_0000u64;
+    let mut placement = Lcg::new(0x571);
+    let entries: Vec<u64> = (0..8_500)
+        .map(|_| hash_base + placement.below(48 * 1024) * 64)
+        .collect();
+    let n_entries = entries.len() as u64;
+    let vertex_base = 0xB000_0000u64 + 16;
+    let n_vertices = 3_000u64;
+    while t.refs() < target_refs {
+        // Pick a vertex, walk its adjacency via hash probes.
+        let v = rng.below(n_vertices);
+        t.load(vertex_base + v * 32);
+        let probes = 2 + rng.below(3);
+        let mut h = v * 2_654_435_761 % n_entries;
+        for _ in 0..probes {
+            t.chase(entries[h as usize] + rng.below(6) * 8);
+            h = (h * 31 + 17) % n_entries;
+            t.work(6);
+        }
+        // Relax the edge.
+        t.store(vertex_base + v * 32 + 16);
+        t.work(10);
+        t.branch(rng.chance(1, 8));
+    }
+    t.into_events()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primecache_trace::TraceStats;
+
+    #[test]
+    fn generators_reach_target() {
+        for (name, f) in [("tree", tree as fn(u64) -> Vec<Event>), ("mst", mst)] {
+            let stats: TraceStats = f(5_000).iter().collect();
+            assert!(stats.memory_refs() >= 5_000, "{name}");
+            assert!(stats.memory_refs() < 5_100, "{name} overshoots");
+        }
+    }
+
+    #[test]
+    fn tree_nodes_are_512_byte_slots() {
+        let node_addrs: Vec<u64> = tree(20_000)
+            .iter()
+            .filter_map(|e| e.addr())
+            .filter(|&a| (0x8000_0000..0x9000_0000u64).contains(&a))
+            .collect();
+        assert!(!node_addrs.is_empty());
+        assert!(node_addrs.iter().all(|a| a % 512 == 0));
+        // Only 1/8 of the block space is touched.
+        let blocks: std::collections::HashSet<u64> =
+            node_addrs.iter().map(|a| a / 64).collect();
+        assert!(blocks.iter().all(|b| b % 8 == 0));
+    }
+
+    #[test]
+    fn tree_reuses_upper_levels() {
+        let mut counts = std::collections::HashMap::new();
+        for a in tree(30_000)
+            .iter()
+            .filter_map(|e| e.addr())
+            .filter(|&a| (0x8000_0000..0x9000_0000u64).contains(&a))
+        {
+            *counts.entry(a).or_insert(0u64) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 100, "the root must be revisited constantly: {max}");
+    }
+
+    #[test]
+    fn both_are_chase_heavy() {
+        for f in [tree as fn(u64) -> Vec<Event>, mst] {
+            let stats: TraceStats = f(10_000).iter().collect();
+            assert!(stats.dependent_loads * 2 > stats.memory_refs(), "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(tree(3_000), tree(3_000));
+        assert_eq!(mst(3_000), mst(3_000));
+    }
+}

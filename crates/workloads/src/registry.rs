@@ -1,0 +1,131 @@
+//! The registry of all 23 application models.
+
+use primecache_trace::Event;
+
+use crate::{grid, md, nas, pointer, sparse, spec_int};
+
+/// One application model: a named deterministic trace generator plus the
+/// uniformity class the paper reports for it (§4).
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Benchmark name as used in the paper's figures.
+    pub name: &'static str,
+    /// Suite the original benchmark came from.
+    pub suite: &'static str,
+    /// Whether the paper classifies it as non-uniform (stdev/mean > 0.5).
+    pub expected_non_uniform: bool,
+    generator: fn(u64) -> Vec<Event>,
+}
+
+impl Workload {
+    /// Generates a trace with at least `target_refs` memory references.
+    #[must_use]
+    pub fn trace(&self, target_refs: u64) -> Vec<Event> {
+        (self.generator)(target_refs)
+    }
+}
+
+/// All 23 workloads, in the paper's §4 listing order.
+#[must_use]
+pub fn all() -> &'static [Workload] {
+    const ALL: &[Workload] = &[
+        Workload { name: "bzip2", suite: "SPECint2000", expected_non_uniform: false, generator: spec_int::bzip2 },
+        Workload { name: "gap", suite: "SPECint2000", expected_non_uniform: false, generator: spec_int::gap },
+        Workload { name: "mcf", suite: "SPECint2000", expected_non_uniform: true, generator: spec_int::mcf },
+        Workload { name: "parser", suite: "SPECint2000", expected_non_uniform: false, generator: spec_int::parser },
+        Workload { name: "applu", suite: "SPECfp2000", expected_non_uniform: false, generator: grid::applu },
+        Workload { name: "mgrid", suite: "SPECfp2000", expected_non_uniform: false, generator: grid::mgrid },
+        Workload { name: "swim", suite: "SPECfp2000", expected_non_uniform: false, generator: grid::swim },
+        Workload { name: "equake", suite: "SPECfp2000", expected_non_uniform: false, generator: sparse::equake },
+        Workload { name: "tomcatv", suite: "SPECfp95", expected_non_uniform: false, generator: grid::tomcatv },
+        Workload { name: "mst", suite: "Olden", expected_non_uniform: false, generator: pointer::mst },
+        Workload { name: "bt", suite: "NAS", expected_non_uniform: true, generator: grid::bt },
+        Workload { name: "ft", suite: "NAS", expected_non_uniform: true, generator: nas::ft },
+        Workload { name: "lu", suite: "NAS", expected_non_uniform: false, generator: nas::lu },
+        Workload { name: "is", suite: "NAS", expected_non_uniform: false, generator: nas::is },
+        Workload { name: "sp", suite: "NAS", expected_non_uniform: true, generator: grid::sp },
+        Workload { name: "cg", suite: "NAS", expected_non_uniform: true, generator: sparse::cg },
+        Workload { name: "sparse", suite: "SparseBench", expected_non_uniform: false, generator: sparse::sparse },
+        Workload { name: "tree", suite: "Univ. of Hawaii", expected_non_uniform: true, generator: pointer::tree },
+        Workload { name: "irr", suite: "CFD kernel", expected_non_uniform: true, generator: sparse::irr },
+        Workload { name: "charmm", suite: "MD", expected_non_uniform: false, generator: md::charmm },
+        Workload { name: "moldyn", suite: "MD kernel", expected_non_uniform: false, generator: md::moldyn },
+        Workload { name: "nbf", suite: "GROMOS", expected_non_uniform: false, generator: md::nbf },
+        Workload { name: "euler", suite: "NASA", expected_non_uniform: false, generator: grid::euler },
+    ];
+    ALL
+}
+
+/// Looks up a workload by its paper name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static Workload> {
+    all().iter().find(|w| w.name == name)
+}
+
+/// Names of the non-uniform applications, as the paper lists them (§4):
+/// "bt, cg, ft, irr, mcf, sp, and tree".
+#[must_use]
+pub fn non_uniform_names() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = all()
+        .iter()
+        .filter(|w| w.expected_non_uniform)
+        .map(|w| w.name)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Names of the uniform applications.
+#[must_use]
+pub fn uniform_names() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = all()
+        .iter()
+        .filter(|w| !w.expected_non_uniform)
+        .map(|w| w.name)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_three_workloads() {
+        assert_eq!(all().len(), 23);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(names.len(), 23);
+    }
+
+    #[test]
+    fn paper_non_uniform_set() {
+        // §4: "30% of them (7 benchmarks) are non-uniform: bt, cg, ft,
+        // irr, mcf, sp, and tree."
+        assert_eq!(
+            non_uniform_names(),
+            ["bt", "cg", "ft", "irr", "mcf", "sp", "tree"]
+        );
+        assert_eq!(uniform_names().len(), 16);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("swim").is_some());
+        assert!(by_name("doom").is_none());
+        assert_eq!(by_name("mcf").unwrap().suite, "SPECint2000");
+    }
+
+    #[test]
+    fn every_workload_generates_memory_refs() {
+        for w in all() {
+            let trace = w.trace(1_000);
+            let refs = trace.iter().filter(|e| e.is_memory()).count();
+            assert!(refs >= 1_000, "{}: {refs}", w.name);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Generator utilities: deterministic PRNG and trace-emission helpers.
+
+use primecache_trace::Event;
+
+/// A 64-bit linear congruential generator (Knuth's MMIX multiplier).
+///
+/// Every workload derives its randomness from an [`Lcg`] seeded by the
+/// workload name, so traces are bit-reproducible across runs and platforms.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_workloads::Lcg;
+///
+/// let mut a = Lcg::new(42);
+/// let mut b = Lcg::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        // Output mix (xorshift) to decorrelate low bits.
+        let mut x = self.state;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        x
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// Bernoulli draw with probability `num/denom`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+
+    /// A Zipf-ish skewed draw in `[0, bound)`: smaller values much more
+    /// likely (used for hot-node selection in graph workloads).
+    pub fn skewed(&mut self, bound: u64) -> u64 {
+        let r = self.next_u64();
+        // Square a uniform fraction: density ~ 1/(2*sqrt(x)).
+        let f = (r >> 11) as f64 / (1u64 << 53) as f64;
+        ((f * f) * bound as f64) as u64
+    }
+}
+
+/// Builder that appends events while tracking how many memory references
+/// have been emitted — generators loop until they reach their target.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    events: Vec<Event>,
+    refs: u64,
+}
+
+impl TraceSink {
+    /// Creates an empty sink, pre-allocating for `target_refs` references.
+    #[must_use]
+    pub fn with_target(target_refs: u64) -> Self {
+        Self {
+            events: Vec::with_capacity((target_refs as usize).saturating_mul(2).min(1 << 26)),
+            refs: 0,
+        }
+    }
+
+    /// Memory references emitted so far.
+    #[must_use]
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// Emits an independent load.
+    pub fn load(&mut self, addr: u64) {
+        self.events.push(Event::load(addr));
+        self.refs += 1;
+    }
+
+    /// Emits a serializing (pointer-chase) load.
+    pub fn chase(&mut self, addr: u64) {
+        self.events.push(Event::chase(addr));
+        self.refs += 1;
+    }
+
+    /// Emits a store.
+    pub fn store(&mut self, addr: u64) {
+        self.events.push(Event::Store { addr });
+        self.refs += 1;
+    }
+
+    /// Emits `n` instructions of integer compute.
+    pub fn work(&mut self, n: u32) {
+        if n > 0 {
+            self.events.push(Event::Work(n));
+        }
+    }
+
+    /// Emits `n` instructions of floating-point compute (issued through
+    /// the 4-wide FP units of Table 3).
+    pub fn fp_work(&mut self, n: u32) {
+        if n > 0 {
+            self.events.push(Event::FpWork(n));
+        }
+    }
+
+    /// Emits a branch.
+    pub fn branch(&mut self, mispredict: bool) {
+        self.events.push(Event::Branch { mispredict });
+    }
+
+    /// Finishes the trace.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_varied() {
+        let mut g = Lcg::new(7);
+        let vals: Vec<u64> = (0..100).map(|_| g.below(1000)).collect();
+        let distinct: std::collections::HashSet<u64> = vals.iter().copied().collect();
+        assert!(distinct.len() > 50, "only {} distinct values", distinct.len());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut g = Lcg::new(1);
+        for _ in 0..1000 {
+            assert!(g.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn skewed_prefers_small_values() {
+        let mut g = Lcg::new(3);
+        let n = 10_000;
+        let small = (0..n).filter(|_| g.skewed(1000) < 250).count();
+        // P(x < 250) = sqrt(0.25) = 0.5 under the squared-uniform law.
+        assert!(small > n * 4 / 10, "{small} of {n} draws below 25%");
+    }
+
+    #[test]
+    fn sink_counts_only_memory_refs() {
+        let mut sink = TraceSink::with_target(10);
+        sink.load(0);
+        sink.work(5);
+        sink.store(64);
+        sink.branch(false);
+        sink.chase(128);
+        assert_eq!(sink.refs(), 3);
+        assert_eq!(sink.into_events().len(), 5);
+    }
+
+    #[test]
+    fn work_zero_is_elided() {
+        let mut sink = TraceSink::with_target(1);
+        sink.work(0);
+        assert!(sink.into_events().is_empty());
+    }
+}

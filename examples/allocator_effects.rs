@@ -1,0 +1,87 @@
+//! The heap-layout origin of cache-set non-uniformity: build the *same*
+//! tree workload on three different allocators and watch the L2 set
+//! histogram and miss rate change — then watch prime indexing erase the
+//! difference.
+//!
+//! This is the mechanism behind the paper's `tree` benchmark (Fig. 13):
+//! the treecode's nodes land on power-of-two allocator slots.
+//!
+//! Run with: `cargo run --release --example allocator_effects`
+
+use primecache::cache::{Cache, CacheConfig, CacheSim};
+use primecache::core::index::HashKind;
+use primecache::heap::{Allocator, BuddyAllocator, BumpAllocator, SizeClassAllocator};
+
+/// Builds a 4000-node tree with the given allocator and walks it the way
+/// the treecode does: every body revisits the upper levels.
+fn run_tree(alloc: &mut dyn Allocator, hash: HashKind) -> (f64, f64) {
+    const NODE_BYTES: u64 = 260; // a Barnes-Hut cell: pos, mass, 8 children
+    let nodes: Vec<u64> = (0..4000).map(|_| alloc.alloc(NODE_BYTES).expect("arena")).collect();
+
+    let mut l2 = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(hash));
+    // Deterministic pseudo-random walk biased to low (upper-level) nodes.
+    let mut state = 0x1234_5678u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _body in 0..20_000 {
+        for level in 0..8 {
+            let idx = if level < 3 {
+                (rng() % (1 << (3 * level))) as usize
+            } else {
+                let f = (rng() % 1000) as f64 / 1000.0;
+                ((f * f) * nodes.len() as f64) as usize
+            };
+            l2.access(nodes[idx.min(nodes.len() - 1)], false);
+        }
+    }
+    let sets_touched = l2
+        .stats()
+        .set_accesses
+        .iter()
+        .filter(|&&c| c > 0)
+        .count() as f64;
+    (sets_touched, l2.stats().miss_rate() * 100.0)
+}
+
+fn main() {
+    println!("The same tree traversal under three heap layouts:\n");
+    println!(
+        "{:<26}{:>14}{:>12}{:>16}{:>12}",
+        "allocator", "sets (Base)", "miss% Base", "sets (pMod)", "miss% pMod"
+    );
+    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn Allocator>>)> = vec![
+        (
+            "bump (packed)",
+            Box::new(|| Box::new(BumpAllocator::new(0x8000_0000, 8))),
+        ),
+        (
+            "buddy (pow2 slots)",
+            Box::new(|| Box::new(BuddyAllocator::new(0x8000_0000, 1 << 24))),
+        ),
+        (
+            "size-class 512B",
+            Box::new(|| Box::new(SizeClassAllocator::new(0x8000_0000, &[512]))),
+        ),
+        (
+            "size-class 288B (odd)",
+            Box::new(|| Box::new(SizeClassAllocator::new(0x8000_0000, &[288]))),
+        ),
+    ];
+    for (name, make) in cases {
+        let (sets_base, miss_base) = run_tree(make().as_mut(), HashKind::Traditional);
+        let (sets_pmod, miss_pmod) = run_tree(make().as_mut(), HashKind::PrimeModulo);
+        println!(
+            "{name:<26}{sets_base:>14.0}{miss_base:>11.1}%{sets_pmod:>16.0}{miss_pmod:>11.1}%"
+        );
+    }
+    println!();
+    println!("Packed layouts spread the nodes over most sets and stay conflict-free;");
+    println!("power-of-two slot layouts (buddy, 512-B classes) squeeze all traffic into");
+    println!("an eighth of the sets and thrash under traditional indexing — and prime");
+    println!("modulo makes the allocator choice irrelevant: the paper's robustness");
+    println!("argument in allocator form.");
+}

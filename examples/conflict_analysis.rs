@@ -1,0 +1,62 @@
+//! Analyze hash functions the way the paper's §2 does: balance (Eq. 1),
+//! concentration (Eq. 2) and sequence invariance over strided access
+//! patterns, plus the fast-hardware story of §3.1.
+//!
+//! Run with: `cargo run --release --example conflict_analysis`
+
+use primecache::core::hw::{theorem1_iterations, IterativeLinear, Polynomial, Wired2039};
+use primecache::core::index::{Geometry, HashKind};
+use primecache::core::metrics::{balance, concentration, strided_addresses, violation_fraction};
+
+fn main() {
+    let geom = Geometry::new(2048);
+
+    println!("Balance / concentration / invariance for selected strides");
+    println!("(ideal: balance 1.0, concentration 0, violations 0)\n");
+    println!(
+        "{:<8}{:>12}{:>14}{:>14}{:>12}",
+        "hash", "stride", "balance", "concentration", "violations"
+    );
+    for kind in HashKind::ALL {
+        let idx = kind.build(geom);
+        for stride in [1u64, 2, 16, 2039, 2047] {
+            let addrs = strided_addresses(stride, 8192);
+            println!(
+                "{:<8}{:>12}{:>14.3}{:>14.1}{:>12.4}",
+                kind.label(),
+                stride,
+                balance(&idx, addrs.iter().copied()).min(99.0),
+                concentration(&idx, addrs.iter().copied()),
+                violation_fraction(&idx, &addrs),
+            );
+        }
+        println!();
+    }
+
+    println!("Fast prime-modulo hardware (§3.1): all units agree with a % 2039\n");
+    let poly = Polynomial::new(geom);
+    let iter_unit = IterativeLinear::new(geom, 0);
+    let a = 0x03AB_CDEFu64; // a 26-bit block address (32-bit machine)
+    let (p_idx, p_cost) = poly.reduce_with_cost(a);
+    let (i_idx, i_cost) = iter_unit.reduce_with_cost(a);
+    let (w_idx, w_cost) = Wired2039::index_with_cost(a);
+    println!("  block address      : {a:#x}");
+    println!("  reference (a % p)  : {}", a % 2039);
+    println!(
+        "  polynomial         : {p_idx} ({} adds, {} pass(es), {}-input selector)",
+        p_cost.adds, p_cost.iterations.max(1), p_cost.selector_inputs
+    );
+    println!(
+        "  iterative linear   : {i_idx} ({} adds, {} iterations)",
+        i_cost.adds, i_cost.iterations
+    );
+    println!(
+        "  wired 2039 unit    : {w_idx} ({} narrow adds, {}-input selector)",
+        w_cost.adds, w_cost.selector_inputs
+    );
+    println!(
+        "\n  Theorem 1: 64-bit machine needs {} iterations (3-input selector), {} (258-input)",
+        theorem1_iterations(64, 64, 2048, 0),
+        theorem1_iterations(64, 64, 2048, 8),
+    );
+}

@@ -1,0 +1,68 @@
+//! Skewed-associative caches (§5.3): more miss elimination on conflict
+//! heavy workloads, at the cost of pathological behaviour on workloads
+//! with LRU-friendly reuse.
+//!
+//! Run with: `cargo run --release --example skewed_cache`
+
+use primecache::cache::{Cache, CacheConfig, CacheSim, SkewHashKind, SkewedCache, SkewedConfig};
+use primecache::sim::{run_workload, Scheme};
+use primecache::workloads::by_name;
+
+/// A conflict-heavy pattern: 24 blocks in one traditional set, re-walked.
+fn conflict_pattern() -> Vec<u64> {
+    (0..24u64).map(|i| i * 128 * 1024).collect()
+}
+
+fn run(label: &str, cache: &mut dyn CacheSim, pattern: &[u64], rounds: usize) {
+    for _ in 0..rounds {
+        for &a in pattern {
+            cache.access(a, false);
+        }
+    }
+    let s = cache.stats();
+    println!(
+        "  {label:<22} miss rate {:>6.2}%  ({} misses)",
+        s.miss_rate() * 100.0,
+        s.misses
+    );
+}
+
+fn main() {
+    println!("conflict-heavy pattern (24-way pileup under traditional indexing):");
+    let mut base = Cache::new(CacheConfig::new(512 * 1024, 4, 64));
+    run("Base 4-way LRU", &mut base, &conflict_pattern(), 50);
+    let mut skw = SkewedCache::new(SkewedConfig::new(512 * 1024, 4, 64, SkewHashKind::Xor));
+    run("SKW (XOR, ENRU)", &mut skw, &conflict_pattern(), 50);
+    let mut skwd = SkewedCache::new(SkewedConfig::new(
+        512 * 1024,
+        4,
+        64,
+        SkewHashKind::PrimeDisplacement,
+    ));
+    run("skw+pDisp (ENRU)", &mut skwd, &conflict_pattern(), 50);
+    println!();
+    println!("Skewing absorbs pileups that defeat any 4-way placement — 24 aliasing");
+    println!("blocks spread across four differently-indexed banks.\n");
+
+    // The flip side (Fig. 10): a workload whose reuse true LRU handles
+    // perfectly. bzip2's block-sort buffer cycles just inside the L2 with
+    // data-dependent revisits; the skewed caches' pseudo-LRU (ENRU) cannot
+    // rank the lines and leaks misses.
+    println!("the price — bzip2 end-to-end (500k refs), normalized to Base:");
+    let bzip2 = by_name("bzip2").expect("registry has bzip2");
+    let refs = 500_000;
+    let base_run = run_workload(bzip2, Scheme::Base, refs);
+    for scheme in [Scheme::PrimeModulo, Scheme::Skewed, Scheme::SkewedPrimeDisplacement] {
+        let r = run_workload(bzip2, scheme, refs);
+        println!(
+            "  {:<12} time x{:.3}, L2 misses x{:.3}",
+            scheme.label(),
+            r.breakdown.total() as f64 / base_run.breakdown.total() as f64,
+            r.l2.misses as f64 / base_run.l2.misses.max(1) as f64,
+        );
+    }
+    println!();
+    println!("pMod stays safe (its LRU is intact; only the placement changed), while");
+    println!("the skewed caches trade bzip2's time for their gains elsewhere — the");
+    println!("paper's Fig. 10 pathology.");
+}

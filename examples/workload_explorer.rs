@@ -1,0 +1,55 @@
+//! Run any of the 23 application models through every cache scheme and
+//! print its personal version of the paper's figures.
+//!
+//! Run with: `cargo run --release --example workload_explorer -- tree [refs]`
+
+use primecache::core::metrics::uniformity_ratio;
+use primecache::sim::{run_workload, Scheme};
+use primecache::workloads::{all, by_name};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("tree");
+    let refs: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+
+    let Some(workload) = by_name(name) else {
+        eprintln!("unknown workload '{name}'. available:");
+        for w in all() {
+            eprintln!(
+                "  {:<8} ({}, {})",
+                w.name,
+                w.suite,
+                if w.expected_non_uniform { "non-uniform" } else { "uniform" }
+            );
+        }
+        std::process::exit(1);
+    };
+
+    println!("workload {name} ({}), {refs} memory references\n", workload.suite);
+    let base = run_workload(workload, Scheme::Base, refs);
+    let cv = uniformity_ratio(&base.l2.set_accesses);
+    println!(
+        "uniformity stdev/mean = {cv:.3} => {} (paper threshold 0.5)\n",
+        if cv > 0.5 { "NON-UNIFORM" } else { "uniform" }
+    );
+    println!(
+        "{:<12}{:>10}{:>12}{:>12}{:>12}{:>14}",
+        "scheme", "L2 misses", "norm misses", "exec cycles", "norm time", "mem stall %"
+    );
+    for scheme in Scheme::ALL {
+        let r = if scheme == Scheme::Base {
+            base.clone()
+        } else {
+            run_workload(workload, scheme, refs)
+        };
+        println!(
+            "{:<12}{:>10}{:>12.3}{:>12}{:>12.3}{:>13.1}%",
+            scheme.label(),
+            r.l2.misses,
+            r.l2.misses as f64 / base.l2.misses.max(1) as f64,
+            r.breakdown.total(),
+            r.breakdown.total() as f64 / base.breakdown.total() as f64,
+            r.breakdown.mem_fraction() * 100.0,
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Integration tests of the experiment framework (sweeps, Table 4,
+//! figure drivers).
+
+use primecache::core::index::HashKind;
+use primecache::sim::experiments::{fig5_balance, fig6_concentration};
+use primecache::sim::suite::{run_sweep, table4};
+use primecache::sim::Scheme;
+use primecache::workloads::{all, non_uniform_names};
+
+const REFS: u64 = 60_000;
+
+#[test]
+fn sweep_produces_a_full_matrix() {
+    let schemes = [Scheme::Base, Scheme::PrimeModulo, Scheme::Skewed];
+    let sweep = run_sweep(&schemes, REFS);
+    assert_eq!(sweep.cells.len(), 23);
+    for w in all() {
+        for s in schemes {
+            let cell = sweep.get(w.name, s).unwrap_or_else(|| {
+                panic!("missing cell {}/{}", w.name, s.label())
+            });
+            assert_eq!(cell.workload, w.name);
+            assert!(cell.result.breakdown.total() > 0);
+            assert!(cell.result.l1.accesses >= REFS);
+        }
+    }
+}
+
+#[test]
+fn speedups_and_normalized_times_are_reciprocal() {
+    let sweep = run_sweep(&[Scheme::Base, Scheme::PrimeModulo], REFS);
+    for w in all() {
+        let n = sweep.normalized_time(w.name, Scheme::PrimeModulo).unwrap();
+        let s = sweep.speedup(w.name, Scheme::PrimeModulo).unwrap();
+        assert!((n * s - 1.0).abs() < 1e-9, "{}: {n} * {s}", w.name);
+    }
+}
+
+#[test]
+fn table4_pmod_beats_base_on_non_uniform_average() {
+    let sweep = run_sweep(&[Scheme::Base, Scheme::PrimeModulo], REFS);
+    let rows = table4(&sweep, &[Scheme::PrimeModulo]);
+    let r = &rows[0];
+    assert!(r.non_uniform.1 > 1.15, "avg non-uniform speedup {}", r.non_uniform.1);
+    // Uniform apps stay near 1.0 on average.
+    assert!(r.uniform.1 > 0.9 && r.uniform.1 < 1.2, "{:?}", r.uniform);
+    // pMod's pathological count stays at most 1 (Table 4).
+    assert!(r.pathological <= 2, "{} pathological cases", r.pathological);
+}
+
+#[test]
+fn non_uniform_group_gains_more_than_uniform_group() {
+    let sweep = run_sweep(&[Scheme::Base, Scheme::PrimeModulo], REFS);
+    let nu = non_uniform_names();
+    let avg = |names: &[&str]| {
+        let s: f64 = names
+            .iter()
+            .filter_map(|n| sweep.speedup(n, Scheme::PrimeModulo))
+            .sum();
+        s / names.len() as f64
+    };
+    let uniform: Vec<&str> = all()
+        .iter()
+        .filter(|w| !w.expected_non_uniform)
+        .map(|w| w.name)
+        .collect();
+    assert!(
+        avg(&nu) > avg(&uniform) + 0.1,
+        "non-uniform {} vs uniform {}",
+        avg(&nu),
+        avg(&uniform)
+    );
+}
+
+#[test]
+fn fig5_sweep_matches_section_3_3_analysis() {
+    let max_stride = 256;
+    let trad = fig5_balance(HashKind::Traditional, max_stride);
+    let pmod = fig5_balance(HashKind::PrimeModulo, max_stride);
+    // Traditional: bad on every even stride, ideal on every odd one.
+    for p in &trad {
+        if p.stride % 2 == 0 {
+            assert!(p.value > 1.2, "stride {}: {}", p.stride, p.value);
+        } else {
+            assert!(p.value < 1.05, "stride {}: {}", p.stride, p.value);
+        }
+    }
+    // pMod: ideal everywhere below n_set.
+    assert!(pmod.iter().all(|p| p.value < 1.05));
+}
+
+#[test]
+fn fig6_sweep_ranks_the_functions_like_the_paper() {
+    let max_stride = 256;
+    let count_bad = |kind| {
+        fig6_concentration(kind, max_stride)
+            .iter()
+            .filter(|p| p.value > 1.0)
+            .count()
+    };
+    let trad = count_bad(HashKind::Traditional);
+    let xor = count_bad(HashKind::Xor);
+    let pmod = count_bad(HashKind::PrimeModulo);
+    let pdisp = count_bad(HashKind::PrimeDisplacement);
+    // §5.1: pMod ideal everywhere; traditional bad on even strides only;
+    // XOR and pDisp bad on many strides.
+    assert_eq!(pmod, 0);
+    assert!(trad >= 120 && trad <= 136, "traditional: {trad}");
+    assert!(xor > trad, "XOR ({xor}) must be worse than traditional ({trad})");
+    assert!(pdisp > trad, "pDisp concentration is non-ideal on most strides");
+}
