@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks of simulation throughput: accesses per
-//! second for each cache organization. These bound the wall-clock of the
-//! figure reproductions.
+//! Micro-benchmarks of simulation throughput: accesses per second for
+//! each cache organization. These bound the wall-clock of the figure
+//! reproductions.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use primecache_bench::microbench::{black_box, Group};
 use primecache_cache::{
     Cache, CacheConfig, CacheSim, FullyAssociative, SkewHashKind, SkewedCache, SkewedConfig,
 };
@@ -11,57 +11,49 @@ use primecache_core::index::HashKind;
 const N: u64 = 10_000;
 
 fn addr_stream() -> Vec<u64> {
-    (0..N).map(|i| (i.wrapping_mul(0x9E37_79B9) % (1 << 24)) & !63).collect()
+    (0..N)
+        .map(|i| (i.wrapping_mul(0x9E37_79B9) % (1 << 24)) & !63)
+        .collect()
 }
 
-fn bench_organizations(c: &mut Criterion) {
+fn bench_organizations() {
     let addrs = addr_stream();
-    let mut group = c.benchmark_group("cache_access");
-    group.throughput(Throughput::Elements(N));
+    let mut group = Group::new("cache_access");
+    group.throughput = N;
     for kind in HashKind::ALL {
-        group.bench_function(format!("set_assoc/{}", kind.label()), |b| {
-            let mut cache =
-                Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(kind));
-            b.iter(|| {
-                let mut hits = 0u64;
-                for &a in &addrs {
-                    hits += u64::from(cache.access(black_box(a), false));
-                }
-                hits
-            })
+        let mut cache = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(kind));
+        group.bench(&format!("set_assoc/{}", kind.label()), || {
+            let mut hits = 0u64;
+            for &a in &addrs {
+                hits += u64::from(cache.access(black_box(a), false));
+            }
+            hits
         });
     }
     for (label, hash) in [
         ("skewed/XOR", SkewHashKind::Xor),
         ("skewed/pDisp", SkewHashKind::PrimeDisplacement),
     ] {
-        group.bench_function(label, |b| {
-            let mut cache = SkewedCache::new(SkewedConfig::new(512 * 1024, 4, 64, hash));
-            b.iter(|| {
-                let mut hits = 0u64;
-                for &a in &addrs {
-                    hits += u64::from(cache.access(black_box(a), false));
-                }
-                hits
-            })
-        });
-    }
-    group.bench_function("fully_associative", |b| {
-        let mut cache = FullyAssociative::new(512 * 1024, 64);
-        b.iter(|| {
+        let mut cache = SkewedCache::new(SkewedConfig::new(512 * 1024, 4, 64, hash));
+        group.bench(label, || {
             let mut hits = 0u64;
             for &a in &addrs {
                 hits += u64::from(cache.access(black_box(a), false));
             }
             hits
-        })
+        });
+    }
+    let mut cache = FullyAssociative::new(512 * 1024, 64);
+    group.bench("fully_associative", || {
+        let mut hits = 0u64;
+        for &a in &addrs {
+            hits += u64::from(cache.access(black_box(a), false));
+        }
+        hits
     });
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_organizations
+fn main() {
+    bench_organizations();
 }
-criterion_main!(benches);

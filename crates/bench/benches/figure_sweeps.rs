@@ -1,51 +1,48 @@
-//! Criterion benchmarks of the figure-generation pipelines themselves:
-//! one balance sweep point (Fig. 5), one concentration point (Fig. 6),
-//! and one small end-to-end workload run (Figs. 7-13 building block).
+//! Benchmarks of the figure-generation pipelines themselves: one balance
+//! sweep point (Fig. 5), one concentration point (Fig. 6), and one small
+//! end-to-end workload run (Figs. 7-13 building block).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use primecache_bench::microbench::{black_box, Group};
 use primecache_core::index::HashKind;
 use primecache_sim::experiments::{fig5_balance, fig6_concentration};
 use primecache_sim::{run_workload, Scheme};
 use primecache_workloads::by_name;
 
-fn bench_metric_sweeps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figure_sweeps");
-    group.bench_function("fig5_balance_64_strides", |b| {
-        b.iter(|| fig5_balance(black_box(HashKind::PrimeModulo), 64))
+fn bench_metric_sweeps() {
+    let group = Group::new("figure_sweeps");
+    group.bench("fig5_balance_64_strides", || {
+        fig5_balance(black_box(HashKind::PrimeModulo), 64)
     });
-    group.bench_function("fig6_concentration_64_strides", |b| {
-        b.iter(|| fig6_concentration(black_box(HashKind::Xor), 64))
+    group.bench("fig6_concentration_64_strides", || {
+        fig6_concentration(black_box(HashKind::Xor), 64)
     });
     group.finish();
 }
 
-fn bench_workload_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workload_gen");
+fn bench_workload_generation() {
+    let group = Group::new("workload_gen");
     for name in ["tree", "bt", "swim", "mcf"] {
         let w = by_name(name).expect("registry");
-        group.bench_function(format!("{name}_50k_refs"), |b| {
-            b.iter(|| w.trace(black_box(50_000)))
-        });
+        group.bench(&format!("{name}_50k_refs"), || w.trace(black_box(50_000)));
     }
     group.finish();
 }
 
-fn bench_workload_run(c: &mut Criterion) {
+fn bench_workload_run() {
     let tree = by_name("tree").expect("registry has tree");
-    let mut group = c.benchmark_group("workload_run");
-    group.sample_size(10);
-    group.bench_function("tree_base_20k_refs", |b| {
-        b.iter(|| run_workload(black_box(tree), Scheme::Base, 20_000))
+    let mut group = Group::new("workload_run");
+    group.samples = 5;
+    group.bench("tree_base_20k_refs", || {
+        run_workload(black_box(tree), Scheme::Base, 20_000)
     });
-    group.bench_function("tree_pmod_20k_refs", |b| {
-        b.iter(|| run_workload(black_box(tree), Scheme::PrimeModulo, 20_000))
+    group.bench("tree_pmod_20k_refs", || {
+        run_workload(black_box(tree), Scheme::PrimeModulo, 20_000)
     });
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_metric_sweeps, bench_workload_generation, bench_workload_run
+fn main() {
+    bench_metric_sweeps();
+    bench_workload_generation();
+    bench_workload_run();
 }
-criterion_main!(benches);

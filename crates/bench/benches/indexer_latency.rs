@@ -1,122 +1,102 @@
-//! Criterion micro-benchmarks of the index functions and the §3.1
-//! hardware models — the software analogue of the paper's "fast hardware"
-//! claim: prime indexing must cost no more than a handful of narrow adds.
+//! Micro-benchmarks of the index functions and the §3.1 hardware models —
+//! the software analogue of the paper's "fast hardware" claim: prime
+//! indexing must cost no more than a handful of narrow adds.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use primecache_bench::microbench::{black_box, Group};
 use primecache_core::hw::{mersenne_fold, IterativeLinear, Polynomial, TlbAssist, Wired2039};
-use primecache_core::index::{
-    Geometry, HashKind, PrimeDisplacement, SetIndexer, SkewXorBank,
-};
+use primecache_core::index::{Geometry, HashKind, PrimeDisplacement, SetIndexer, SkewXorBank};
 
 fn addresses() -> Vec<u64> {
-    (0..1024u64).map(|i| i.wrapping_mul(0x9E37_79B9) & 0x03FF_FFFF).collect()
+    (0..1024u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9) & 0x03FF_FFFF)
+        .collect()
 }
 
-fn bench_index_functions(c: &mut Criterion) {
+fn bench_index_functions() {
     let geom = Geometry::new(2048);
     let addrs = addresses();
-    let mut group = c.benchmark_group("indexers");
+    let group = Group::new("indexers");
     for kind in HashKind::ALL {
         let idx = kind.build(geom);
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &a in &addrs {
-                    acc ^= idx.index(black_box(a));
-                }
-                acc
-            })
+        group.bench(kind.label(), || {
+            let mut acc = 0u64;
+            for &a in &addrs {
+                acc ^= idx.index(black_box(a));
+            }
+            acc
         });
     }
     let skew = SkewXorBank::new(Geometry::new(512), 2);
-    group.bench_function("SkewXorBank", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &a in &addrs {
-                acc ^= skew.index(black_box(a));
-            }
-            acc
-        })
+    group.bench("SkewXorBank", || {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= skew.index(black_box(a));
+        }
+        acc
     });
     let pd37 = PrimeDisplacement::new(geom, 37);
-    group.bench_function("pDisp(p=37)", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &a in &addrs {
-                acc ^= pd37.index(black_box(a));
-            }
-            acc
-        })
+    group.bench("pDisp(p=37)", || {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= pd37.index(black_box(a));
+        }
+        acc
     });
     group.finish();
 }
 
-fn bench_hw_models(c: &mut Criterion) {
+fn bench_hw_models() {
     let addrs = addresses();
-    let mut group = c.benchmark_group("hw_models");
+    let group = Group::new("hw_models");
     let poly = Polynomial::new(Geometry::new(2048));
-    group.bench_function("polynomial", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &a in &addrs {
-                acc ^= poly.reduce(black_box(a));
-            }
-            acc
-        })
+    group.bench("polynomial", || {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= poly.reduce(black_box(a));
+        }
+        acc
     });
     let iter_unit = IterativeLinear::new(Geometry::new(2048), 0);
-    group.bench_function("iterative_linear", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &a in &addrs {
-                acc ^= iter_unit.reduce(black_box(a));
-            }
-            acc
-        })
+    group.bench("iterative_linear", || {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= iter_unit.reduce(black_box(a));
+        }
+        acc
     });
-    group.bench_function("wired2039", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &a in &addrs {
-                acc ^= Wired2039::index(black_box(a));
-            }
-            acc
-        })
+    group.bench("wired2039", || {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= Wired2039::index(black_box(a));
+        }
+        acc
     });
-    group.bench_function("mersenne_fold_8191", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &a in &addrs {
-                acc ^= mersenne_fold(black_box(a), 13);
-            }
-            acc
-        })
+    group.bench("mersenne_fold_8191", || {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= mersenne_fold(black_box(a), 13);
+        }
+        acc
     });
     let tlb = TlbAssist::new(2048, 4096, 64);
-    group.bench_function("tlb_assist_full", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &a in &addrs {
-                acc ^= tlb.index_addr(black_box(a << 6));
-            }
-            acc
-        })
+    group.bench("tlb_assist_full", || {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= tlb.index_addr(black_box(a << 6));
+        }
+        acc
     });
-    group.bench_function("reference_modulo", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for &a in &addrs {
-                acc ^= black_box(a) % 2039;
-            }
-            acc
-        })
+    group.bench("reference_modulo", || {
+        let mut acc = 0u64;
+        for &a in &addrs {
+            acc ^= black_box(a) % 2039;
+        }
+        acc
     });
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_index_functions, bench_hw_models
+fn main() {
+    bench_index_functions();
+    bench_hw_models();
 }
-criterion_main!(benches);

@@ -66,7 +66,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["modulus", "factors", "non-ideal balance strides", "bt L2 misses", "fragmentation"],
+            &[
+                "modulus",
+                "factors",
+                "non-ideal balance strides",
+                "bt L2 misses",
+                "fragmentation"
+            ],
             &rows
         )
     );

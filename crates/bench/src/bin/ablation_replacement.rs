@@ -17,9 +17,7 @@ use primecache_sim::report::render_table;
 use primecache_workloads::by_name;
 
 fn misses_set_assoc(workload: &str, kind: ReplacementKind, refs: u64) -> u64 {
-    let mut l2 = Cache::new(
-        CacheConfig::new(512 * 1024, 4, 64).with_replacement(kind),
-    );
+    let mut l2 = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_replacement(kind));
     for ev in by_name(workload).expect("known workload").trace(refs) {
         if let Some(addr) = ev.addr() {
             l2.access(addr, matches!(ev, primecache_trace::Event::Store { .. }));

@@ -36,7 +36,12 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["app", "4x1 misses", "2 banks x 2 ways (ratio)", "8x1 (ratio)"],
+            &[
+                "app",
+                "4x1 misses",
+                "2 banks x 2 ways (ratio)",
+                "8x1 (ratio)"
+            ],
             &rows
         )
     );

@@ -44,10 +44,7 @@ fn main() {
     }
     print!(
         "{}",
-        render_table(
-            &["app", "victim x8", "victim x64", "pMod"],
-            &rows
-        )
+        render_table(&["app", "victim x8", "victim x64", "pMod"], &rows)
     );
     println!("\nThe buffer helps while the alias population fits in it; the paper's");
     println!("workloads alias hundreds of lines, so even 64 entries barely dent the");

@@ -51,14 +51,38 @@ fn main() {
         ],
         refs,
     );
-    write(dir, "fig7.csv", times_csv(&sweep, &Scheme::SINGLE_HASH, &non_uniform));
-    write(dir, "fig8.csv", times_csv(&sweep, &Scheme::SINGLE_HASH, &uniform));
-    write(dir, "fig9.csv", times_csv(&sweep, &Scheme::MULTI_HASH, &non_uniform));
-    write(dir, "fig10.csv", times_csv(&sweep, &Scheme::MULTI_HASH, &uniform));
+    write(
+        dir,
+        "fig7.csv",
+        times_csv(&sweep, &Scheme::SINGLE_HASH, &non_uniform),
+    );
+    write(
+        dir,
+        "fig8.csv",
+        times_csv(&sweep, &Scheme::SINGLE_HASH, &uniform),
+    );
+    write(
+        dir,
+        "fig9.csv",
+        times_csv(&sweep, &Scheme::MULTI_HASH, &non_uniform),
+    );
+    write(
+        dir,
+        "fig10.csv",
+        times_csv(&sweep, &Scheme::MULTI_HASH, &uniform),
+    );
 
     let miss_sweep = miss_reduction_sweep(refs);
-    write(dir, "fig11.csv", misses_csv(&miss_sweep, &Scheme::MISS_REDUCTION, &non_uniform));
-    write(dir, "fig12.csv", misses_csv(&miss_sweep, &Scheme::MISS_REDUCTION, &uniform));
+    write(
+        dir,
+        "fig11.csv",
+        misses_csv(&miss_sweep, &Scheme::MISS_REDUCTION, &non_uniform),
+    );
+    write(
+        dir,
+        "fig12.csv",
+        misses_csv(&miss_sweep, &Scheme::MISS_REDUCTION, &uniform),
+    );
 
     write(
         dir,

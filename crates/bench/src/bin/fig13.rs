@@ -14,10 +14,7 @@ fn print_distribution(label: &str, dist: &[u64]) {
     let total: u64 = dist.iter().sum();
     let hot10 = sets_carrying_share(dist, 0.90);
     println!("{label}: {total} misses over {} sets", dist.len());
-    println!(
-        "  90% of misses fall in {:.1}% of the sets",
-        hot10 * 100.0
-    );
+    println!("  90% of misses fall in {:.1}% of the sets", hot10 * 100.0);
     let sketch = histogram_sketch(dist, 32);
     let max = sketch.iter().copied().max().unwrap_or(1).max(1);
     for (i, &v) in sketch.iter().enumerate() {

@@ -13,7 +13,13 @@ fn main() {
         .into_iter()
         .map(|k| (k, fig5_balance(k, max_stride)))
         .collect();
-    println!("stride  {}", sweeps.iter().map(|(k, _)| format!("{:>8}", k.label())).collect::<String>());
+    println!(
+        "stride  {}",
+        sweeps
+            .iter()
+            .map(|(k, _)| format!("{:>8}", k.label()))
+            .collect::<String>()
+    );
     for i in (0..max_stride as usize).step_by(13) {
         let stride = sweeps[0].1[i].stride;
         let row: String = sweeps

@@ -103,9 +103,12 @@ fn main() {
     write(
         dir,
         "fig5.svg",
-        line_figure("Fig. 5: balance vs stride", "balance (ideal 1)", Some(10.0), |k| {
-            fig5_balance(k, 2047)
-        }),
+        line_figure(
+            "Fig. 5: balance vs stride",
+            "balance (ideal 1)",
+            Some(10.0),
+            |k| fig5_balance(k, 2047),
+        ),
     );
     write(
         dir,
@@ -135,22 +138,42 @@ fn main() {
     write(
         dir,
         "fig7.svg",
-        time_bars(&sweep, &Scheme::SINGLE_HASH, &non_uniform, "Fig. 7: single hash, non-uniform apps"),
+        time_bars(
+            &sweep,
+            &Scheme::SINGLE_HASH,
+            &non_uniform,
+            "Fig. 7: single hash, non-uniform apps",
+        ),
     );
     write(
         dir,
         "fig8.svg",
-        time_bars(&sweep, &Scheme::SINGLE_HASH, &uniform, "Fig. 8: single hash, uniform apps"),
+        time_bars(
+            &sweep,
+            &Scheme::SINGLE_HASH,
+            &uniform,
+            "Fig. 8: single hash, uniform apps",
+        ),
     );
     write(
         dir,
         "fig9.svg",
-        time_bars(&sweep, &Scheme::MULTI_HASH, &non_uniform, "Fig. 9: multi hash, non-uniform apps"),
+        time_bars(
+            &sweep,
+            &Scheme::MULTI_HASH,
+            &non_uniform,
+            "Fig. 9: multi hash, non-uniform apps",
+        ),
     );
     write(
         dir,
         "fig10.svg",
-        time_bars(&sweep, &Scheme::MULTI_HASH, &uniform, "Fig. 10: multi hash, uniform apps"),
+        time_bars(
+            &sweep,
+            &Scheme::MULTI_HASH,
+            &uniform,
+            "Fig. 10: multi hash, uniform apps",
+        ),
     );
 
     println!("[3/4] miss-reduction sweep ({refs} refs) ...");
@@ -158,12 +181,22 @@ fn main() {
     write(
         dir,
         "fig11.svg",
-        miss_bars(&misses, &Scheme::MISS_REDUCTION, &non_uniform, "Fig. 11: misses, non-uniform apps"),
+        miss_bars(
+            &misses,
+            &Scheme::MISS_REDUCTION,
+            &non_uniform,
+            "Fig. 11: misses, non-uniform apps",
+        ),
     );
     write(
         dir,
         "fig12.svg",
-        miss_bars(&misses, &Scheme::MISS_REDUCTION, &uniform, "Fig. 12: misses, uniform apps"),
+        miss_bars(
+            &misses,
+            &Scheme::MISS_REDUCTION,
+            &uniform,
+            "Fig. 12: misses, uniform apps",
+        ),
     );
 
     println!("[4/4] fig13 distributions ...");
@@ -175,7 +208,15 @@ fn main() {
         .chunks(chunk)
         .map(|c| c.iter().sum::<u64>() as f64)
         .fold(1.0f64, f64::max);
-    write(dir, "fig13a.svg", miss_histogram("Fig. 13a: tree misses per set (Base)", &base, y_max));
-    write(dir, "fig13b.svg", miss_histogram("Fig. 13b: tree misses per set (pMod)", &pmod, y_max));
+    write(
+        dir,
+        "fig13a.svg",
+        miss_histogram("Fig. 13a: tree misses per set (Base)", &base, y_max),
+    );
+    write(
+        dir,
+        "fig13b.svg",
+        miss_histogram("Fig. 13b: tree misses per set (pMod)", &pmod, y_max),
+    );
     println!("done.");
 }

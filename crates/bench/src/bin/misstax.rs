@@ -21,7 +21,12 @@ fn main() {
         let pmod = miss_taxonomy(w, Scheme::PrimeModulo, refs);
         rows.push(vec![
             w.name.to_owned(),
-            if w.expected_non_uniform { "non-uniform" } else { "uniform" }.to_owned(),
+            if w.expected_non_uniform {
+                "non-uniform"
+            } else {
+                "uniform"
+            }
+            .to_owned(),
             base.compulsory.to_string(),
             base.capacity.to_string(),
             base.conflict.to_string(),

@@ -83,7 +83,12 @@ fn main() {
         .map(|r| {
             vec![
                 r.scheme.label().to_owned(),
-                format!("{},{},{}", f2(r.uniform.0), f2(r.uniform.1), f2(r.uniform.2)),
+                format!(
+                    "{},{},{}",
+                    f2(r.uniform.0),
+                    f2(r.uniform.1),
+                    f2(r.uniform.2)
+                ),
                 format!(
                     "{},{},{}",
                     f2(r.non_uniform.0),
@@ -97,7 +102,12 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["Hashing", "Uniform (min,avg,max)", "Nonuniform (min,avg,max)", "Patho."],
+            &[
+                "Hashing",
+                "Uniform (min,avg,max)",
+                "Nonuniform (min,avg,max)",
+                "Patho."
+            ],
             &table_rows
         )
     );

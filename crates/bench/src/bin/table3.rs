@@ -11,7 +11,10 @@ fn main() {
         m.cpu.issue_width, m.cpu.max_pending_loads, m.cpu.max_pending_stores, m.cpu.branch_penalty
     );
     println!("MEMORY");
-    println!("  L1 data: write-back, 16 KB, 2 way, 32-B line, {}-cycle hit RT", m.cpu.l1_hit_cycles);
+    println!(
+        "  L1 data: write-back, 16 KB, 2 way, 32-B line, {}-cycle hit RT",
+        m.cpu.l1_hit_cycles
+    );
     println!(
         "  L2 data: write-back, {} KB, 4 way, {}-B line, {}-cycle hit RT",
         m.l2_size / 1024,

@@ -17,7 +17,11 @@ fn main() {
     ];
     let mut to_run = vec![Scheme::Base];
     to_run.extend(schemes);
-    eprintln!("running {} workloads x {} schemes at {refs} refs ...", 23, to_run.len());
+    eprintln!(
+        "running {} workloads x {} schemes at {refs} refs ...",
+        23,
+        to_run.len()
+    );
     let sweep = run_sweep(&to_run, refs);
     let rows = table4(&sweep, &schemes);
     println!("Table 4: Summary of the performance improvement\n");
@@ -26,7 +30,12 @@ fn main() {
         .map(|r| {
             vec![
                 r.scheme.label().to_owned(),
-                format!("{},{},{}", f2(r.uniform.0), f2(r.uniform.1), f2(r.uniform.2)),
+                format!(
+                    "{},{},{}",
+                    f2(r.uniform.0),
+                    f2(r.uniform.1),
+                    f2(r.uniform.2)
+                ),
                 format!(
                     "{},{},{}",
                     f2(r.non_uniform.0),

@@ -8,7 +8,11 @@ use primecache_sim::report::render_table;
 
 fn measured_worst(geom: Geometry, t: u32, bits: u32) -> u32 {
     let unit = IterativeLinear::new(geom, t);
-    let max_block = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
+    let max_block = if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
     // Probe the worst candidates: all-ones values of decreasing width.
     let mut worst = 0;
     let mut v = max_block;
@@ -46,7 +50,13 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["machine", "n_set_phys", "selector", "Theorem 1 bound", "model (Eq. 3, terminal selector)"],
+            &[
+                "machine",
+                "n_set_phys",
+                "selector",
+                "Theorem 1 bound",
+                "model (Eq. 3, terminal selector)"
+            ],
             &rows
         )
     );

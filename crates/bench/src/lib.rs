@@ -1,5 +1,5 @@
 //! Benchmark harness: shared helpers for the per-table/per-figure
-//! binaries and the criterion micro-benches.
+//! binaries and the [`microbench`] micro-benches.
 //!
 //! Every table and figure of the paper has a binary that regenerates it:
 //!
@@ -27,6 +27,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod microbench;
 
 use primecache_sim::suite::Sweep;
 use primecache_sim::{report, Scheme};
@@ -76,10 +78,7 @@ pub fn print_normalized_times(sweep: &Sweep, schemes: &[Scheme], names: &[&str],
     // Geometric-mean speedup row, as the paper summarizes.
     let mut summary = vec!["avg speedup".to_owned()];
     for &s in schemes {
-        let speedups: Vec<f64> = names
-            .iter()
-            .filter_map(|n| sweep.speedup(n, s))
-            .collect();
+        let speedups: Vec<f64> = names.iter().filter_map(|n| sweep.speedup(n, s)).collect();
         let avg = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
         summary.push(report::f2(avg));
     }
@@ -122,8 +121,10 @@ pub fn print_breakdown_segments(sweep: &Sweep, schemes: &[Scheme], names: &[&str
         })
         .collect();
     println!("{title}");
-    println!("(busy+other+memory, each normalized to the Base total)
-");
+    println!(
+        "(busy+other+memory, each normalized to the Base total)
+"
+    );
     print!("{}", report::render_table(&header, &rows));
     println!();
 }
@@ -168,7 +169,8 @@ mod tests {
     }
 
     #[test]
-    fn default_refs_is_sane() {
-        assert!(DEFAULT_REFS >= 100_000);
+    fn refs_default_applies_without_a_flag() {
+        // The test harness's argv has no `--refs`, so the default rules.
+        assert_eq!(refs_from_args(), DEFAULT_REFS);
     }
 }

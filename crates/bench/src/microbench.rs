@@ -1,0 +1,74 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The registry mirror is unreachable from some build environments, so the
+//! bench targets cannot depend on criterion. This module supplies the small
+//! subset they need: warmup, repeated timed samples, and a median-of-samples
+//! report in ns/iter. It is intentionally simple — for publication-grade
+//! numbers, swap in criterion locally.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One benchmark group, printed as an indented block.
+pub struct Group {
+    name: String,
+    /// Elements processed per iteration, for throughput reporting.
+    pub throughput: u64,
+    /// Timed samples taken per benchmark.
+    pub samples: usize,
+}
+
+impl Group {
+    /// Starts a named group.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        println!("{name}");
+        Self {
+            name: name.to_owned(),
+            throughput: 0,
+            samples: 15,
+        }
+    }
+
+    /// Times `f`, printing median ns/iter (and elements/s when a
+    /// throughput was set).
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        // Warm up and pick an iteration count targeting ~20ms per sample.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed.as_millis() >= 20 || iters >= 1 << 24 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 24);
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let median = per_iter[per_iter.len() / 2];
+        if self.throughput > 0 {
+            let eps = self.throughput as f64 / (median * 1e-9);
+            println!("  {label:<40} {median:>12.1} ns/iter  {eps:>14.0} elem/s");
+        } else {
+            println!("  {label:<40} {median:>12.1} ns/iter");
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {
+        println!();
+        let _ = self.name;
+    }
+}

@@ -75,7 +75,10 @@ impl CacheConfig {
     #[must_use]
     pub fn new(size_bytes: u64, assoc: u32, line_bytes: u64) -> Self {
         assert!(assoc >= 1, "associativity must be at least 1");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(
             size_bytes.is_multiple_of(line_bytes * u64::from(assoc)),
             "size must be divisible by line * assoc"
@@ -196,7 +199,10 @@ impl SkewedConfig {
     #[must_use]
     pub fn new(size_bytes: u64, banks: u32, line_bytes: u64, hash: SkewHashKind) -> Self {
         assert!(banks >= 2, "a skewed cache needs at least two banks");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(
             size_bytes.is_multiple_of(line_bytes * u64::from(banks)),
             "size must be divisible by line * banks"
@@ -274,8 +280,7 @@ impl SkewedConfig {
     /// Sets in each bank.
     #[must_use]
     pub fn sets_per_bank(&self) -> u64 {
-        self.size_bytes
-            / (self.line_bytes * u64::from(self.banks) * u64::from(self.ways_per_bank))
+        self.size_bytes / (self.line_bytes * u64::from(self.banks) * u64::from(self.ways_per_bank))
     }
 
     /// The per-bank index-function family.

@@ -45,7 +45,10 @@ impl FullyAssociative {
     /// at least one line.
     #[must_use]
     pub fn new(size_bytes: u64, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let capacity_lines = (size_bytes / line_bytes) as usize;
         assert!(capacity_lines >= 1, "capacity must hold at least one line");
         Self {

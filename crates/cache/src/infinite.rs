@@ -40,7 +40,10 @@ impl InfiniteCache {
     /// Panics if `line_bytes` is not a power of two.
     #[must_use]
     pub fn new(line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Self {
             line_shift: line_bytes.trailing_zeros(),
             resident: HashSet::new(),

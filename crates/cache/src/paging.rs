@@ -64,7 +64,10 @@ impl PageMapper {
     /// Panics if `page_size` is not a power of two.
     #[must_use]
     pub fn new(policy: PagePolicy, page_size: u64) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Self {
             policy,
             page_size,

@@ -188,10 +188,7 @@ impl Replacer {
                 }
                 way
             }
-            Replacer::Nru { refs } => refs
-                .iter()
-                .position(|&r| !r)
-                .unwrap_or(0) as u32,
+            Replacer::Nru { refs } => refs.iter().position(|&r| !r).unwrap_or(0) as u32,
             Replacer::Fifo { next, .. } => *next,
             Replacer::Random { state, ways } => {
                 // xorshift64*

@@ -74,10 +74,7 @@ impl Cache {
             assoc,
             line_shift: config.line_bytes().trailing_zeros(),
             lines: vec![Line::default(); n_set * assoc],
-            replacers: vec![
-                Replacer::new(config.replacement(), config.assoc());
-                n_set
-            ],
+            replacers: vec![Replacer::new(config.replacement(), config.assoc()); n_set],
             stats: CacheStats::new(n_set),
             pending_writebacks: Vec::new(),
             config,
@@ -137,6 +134,8 @@ impl Cache {
             } else {
                 self.replacers[set].touch(way as u32);
             }
+            #[cfg(any(debug_assertions, feature = "check"))]
+            self.debug_check(set);
             return true;
         }
         self.stats.record(set, true, write);
@@ -156,7 +155,88 @@ impl Cache {
             dirty: write,
         };
         self.replacers[set].fill(way as u32);
+        #[cfg(any(debug_assertions, feature = "check"))]
+        self.debug_check(set);
         false
+    }
+
+    /// Checks one set's structural invariants: occupancy within the
+    /// associativity, no block resident in two ways, and every valid
+    /// line indexed to the set it sits in.
+    fn check_set(&self, set: usize) -> Result<(), String> {
+        let base = set * self.assoc;
+        let ways = &self.lines[base..base + self.assoc];
+        let occupancy = ways.iter().filter(|l| l.valid).count();
+        if occupancy > self.assoc {
+            return Err(format!(
+                "set {set}: occupancy {occupancy} exceeds {} ways",
+                self.assoc
+            ));
+        }
+        for (i, l) in ways.iter().enumerate() {
+            if !l.valid {
+                continue;
+            }
+            let home = self.indexer.index(l.block) as usize;
+            if home != set {
+                return Err(format!(
+                    "set {set} way {i}: block {:#x} belongs in set {home}",
+                    l.block
+                ));
+            }
+            if ways[i + 1..].iter().any(|o| o.valid && o.block == l.block) {
+                return Err(format!(
+                    "set {set}: block {:#x} resident in two ways",
+                    l.block
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks every runtime invariant of the cache: stat integrity
+    /// ([`CacheStats::validate`]), evictions bounded by fills
+    /// (`writebacks <= misses`), and the per-set structure of
+    /// every set.
+    ///
+    /// Debug builds (and release builds with the `check` feature) run the
+    /// accessed set's checks after every access.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.stats.validate()?;
+        if self.stats.writebacks > self.stats.misses {
+            return Err(format!(
+                "writebacks ({}) exceed misses ({}): more evictions than fills",
+                self.stats.writebacks, self.stats.misses
+            ));
+        }
+        for set in 0..self.lines.len() / self.assoc {
+            self.check_set(set)?;
+        }
+        Ok(())
+    }
+
+    /// Per-access invariant hook: cheap O(1) stat checks plus the
+    /// accessed set's structural checks.
+    #[cfg(any(debug_assertions, feature = "check"))]
+    fn debug_check(&self, set: usize) {
+        assert!(
+            self.stats.hits + self.stats.misses == self.stats.accesses
+                && self.stats.writebacks <= self.stats.misses,
+            "stat integrity violated: {:?}",
+            (
+                self.stats.hits,
+                self.stats.misses,
+                self.stats.accesses,
+                self.stats.writebacks
+            )
+        );
+        if let Err(e) = self.check_set(set) {
+            panic!("set invariant violated: {e}");
+        }
     }
 
     /// The set index `addr` maps to (for stats attribution by callers).
@@ -213,10 +293,10 @@ mod tests {
         let mut c = tiny(HashKind::Traditional);
         // Set 0 holds blocks 0 and 4 (4 sets); a third conflicting block
         // evicts the least recent.
-        c.access(0 * 256, false); // block 0, set 0
-        c.access(1 * 256, false); // block 4, set 0
-        c.access(0 * 256, false); // touch block 0
-        c.access(2 * 256, false); // evicts block 4
+        c.access(0, false); // block 0, set 0
+        c.access(256, false); // block 4, set 0
+        c.access(0, false); // touch block 0
+        c.access(512, false); // evicts block 4
         assert!(c.contains(0));
         assert!(!c.contains(256));
         assert!(c.contains(512));
@@ -244,9 +324,7 @@ mod tests {
 
     #[test]
     fn prime_modulo_cache_uses_2039_like_sets() {
-        let c = Cache::new(
-            CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::PrimeModulo),
-        );
+        let c = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::PrimeModulo));
         assert_eq!(c.n_set(), 2039);
         assert_eq!(c.hash_name(), "pMod");
     }
@@ -256,8 +334,7 @@ mod tests {
         // 128 KB stride on the paper's L2: under Base all blocks share a
         // set (misses forever); under pMod they spread and hit.
         let run = |hash| {
-            let mut c =
-                Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(hash));
+            let mut c = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(hash));
             for _ in 0..10 {
                 for i in 0..16u64 {
                     c.access(i * 128 * 1024, false);
@@ -288,6 +365,70 @@ mod tests {
         c.reset_stats();
         assert_eq!(c.stats().accesses, 0);
         assert!(c.access(0, false), "contents must survive a stats reset");
+    }
+
+    #[test]
+    fn validate_accepts_a_long_run() {
+        let mut c = tiny(HashKind::PrimeDisplacement);
+        for i in 0..2_000u64 {
+            c.access((i * 7919) % (1 << 16), i % 3 == 0);
+        }
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_fires_on_seeded_duplicate_block() {
+        let mut c = tiny(HashKind::Traditional);
+        c.access(0, false);
+        // Corrupt: the same block resident in both ways of set 0.
+        c.lines[1] = Line {
+            block: 0,
+            valid: true,
+            dirty: false,
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("two ways"), "{err}");
+    }
+
+    #[test]
+    fn validate_fires_on_seeded_misplaced_block() {
+        let mut c = tiny(HashKind::Traditional);
+        c.access(0, false);
+        // Corrupt: block 1 (home set 1) parked in set 0's second way.
+        c.lines[1] = Line {
+            block: 1,
+            valid: true,
+            dirty: false,
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("belongs in set 1"), "{err}");
+    }
+
+    #[test]
+    fn validate_fires_on_seeded_eviction_excess() {
+        let mut c = tiny(HashKind::Traditional);
+        c.access(0, true);
+        // Corrupt: a writeback with no eviction to justify it.
+        c.stats.record_writeback();
+        c.stats.record_writeback();
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("more evictions than fills"), "{err}");
+    }
+
+    #[cfg(any(debug_assertions, feature = "check"))]
+    #[test]
+    #[should_panic(expected = "set invariant violated")]
+    fn per_access_check_fires_on_seeded_corruption() {
+        let mut c = tiny(HashKind::Traditional);
+        c.access(0, false);
+        c.lines[1] = Line {
+            block: 0,
+            valid: true,
+            dirty: false,
+        };
+        // A hit on the corrupted set trips the per-access checker (a miss
+        // might evict the duplicate before the check runs).
+        c.access(0, false);
     }
 
     #[test]

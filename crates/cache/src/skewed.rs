@@ -75,10 +75,7 @@ impl SkewedCache {
             sets_per_bank,
             ways,
             line_shift: config.line_bytes().trailing_zeros(),
-            lines: vec![
-                Line::default();
-                sets_per_bank * config.banks() as usize * ways
-            ],
+            lines: vec![Line::default(); sets_per_bank * config.banks() as usize * ways],
             rr: 0,
             stats: CacheStats::new(sets_per_bank),
             pending_writebacks: Vec::new(),
@@ -185,6 +182,8 @@ impl SkewedCache {
                 line.r = true;
                 line.w |= write;
                 self.age(&slots, i);
+                #[cfg(any(debug_assertions, feature = "check"))]
+                self.debug_check(block, &slots);
                 return true;
             }
         }
@@ -204,7 +203,77 @@ impl SkewedCache {
             w: write,
         };
         self.age(&slots, victim_i);
+        #[cfg(any(debug_assertions, feature = "check"))]
+        self.debug_check(block, &slots);
         false
+    }
+
+    /// Checks every runtime invariant of the skewed cache: stat
+    /// integrity, evictions bounded by fills, every valid line sitting in
+    /// the set its bank's hash assigns it, and no block resident twice.
+    ///
+    /// Debug builds (and release builds with the `check` feature) run the
+    /// accessed candidate set's checks after every access.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.stats.validate()?;
+        if self.stats.writebacks > self.stats.misses {
+            return Err(format!(
+                "writebacks ({}) exceed misses ({}): more evictions than fills",
+                self.stats.writebacks, self.stats.misses
+            ));
+        }
+        let mut seen = std::collections::HashMap::new();
+        for (i, l) in self.lines.iter().enumerate() {
+            if !l.valid {
+                continue;
+            }
+            let bank = i / (self.sets_per_bank * self.ways);
+            let set = (i / self.ways) % self.sets_per_bank;
+            let home = self.indexers[bank].index(l.block) as usize;
+            if home != set {
+                return Err(format!(
+                    "bank {bank} set {set}: block {:#x} belongs in set {home}",
+                    l.block
+                ));
+            }
+            if let Some(prev) = seen.insert(l.block, (bank, set)) {
+                return Err(format!(
+                    "block {:#x} resident twice: bank {} set {} and bank {bank} set {set}",
+                    l.block, prev.0, prev.1
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-access invariant hook: O(1) stat checks plus "the accessed
+    /// block is resident exactly once among its candidates".
+    #[cfg(any(debug_assertions, feature = "check"))]
+    fn debug_check(&self, block: u64, slots: &[usize]) {
+        assert!(
+            self.stats.hits + self.stats.misses == self.stats.accesses
+                && self.stats.writebacks <= self.stats.misses,
+            "stat integrity violated: {:?}",
+            (
+                self.stats.hits,
+                self.stats.misses,
+                self.stats.accesses,
+                self.stats.writebacks
+            )
+        );
+        let copies = slots
+            .iter()
+            .filter(|&&s| self.lines[s].valid && self.lines[s].block == block)
+            .count();
+        assert!(
+            copies == 1,
+            "skewed invariant violated: block {block:#x} resident {copies} times \
+             among its candidates"
+        );
     }
 
     /// The bank-0 set index `addr` maps to (the stats-attribution axis).
@@ -218,12 +287,10 @@ impl SkewedCache {
     pub fn contains(&self, addr: u64) -> bool {
         let block = addr >> self.line_shift;
         let sets = self.bank_sets(block);
-        self.candidate_slots(&sets)
-            .iter()
-            .any(|&slot| {
-                let l = &self.lines[slot];
-                l.valid && l.block == block
-            })
+        self.candidate_slots(&sets).iter().any(|&slot| {
+            let l = &self.lines[slot];
+            l.valid && l.block == block
+        })
     }
 }
 
@@ -319,8 +386,7 @@ mod tests {
         // Seznec's [18] design: 2 banks x 2 ways. Capacity must be
         // preserved and conflicts absorbed at least as well as with
         // direct-mapped banks of the same total size.
-        let cfg = SkewedConfig::new(512 * 1024, 2, 64, SkewHashKind::Xor)
-            .with_ways_per_bank(2);
+        let cfg = SkewedConfig::new(512 * 1024, 2, 64, SkewHashKind::Xor).with_ways_per_bank(2);
         assert_eq!(cfg.sets_per_bank(), 2048);
         let mut c = SkewedCache::new(cfg);
         for _ in 0..10 {
@@ -343,6 +409,74 @@ mod tests {
         // And a just-filled block is resident.
         c.access(77 * 64, false);
         assert!(c.contains(77 * 64));
+    }
+
+    #[test]
+    fn validate_accepts_a_long_run() {
+        let mut c = paper_skew(SkewHashKind::Xor);
+        for i in 0..5_000u64 {
+            c.access((i * 7919) % (1 << 22), i % 3 == 0);
+        }
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_fires_on_seeded_double_residency() {
+        let mut c = paper_skew(SkewHashKind::Xor);
+        c.access(0x12345 * 64, false);
+        // Corrupt: plant a second copy of the resident block in its
+        // bank-1 home set (a correct fill would never duplicate it).
+        let block = 0x12345u64;
+        let set = c.indexers[1].index(block) as usize;
+        let slot = c.slot(1, set);
+        c.lines[slot] = Line {
+            block,
+            valid: true,
+            dirty: false,
+            r: true,
+            w: false,
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("resident twice"), "{err}");
+    }
+
+    #[test]
+    fn validate_fires_on_seeded_misplaced_block() {
+        let mut c = paper_skew(SkewHashKind::PrimeDisplacement);
+        c.access(0, false);
+        // Corrupt: a block parked in a set its hash never produces.
+        let block = 0xDEADu64;
+        let wrong_set = (c.indexers[2].index(block) as usize + 1) % c.sets_per_bank;
+        let slot = c.slot(2, wrong_set);
+        c.lines[slot] = Line {
+            block,
+            valid: true,
+            dirty: false,
+            r: false,
+            w: false,
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("belongs in set"), "{err}");
+    }
+
+    #[cfg(any(debug_assertions, feature = "check"))]
+    #[test]
+    #[should_panic(expected = "skewed invariant violated")]
+    fn per_access_check_fires_on_seeded_duplicate() {
+        let mut c = paper_skew(SkewHashKind::Xor);
+        let block = 0x777u64;
+        c.access_block(block, false);
+        let set = c.indexers[1].index(block) as usize;
+        let slot = c.slot(1, set);
+        c.lines[slot] = Line {
+            block,
+            valid: true,
+            dirty: false,
+            r: true,
+            w: false,
+        };
+        // A re-reference sees the block twice among its candidates.
+        c.access_block(block, false);
     }
 
     #[test]

@@ -133,13 +133,13 @@ mod tests {
     #[test]
     fn capacity_eviction_is_lru() {
         let mut tlb = Tlb::new(2, 4096, 2048, 64);
-        let _ = tlb.l2_index(0 * 4096); // page 0
-        let _ = tlb.l2_index(1 * 4096); // page 1
-        let _ = tlb.l2_index(0 * 4096); // touch page 0
+        let _ = tlb.l2_index(0); // page 0
+        let _ = tlb.l2_index(4096); // page 1
+        let _ = tlb.l2_index(0); // touch page 0
         let _ = tlb.l2_index(2 * 4096); // evicts page 1
-        let _ = tlb.l2_index(0 * 4096); // still resident: hit
+        let _ = tlb.l2_index(0); // still resident: hit
         assert_eq!(tlb.stats().misses, 3);
-        let _ = tlb.l2_index(1 * 4096); // page 1 was evicted: miss
+        let _ = tlb.l2_index(4096); // page 1 was evicted: miss
         assert_eq!(tlb.stats().misses, 4);
     }
 

@@ -68,6 +68,64 @@ impl VictimCache {
     pub fn victim_entries(&self) -> usize {
         self.capacity
     }
+
+    /// Checks every runtime invariant of the victim hierarchy: stat
+    /// integrity of both levels, buffer occupancy within capacity, no
+    /// duplicate buffer entries, exclusion between buffer and main
+    /// cache, and buffer hits bounded by total hits.
+    ///
+    /// Debug builds (and release builds with the `check` feature) run
+    /// these checks after every access.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.stats.validate()?;
+        self.main.validate()?;
+        if self.buffer.len() > self.capacity {
+            return Err(format!(
+                "victim buffer holds {} entries, capacity is {}",
+                self.buffer.len(),
+                self.capacity
+            ));
+        }
+        if self.victim_hits > self.stats.hits {
+            return Err(format!(
+                "buffer hits ({}) exceed total hits ({})",
+                self.victim_hits, self.stats.hits
+            ));
+        }
+        for (i, &(block, _)) in self.buffer.iter().enumerate() {
+            if self.buffer[i + 1..].iter().any(|&(b, _)| b == block) {
+                return Err(format!("block {block:#x} parked twice in the buffer"));
+            }
+            if self.main.contains(block << self.line_shift) {
+                return Err(format!(
+                    "block {block:#x} resident in both the buffer and the main cache"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-access invariant hook.
+    #[cfg(any(debug_assertions, feature = "check"))]
+    fn debug_check(&self) {
+        assert!(
+            self.stats.hits + self.stats.misses == self.stats.accesses
+                && self.buffer.len() <= self.capacity
+                && self.victim_hits <= self.stats.hits,
+            "victim invariant violated: {:?}",
+            (
+                self.stats.hits,
+                self.stats.misses,
+                self.stats.accesses,
+                self.buffer.len(),
+                self.victim_hits
+            )
+        );
+    }
 }
 
 impl CacheSim for VictimCache {
@@ -80,6 +138,8 @@ impl CacheSim for VictimCache {
             for victim in self.main.take_writebacks() {
                 self.park(victim, true);
             }
+            #[cfg(any(debug_assertions, feature = "check"))]
+            self.debug_check();
             return true;
         }
         // Main miss: the fill already happened; park its victims (dirty
@@ -94,9 +154,13 @@ impl CacheSim for VictimCache {
             self.buffer.remove(pos);
             self.victim_hits += 1;
             self.stats.record(set, false, write);
+            #[cfg(any(debug_assertions, feature = "check"))]
+            self.debug_check();
             return true;
         }
         self.stats.record(set, true, write);
+        #[cfg(any(debug_assertions, feature = "check"))]
+        self.debug_check();
         false
     }
 
@@ -180,6 +244,45 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.hits + s.misses, s.accesses);
         assert_eq!(s.accesses, 500);
+    }
+
+    #[test]
+    fn validate_accepts_a_long_run() {
+        let mut c = VictimCache::new(CacheConfig::new(4096, 2, 64), 4);
+        for i in 0..2_000u64 {
+            c.access(((i * 7919) % (1 << 14)) & !63, i % 3 == 0);
+        }
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_fires_on_seeded_buffer_overflow() {
+        let mut c = VictimCache::new(CacheConfig::new(4096, 2, 64), 2);
+        // Corrupt: stuff the buffer past its capacity.
+        for b in 100..103u64 {
+            c.buffer.push((b, false));
+        }
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("capacity"), "{err}");
+    }
+
+    #[test]
+    fn validate_fires_on_seeded_double_residency() {
+        let mut c = VictimCache::new(CacheConfig::new(4096, 2, 64), 4);
+        c.access(0, false); // block 0 now in the main cache
+        c.buffer.push((0, false)); // corrupt: and in the buffer
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("both"), "{err}");
+    }
+
+    #[cfg(any(debug_assertions, feature = "check"))]
+    #[test]
+    #[should_panic(expected = "victim invariant violated")]
+    fn per_access_check_fires_on_seeded_hit_count_drift() {
+        let mut c = VictimCache::new(CacheConfig::new(4096, 2, 64), 4);
+        c.access(0, false);
+        c.victim_hits = 10; // corrupt: more buffer hits than hits
+        c.access(0, false);
     }
 
     #[test]

@@ -1,0 +1,758 @@
+//! The differential-oracle battery.
+//!
+//! Each *unit* pits one fast path — an index function, a §3.1 hardware
+//! modulo unit, or a cache organization — against its naive
+//! [oracle](crate::oracle) over a mixed stream of randomized and
+//! adversarial strided addresses, asserting bit-exact agreement. A
+//! disagreement is shrunk to a minimal counterexample by the
+//! [prop](crate::prop) harness before being reported.
+//!
+//! Run the full battery with the `primecache-check` binary, or call
+//! [`run_battery`] directly (the crate's tests do, with a smaller budget).
+
+use crate::oracle::{
+    ref_mersenne, ref_prime_displacement, ref_prime_modulo, ref_skew_xor, ref_subtract_select,
+    ref_tlb_index, ref_traditional, ref_xor, ref_xor_folded, OracleCache, OracleDram, OraclePolicy,
+    OracleSkewed, OracleVictim,
+};
+use crate::prop::{forall_result, Rng, Shrink};
+
+use primecache_cache::{
+    Cache, CacheConfig, CacheSim, ReplacementKind, SkewHashKind, SkewReplacement, SkewedCache,
+    SkewedConfig, VictimCache,
+};
+use primecache_core::hw::{
+    mersenne_fold, IterativeLinear, Polynomial, SubtractSelect, TlbAssist, Wired2039,
+};
+use primecache_core::index::{
+    Geometry, HashKind, PrimeDisplacement, SetIndexer, SkewDispBank, SkewXorBank, XorFolded,
+    SKEW_DISP_FACTORS,
+};
+use primecache_mem::{Dram, MemConfig};
+
+/// Accesses per cache/DRAM stream case (the shrinkable unit of replay).
+const STREAM_LEN: usize = 256;
+
+/// Battery configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatteryConfig {
+    /// Addresses (or cache accesses) checked per unit.
+    pub addrs_per_unit: usize,
+    /// Base seed mixed into every unit's generator stream.
+    pub seed: u64,
+}
+
+impl Default for BatteryConfig {
+    fn default() -> Self {
+        Self {
+            addrs_per_unit: 1_000_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of one differential unit.
+#[derive(Debug, Clone)]
+pub struct UnitReport {
+    /// Unit name, e.g. `index/pMod` or `cache/skewed/SKW`.
+    pub unit: String,
+    /// Addresses or accesses checked (0 when the unit failed).
+    pub cases: usize,
+    /// Whether every case agreed with the oracle.
+    pub passed: bool,
+    /// Shrunk counterexample (input and panic message) on failure.
+    pub counterexample: Option<String>,
+    /// Shrink steps applied to reach the counterexample.
+    pub shrink_steps: usize,
+}
+
+/// Derives a per-unit seed: deterministic per name, varied by the
+/// configured base seed.
+fn unit_seed(cfg: &BatteryConfig, name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    }) ^ cfg.seed
+}
+
+/// Runs one unit: `cases` inputs from `gen`, `prop` panicking on any
+/// fast/oracle disagreement. `case_weight` scales the reported case count
+/// (a stream case replays [`STREAM_LEN`] accesses).
+fn run_unit<T, G, P>(
+    cfg: &BatteryConfig,
+    name: &str,
+    cases: usize,
+    case_weight: usize,
+    gen: G,
+    prop: P,
+) -> UnitReport
+where
+    T: Shrink + Clone + std::fmt::Debug,
+    G: FnMut(&mut Rng) -> T,
+    P: Fn(&T),
+{
+    match forall_result(unit_seed(cfg, name), cases, gen, prop) {
+        Ok(n) => UnitReport {
+            unit: name.to_owned(),
+            cases: n * case_weight,
+            passed: true,
+            counterexample: None,
+            shrink_steps: 0,
+        },
+        Err(f) => UnitReport {
+            unit: name.to_owned(),
+            cases: 0,
+            passed: false,
+            counterexample: Some(format!("input {:?}: {}", f.input, f.message)),
+            shrink_steps: f.shrink_steps,
+        },
+    }
+}
+
+/// Conflict-prone strides for a structure with `n_set` sets: the paper's
+/// pathological cases (`n_set ± 1` for XOR, multiples of `n_set` for
+/// traditional indexing) plus power-of-two strides.
+fn adversarial_strides(n_set: u64) -> Vec<u64> {
+    vec![
+        1,
+        2,
+        3,
+        n_set.saturating_sub(1).max(1),
+        n_set,
+        n_set + 1,
+        2 * n_set,
+        4 * n_set,
+        1 << 12,
+        1 << 16,
+        1 << 20,
+        7919, // a large odd prime, co-prime to every power-of-two geometry
+    ]
+}
+
+/// One address: half the stream is uniform over `mask`, half walks an
+/// adversarial stride from a random base.
+fn gen_addr(rng: &mut Rng, mask: u64, strides: &[u64]) -> u64 {
+    if rng.bool() {
+        rng.next_u64() & mask
+    } else {
+        let stride = strides[rng.range_usize(0, strides.len())];
+        let base = rng.next_u64() & mask;
+        let i = rng.range_u64(0, 4096);
+        base.wrapping_add(i.wrapping_mul(stride)) & mask
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar units: index functions and hardware modulo units.
+// ---------------------------------------------------------------------------
+
+fn scalar_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    let mut out = Vec::new();
+    let n = cfg.addrs_per_unit;
+    let geom = Geometry::new(2048);
+    let full = u64::MAX;
+
+    // The four single-function schemes, via the same construction path the
+    // caches use (HashKind::build).
+    for kind in HashKind::ALL {
+        let idx = kind.build(geom);
+        let strides = adversarial_strides(idx.n_set());
+        let reference = move |a: u64| match kind {
+            HashKind::Traditional => ref_traditional(a, 2048),
+            HashKind::Xor => ref_xor(a, 2048),
+            HashKind::PrimeModulo => ref_prime_modulo(a, 2039),
+            HashKind::PrimeDisplacement => ref_prime_displacement(a, 2048, 9),
+        };
+        out.push(run_unit(
+            cfg,
+            &format!("index/{}", kind.label()),
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| {
+                assert_eq!(
+                    idx.index(a),
+                    reference(a),
+                    "{} disagrees with its oracle at block {a:#x}",
+                    kind.label()
+                );
+            },
+        ));
+    }
+
+    // The folded-XOR extension.
+    {
+        let xf = XorFolded::new(geom);
+        let strides = adversarial_strides(2048);
+        out.push(run_unit(
+            cfg,
+            "index/XOR-fold",
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| assert_eq!(xf.index(a), ref_xor_folded(a, 2048), "block {a:#x}"),
+        ));
+    }
+
+    // A non-default displacement factor.
+    {
+        let pd = PrimeDisplacement::new(geom, 37);
+        let strides = adversarial_strides(2048);
+        out.push(run_unit(
+            cfg,
+            "index/pDisp-37",
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| {
+                assert_eq!(
+                    pd.index(a),
+                    ref_prime_displacement(a, 2048, 37),
+                    "block {a:#x}"
+                );
+            },
+        ));
+    }
+
+    // The per-bank skewing functions over one bank-sized geometry.
+    let bank_geom = Geometry::new(512);
+    for bank in 0..4u32 {
+        let skw = SkewXorBank::new(bank_geom, bank);
+        let strides = adversarial_strides(512);
+        out.push(run_unit(
+            cfg,
+            &format!("index/SKW-bank{bank}"),
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| {
+                assert_eq!(skw.index(a), ref_skew_xor(a, 512, bank), "block {a:#x}");
+            },
+        ));
+    }
+    for factor in SKEW_DISP_FACTORS {
+        let sd = SkewDispBank::new(bank_geom, factor);
+        let strides = adversarial_strides(512);
+        out.push(run_unit(
+            cfg,
+            &format!("index/skw+pDisp-{factor}"),
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| {
+                assert_eq!(
+                    sd.index(a),
+                    ref_prime_displacement(a, 512, factor),
+                    "block {a:#x}"
+                );
+            },
+        ));
+    }
+
+    // Subtract&select: agreement inside the selector's reach, refusal
+    // beyond it (the paper's 258-input configuration).
+    {
+        let ss = SubtractSelect::new(2039, 258);
+        let span = 2 * ss.capacity();
+        out.push(run_unit(
+            cfg,
+            "hw/subtract_select",
+            n,
+            1,
+            move |rng| rng.range_u64(0, span),
+            move |&x| {
+                assert_eq!(
+                    ss.try_reduce(x),
+                    ref_subtract_select(x, 2039, 258),
+                    "x = {x}"
+                );
+            },
+        ));
+    }
+
+    // Iterative linear, narrow and wide selectors, full 64-bit addresses.
+    for t in [0u32, 8] {
+        let unit = IterativeLinear::new(geom, t);
+        let strides = adversarial_strides(2039);
+        out.push(run_unit(
+            cfg,
+            &format!("hw/iterative_linear-t{t}"),
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| assert_eq!(unit.reduce(a), ref_prime_modulo(a, 2039), "block {a:#x}"),
+        ));
+    }
+
+    // Polynomial method, full 64-bit addresses.
+    {
+        let unit = Polynomial::new(geom);
+        let strides = adversarial_strides(2039);
+        out.push(run_unit(
+            cfg,
+            "hw/polynomial",
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| assert_eq!(unit.reduce(a), ref_prime_modulo(a, 2039), "block {a:#x}"),
+        ));
+    }
+
+    // Mersenne folding for the 8191-set (k=13) and 127-set (k=7) primes.
+    for k in [13u32, 7] {
+        let strides = adversarial_strides((1 << k) - 1);
+        out.push(run_unit(
+            cfg,
+            &format!("hw/mersenne_fold-k{k}"),
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| assert_eq!(mersenne_fold(a, k), ref_mersenne(a, k), "a = {a:#x}"),
+        ));
+    }
+
+    // The wired five-addend unit (26-bit block addresses by construction).
+    {
+        let mask = (1u64 << 26) - 1;
+        let strides = adversarial_strides(2039);
+        out.push(run_unit(
+            cfg,
+            "hw/wired2039",
+            n,
+            1,
+            move |rng| gen_addr(rng, mask, &strides),
+            move |&a| {
+                assert_eq!(
+                    Wired2039::index(a),
+                    ref_prime_modulo(a, 2039),
+                    "block {a:#x}"
+                )
+            },
+        ));
+    }
+
+    // TLB assist: 4 KB pages (paper example) and 2 MB huge pages (wider
+    // selector), over full 64-bit byte addresses.
+    for (label, page) in [("4k", 4096u64), ("2m", 2 * 1024 * 1024)] {
+        let tlb = TlbAssist::new(2048, page, 64);
+        let strides = adversarial_strides(2039 * 64);
+        out.push(run_unit(
+            cfg,
+            &format!("hw/tlb_assist-{label}"),
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| {
+                assert_eq!(tlb.index_addr(a), ref_tlb_index(a, 64, 2039), "addr {a:#x}");
+            },
+        ));
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Cache stream units.
+// ---------------------------------------------------------------------------
+
+/// A stream of `(block, is_write)` accesses: random over a small working
+/// set, a strided walk, or a single-congruence-class hammer — the three
+/// shapes that exercise fills, LRU rotation, and conflict eviction.
+fn gen_stream(rng: &mut Rng, domain: u64, n_set: u64) -> Vec<(u64, bool)> {
+    let pattern = rng.range_u32(0, 3);
+    match pattern {
+        0 => (0..STREAM_LEN)
+            .map(|_| (rng.range_u64(0, domain), rng.bool()))
+            .collect(),
+        1 => {
+            let strides = adversarial_strides(n_set);
+            let stride = strides[rng.range_usize(0, strides.len())];
+            let base = rng.range_u64(0, domain);
+            (0..STREAM_LEN as u64)
+                .map(|i| ((base + i * stride) % domain, rng.bool()))
+                .collect()
+        }
+        _ => {
+            // Hammer one congruence class so a handful of sets thrash.
+            let class = rng.range_u64(0, n_set);
+            (0..STREAM_LEN)
+                .map(|_| (class + rng.range_u64(0, 32) * n_set, rng.bool()))
+                .collect()
+        }
+    }
+}
+
+fn stream_cases(cfg: &BatteryConfig) -> usize {
+    cfg.addrs_per_unit.div_ceil(STREAM_LEN)
+}
+
+fn set_assoc_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    let mut out = Vec::new();
+    // 8 KB, 4-way, 64-B lines: 32 physical sets — small enough that a
+    // 256-access stream wraps the capacity several times.
+    let cc = CacheConfig::new(8 * 1024, 4, 64);
+    for kind in HashKind::ALL {
+        let cc = cc.with_hash(kind);
+        let n_set = match kind {
+            HashKind::PrimeModulo => 31,
+            _ => 32,
+        };
+        let reference = move |block: u64| match kind {
+            HashKind::Traditional => ref_traditional(block, 32),
+            HashKind::Xor => ref_xor(block, 32),
+            HashKind::PrimeModulo => ref_prime_modulo(block, 31),
+            HashKind::PrimeDisplacement => ref_prime_displacement(block, 32, 9),
+        };
+        out.push(run_unit(
+            cfg,
+            &format!("cache/set_assoc/{}", kind.label()),
+            stream_cases(cfg),
+            STREAM_LEN,
+            move |rng| gen_stream(rng, 1024, 32),
+            move |stream: &Vec<(u64, bool)>| {
+                let mut fast = Cache::new(cc);
+                let mut oracle = OracleCache::new(n_set, 4, OraclePolicy::Lru, reference);
+                replay_set_assoc(&mut fast, &mut oracle, stream);
+            },
+        ));
+    }
+    // FIFO replacement against the insertion-order oracle.
+    {
+        let cc = cc.with_replacement(ReplacementKind::Fifo);
+        out.push(run_unit(
+            cfg,
+            "cache/set_assoc/Base-fifo",
+            stream_cases(cfg),
+            STREAM_LEN,
+            move |rng| gen_stream(rng, 1024, 32),
+            move |stream: &Vec<(u64, bool)>| {
+                let mut fast = Cache::new(cc);
+                let mut oracle =
+                    OracleCache::new(32, 4, OraclePolicy::Fifo, |b| ref_traditional(b, 32));
+                replay_set_assoc(&mut fast, &mut oracle, stream);
+            },
+        ));
+    }
+    out
+}
+
+fn replay_set_assoc(fast: &mut Cache, oracle: &mut OracleCache, stream: &[(u64, bool)]) {
+    for (i, &(block, write)) in stream.iter().enumerate() {
+        let fast_hit = fast.access_block(block, write);
+        let want = oracle.access_block(block, write);
+        assert_eq!(
+            fast_hit, want.hit,
+            "access {i} (block {block:#x}, write {write}): hit/miss mismatch"
+        );
+        let fast_wb = fast.take_writebacks();
+        let want_wb: Vec<u64> = want.writeback.into_iter().collect();
+        assert_eq!(
+            fast_wb, want_wb,
+            "access {i} (block {block:#x}): writeback mismatch"
+        );
+    }
+    let s = fast.stats();
+    assert_eq!(s.hits + s.misses, s.accesses, "stat integrity after replay");
+}
+
+fn skewed_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    // (name, config): the paper's 4 direct-mapped banks with both hash
+    // families, plus Seznec's original 2-bank × 2-way shape under NRUNRW.
+    let shapes = [
+        (
+            "cache/skewed/SKW",
+            SkewedConfig::new(4 * 64 * 64, 4, 64, SkewHashKind::Xor),
+        ),
+        (
+            "cache/skewed/skw+pDisp",
+            SkewedConfig::new(4 * 64 * 64, 4, 64, SkewHashKind::PrimeDisplacement),
+        ),
+        (
+            "cache/skewed/2x2-nrunrw",
+            SkewedConfig::new(2 * 2 * 32 * 64, 2, 64, SkewHashKind::PrimeDisplacement)
+                .with_ways_per_bank(2)
+                .with_replacement(SkewReplacement::Nrunrw),
+        ),
+    ];
+    shapes
+        .into_iter()
+        .map(|(name, scfg)| {
+            let sets = scfg.sets_per_bank();
+            let ways = scfg.ways_per_bank() as usize;
+            let banks = scfg.banks();
+            let hash = scfg.hash();
+            let write_aware = scfg.replacement() == SkewReplacement::Nrunrw;
+            let capacity_blocks = sets * u64::from(banks) * ways as u64;
+            run_unit(
+                cfg,
+                name,
+                stream_cases(cfg),
+                STREAM_LEN,
+                move |rng| gen_stream(rng, 16 * capacity_blocks, sets),
+                move |stream: &Vec<(u64, bool)>| {
+                    let mut fast = SkewedCache::new(scfg);
+                    let index_fns: Vec<Box<dyn Fn(u64) -> u64>> = (0..banks)
+                        .map(|b| match hash {
+                            SkewHashKind::Xor => {
+                                Box::new(move |blk: u64| ref_skew_xor(blk, sets, b))
+                                    as Box<dyn Fn(u64) -> u64>
+                            }
+                            SkewHashKind::PrimeDisplacement => {
+                                let factor = SKEW_DISP_FACTORS
+                                    [b as usize % SKEW_DISP_FACTORS.len()]
+                                    + 2 * (u64::from(b) / SKEW_DISP_FACTORS.len() as u64) * 41;
+                                Box::new(move |blk: u64| ref_prime_displacement(blk, sets, factor))
+                            }
+                        })
+                        .collect();
+                    let mut oracle = OracleSkewed::new(sets as usize, ways, write_aware, index_fns);
+                    for (i, &(block, write)) in stream.iter().enumerate() {
+                        let fast_hit = fast.access_block(block, write);
+                        let want = oracle.access_block(block, write);
+                        assert_eq!(
+                            fast_hit, want.hit,
+                            "access {i} (block {block:#x}): hit/miss mismatch"
+                        );
+                        let fast_wb = fast.take_writebacks();
+                        let want_wb: Vec<u64> = want.writeback.into_iter().collect();
+                        assert_eq!(
+                            fast_wb, want_wb,
+                            "access {i} (block {block:#x}): writeback mismatch"
+                        );
+                    }
+                },
+            )
+        })
+        .collect()
+}
+
+fn victim_unit(cfg: &BatteryConfig) -> UnitReport {
+    // 4 KB 2-way main cache (32 sets) with a 4-entry victim buffer.
+    let cc = CacheConfig::new(4 * 1024, 2, 64);
+    run_unit(
+        cfg,
+        "cache/victim",
+        stream_cases(cfg),
+        STREAM_LEN,
+        move |rng| gen_stream(rng, 512, 32),
+        move |stream: &Vec<(u64, bool)>| {
+            let mut fast = VictimCache::new(cc, 4);
+            let main = OracleCache::new(32, 2, OraclePolicy::Lru, |b| ref_traditional(b, 32));
+            let mut oracle = OracleVictim::new(main, 4);
+            let mut want_victim_hits = 0u64;
+            let mut want_writebacks = 0u64;
+            for (i, &(block, write)) in stream.iter().enumerate() {
+                let fast_hit = fast.access(block * 64, write);
+                let want = oracle.access_block(block, write);
+                assert_eq!(
+                    fast_hit, want.hit,
+                    "access {i} (block {block:#x}): hit/miss mismatch"
+                );
+                want_victim_hits += u64::from(want.from_buffer);
+                want_writebacks += want.writebacks.len() as u64;
+            }
+            assert_eq!(fast.victim_hits(), want_victim_hits, "buffer-hit count");
+            assert_eq!(
+                fast.stats().writebacks,
+                want_writebacks,
+                "buffer-spill writeback count"
+            );
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// DRAM stream unit.
+// ---------------------------------------------------------------------------
+
+fn dram_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    [
+        ("mem/dram", MemConfig::paper_default()),
+        (
+            "mem/dram-permuted",
+            MemConfig::paper_default().with_permutation_mapping(),
+        ),
+    ]
+    .into_iter()
+    .map(|(name, mc)| {
+        run_unit(
+            cfg,
+            name,
+            stream_cases(cfg),
+            STREAM_LEN,
+            // (address, issue gap, is_write): addresses span a few rows
+            // and banks; gaps interleave in-flight requests.
+            move |rng| {
+                rng.vec(STREAM_LEN, STREAM_LEN + 1, |r| {
+                    (r.range_u64(0, 1 << 24), r.range_u64(0, 400), r.bool())
+                })
+            },
+            move |stream: &Vec<(u64, u64, bool)>| {
+                let mut fast = Dram::new(mc);
+                let mut oracle = OracleDram::new(mc);
+                let mut now = 0u64;
+                for (i, &(addr, gap, write)) in stream.iter().enumerate() {
+                    now += gap;
+                    let got = fast.request(addr, now, write);
+                    let want = oracle.request(addr, now, write);
+                    assert_eq!(
+                        got, want,
+                        "request {i} (addr {addr:#x}, cycle {now}): completion mismatch"
+                    );
+                }
+            },
+        )
+    })
+    .collect()
+}
+
+/// Runs every differential unit and returns one report per unit.
+#[must_use]
+pub fn run_battery(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    let mut out = scalar_units(cfg);
+    out.extend(set_assoc_units(cfg));
+    out.extend(skewed_units(cfg));
+    out.push(victim_unit(cfg));
+    out.extend(dram_units(cfg));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> BatteryConfig {
+        BatteryConfig {
+            addrs_per_unit: 5_000,
+            seed: 0,
+        }
+    }
+
+    #[test]
+    fn battery_passes_on_the_shipped_implementations() {
+        let reports = run_battery(&small());
+        assert!(
+            reports.len() >= 20,
+            "expected a broad battery, got {}",
+            reports.len()
+        );
+        for r in &reports {
+            assert!(
+                r.passed,
+                "unit {} failed: {}",
+                r.unit,
+                r.counterexample.as_deref().unwrap_or("<none>")
+            );
+            assert!(
+                r.cases >= 5_000,
+                "unit {} checked only {} cases",
+                r.unit,
+                r.cases
+            );
+        }
+    }
+
+    #[test]
+    fn battery_covers_every_fast_path_family() {
+        let names: Vec<String> = run_battery(&BatteryConfig {
+            addrs_per_unit: 64,
+            seed: 1,
+        })
+        .into_iter()
+        .map(|r| r.unit)
+        .collect();
+        for prefix in [
+            "index/Base",
+            "index/XOR",
+            "index/pMod",
+            "index/pDisp",
+            "index/XOR-fold",
+            "index/SKW-bank0",
+            "index/skw+pDisp-9",
+            "hw/subtract_select",
+            "hw/iterative_linear-t0",
+            "hw/polynomial",
+            "hw/mersenne_fold-k13",
+            "hw/wired2039",
+            "hw/tlb_assist-4k",
+            "cache/set_assoc/Base",
+            "cache/set_assoc/pMod",
+            "cache/skewed/SKW",
+            "cache/skewed/skw+pDisp",
+            "cache/victim",
+            "mem/dram",
+        ] {
+            assert!(
+                names.iter().any(|n| n == prefix),
+                "battery lost coverage of {prefix}; units: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn battery_catches_a_seeded_indexer_bug() {
+        // A deliberately wrong "fast path" (off-by-one modulus) must be
+        // caught and shrunk to the smallest disagreeing address.
+        let cfg = small();
+        let report = run_unit(
+            &cfg,
+            "seeded/broken-pmod",
+            cfg.addrs_per_unit,
+            1,
+            |rng| rng.range_u64(0, 1 << 20),
+            |&a| assert_eq!(a % 2039, ref_prime_modulo(a, 2038), "a = {a}"),
+        );
+        assert!(!report.passed);
+        assert!(report.shrink_steps > 0, "shrinking should make progress");
+        // The moduli agree below 2038, so any shrunk counterexample has
+        // been driven down to a small disagreeing address.
+        let ce = report.counterexample.expect("counterexample recorded");
+        let input: u64 = ce
+            .strip_prefix("input ")
+            .and_then(|s| s.split(':').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable counterexample: {ce}"));
+        assert!(
+            (2038..10_000).contains(&input),
+            "expected a near-minimal counterexample, got {input}"
+        );
+    }
+
+    #[test]
+    fn battery_catches_a_seeded_replacement_bug() {
+        // An "MRU-evicting" cache must disagree with the LRU oracle on
+        // some stream.
+        let cfg = BatteryConfig {
+            addrs_per_unit: 20_000,
+            seed: 0,
+        };
+        let report = run_unit(
+            &cfg,
+            "seeded/broken-lru",
+            stream_cases(&cfg),
+            STREAM_LEN,
+            |rng| gen_stream(rng, 64, 4),
+            |stream: &Vec<(u64, bool)>| {
+                // Broken model: 4 sets × 2 ways, evicts the *newest* line.
+                let mut sets: Vec<Vec<u64>> = vec![Vec::new(); 4];
+                let mut oracle = OracleCache::new(4, 2, OraclePolicy::Lru, |b| b % 4);
+                for &(block, write) in stream {
+                    let set = &mut sets[(block % 4) as usize];
+                    let broken_hit = if let Some(pos) = set.iter().position(|&b| b == block) {
+                        let b = set.remove(pos);
+                        set.push(b);
+                        true
+                    } else {
+                        if set.len() == 2 {
+                            set.pop(); // wrong: evicts the most recent
+                        }
+                        set.push(block);
+                        false
+                    };
+                    let want = oracle.access_block(block, write);
+                    assert_eq!(broken_hit, want.hit, "hit mismatch at block {block}");
+                }
+            },
+        );
+        assert!(!report.passed, "the seeded MRU bug must be detected");
+    }
+}

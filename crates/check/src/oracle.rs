@@ -1,0 +1,574 @@
+//! Deliberately naive reference implementations ("oracles").
+//!
+//! Every function and model here recomputes a result the slow, obvious
+//! way — plain `/` and `%` arithmetic, `u128` widening instead of wrapping
+//! tricks, `Vec` scans instead of packed arrays — so that a bug in a fast
+//! path (bit-field extraction, shift-add networks, slot arithmetic) cannot
+//! hide in a matching bug here. The [battery](crate::battery) drives the
+//! production implementations and these oracles over the same inputs and
+//! asserts bit-exact agreement.
+
+use std::collections::HashMap;
+
+use primecache_mem::{Completion, DramMapping, MemConfig};
+
+// ---------------------------------------------------------------------------
+// Index-function oracles (crates/core/src/index).
+//
+// The production indexers carve bit fields with shifts and masks; the
+// oracles below derive the same fields with division and remainder, which
+// is correct for any power-of-two set count without sharing a single
+// operator with the fast path.
+// ---------------------------------------------------------------------------
+
+/// Traditional indexing: the low index bits, i.e. `block mod n_set_phys`.
+#[must_use]
+pub fn ref_traditional(block: u64, n_set_phys: u64) -> u64 {
+    block % n_set_phys
+}
+
+/// XOR indexing: `x ^ t1` with both fields derived by division.
+#[must_use]
+pub fn ref_xor(block: u64, n_set_phys: u64) -> u64 {
+    let x = block % n_set_phys;
+    let t1 = (block / n_set_phys) % n_set_phys;
+    x ^ t1
+}
+
+/// Fully-folded XOR: fold every base-`n_set_phys` digit of the address.
+#[must_use]
+pub fn ref_xor_folded(block: u64, n_set_phys: u64) -> u64 {
+    let mut h = 0u64;
+    let mut v = block;
+    while v != 0 {
+        h ^= v % n_set_phys;
+        v /= n_set_phys;
+    }
+    h
+}
+
+/// Prime modulo: `block mod prime` (the paper's headline function).
+#[must_use]
+pub fn ref_prime_modulo(block: u64, prime: u64) -> u64 {
+    block % prime
+}
+
+/// Prime displacement (Eq. 6): `(p·T + x) mod n_set_phys`, computed in
+/// `u128` so no wrapping behaviour of the fast path is replicated.
+#[must_use]
+pub fn ref_prime_displacement(block: u64, n_set_phys: u64, factor: u64) -> u64 {
+    let t = u128::from(block / n_set_phys);
+    let x = u128::from(block % n_set_phys);
+    ((u128::from(factor) * t + x) % u128::from(n_set_phys)) as u64
+}
+
+/// Seznec skewing: `rotate(t1, bank) ^ x`, with the circular rotation done
+/// arithmetically — rotating an `index_bits`-wide value left by one is
+/// `(2v) mod n + (2v) div n` (the top bit wraps to the bottom).
+#[must_use]
+pub fn ref_skew_xor(block: u64, n_set_phys: u64, bank: u32) -> u64 {
+    let x = block % n_set_phys;
+    let mut t1 = (block / n_set_phys) % n_set_phys;
+    let bits = n_set_phys.trailing_zeros();
+    for _ in 0..(bank % bits) {
+        let doubled = t1 * 2;
+        t1 = doubled % n_set_phys + doubled / n_set_phys;
+    }
+    t1 ^ x
+}
+
+/// Mersenne fold: `a mod (2^k − 1)`, by a plain remainder.
+#[must_use]
+pub fn ref_mersenne(a: u64, k: u32) -> u64 {
+    a % ((1u64 << k) - 1)
+}
+
+/// TLB-assisted indexing: the block address modulo the prime, from the
+/// byte address.
+#[must_use]
+pub fn ref_tlb_index(byte_addr: u64, line_size: u64, prime: u64) -> u64 {
+    (byte_addr / line_size) % prime
+}
+
+/// Subtract&select: `x mod n_set` when `x` is within the selector's reach
+/// (`x div n_set < inputs`), `None` otherwise.
+#[must_use]
+pub fn ref_subtract_select(x: u64, n_set: u64, inputs: u32) -> Option<u64> {
+    if x / n_set >= u64::from(inputs) {
+        None
+    } else {
+        Some(x % n_set)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Set-associative cache oracle.
+// ---------------------------------------------------------------------------
+
+/// Replacement disciplines the textbook cache model understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OraclePolicy {
+    /// Least-recently-used: evict the line touched longest ago.
+    Lru,
+    /// First-in first-out: evict the line filled longest ago.
+    Fifo,
+}
+
+/// What one oracle access observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleAccess {
+    /// Whether the block was resident.
+    pub hit: bool,
+    /// Block address of a dirty line evicted by this access, if any.
+    pub writeback: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OracleLine {
+    block: u64,
+    dirty: bool,
+}
+
+/// A textbook set-associative cache: one `Vec` per set, ordered oldest →
+/// newest, scanned linearly. Under LRU a hit moves the line to the back;
+/// under FIFO the order is pure insertion order.
+pub struct OracleCache {
+    sets: Vec<Vec<OracleLine>>,
+    assoc: usize,
+    policy: OraclePolicy,
+    index: Box<dyn Fn(u64) -> u64>,
+}
+
+impl OracleCache {
+    /// Creates the model with `n_set` sets of `assoc` ways, using `index`
+    /// to place blocks.
+    #[must_use]
+    pub fn new(
+        n_set: usize,
+        assoc: usize,
+        policy: OraclePolicy,
+        index: impl Fn(u64) -> u64 + 'static,
+    ) -> Self {
+        assert!(n_set > 0 && assoc > 0);
+        Self {
+            sets: vec![Vec::new(); n_set],
+            assoc,
+            policy,
+            index: Box::new(index),
+        }
+    }
+
+    /// Simulates one access to a block address.
+    pub fn access_block(&mut self, block: u64, write: bool) -> OracleAccess {
+        let set = &mut self.sets[(self.index)(block) as usize];
+        if let Some(pos) = set.iter().position(|l| l.block == block) {
+            let mut line = set.remove(pos);
+            line.dirty |= write;
+            match self.policy {
+                // LRU: a hit makes the line the newest.
+                OraclePolicy::Lru => set.push(line),
+                // FIFO: a hit leaves the insertion order untouched.
+                OraclePolicy::Fifo => set.insert(pos, line),
+            }
+            return OracleAccess {
+                hit: true,
+                writeback: None,
+            };
+        }
+        let mut writeback = None;
+        if set.len() == self.assoc {
+            let evicted = set.remove(0);
+            if evicted.dirty {
+                writeback = Some(evicted.block);
+            }
+        }
+        set.push(OracleLine {
+            block,
+            dirty: write,
+        });
+        OracleAccess {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Number of lines currently resident in set `set`.
+    #[must_use]
+    pub fn occupancy(&self, set: usize) -> usize {
+        self.sets[set].len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Skewed-associative cache oracle.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct SkewLine {
+    block: u64,
+    dirty: bool,
+    r: bool,
+    w: bool,
+}
+
+/// A plain-structured skewed-associative cache: banks are separate
+/// two-dimensional grids of `Option<line>` rather than one flat slab, and
+/// the inter-bank ENRU/NRUNRW policy is restated from its §5.3 description
+/// (invalid first, then the least-privileged usage class, round-robin
+/// among ties, with aging once every candidate is referenced).
+pub struct OracleSkewed {
+    /// `banks[b][set][way]`.
+    banks: Vec<Vec<Vec<Option<SkewLine>>>>,
+    index_fns: Vec<Box<dyn Fn(u64) -> u64>>,
+    /// `true` = NRUNRW (r and w bits), `false` = ENRU (r bit only).
+    write_aware: bool,
+    rr: u32,
+}
+
+impl OracleSkewed {
+    /// Creates the model: one index function per bank, each bank holding
+    /// `sets_per_bank × ways` lines.
+    #[must_use]
+    pub fn new(
+        sets_per_bank: usize,
+        ways: usize,
+        write_aware: bool,
+        index_fns: Vec<Box<dyn Fn(u64) -> u64>>,
+    ) -> Self {
+        assert!(!index_fns.is_empty() && sets_per_bank > 0 && ways > 0);
+        Self {
+            banks: vec![vec![vec![None; ways]; sets_per_bank]; index_fns.len()],
+            index_fns,
+            write_aware,
+            rr: 0,
+        }
+    }
+
+    fn class(&self, line: &SkewLine) -> u32 {
+        if self.write_aware {
+            (u32::from(line.r) << 1) | u32::from(line.w)
+        } else {
+            u32::from(line.r)
+        }
+    }
+
+    /// The candidate (bank, set, way) coordinates of a block, in the same
+    /// bank-major order the production cache scans.
+    fn candidates(&self, block: u64) -> Vec<(usize, usize, usize)> {
+        let ways = self.banks[0][0].len();
+        let mut out = Vec::new();
+        for (b, index) in self.index_fns.iter().enumerate() {
+            let set = index(block) as usize;
+            for way in 0..ways {
+                out.push((b, set, way));
+            }
+        }
+        out
+    }
+
+    fn line(&self, c: (usize, usize, usize)) -> &Option<SkewLine> {
+        &self.banks[c.0][c.1][c.2]
+    }
+
+    /// Clears usage bits of every candidate except `keep` once all valid
+    /// candidates are referenced (Seznec's aging).
+    fn age(&mut self, cands: &[(usize, usize, usize)], keep: usize) {
+        let saturated = cands.iter().all(|&c| self.line(c).is_none_or(|l| l.r));
+        if saturated {
+            for (i, &(b, s, w)) in cands.iter().enumerate() {
+                if i != keep {
+                    if let Some(l) = &mut self.banks[b][s][w] {
+                        l.r = false;
+                        l.w = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Simulates one access to a block address.
+    pub fn access_block(&mut self, block: u64, write: bool) -> OracleAccess {
+        let cands = self.candidates(block);
+        for (i, &(b, s, w)) in cands.iter().enumerate() {
+            if let Some(l) = &mut self.banks[b][s][w] {
+                if l.block == block {
+                    l.r = true;
+                    l.w |= write;
+                    self.age(&cands, i);
+                    return OracleAccess {
+                        hit: true,
+                        writeback: None,
+                    };
+                }
+            }
+        }
+        // Miss: invalid slot first, else round-robin over the best class.
+        let victim_i = match (0..cands.len()).find(|&i| self.line(cands[i]).is_none()) {
+            Some(i) => i,
+            None => {
+                let best = cands
+                    .iter()
+                    .map(|&c| self.class(&self.line(c).expect("all valid")))
+                    .min()
+                    .expect("non-empty candidates");
+                self.rr = self.rr.wrapping_add(1);
+                let n = cands.len();
+                let start = self.rr as usize % n;
+                (0..n)
+                    .map(|off| (start + off) % n)
+                    .find(|&i| self.class(&self.line(cands[i]).expect("all valid")) == best)
+                    .expect("best class present")
+            }
+        };
+        let (b, s, w) = cands[victim_i];
+        let writeback = self.banks[b][s][w].filter(|l| l.dirty).map(|l| l.block);
+        self.banks[b][s][w] = Some(SkewLine {
+            block,
+            dirty: write,
+            r: true,
+            w: write,
+        });
+        self.age(&cands, victim_i);
+        OracleAccess {
+            hit: false,
+            writeback,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Victim-cache oracle.
+// ---------------------------------------------------------------------------
+
+/// What one victim-cache oracle access observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VictimAccess {
+    /// Whether the access hit (main cache or victim buffer).
+    pub hit: bool,
+    /// Whether the hit was served by the victim buffer.
+    pub from_buffer: bool,
+    /// Dirty blocks pushed out of the buffer to memory by this access.
+    pub writebacks: Vec<u64>,
+}
+
+/// A textbook victim cache: an [`OracleCache`] main array plus an ordered
+/// buffer (front = oldest). Matching the production model, only dirty
+/// evictions are parked, and a buffer hit removes the entry without
+/// re-inserting the displaced main-cache line.
+pub struct OracleVictim {
+    main: OracleCache,
+    buffer: Vec<(u64, bool)>,
+    capacity: usize,
+}
+
+impl OracleVictim {
+    /// Creates the model with `entries` buffer slots over a main cache.
+    #[must_use]
+    pub fn new(main: OracleCache, entries: usize) -> Self {
+        assert!(entries > 0);
+        Self {
+            main,
+            buffer: Vec::new(),
+            capacity: entries,
+        }
+    }
+
+    fn park(&mut self, block: u64, dirty: bool, spilled: &mut Vec<u64>) {
+        if self.buffer.len() == self.capacity {
+            let (old, was_dirty) = self.buffer.remove(0);
+            if was_dirty {
+                spilled.push(old);
+            }
+        }
+        self.buffer.push((block, dirty));
+    }
+
+    /// Simulates one access to a block address.
+    pub fn access_block(&mut self, block: u64, write: bool) -> VictimAccess {
+        let mut writebacks = Vec::new();
+        let main = self.main.access_block(block, write);
+        if let Some(victim) = main.writeback {
+            self.park(victim, true, &mut writebacks);
+        }
+        if main.hit {
+            return VictimAccess {
+                hit: true,
+                from_buffer: false,
+                writebacks,
+            };
+        }
+        if let Some(pos) = self.buffer.iter().position(|&(b, _)| b == block) {
+            self.buffer.remove(pos);
+            return VictimAccess {
+                hit: true,
+                from_buffer: true,
+                writebacks,
+            };
+        }
+        VictimAccess {
+            hit: false,
+            from_buffer: false,
+            writebacks,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DRAM oracle.
+// ---------------------------------------------------------------------------
+
+/// A straight-line re-derivation of the event-driven DRAM model: the
+/// address decomposition is restated digit-by-digit, and per-bank state
+/// lives in `HashMap`s keyed by the decomposed coordinates instead of flat
+/// pre-sized vectors.
+pub struct OracleDram {
+    cfg: MemConfig,
+    /// Open row per (channel, bank-in-channel).
+    open_rows: HashMap<(u64, u64), u64>,
+    /// Cycle each (channel, bank-in-channel) becomes free.
+    bank_free: HashMap<(u64, u64), u64>,
+    /// Cycle each channel's bus becomes free.
+    bus_free: HashMap<u64, u64>,
+}
+
+impl OracleDram {
+    /// Creates the model for a memory configuration.
+    #[must_use]
+    pub fn new(cfg: MemConfig) -> Self {
+        Self {
+            cfg,
+            open_rows: HashMap::new(),
+            bank_free: HashMap::new(),
+            bus_free: HashMap::new(),
+        }
+    }
+
+    /// Naive address decomposition into (channel, bank-in-channel, row):
+    /// lines interleave across channels, rows across banks, with the
+    /// optional permutation XOR restated from its description.
+    fn map(&self, addr: u64) -> (u64, u64, u64) {
+        let line = addr / self.cfg.line_bytes;
+        let channel = line % u64::from(self.cfg.channels);
+        let line_in_channel = line / u64::from(self.cfg.channels);
+        let lines_per_row = self.cfg.row_bytes / self.cfg.line_bytes;
+        let row_linear = line_in_channel / lines_per_row;
+        let banks = u64::from(self.cfg.banks_per_channel);
+        let mut bank = row_linear % banks;
+        let row = row_linear / banks;
+        if self.cfg.mapping == DramMapping::PermutationBased {
+            bank ^= row % banks;
+        }
+        (channel, bank, row)
+    }
+
+    /// Simulates one request; returns what the production model's
+    /// [`Completion`] must equal.
+    pub fn request(&mut self, addr: u64, now: u64, _write: bool) -> Completion {
+        let (channel, bank, row) = self.map(addr);
+        let key = (channel, bank);
+        let row_hit = self.open_rows.get(&key) == Some(&row);
+        self.open_rows.insert(key, row);
+
+        let service = if row_hit {
+            self.cfg.row_hit_cycles
+        } else {
+            self.cfg.row_miss_cycles
+        };
+        let bank_busy = if row_hit {
+            self.cfg.bank_busy_row_hit
+        } else {
+            self.cfg.bank_busy_row_miss
+        };
+        let bus_occ = self.cfg.bus_occupancy_cycles();
+        let start = now.max(*self.bank_free.get(&key).unwrap_or(&0));
+        let tentative = start + service;
+        let data_start = tentative
+            .saturating_sub(bus_occ)
+            .max(*self.bus_free.get(&channel).unwrap_or(&0));
+        let complete = data_start + bus_occ;
+        self.bank_free.insert(key, start + bank_busy);
+        self.bus_free.insert(channel, complete);
+        Completion {
+            complete,
+            latency: complete - now,
+            row_hit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ref_xor_matches_hand_example() {
+        // 16 sets, stride 15 from 0: sets 0, 15, 15, 15 (paper §3.3).
+        let sets: Vec<u64> = (0..4).map(|i| ref_xor(i * 15, 16)).collect();
+        assert_eq!(sets, [0, 15, 15, 15]);
+    }
+
+    #[test]
+    fn ref_skew_rotation_wraps_top_bit() {
+        // 16 sets => 4 index bits. t1 = 0b1000 rotated left by 1 = 0b0001.
+        // block = t1 << 4 (x = 0).
+        assert_eq!(ref_skew_xor(0b1000 << 4, 16, 1), 0b0001);
+        // bank 0 leaves t1 unrotated.
+        assert_eq!(ref_skew_xor(0b1000 << 4, 16, 0), 0b1000);
+    }
+
+    #[test]
+    fn ref_subtract_select_bounds() {
+        assert_eq!(ref_subtract_select(2040, 2039, 2), Some(1));
+        assert_eq!(ref_subtract_select(2 * 2039, 2039, 2), None);
+    }
+
+    #[test]
+    fn oracle_cache_lru_evicts_least_recent() {
+        let mut c = OracleCache::new(1, 2, OraclePolicy::Lru, |_| 0);
+        assert!(!c.access_block(1, false).hit);
+        assert!(!c.access_block(2, false).hit);
+        assert!(c.access_block(1, false).hit); // 2 is now LRU
+        let miss = c.access_block(3, false);
+        assert!(!miss.hit);
+        assert!(c.access_block(1, false).hit, "1 must survive");
+        assert!(!c.access_block(2, false).hit, "2 must have been evicted");
+    }
+
+    #[test]
+    fn oracle_cache_fifo_ignores_hits() {
+        let mut c = OracleCache::new(1, 2, OraclePolicy::Fifo, |_| 0);
+        c.access_block(1, false);
+        c.access_block(2, false);
+        assert!(c.access_block(1, false).hit);
+        c.access_block(3, false); // evicts 1 (oldest insert) despite the hit
+        assert!(!c.access_block(1, false).hit);
+    }
+
+    #[test]
+    fn oracle_cache_reports_dirty_writebacks() {
+        let mut c = OracleCache::new(1, 1, OraclePolicy::Lru, |_| 0);
+        c.access_block(7, true);
+        let out = c.access_block(8, false);
+        assert_eq!(out.writeback, Some(7));
+        let out = c.access_block(9, false);
+        assert_eq!(out.writeback, None, "clean eviction is silent");
+    }
+
+    #[test]
+    fn oracle_victim_parks_and_rescues() {
+        let main = OracleCache::new(1, 1, OraclePolicy::Lru, |_| 0);
+        let mut v = OracleVictim::new(main, 2);
+        v.access_block(1, true);
+        v.access_block(2, false); // evicts dirty 1 into the buffer
+        let back = v.access_block(1, false);
+        assert!(back.hit && back.from_buffer);
+    }
+
+    #[test]
+    fn oracle_dram_first_touch_is_row_miss() {
+        let mut d = OracleDram::new(MemConfig::paper_default());
+        let c = d.request(0, 0, false);
+        assert!(!c.row_hit);
+        assert_eq!(c.latency, 243);
+    }
+}

@@ -1,0 +1,382 @@
+//! A small, dependency-free property-testing harness.
+//!
+//! The registry mirror is unreachable from some build environments, so the
+//! workspace cannot depend on `proptest`. This module supplies the subset
+//! the test suites need: a deterministic generator RNG, `forall`-style
+//! drivers, and greedy shrinking of failing inputs.
+//!
+//! Properties *panic* to signal failure (plain `assert!`/`assert_eq!`), and
+//! the driver catches the unwind, shrinks the input while the panic
+//! persists, and re-raises with the minimal counterexample attached.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// SplitMix64: tiny, fast, and statistically solid for test generation.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[lo, hi)`. Panics if the range is empty.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // test generation (span << 2^64).
+        lo + (((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        self.range_u64(u64::from(lo), u64::from(hi)) as u32
+    }
+
+    /// A random boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A `Vec` of `len in [min_len, max_len)` elements drawn from `gen`.
+    pub fn vec<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut gen: impl FnMut(&mut Self) -> T,
+    ) -> Vec<T> {
+        let len = self.range_usize(min_len, max_len);
+        (0..len).map(|_| gen(self)).collect()
+    }
+}
+
+/// Types that can propose strictly "smaller" variants of themselves.
+///
+/// Shrinking is greedy: the driver re-runs the property on each candidate
+/// and recurses on the first one that still fails.
+pub trait Shrink: Sized {
+    /// Candidate smaller values, most aggressive first.
+    fn shrink(&self) -> Vec<Self>;
+}
+
+impl Shrink for u64 {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        if *self > 0 {
+            out.push(0);
+            out.push(self / 2);
+            out.push(self - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+impl Shrink for u32 {
+    fn shrink(&self) -> Vec<Self> {
+        u64::from(*self)
+            .shrink()
+            .into_iter()
+            .map(|v| v as u32)
+            .collect()
+    }
+}
+
+impl Shrink for usize {
+    fn shrink(&self) -> Vec<Self> {
+        (*self as u64)
+            .shrink()
+            .into_iter()
+            .map(|v| v as usize)
+            .collect()
+    }
+}
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for f64 {
+    fn shrink(&self) -> Vec<Self> {
+        if *self != 0.0 {
+            vec![0.0, self / 2.0]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl<T: Shrink + Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Drop halves, then drop single elements, then shrink elements.
+        out.push(self[..n / 2].to_vec());
+        out.push(self[n / 2..].to_vec());
+        if n <= 16 {
+            for i in 0..n {
+                let mut v = self.clone();
+                v.remove(i);
+                out.push(v);
+            }
+            for (i, item) in self.iter().enumerate() {
+                for smaller in item.shrink() {
+                    let mut v = self.clone();
+                    v[i] = smaller;
+                    out.push(v);
+                }
+            }
+        } else {
+            let mut v = self.clone();
+            v.pop();
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone> Shrink for (A, B) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink()
+            .into_iter()
+            .map(|a| (a, self.1.clone()))
+            .collect();
+        out.extend(self.1.shrink().into_iter().map(|b| (self.0.clone(), b)));
+        out
+    }
+}
+
+impl<A: Shrink + Clone, B: Shrink + Clone, C: Shrink + Clone> Shrink for (A, B, C) {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out: Vec<Self> = self
+            .0
+            .shrink()
+            .into_iter()
+            .map(|a| (a, self.1.clone(), self.2.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink()
+                .into_iter()
+                .map(|b| (self.0.clone(), b, self.2.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink()
+                .into_iter()
+                .map(|c| (self.0.clone(), self.1.clone(), c)),
+        );
+        out
+    }
+}
+
+/// Outcome of a [`forall`] run: the number of cases that passed, or the
+/// shrunk counterexample plus the panic message it produces.
+#[derive(Debug)]
+pub struct Failure<T> {
+    /// The (shrunk) failing input.
+    pub input: T,
+    /// The panic payload the input produces, as text.
+    pub message: String,
+    /// How many shrink steps were applied to reach `input`.
+    pub shrink_steps: usize,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+thread_local! {
+    static QUIET: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that stays silent while the
+/// current thread is probing a property. Tests run concurrently, so the
+/// hook must never be swapped per-call.
+fn install_quiet_hook() {
+    static INIT: std::sync::Once = std::sync::Once::new();
+    INIT.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(std::cell::Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn run_quiet<T, P: Fn(&T)>(prop: &P, input: &T) -> Result<(), String> {
+    // Suppress the default panic report while probing: shrinking
+    // intentionally triggers the panic many times.
+    install_quiet_hook();
+    QUIET.with(|q| q.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| prop(input)));
+    QUIET.with(|q| q.set(false));
+    result.map_err(|e| panic_message(&*e))
+}
+
+/// Runs `prop` on `cases` inputs drawn from `gen`, shrinking any failure.
+///
+/// Returns `Ok(cases)` if every case passes, otherwise `Err` with the
+/// minimal failing input found. Deterministic for a given `seed`.
+pub fn forall_result<T, G, P>(
+    seed: u64,
+    cases: usize,
+    mut gen: G,
+    prop: P,
+) -> Result<usize, Failure<T>>
+where
+    T: Shrink + Clone + std::fmt::Debug,
+    G: FnMut(&mut Rng) -> T,
+    P: Fn(&T),
+{
+    let mut rng = Rng::new(seed);
+    for _ in 0..cases {
+        let input = gen(&mut rng);
+        if let Err(first_msg) = run_quiet(&prop, &input) {
+            // Greedy shrink: walk to a locally minimal failing input.
+            let mut best = input;
+            let mut message = first_msg;
+            let mut steps = 0usize;
+            'outer: while steps < 1000 {
+                for cand in best.shrink() {
+                    if let Err(msg) = run_quiet(&prop, &cand) {
+                        best = cand;
+                        message = msg;
+                        steps += 1;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            return Err(Failure {
+                input: best,
+                message,
+                shrink_steps: steps,
+            });
+        }
+    }
+    Ok(cases)
+}
+
+/// Test-friendly wrapper around [`forall_result`]: panics with the shrunk
+/// counterexample on failure.
+pub fn forall<T, G, P>(name: &str, cases: usize, gen: G, prop: P)
+where
+    T: Shrink + Clone + std::fmt::Debug,
+    G: FnMut(&mut Rng) -> T,
+    P: Fn(&T),
+{
+    // Seed from the property name so distinct properties explore distinct
+    // streams but each run is reproducible.
+    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    });
+    if let Err(f) = forall_result(seed, cases, gen, prop) {
+        panic!(
+            "property '{name}' failed after {} shrink step(s)\n  input: {:?}\n  cause: {}",
+            f.shrink_steps, f.input, f.message
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::new(1);
+        for _ in 0..10_000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn passing_property_reports_case_count() {
+        let n = forall_result(0, 50, |r| r.next_u64(), |_| {}).unwrap();
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimum() {
+        // "fails for any v >= 100" must shrink to exactly 100.
+        let f = forall_result(
+            0,
+            1000,
+            |r| r.range_u64(0, 10_000),
+            |&v| assert!(v < 100, "too big: {v}"),
+        )
+        .unwrap_err();
+        assert_eq!(f.input, 100);
+        assert!(f.message.contains("too big"));
+    }
+
+    #[test]
+    fn vec_shrinking_reduces_length() {
+        // Fails whenever the vec contains an odd number: minimal failing
+        // input is a single odd element.
+        let f = forall_result(
+            3,
+            200,
+            |r| r.vec(0, 40, |r| r.range_u64(0, 100)),
+            |v: &Vec<u64>| assert!(v.iter().all(|x| x % 2 == 0)),
+        )
+        .unwrap_err();
+        assert_eq!(f.input.len(), 1);
+        assert_eq!(f.input[0] % 2, 1);
+    }
+}

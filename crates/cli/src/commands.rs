@@ -2,12 +2,11 @@
 
 use primecache_core::index::{Geometry, HashKind};
 use primecache_core::metrics::{
-    balance, concentration, strided_addresses, uniformity_ratio, violation_fraction,
-    OnlineMetrics,
+    balance, concentration, strided_addresses, uniformity_ratio, violation_fraction, OnlineMetrics,
 };
+use primecache_sim::experiments::miss_taxonomy;
 use primecache_sim::report::render_table;
 use primecache_sim::suite::run_sweep;
-use primecache_sim::experiments::miss_taxonomy;
 use primecache_sim::{run_workload, Scheme};
 use primecache_trace::{read_trace, write_trace, TraceStats};
 use primecache_workloads::profile::profile_of;
@@ -48,7 +47,12 @@ pub fn list(args: &[String]) -> i32 {
                 vec![
                     w.name.to_owned(),
                     w.suite.to_owned(),
-                    if w.expected_non_uniform { "non-uniform" } else { "uniform" }.to_owned(),
+                    if w.expected_non_uniform {
+                        "non-uniform"
+                    } else {
+                        "uniform"
+                    }
+                    .to_owned(),
                     format!("{:?}", p.pattern),
                     format!("{:?}", p.conflict),
                     format!("{} KB", p.footprint_bytes / 1024),
@@ -59,7 +63,15 @@ pub fn list(args: &[String]) -> i32 {
         print!(
             "{}",
             render_table(
-                &["app", "suite", "class (§4)", "pattern", "conflicts", "footprint", "chases"],
+                &[
+                    "app",
+                    "suite",
+                    "class (§4)",
+                    "pattern",
+                    "conflicts",
+                    "footprint",
+                    "chases"
+                ],
                 &rows
             )
         );
@@ -70,7 +82,12 @@ pub fn list(args: &[String]) -> i32 {
                 vec![
                     w.name.to_owned(),
                     w.suite.to_owned(),
-                    if w.expected_non_uniform { "non-uniform" } else { "uniform" }.to_owned(),
+                    if w.expected_non_uniform {
+                        "non-uniform"
+                    } else {
+                        "uniform"
+                    }
+                    .to_owned(),
                 ]
             })
             .collect();
@@ -153,7 +170,12 @@ pub fn classify(args: &[String]) -> i32 {
             w.name.to_owned(),
             format!("{cv:.3}"),
             if cv > 0.5 { "non-uniform" } else { "uniform" }.to_owned(),
-            if (cv > 0.5) == w.expected_non_uniform { "=" } else { "MISMATCH" }.to_owned(),
+            if (cv > 0.5) == w.expected_non_uniform {
+                "="
+            } else {
+                "MISMATCH"
+            }
+            .to_owned(),
         ]);
     }
     print!(
@@ -233,7 +255,12 @@ pub fn metrics(args: &[String]) -> i32 {
     print!(
         "{}",
         render_table(
-            &["hash", "balance (1=ideal)", "concentration (0=ideal)", "violations"],
+            &[
+                "hash",
+                "balance (1=ideal)",
+                "concentration (0=ideal)",
+                "violations"
+            ],
             &rows
         )
     );
@@ -263,7 +290,13 @@ pub fn taxonomy(args: &[String]) -> i32 {
     print!(
         "{}",
         render_table(
-            &["app", "compulsory", "capacity", "conflict", "conflict share"],
+            &[
+                "app",
+                "compulsory",
+                "capacity",
+                "conflict",
+                "conflict share"
+            ],
             &rows
         )
     );
@@ -305,14 +338,14 @@ fn metrics_app(app: &str, args: &[String]) -> i32 {
             format!("{:.3}", m.uniformity()),
         ]);
     }
-    println!("{app}: {} block accesses through a 2048-set geometry:
-", blocks.len());
+    println!(
+        "{app}: {} block accesses through a 2048-set geometry:
+",
+        blocks.len()
+    );
     print!(
         "{}",
-        render_table(
-            &["hash", "balance", "concentration", "stdev/mean"],
-            &rows
-        )
+        render_table(&["hash", "balance", "concentration", "stdev/mean"], &rows)
     );
     0
 }
@@ -344,7 +377,11 @@ pub fn trace(args: &[String]) -> i32 {
         eprintln!("cannot write {out}: {e}");
         return 1;
     }
-    println!("wrote {} events ({} bytes) to {out}", events.len(), bytes.len());
+    println!(
+        "wrote {} events ({} bytes) to {out}",
+        events.len(),
+        bytes.len()
+    );
     0
 }
 
@@ -379,6 +416,9 @@ pub fn inspect(args: &[String]) -> i32 {
         "  branches: {} ({} mispredicted)",
         stats.branches, stats.mispredicts
     );
-    println!("  memory intensity: {:.1}%", stats.memory_intensity() * 100.0);
+    println!(
+        "  memory intensity: {:.1}%",
+        stats.memory_intensity() * 100.0
+    );
     0
 }

@@ -27,10 +27,16 @@ fn run_validates_inputs() {
 #[test]
 fn metrics_validates_inputs() {
     assert_eq!(commands::metrics(&args(&["--stride", "0"])), 2);
-    assert_eq!(commands::metrics(&args(&["--stride", "7", "--sets", "100"])), 2);
+    assert_eq!(
+        commands::metrics(&args(&["--stride", "7", "--sets", "100"])),
+        2
+    );
     assert_eq!(commands::metrics(&args(&["--stride", "7"])), 0);
     assert_eq!(commands::metrics(&args(&["--app", "nothere"])), 2);
-    assert_eq!(commands::metrics(&args(&["--app", "tree", "--refs", "3000"])), 0);
+    assert_eq!(
+        commands::metrics(&args(&["--app", "tree", "--refs", "3000"])),
+        0
+    );
 }
 
 #[test]

@@ -152,7 +152,11 @@ pub fn theorem1_iterations(b: u32, line: u64, n_set_phys: u64, t: u32) -> u32 {
     // iterations) and matches the empirical behaviour of the unit.
     let k = n_set_phys.trailing_zeros();
     let log_l = line.trailing_zeros();
-    let log_delta = if delta <= 1 { 0 } else { 63 - delta.leading_zeros() };
+    let log_delta = if delta <= 1 {
+        0
+    } else {
+        63 - delta.leading_zeros()
+    };
     let numer = b.saturating_sub(log_l + k);
     let denom = t + k - log_delta;
     assert!(denom > 0, "selector too narrow for this geometry");
@@ -215,7 +219,11 @@ mod tests {
         let bound_wide = theorem1_iterations(64, 64, 2048, 8);
         assert_eq!(bound_narrow, 6);
         assert_eq!(bound_wide, 3);
-        for a in [(1u64 << 58) - 1, 0x03FF_FFFF_FFFF_FFFF, 0x0155_5555_5555_5555] {
+        for a in [
+            (1u64 << 58) - 1,
+            0x03FF_FFFF_FFFF_FFFF,
+            0x0155_5555_5555_5555,
+        ] {
             assert!(narrow.reduce_with_cost(a).1.iterations <= bound_narrow);
             let wide_iters = wide.reduce_with_cost(a).1.iterations;
             assert!(bound_wide <= wide_iters && wide_iters <= bound_narrow);

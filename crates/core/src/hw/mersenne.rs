@@ -23,7 +23,10 @@
 /// ```
 #[must_use]
 pub fn mersenne_fold(a: u64, k: u32) -> u64 {
-    assert!((1..64).contains(&k), "chunk width must be in 1..64, got {k}");
+    assert!(
+        (1..64).contains(&k),
+        "chunk width must be in 1..64, got {k}"
+    );
     let m = (1u64 << k) - 1;
     let mut v = a;
     while v > m {

@@ -41,8 +41,14 @@ impl TlbAssist {
     /// `line_size >= page_size`.
     #[must_use]
     pub fn new(n_set_phys: u64, page_size: u64, line_size: u64) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(line_size < page_size, "line must be smaller than a page");
         let n_set = prev_prime(n_set_phys).expect("set count must be >= 2");
         // The final add is (entry < n_set) + (offset blocks < page/line);

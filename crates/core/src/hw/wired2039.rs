@@ -75,9 +75,9 @@ impl Wired2039 {
 
         let mut sum = a + b + c + d + e;
         let mut adds = 4u32; // five numbers need four carry-save adds
-        // Fold any carry out of bit 10: 2^11 ≡ 9 (mod 2039). One fold is
-        // enough: sum <= 2047*3 + 63 + 1215 < 4*2048, so the folded value
-        // is < 9*3 + 2047 + 27 < 2*2039.
+                             // Fold any carry out of bit 10: 2^11 ≡ 9 (mod 2039). One fold is
+                             // enough: sum <= 2047*3 + 63 + 1215 < 4*2048, so the folded value
+                             // is < 9*3 + 2047 + 27 < 2*2039.
         while sum >= 2048 {
             sum = 9 * (sum >> 11) + (sum & MASK11);
             adds += 1;

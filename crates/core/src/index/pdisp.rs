@@ -43,7 +43,10 @@ impl PrimeDisplacement {
     /// a power of two and collapses tag information (footnote 2).
     #[must_use]
     pub fn new(geom: Geometry, factor: u64) -> Self {
-        assert!(factor % 2 == 1, "displacement factor must be odd, got {factor}");
+        assert!(
+            factor % 2 == 1,
+            "displacement factor must be odd, got {factor}"
+        );
         Self { geom, factor }
     }
 
@@ -70,10 +73,7 @@ impl SetIndexer for PrimeDisplacement {
     fn index(&self, block_addr: u64) -> u64 {
         let t = self.geom.tag(block_addr);
         let x = self.geom.x(block_addr);
-        self.factor
-            .wrapping_mul(t)
-            .wrapping_add(x)
-            & self.geom.index_mask()
+        self.factor.wrapping_mul(t).wrapping_add(x) & self.geom.index_mask()
     }
 
     fn n_set(&self) -> u64 {
@@ -140,7 +140,10 @@ mod tests {
 
     #[test]
     fn paper_default_is_nine() {
-        assert_eq!(PrimeDisplacement::paper_default(Geometry::new(64)).factor(), 9);
+        assert_eq!(
+            PrimeDisplacement::paper_default(Geometry::new(64)).factor(),
+            9
+        );
     }
 
     #[test]

@@ -68,8 +68,7 @@ mod tests {
     fn power_of_two_stride_hits_one_set() {
         // The classic conflict pathology the paper opens with.
         let t = Traditional::new(Geometry::new(2048));
-        let hits: std::collections::HashSet<u64> =
-            (0..64u64).map(|i| t.index(i * 2048)).collect();
+        let hits: std::collections::HashSet<u64> = (0..64u64).map(|i| t.index(i * 2048)).collect();
         assert_eq!(hits.len(), 1);
     }
 

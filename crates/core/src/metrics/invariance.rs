@@ -87,7 +87,10 @@ mod tests {
                 violating_strides += 1;
             }
         }
-        assert!(violating_strides >= 5, "{violating_strides} strides violated");
+        assert!(
+            violating_strides >= 5,
+            "{violating_strides} strides violated"
+        );
     }
 
     #[test]
@@ -110,7 +113,10 @@ mod tests {
                 break;
             }
         }
-        assert!(any, "pDisp should violate occasionally (it is only partial)");
+        assert!(
+            any,
+            "pDisp should violate occasionally (it is only partial)"
+        );
     }
 
     #[test]

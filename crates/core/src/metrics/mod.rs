@@ -22,8 +22,8 @@ pub mod uniformity;
 
 pub use balance::{balance, balance_of_counts};
 pub use concentration::concentration;
-pub use online::OnlineMetrics;
 pub use invariance::violation_fraction;
+pub use online::OnlineMetrics;
 pub use uniformity::{is_non_uniform, uniformity_ratio, NON_UNIFORM_THRESHOLD};
 
 use crate::index::SetIndexer;

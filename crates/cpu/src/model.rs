@@ -355,7 +355,7 @@ mod tests {
         let (mut h, mut d, mut cpu) = setup();
         // 64 cold dependent loads, far apart: every one is an L2 miss and
         // fully serialized (≥ row-miss or row-hit latency apiece).
-        let trace: Vec<Event> = (0..64u64).map(|i| Event::chase(i * 1 << 20)).collect();
+        let trace: Vec<Event> = (0..64u64).map(|i| Event::chase(i << 20)).collect();
         let b = cpu.run(trace, &mut h, &mut d);
         assert!(
             b.mem_stall >= 64 * 200,

@@ -107,8 +107,7 @@ impl Dram {
             // untouched, so row locality is preserved.
             bank_in_channel ^= row % banks;
         }
-        let bank =
-            channel * self.config.banks_per_channel as usize + bank_in_channel as usize;
+        let bank = channel * self.config.banks_per_channel as usize + bank_in_channel as usize;
         (channel, bank, row)
     }
 
@@ -223,8 +222,7 @@ mod tests {
         let cfg = *d.config();
         // Two addresses in the same channel and bank but different rows:
         // advance by banks_per_channel rows worth of bytes x channels.
-        let stride =
-            cfg.row_bytes * u64::from(cfg.banks_per_channel) * u64::from(cfg.channels);
+        let stride = cfg.row_bytes * u64::from(cfg.banks_per_channel) * u64::from(cfg.channels);
         let a = d.request(0, 0, false);
         let b = d.request(stride, a.complete, false);
         assert!(!b.row_hit, "same bank, new row must be a row miss");
@@ -277,8 +275,7 @@ mod tests {
         // Classic bank-conflict stride: one row apart in the same bank
         // under row-interleaving.
         let cfg = MemConfig::paper_default();
-        let stride =
-            cfg.row_bytes * u64::from(cfg.banks_per_channel) * u64::from(cfg.channels);
+        let stride = cfg.row_bytes * u64::from(cfg.banks_per_channel) * u64::from(cfg.channels);
         let serial = {
             let mut d = Dram::new(cfg);
             let mut worst = 0u64;
@@ -340,6 +337,10 @@ mod tests {
             let c = d.request(i * 64, now, false);
             now = c.complete;
         }
-        assert!(d.stats().row_hit_rate() > 0.9, "{}", d.stats().row_hit_rate());
+        assert!(
+            d.stats().row_hit_rate() > 0.9,
+            "{}",
+            d.stats().row_hit_rate()
+        );
     }
 }

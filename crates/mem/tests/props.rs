@@ -1,82 +1,124 @@
 //! Property-based tests of the DRAM timing model.
 
+use primecache_check::prop::forall;
 use primecache_mem::{Dram, MemConfig};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn latency_is_at_least_the_service_time(
-        addrs in prop::collection::vec(0u64..(1 << 30), 1..200),
-    ) {
-        let cfg = MemConfig::paper_default();
-        let mut dram = Dram::new(cfg);
-        let mut now = 0u64;
-        for &a in &addrs {
-            let c = dram.request(a, now, false);
-            let min = if c.row_hit { cfg.row_hit_cycles } else { cfg.row_miss_cycles };
-            prop_assert!(c.latency >= min, "latency {} < service {min}", c.latency);
-            prop_assert_eq!(c.complete, now + c.latency);
-            now += 7; // issue faster than service: forces queueing paths
-        }
-    }
+#[test]
+fn latency_is_at_least_the_service_time() {
+    forall(
+        "latency_is_at_least_the_service_time",
+        256,
+        |rng| rng.vec(1, 200, |r| r.range_u64(0, 1 << 30)),
+        |addrs: &Vec<u64>| {
+            let cfg = MemConfig::paper_default();
+            let mut dram = Dram::new(cfg);
+            let mut now = 0u64;
+            for &a in addrs {
+                let c = dram.request(a, now, false);
+                let min = if c.row_hit {
+                    cfg.row_hit_cycles
+                } else {
+                    cfg.row_miss_cycles
+                };
+                assert!(c.latency >= min, "latency {} < service {min}", c.latency);
+                assert_eq!(c.complete, now + c.latency);
+                now += 7; // issue faster than service: forces queueing paths
+            }
+        },
+    );
+}
 
-    #[test]
-    fn completions_never_precede_issue(
-        addrs in prop::collection::vec(0u64..(1 << 34), 1..200),
-        gaps in prop::collection::vec(0u64..1000, 1..200),
-    ) {
-        let mut dram = Dram::new(MemConfig::paper_default());
-        let mut now = 0u64;
-        for (a, g) in addrs.iter().zip(gaps.iter().cycle()) {
-            now += g;
-            let c = dram.request(*a, now, false);
-            prop_assert!(c.complete > now);
-        }
-    }
+#[test]
+fn completions_never_precede_issue() {
+    forall(
+        "completions_never_precede_issue",
+        256,
+        |rng| {
+            (
+                rng.vec(1, 200, |r| r.range_u64(0, 1 << 34)),
+                rng.vec(1, 200, |r| r.range_u64(0, 1000)),
+            )
+        },
+        |(addrs, gaps)| {
+            if gaps.is_empty() {
+                return;
+            }
+            let mut dram = Dram::new(MemConfig::paper_default());
+            let mut now = 0u64;
+            for (a, g) in addrs.iter().zip(gaps.iter().cycle()) {
+                now += g;
+                let c = dram.request(*a, now, false);
+                assert!(c.complete > now);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn stats_totals_match_requests(
-        addrs in prop::collection::vec(0u64..(1 << 26), 1..300),
-        write_mask: u64,
-    ) {
-        let mut dram = Dram::new(MemConfig::paper_default());
-        for (i, &a) in addrs.iter().enumerate() {
-            dram.request(a, i as u64 * 10, (write_mask >> (i % 64)) & 1 == 1);
-        }
-        let s = dram.stats();
-        prop_assert_eq!(s.reads + s.writes, addrs.len() as u64);
-        prop_assert_eq!(s.row_hits + s.row_misses, addrs.len() as u64);
-    }
+#[test]
+fn stats_totals_match_requests() {
+    forall(
+        "stats_totals_match_requests",
+        256,
+        |rng| (rng.vec(1, 300, |r| r.range_u64(0, 1 << 26)), rng.next_u64()),
+        |&(ref addrs, write_mask)| {
+            let mut dram = Dram::new(MemConfig::paper_default());
+            for (i, &a) in addrs.iter().enumerate() {
+                dram.request(a, i as u64 * 10, (write_mask >> (i % 64)) & 1 == 1);
+            }
+            let s = dram.stats();
+            assert_eq!(s.reads + s.writes, addrs.len() as u64);
+            assert_eq!(s.row_hits + s.row_misses, addrs.len() as u64);
+        },
+    );
+}
 
-    #[test]
-    fn row_hit_rate_is_one_after_warm_same_row(reps in 2usize..50) {
-        let mut dram = Dram::new(MemConfig::paper_default());
-        let mut now = 0;
-        for _ in 0..reps {
-            // Same channel (line 0 and 2 are both channel 0), same row.
-            let c = dram.request(0, now, false);
-            now = c.complete;
-        }
-        prop_assert_eq!(dram.stats().row_misses, 1);
-    }
+#[test]
+fn row_hit_rate_is_one_after_warm_same_row() {
+    forall(
+        "row_hit_rate_is_one_after_warm_same_row",
+        64,
+        |rng| rng.range_usize(2, 50),
+        |&reps| {
+            if reps < 2 {
+                return;
+            }
+            let mut dram = Dram::new(MemConfig::paper_default());
+            let mut now = 0;
+            for _ in 0..reps {
+                // Same channel (line 0 and 2 are both channel 0), same row.
+                let c = dram.request(0, now, false);
+                now = c.complete;
+            }
+            assert_eq!(dram.stats().row_misses, 1);
+        },
+    );
+}
 
-    #[test]
-    fn per_channel_bus_never_overlaps_transfers(
-        addrs in prop::collection::vec(0u64..(1 << 22), 2..100),
-    ) {
-        // All requests to channel 0 (even lines): completions must be
-        // spaced by at least the bus occupancy.
-        let cfg = MemConfig::paper_default();
-        let mut dram = Dram::new(cfg);
-        let mut completions = Vec::new();
-        for &a in &addrs {
-            let aligned = (a / 128) * 128; // even line => channel 0
-            completions.push(dram.request(aligned, 0, false).complete);
-        }
-        completions.sort_unstable();
-        for w in completions.windows(2) {
-            prop_assert!(w[1] - w[0] >= cfg.bus_occupancy_cycles(),
-                "transfers overlap: {} then {}", w[0], w[1]);
-        }
-    }
+#[test]
+fn per_channel_bus_never_overlaps_transfers() {
+    forall(
+        "per_channel_bus_never_overlaps_transfers",
+        256,
+        |rng| rng.vec(2, 100, |r| r.range_u64(0, 1 << 22)),
+        |addrs: &Vec<u64>| {
+            // All requests to channel 0 (even lines): completions must be
+            // spaced by at least the bus occupancy.
+            let cfg = MemConfig::paper_default();
+            let mut dram = Dram::new(cfg);
+            let mut completions = Vec::new();
+            for &a in addrs {
+                let aligned = (a / 128) * 128; // even line => channel 0
+                completions.push(dram.request(aligned, 0, false).complete);
+            }
+            completions.sort_unstable();
+            for w in completions.windows(2) {
+                assert!(
+                    w[1] - w[0] >= cfg.bus_occupancy_cycles(),
+                    "transfers overlap: {} then {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        },
+    );
 }

@@ -226,7 +226,10 @@ mod tests {
             assert!(mod_inv(a, 2048).is_some(), "odd {a} must be invertible");
         }
         for a in (2u64..128).step_by(2) {
-            assert!(mod_inv(a, 2048).is_none(), "even {a} must not be invertible");
+            assert!(
+                mod_inv(a, 2048).is_none(),
+                "even {a} must not be invertible"
+            );
         }
     }
 

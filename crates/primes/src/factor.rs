@@ -81,10 +81,7 @@ mod tests {
     #[test]
     fn factorization_reconstructs_n() {
         for n in 2..5_000u64 {
-            let product: u64 = factorize(n)
-                .iter()
-                .map(|&(p, e)| p.pow(e))
-                .product();
+            let product: u64 = factorize(n).iter().map(|&(p, e)| p.pow(e)).product();
             assert_eq!(product, n, "n = {n}");
         }
     }

@@ -70,7 +70,7 @@ mod tests {
         }
         let mut d = 2u64;
         while d * d <= n {
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 return false;
             }
             d += 1;

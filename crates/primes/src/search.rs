@@ -140,7 +140,10 @@ mod tests {
             let q = next_prime(n).unwrap();
             assert!(p <= n && n <= q);
             for k in (p + 1)..q {
-                assert!(!is_prime(k), "no prime may lie strictly between {p} and {q}");
+                assert!(
+                    !is_prime(k),
+                    "no prime may lie strictly between {p} and {q}"
+                );
             }
         }
     }
@@ -156,7 +159,10 @@ mod tests {
     fn mersenne_gaps_are_composite() {
         // Exponents *not* in the list (and prime-valued, so plausible traps).
         for k in [11u32, 23, 29, 37, 41, 43, 47, 53, 59] {
-            assert!(!is_mersenne_prime((1u64 << k) - 1), "2^{k} - 1 is composite");
+            assert!(
+                !is_mersenne_prime((1u64 << k) - 1),
+                "2^{k} - 1 is composite"
+            );
         }
     }
 

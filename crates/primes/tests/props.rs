@@ -1,9 +1,9 @@
 //! Property-based tests for the number-theory substrate.
 
+use primecache_check::prop::forall;
 use primecache_primes::{
     egcd, gcd, is_prime, lcm, mod_inv, mod_mul, mod_pow, next_prime, prev_prime,
 };
-use proptest::prelude::*;
 
 /// Reference trial division, valid for any u64 (slow — keep inputs small).
 fn is_prime_ref(n: u64) -> bool {
@@ -12,7 +12,7 @@ fn is_prime_ref(n: u64) -> bool {
     }
     let mut d = 2u64;
     while d.saturating_mul(d) <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -20,89 +20,175 @@ fn is_prime_ref(n: u64) -> bool {
     true
 }
 
-proptest! {
-    #[test]
-    fn primality_matches_trial_division(n in 0u64..2_000_000) {
-        prop_assert_eq!(is_prime(n), is_prime_ref(n));
-    }
+#[test]
+fn primality_matches_trial_division() {
+    forall(
+        "primality_matches_trial_division",
+        256,
+        |rng| rng.range_u64(0, 2_000_000),
+        |&n| assert_eq!(is_prime(n), is_prime_ref(n), "n = {n}"),
+    );
+}
 
-    #[test]
-    fn prev_prime_is_largest_prime_below(n in 2u64..1_000_000) {
-        let p = prev_prime(n).expect("n >= 2 always has a prime below");
-        prop_assert!(p <= n);
-        prop_assert!(is_prime(p));
-        for k in (p + 1)..=n {
-            prop_assert!(!is_prime(k));
-        }
-    }
+#[test]
+fn prev_prime_is_largest_prime_below() {
+    forall(
+        "prev_prime_is_largest_prime_below",
+        256,
+        |rng| rng.range_u64(2, 1_000_000),
+        |&n| {
+            let p = prev_prime(n).expect("n >= 2 always has a prime below");
+            assert!(p <= n);
+            assert!(is_prime(p));
+            for k in (p + 1)..=n {
+                assert!(!is_prime(k));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn next_prime_is_smallest_prime_above(n in 0u64..1_000_000) {
-        let q = next_prime(n).expect("range cannot overflow");
-        prop_assert!(q >= n.max(2));
-        prop_assert!(is_prime(q));
-        for k in n.max(2)..q {
-            prop_assert!(!is_prime(k));
-        }
-    }
+#[test]
+fn next_prime_is_smallest_prime_above() {
+    forall(
+        "next_prime_is_smallest_prime_above",
+        256,
+        |rng| rng.range_u64(0, 1_000_000),
+        |&n| {
+            let q = next_prime(n).expect("range cannot overflow");
+            assert!(q >= n.max(2));
+            assert!(is_prime(q));
+            for k in n.max(2)..q {
+                assert!(!is_prime(k));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn gcd_divides_both_and_is_maximal(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
-        let g = gcd(a, b);
-        if a != 0 || b != 0 {
-            prop_assert!(g > 0);
-            if a > 0 { prop_assert_eq!(a % g, 0); }
-            if b > 0 { prop_assert_eq!(b % g, 0); }
-        } else {
-            prop_assert_eq!(g, 0);
-        }
-    }
+#[test]
+fn gcd_divides_both_and_is_maximal() {
+    forall(
+        "gcd_divides_both_and_is_maximal",
+        256,
+        |rng| {
+            (
+                rng.range_u64(0, u64::MAX / 2),
+                rng.range_u64(0, u64::MAX / 2),
+            )
+        },
+        |&(a, b)| {
+            let g = gcd(a, b);
+            if a != 0 || b != 0 {
+                assert!(g > 0);
+                if a > 0 {
+                    assert_eq!(a % g, 0);
+                }
+                if b > 0 {
+                    assert_eq!(b % g, 0);
+                }
+            } else {
+                assert_eq!(g, 0);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn egcd_bezout_identity(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
-        let (g, x, y) = egcd(a, b);
-        prop_assert_eq!(g, gcd(a, b));
-        prop_assert_eq!(i128::from(a) * x + i128::from(b) * y, i128::from(g));
-    }
+#[test]
+fn egcd_bezout_identity() {
+    forall(
+        "egcd_bezout_identity",
+        256,
+        |rng| {
+            (
+                rng.range_u64(0, u64::MAX / 2),
+                rng.range_u64(0, u64::MAX / 2),
+            )
+        },
+        |&(a, b)| {
+            let (g, x, y) = egcd(a, b);
+            assert_eq!(g, gcd(a, b));
+            assert_eq!(i128::from(a) * x + i128::from(b) * y, i128::from(g));
+        },
+    );
+}
 
-    #[test]
-    fn lcm_gcd_product_identity(a in 1u64..1_000_000, b in 1u64..1_000_000) {
-        prop_assert_eq!(u128::from(lcm(a, b)) * u128::from(gcd(a, b)),
-                        u128::from(a) * u128::from(b));
-    }
+#[test]
+fn lcm_gcd_product_identity() {
+    forall(
+        "lcm_gcd_product_identity",
+        256,
+        |rng| (rng.range_u64(1, 1_000_000), rng.range_u64(1, 1_000_000)),
+        |&(a, b)| {
+            assert_eq!(
+                u128::from(lcm(a, b)) * u128::from(gcd(a, b)),
+                u128::from(a) * u128::from(b)
+            );
+        },
+    );
+}
 
-    #[test]
-    fn mod_mul_matches_wide(a: u64, b: u64, m in 1u64..u64::MAX) {
-        let expect = ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64;
-        prop_assert_eq!(mod_mul(a, b, m), expect);
-    }
+#[test]
+fn mod_mul_matches_wide() {
+    forall(
+        "mod_mul_matches_wide",
+        256,
+        |rng| (rng.next_u64(), rng.next_u64(), rng.range_u64(1, u64::MAX)),
+        |&(a, b, m)| {
+            let expect = ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64;
+            assert_eq!(mod_mul(a, b, m), expect);
+        },
+    );
+}
 
-    #[test]
-    fn mod_pow_matches_iterated_mul(base: u64, exp in 0u64..64, m in 1u64..u64::MAX) {
-        let mut expect = 1u64 % m;
-        for _ in 0..exp {
-            expect = mod_mul(expect, base % m, m);
-        }
-        prop_assert_eq!(mod_pow(base, exp, m), expect);
-    }
+#[test]
+fn mod_pow_matches_iterated_mul() {
+    forall(
+        "mod_pow_matches_iterated_mul",
+        256,
+        |rng| {
+            (
+                rng.next_u64(),
+                rng.range_u64(0, 64),
+                rng.range_u64(1, u64::MAX),
+            )
+        },
+        |&(base, exp, m)| {
+            let mut expect = 1u64 % m;
+            for _ in 0..exp {
+                expect = mod_mul(expect, base % m, m);
+            }
+            assert_eq!(mod_pow(base, exp, m), expect);
+        },
+    );
+}
 
-    #[test]
-    fn mod_inv_is_a_real_inverse(a in 1u64..1_000_000, m in 2u64..1_000_000) {
-        match mod_inv(a, m) {
+#[test]
+fn mod_inv_is_a_real_inverse() {
+    forall(
+        "mod_inv_is_a_real_inverse",
+        256,
+        |rng| (rng.range_u64(1, 1_000_000), rng.range_u64(2, 1_000_000)),
+        |&(a, m)| match mod_inv(a, m) {
             Some(inv) => {
-                prop_assert!(inv < m);
-                prop_assert_eq!(mod_mul(a % m, inv, m), 1);
+                assert!(inv < m);
+                assert_eq!(mod_mul(a % m, inv, m), 1);
             }
-            None => prop_assert!(gcd(a, m) != 1),
-        }
-    }
+            None => assert!(gcd(a, m) != 1),
+        },
+    );
+}
 
-    #[test]
-    fn fermat_holds_for_table1_primes(a in 1u64..u64::MAX) {
-        for p in [251u64, 509, 1021, 2039, 4093, 8191, 16381] {
-            if a % p != 0 {
-                prop_assert_eq!(mod_pow(a, p - 1, p), 1);
+#[test]
+fn fermat_holds_for_table1_primes() {
+    forall(
+        "fermat_holds_for_table1_primes",
+        256,
+        |rng| rng.range_u64(1, u64::MAX),
+        |&a| {
+            for p in [251u64, 509, 1021, 2039, 4093, 8191, 16381] {
+                if a % p != 0 {
+                    assert_eq!(mod_pow(a, p - 1, p), 1);
+                }
             }
-        }
-    }
+        },
+    );
 }

@@ -4,9 +4,7 @@
 //! them in the paper's format and `EXPERIMENTS.md` records the comparison.
 
 use primecache_cache::paging::{PageMapper, PagePolicy};
-use primecache_cache::{
-    Cache, CacheConfig, CacheSim, FullyAssociative, InfiniteCache,
-};
+use primecache_cache::{Cache, CacheConfig, CacheSim, FullyAssociative, InfiniteCache};
 use primecache_core::index::{Geometry, HashKind, SetIndexer};
 use primecache_core::metrics::{balance, concentration, strided_addresses};
 use primecache_trace::Event;
@@ -33,7 +31,9 @@ pub struct StridePoint {
 /// the paper's 2048-physical-set L2 geometry.
 #[must_use]
 pub fn fig5_balance(kind: HashKind, max_stride: u64) -> Vec<StridePoint> {
-    stride_sweep(kind, max_stride, |idx, addrs| balance(idx, addrs.iter().copied()))
+    stride_sweep(kind, max_stride, |idx, addrs| {
+        balance(idx, addrs.iter().copied())
+    })
 }
 
 /// Fig. 6: concentration vs stride for one hash function.
@@ -290,11 +290,7 @@ mod taxonomy_tests {
         let tree = by_name("tree").unwrap();
         let base = miss_taxonomy(tree, Scheme::Base, 120_000);
         let pmod = miss_taxonomy(tree, Scheme::PrimeModulo, 120_000);
-        assert!(
-            base.conflict_fraction() > 0.5,
-            "Base tree: {:?}",
-            base
-        );
+        assert!(base.conflict_fraction() > 0.5, "Base tree: {:?}", base);
         assert!(
             pmod.conflict < base.conflict / 2,
             "pMod must remove most conflicts: {pmod:?} vs {base:?}"

@@ -97,8 +97,14 @@ mod tests {
     #[test]
     fn stride_csv_layout() {
         let csv = stride_csv(&[
-            StridePoint { stride: 1, value: 1.0 },
-            StridePoint { stride: 2, value: 3.5 },
+            StridePoint {
+                stride: 1,
+                value: 1.0,
+            },
+            StridePoint {
+                stride: 2,
+                value: 3.5,
+            },
         ]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "stride,value");

@@ -62,8 +62,10 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
 /// ```
 #[must_use]
 pub fn sparkline(values: &[f64], lo: f64, hi: f64) -> String {
-    const LEVELS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}',
-                               '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const LEVELS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let span = (hi - lo).max(f64::MIN_POSITIVE);
     values
         .iter()
@@ -132,5 +134,4 @@ mod tests {
         let flat = sparkline(&[2.0, 2.0, 2.0], 2.0, 2.0);
         assert_eq!(flat.chars().count(), 3);
     }
-
 }

@@ -1,8 +1,8 @@
 //! Full-suite sweeps: all 23 applications across schemes, in parallel.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
-use parking_lot::Mutex;
 use primecache_workloads::{all, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -26,11 +26,87 @@ pub struct Sweep {
     pub cells: BTreeMap<&'static str, BTreeMap<&'static str, Cell>>,
 }
 
+/// A `(workload, scheme)` cell missing from a [`Sweep`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// The workload whose cell was requested.
+    pub workload: String,
+    /// The scheme label requested.
+    pub scheme: &'static str,
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sweep has no cell for workload {:?} under scheme {}",
+            self.workload, self.scheme
+        )
+    }
+}
+
+impl std::error::Error for SweepError {}
+
 impl Sweep {
     /// Looks up one cell.
     #[must_use]
     pub fn get(&self, workload: &str, scheme: Scheme) -> Option<&Cell> {
         self.cells.get(workload)?.get(scheme.label())
+    }
+
+    /// Looks up one cell, reporting *which* cell is missing instead of
+    /// panicking — the error path for consumers that require a complete
+    /// sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SweepError`] naming the missing `(workload, scheme)`
+    /// pair.
+    pub fn require(&self, workload: &str, scheme: Scheme) -> Result<&Cell, SweepError> {
+        self.get(workload, scheme).ok_or_else(|| SweepError {
+            workload: workload.to_owned(),
+            scheme: scheme.label(),
+        })
+    }
+
+    /// Checks sweep completeness: one cell per `(workload, scheme)` pair
+    /// and nothing else.
+    ///
+    /// [`run_sweep`] asserts this in debug builds (and in release builds
+    /// with the `check` feature) before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or unexpected cell.
+    pub fn validate(&self, workloads: &[Workload], schemes: &[Scheme]) -> Result<(), String> {
+        if self.cells.len() != workloads.len() {
+            return Err(format!(
+                "sweep covers {} workloads, expected {}",
+                self.cells.len(),
+                workloads.len()
+            ));
+        }
+        let mut total = 0usize;
+        for w in workloads {
+            for &s in schemes {
+                if self.get(w.name, s).is_none() {
+                    return Err(format!(
+                        "sweep is missing the ({}, {}) cell",
+                        w.name,
+                        s.label()
+                    ));
+                }
+                total += 1;
+            }
+        }
+        let stored: usize = self.cells.values().map(BTreeMap::len).sum();
+        if stored != total {
+            return Err(format!(
+                "sweep stores {stored} cells, expected {total} \
+                 (workloads x schemes)"
+            ));
+        }
+        Ok(())
     }
 
     /// Normalized execution time of `scheme` vs `Base` for a workload
@@ -39,11 +115,7 @@ impl Sweep {
     pub fn normalized_time(&self, workload: &str, scheme: Scheme) -> Option<f64> {
         let base = self.get(workload, Scheme::Base)?;
         let cell = self.get(workload, scheme)?;
-        Some(
-            cell.result
-                .breakdown
-                .normalized_to(&base.result.breakdown),
-        )
+        Some(cell.result.breakdown.normalized_to(&base.result.breakdown))
     }
 
     /// Speedup of `scheme` vs `Base` for a workload.
@@ -53,16 +125,19 @@ impl Sweep {
     }
 
     /// Normalized L2 miss count vs `Base` (the y-axis of Figs. 11/12).
-    /// Returns 0.0 when the baseline had no misses.
+    ///
+    /// Returns `None` when either cell is absent *or* the baseline had no
+    /// misses — a zero-miss baseline has no meaningful normalization, and
+    /// the old `0.0` answer silently read as "the scheme eliminated every
+    /// miss".
     #[must_use]
     pub fn normalized_misses(&self, workload: &str, scheme: Scheme) -> Option<f64> {
         let base = self.get(workload, Scheme::Base)?.result.l2_misses();
         let mine = self.get(workload, scheme)?.result.l2_misses();
-        Some(if base == 0 {
-            0.0
-        } else {
-            mine as f64 / base as f64
-        })
+        if base == 0 {
+            return None;
+        }
+        Some(mine as f64 / base as f64)
     }
 }
 
@@ -80,28 +155,34 @@ pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
         .map(|n| n.get())
         .unwrap_or(4)
         .min(tasks.len().max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(w, s)) = tasks.get(i) else { break };
                 let result = run_workload(w, s, target_refs);
-                results.lock().push(Cell {
-                    workload: w.name,
-                    non_uniform: w.expected_non_uniform,
-                    result,
-                });
+                results
+                    .lock()
+                    .expect("sweep results mutex poisoned")
+                    .push(Cell {
+                        workload: w.name,
+                        non_uniform: w.expected_non_uniform,
+                        result,
+                    });
             });
         }
-    })
-    .expect("sweep workers do not panic");
+    });
     let mut sweep = Sweep::default();
-    for cell in results.into_inner() {
+    for cell in results.into_inner().expect("sweep results mutex poisoned") {
         sweep
             .cells
             .entry(cell.workload)
             .or_default()
             .insert(cell.result.scheme.label(), cell);
+    }
+    #[cfg(any(debug_assertions, feature = "check"))]
+    if let Err(e) = sweep.validate(all(), schemes) {
+        panic!("sweep completeness violated: {e}");
     }
     sweep
 }
@@ -181,33 +262,81 @@ mod tests {
     }
 
     #[test]
-    fn parallel_sweeps_are_deterministic() {
+    fn parallel_sweeps_are_deterministic() -> Result<(), SweepError> {
         // The fan-out must not introduce ordering nondeterminism.
         let a = run_sweep(&[Scheme::Base, Scheme::Xor], 4_000);
         let b = run_sweep(&[Scheme::Base, Scheme::Xor], 4_000);
         for w in primecache_workloads::all() {
             for s in [Scheme::Base, Scheme::Xor] {
                 assert_eq!(
-                    a.get(w.name, s).unwrap().result.l2.misses,
-                    b.get(w.name, s).unwrap().result.l2.misses,
+                    a.require(w.name, s)?.result.l2.misses,
+                    b.require(w.name, s)?.result.l2.misses,
                     "{}/{}",
                     w.name,
                     s.label()
                 );
                 assert_eq!(
-                    a.get(w.name, s).unwrap().result.breakdown,
-                    b.get(w.name, s).unwrap().result.breakdown
+                    a.require(w.name, s)?.result.breakdown,
+                    b.require(w.name, s)?.result.breakdown
                 );
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn base_normalizes_to_one() {
+    fn base_normalizes_to_one() -> Result<(), SweepError> {
         let sweep = run_sweep(&[Scheme::Base], 5_000);
         for w in ["swim", "tree", "mcf"] {
-            let n = sweep.normalized_time(w, Scheme::Base).unwrap();
+            let n = sweep
+                .normalized_time(w, Scheme::Base)
+                .ok_or_else(|| SweepError {
+                    workload: w.to_owned(),
+                    scheme: Scheme::Base.label(),
+                })?;
             assert!((n - 1.0).abs() < 1e-12, "{w}: {n}");
         }
+        Ok(())
+    }
+
+    #[test]
+    fn require_names_the_missing_cell() {
+        let sweep = Sweep::default();
+        let err = sweep.require("tree", Scheme::Xor).unwrap_err();
+        assert_eq!(err.workload, "tree");
+        assert_eq!(err.scheme, Scheme::Xor.label());
+        assert!(err.to_string().contains("tree"));
+    }
+
+    #[test]
+    fn normalized_misses_is_none_on_zero_miss_baseline() {
+        // A baseline with zero misses must yield None, not a silent 0.0
+        // that reads as "every miss eliminated".
+        let mut sweep = run_sweep(&[Scheme::Base, Scheme::Xor], 4_000);
+        let name = {
+            let (&name, per_scheme) = sweep.cells.iter_mut().next().expect("non-empty sweep");
+            let base = per_scheme
+                .get_mut(Scheme::Base.label())
+                .expect("base cell present");
+            base.result.l2.misses = 0;
+            base.result.l2.hits = base.result.l2.accesses;
+            name
+        };
+        assert_eq!(sweep.normalized_misses(name, Scheme::Xor), None);
+    }
+
+    #[test]
+    fn sweep_validate_fires_on_seeded_missing_cell() {
+        let mut sweep = run_sweep(&[Scheme::Base, Scheme::Xor], 4_000);
+        let schemes = [Scheme::Base, Scheme::Xor];
+        assert_eq!(sweep.validate(all(), &schemes), Ok(()));
+        // Corrupt: drop one scheme cell from one workload.
+        sweep
+            .cells
+            .get_mut("tree")
+            .expect("tree present")
+            .remove(Scheme::Xor.label());
+        let err = sweep.validate(all(), &schemes).unwrap_err();
+        assert!(err.contains("(tree, XOR)"), "{err}");
     }
 }

@@ -103,7 +103,9 @@ mod tests {
 
     #[test]
     fn block_strides_scale_by_line_size() {
-        let a: Vec<u64> = strided_bytes(3, 64, 4, 0).filter_map(|e| e.addr()).collect();
+        let a: Vec<u64> = strided_bytes(3, 64, 4, 0)
+            .filter_map(|e| e.addr())
+            .collect();
         assert_eq!(a, [0, 192, 384, 576]);
     }
 }

@@ -12,11 +12,30 @@
 //!
 //! preceded by the magic `b"PCT1"` and a `u64` event count.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
-
 use crate::Event;
 
 const MAGIC: &[u8; 4] = b"PCT1";
+
+/// Minimal byte cursor over a borrowed slice.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Reads the next `N` bytes. Callers must check [`Self::remaining`]
+    /// first; panics on overrun.
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+}
 
 /// Errors produced when decoding a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,36 +72,36 @@ impl std::error::Error for TraceCodecError {}
 /// assert_eq!(read_trace(&bytes).unwrap(), trace);
 /// ```
 #[must_use]
-pub fn write_trace(events: &[Event]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(12 + events.len() * 10);
-    buf.put_slice(MAGIC);
-    buf.put_u64_le(events.len() as u64);
+pub fn write_trace(events: &[Event]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(12 + events.len() * 10);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(events.len() as u64).to_le_bytes());
     for ev in events {
         match *ev {
             Event::Work(n) => {
-                buf.put_u8(0);
-                buf.put_u32_le(n);
+                buf.push(0);
+                buf.extend_from_slice(&n.to_le_bytes());
             }
             Event::Branch { mispredict } => {
-                buf.put_u8(1);
-                buf.put_u8(u8::from(mispredict));
+                buf.push(1);
+                buf.push(u8::from(mispredict));
             }
             Event::Load { addr, dep } => {
-                buf.put_u8(2);
-                buf.put_u64_le(addr);
-                buf.put_u8(u8::from(dep));
+                buf.push(2);
+                buf.extend_from_slice(&addr.to_le_bytes());
+                buf.push(u8::from(dep));
             }
             Event::Store { addr } => {
-                buf.put_u8(3);
-                buf.put_u64_le(addr);
+                buf.push(3);
+                buf.extend_from_slice(&addr.to_le_bytes());
             }
             Event::FpWork(n) => {
-                buf.put_u8(4);
-                buf.put_u32_le(n);
+                buf.push(4);
+                buf.extend_from_slice(&n.to_le_bytes());
             }
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a binary trace produced by [`write_trace`].
@@ -91,43 +110,43 @@ pub fn write_trace(events: &[Event]) -> Bytes {
 ///
 /// Returns [`TraceCodecError`] on a bad magic, a truncated stream, or an
 /// unknown tag.
-pub fn read_trace(mut data: &[u8]) -> Result<Vec<Event>, TraceCodecError> {
-    if data.remaining() < 12 {
+pub fn read_trace(data: &[u8]) -> Result<Vec<Event>, TraceCodecError> {
+    let mut cur = Cursor { data, pos: 0 };
+    if cur.remaining() < 12 {
         return Err(TraceCodecError::BadMagic);
     }
-    let mut magic = [0u8; 4];
-    data.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if cur.take::<4>() != *MAGIC {
         return Err(TraceCodecError::BadMagic);
     }
-    let count = data.get_u64_le() as usize;
+    let count = u64::from_le_bytes(cur.take::<8>()) as usize;
+    let data = &mut cur;
     let mut events = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
         if data.remaining() < 1 {
             return Err(TraceCodecError::Truncated);
         }
-        let tag = data.get_u8();
+        let tag = data.take::<1>()[0];
         let ev = match tag {
             0 => {
                 if data.remaining() < 4 {
                     return Err(TraceCodecError::Truncated);
                 }
-                Event::Work(data.get_u32_le())
+                Event::Work(u32::from_le_bytes(data.take::<4>()))
             }
             1 => {
                 if data.remaining() < 1 {
                     return Err(TraceCodecError::Truncated);
                 }
                 Event::Branch {
-                    mispredict: data.get_u8() != 0,
+                    mispredict: data.take::<1>()[0] != 0,
                 }
             }
             2 => {
                 if data.remaining() < 9 {
                     return Err(TraceCodecError::Truncated);
                 }
-                let addr = data.get_u64_le();
-                let dep = data.get_u8() != 0;
+                let addr = u64::from_le_bytes(data.take::<8>());
+                let dep = data.take::<1>()[0] != 0;
                 Event::Load { addr, dep }
             }
             3 => {
@@ -135,14 +154,14 @@ pub fn read_trace(mut data: &[u8]) -> Result<Vec<Event>, TraceCodecError> {
                     return Err(TraceCodecError::Truncated);
                 }
                 Event::Store {
-                    addr: data.get_u64_le(),
+                    addr: u64::from_le_bytes(data.take::<8>()),
                 }
             }
             4 => {
                 if data.remaining() < 4 {
                     return Err(TraceCodecError::Truncated);
                 }
-                Event::FpWork(data.get_u32_le())
+                Event::FpWork(u32::from_le_bytes(data.take::<4>()))
             }
             t => return Err(TraceCodecError::BadTag(t)),
         };

@@ -30,9 +30,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod nas;
 mod grid;
 mod md;
+mod nas;
 mod pointer;
 pub mod profile;
 mod registry;

@@ -23,9 +23,9 @@ pub fn ft(target_refs: u64) -> Vec<Event> {
     let buf_blocks = 24 * KB / 64; // 384 blocks per stage buffer
     let data_base = 0x4_0000_0000u64;
     let data_elems = 4 * MB / 16; // complex doubles, streamed
-    // Twiddle-factor table walked with a near-power-of-two block stride
-    // (2047): harmless to modulo indexing (odd, and coprime with 2039)
-    // but the classic XOR pathology of §3.3.
+                                  // Twiddle-factor table walked with a near-power-of-two block stride
+                                  // (2047): harmless to modulo indexing (odd, and coprime with 2039)
+                                  // but the classic XOR pathology of §3.3.
     let twiddle_base = 0x6_0000_0000u64;
     let twiddle_lines = 96u64;
     let mut pos = 0u64;
@@ -151,11 +151,7 @@ mod tests {
 
     #[test]
     fn generators_reach_target() {
-        for (name, f) in [
-            ("ft", ft as fn(u64) -> Vec<Event>),
-            ("is", is),
-            ("lu", lu),
-        ] {
+        for (name, f) in [("ft", ft as fn(u64) -> Vec<Event>), ("is", is), ("lu", lu)] {
             let stats: TraceStats = f(5_000).iter().collect();
             assert!(stats.memory_refs() >= 5_000, "{name}");
             assert!(stats.memory_refs() < 5_200, "{name} overshoots");

@@ -113,8 +113,7 @@ mod tests {
         assert!(!node_addrs.is_empty());
         assert!(node_addrs.iter().all(|a| a % 512 == 0));
         // Only 1/8 of the block space is touched.
-        let blocks: std::collections::HashSet<u64> =
-            node_addrs.iter().map(|a| a / 64).collect();
+        let blocks: std::collections::HashSet<u64> = node_addrs.iter().map(|a| a / 64).collect();
         assert!(blocks.iter().all(|b| b % 8 == 0));
     }
 

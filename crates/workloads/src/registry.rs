@@ -29,29 +29,144 @@ impl Workload {
 #[must_use]
 pub fn all() -> &'static [Workload] {
     const ALL: &[Workload] = &[
-        Workload { name: "bzip2", suite: "SPECint2000", expected_non_uniform: false, generator: spec_int::bzip2 },
-        Workload { name: "gap", suite: "SPECint2000", expected_non_uniform: false, generator: spec_int::gap },
-        Workload { name: "mcf", suite: "SPECint2000", expected_non_uniform: true, generator: spec_int::mcf },
-        Workload { name: "parser", suite: "SPECint2000", expected_non_uniform: false, generator: spec_int::parser },
-        Workload { name: "applu", suite: "SPECfp2000", expected_non_uniform: false, generator: grid::applu },
-        Workload { name: "mgrid", suite: "SPECfp2000", expected_non_uniform: false, generator: grid::mgrid },
-        Workload { name: "swim", suite: "SPECfp2000", expected_non_uniform: false, generator: grid::swim },
-        Workload { name: "equake", suite: "SPECfp2000", expected_non_uniform: false, generator: sparse::equake },
-        Workload { name: "tomcatv", suite: "SPECfp95", expected_non_uniform: false, generator: grid::tomcatv },
-        Workload { name: "mst", suite: "Olden", expected_non_uniform: false, generator: pointer::mst },
-        Workload { name: "bt", suite: "NAS", expected_non_uniform: true, generator: grid::bt },
-        Workload { name: "ft", suite: "NAS", expected_non_uniform: true, generator: nas::ft },
-        Workload { name: "lu", suite: "NAS", expected_non_uniform: false, generator: nas::lu },
-        Workload { name: "is", suite: "NAS", expected_non_uniform: false, generator: nas::is },
-        Workload { name: "sp", suite: "NAS", expected_non_uniform: true, generator: grid::sp },
-        Workload { name: "cg", suite: "NAS", expected_non_uniform: true, generator: sparse::cg },
-        Workload { name: "sparse", suite: "SparseBench", expected_non_uniform: false, generator: sparse::sparse },
-        Workload { name: "tree", suite: "Univ. of Hawaii", expected_non_uniform: true, generator: pointer::tree },
-        Workload { name: "irr", suite: "CFD kernel", expected_non_uniform: true, generator: sparse::irr },
-        Workload { name: "charmm", suite: "MD", expected_non_uniform: false, generator: md::charmm },
-        Workload { name: "moldyn", suite: "MD kernel", expected_non_uniform: false, generator: md::moldyn },
-        Workload { name: "nbf", suite: "GROMOS", expected_non_uniform: false, generator: md::nbf },
-        Workload { name: "euler", suite: "NASA", expected_non_uniform: false, generator: grid::euler },
+        Workload {
+            name: "bzip2",
+            suite: "SPECint2000",
+            expected_non_uniform: false,
+            generator: spec_int::bzip2,
+        },
+        Workload {
+            name: "gap",
+            suite: "SPECint2000",
+            expected_non_uniform: false,
+            generator: spec_int::gap,
+        },
+        Workload {
+            name: "mcf",
+            suite: "SPECint2000",
+            expected_non_uniform: true,
+            generator: spec_int::mcf,
+        },
+        Workload {
+            name: "parser",
+            suite: "SPECint2000",
+            expected_non_uniform: false,
+            generator: spec_int::parser,
+        },
+        Workload {
+            name: "applu",
+            suite: "SPECfp2000",
+            expected_non_uniform: false,
+            generator: grid::applu,
+        },
+        Workload {
+            name: "mgrid",
+            suite: "SPECfp2000",
+            expected_non_uniform: false,
+            generator: grid::mgrid,
+        },
+        Workload {
+            name: "swim",
+            suite: "SPECfp2000",
+            expected_non_uniform: false,
+            generator: grid::swim,
+        },
+        Workload {
+            name: "equake",
+            suite: "SPECfp2000",
+            expected_non_uniform: false,
+            generator: sparse::equake,
+        },
+        Workload {
+            name: "tomcatv",
+            suite: "SPECfp95",
+            expected_non_uniform: false,
+            generator: grid::tomcatv,
+        },
+        Workload {
+            name: "mst",
+            suite: "Olden",
+            expected_non_uniform: false,
+            generator: pointer::mst,
+        },
+        Workload {
+            name: "bt",
+            suite: "NAS",
+            expected_non_uniform: true,
+            generator: grid::bt,
+        },
+        Workload {
+            name: "ft",
+            suite: "NAS",
+            expected_non_uniform: true,
+            generator: nas::ft,
+        },
+        Workload {
+            name: "lu",
+            suite: "NAS",
+            expected_non_uniform: false,
+            generator: nas::lu,
+        },
+        Workload {
+            name: "is",
+            suite: "NAS",
+            expected_non_uniform: false,
+            generator: nas::is,
+        },
+        Workload {
+            name: "sp",
+            suite: "NAS",
+            expected_non_uniform: true,
+            generator: grid::sp,
+        },
+        Workload {
+            name: "cg",
+            suite: "NAS",
+            expected_non_uniform: true,
+            generator: sparse::cg,
+        },
+        Workload {
+            name: "sparse",
+            suite: "SparseBench",
+            expected_non_uniform: false,
+            generator: sparse::sparse,
+        },
+        Workload {
+            name: "tree",
+            suite: "Univ. of Hawaii",
+            expected_non_uniform: true,
+            generator: pointer::tree,
+        },
+        Workload {
+            name: "irr",
+            suite: "CFD kernel",
+            expected_non_uniform: true,
+            generator: sparse::irr,
+        },
+        Workload {
+            name: "charmm",
+            suite: "MD",
+            expected_non_uniform: false,
+            generator: md::charmm,
+        },
+        Workload {
+            name: "moldyn",
+            suite: "MD kernel",
+            expected_non_uniform: false,
+            generator: md::moldyn,
+        },
+        Workload {
+            name: "nbf",
+            suite: "GROMOS",
+            expected_non_uniform: false,
+            generator: md::nbf,
+        },
+        Workload {
+            name: "euler",
+            suite: "NASA",
+            expected_non_uniform: false,
+            generator: grid::euler,
+        },
     ];
     ALL
 }

@@ -147,7 +147,11 @@ mod tests {
         let mut g = Lcg::new(7);
         let vals: Vec<u64> = (0..100).map(|_| g.below(1000)).collect();
         let distinct: std::collections::HashSet<u64> = vals.iter().copied().collect();
-        assert!(distinct.len() > 50, "only {} distinct values", distinct.len());
+        assert!(
+            distinct.len() > 50,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ fn classification_matches_the_paper() {
             mismatches.push(format!(
                 "{}: cv = {cv:.3}, expected {}",
                 w.name,
-                if w.expected_non_uniform { "non-uniform" } else { "uniform" }
+                if w.expected_non_uniform {
+                    "non-uniform"
+                } else {
+                    "uniform"
+                }
             ));
         }
     }

@@ -16,7 +16,9 @@ use primecache::heap::{Allocator, BuddyAllocator, BumpAllocator, SizeClassAlloca
 /// the treecode does: every body revisits the upper levels.
 fn run_tree(alloc: &mut dyn Allocator, hash: HashKind) -> (f64, f64) {
     const NODE_BYTES: u64 = 260; // a Barnes-Hut cell: pos, mass, 8 children
-    let nodes: Vec<u64> = (0..4000).map(|_| alloc.alloc(NODE_BYTES).expect("arena")).collect();
+    let nodes: Vec<u64> = (0..4000)
+        .map(|_| alloc.alloc(NODE_BYTES).expect("arena"))
+        .collect();
 
     let mut l2 = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(hash));
     // Deterministic pseudo-random walk biased to low (upper-level) nodes.
@@ -38,14 +40,12 @@ fn run_tree(alloc: &mut dyn Allocator, hash: HashKind) -> (f64, f64) {
             l2.access(nodes[idx.min(nodes.len() - 1)], false);
         }
     }
-    let sets_touched = l2
-        .stats()
-        .set_accesses
-        .iter()
-        .filter(|&&c| c > 0)
-        .count() as f64;
+    let sets_touched = l2.stats().set_accesses.iter().filter(|&&c| c > 0).count() as f64;
     (sets_touched, l2.stats().miss_rate() * 100.0)
 }
+
+/// A named factory for a fresh allocator instance per run.
+type AllocatorCase = (&'static str, Box<dyn Fn() -> Box<dyn Allocator>>);
 
 fn main() {
     println!("The same tree traversal under three heap layouts:\n");
@@ -53,7 +53,7 @@ fn main() {
         "{:<26}{:>14}{:>12}{:>16}{:>12}",
         "allocator", "sets (Base)", "miss% Base", "sets (pMod)", "miss% pMod"
     );
-    let cases: Vec<(&str, Box<dyn Fn() -> Box<dyn Allocator>>)> = vec![
+    let cases: Vec<AllocatorCase> = vec![
         (
             "bump (packed)",
             Box::new(|| Box::new(BumpAllocator::new(0x8000_0000, 8))),

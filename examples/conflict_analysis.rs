@@ -44,7 +44,9 @@ fn main() {
     println!("  reference (a % p)  : {}", a % 2039);
     println!(
         "  polynomial         : {p_idx} ({} adds, {} pass(es), {}-input selector)",
-        p_cost.adds, p_cost.iterations.max(1), p_cost.selector_inputs
+        p_cost.adds,
+        p_cost.iterations.max(1),
+        p_cost.selector_inputs
     );
     println!(
         "  iterative linear   : {i_idx} ({} adds, {} iterations)",

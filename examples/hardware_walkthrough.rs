@@ -36,9 +36,7 @@ fn main() {
 
     // ---- Step 4: sum them with real gates (CSA tree + prefix adder) -----
     let (sum, csa_levels) = sum_many(&addends);
-    println!(
-        "CSA tree: sum = {sum} in {csa_levels} carry-save levels + one prefix add"
-    );
+    println!("CSA tree: sum = {sum} in {csa_levels} carry-save levels + one prefix add");
     assert_eq!(sum % 2039, a % 2039);
 
     // ---- Step 5: fold any residual carry and subtract&select (Fig. 2) ---

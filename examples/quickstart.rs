@@ -13,7 +13,11 @@ fn main() {
     let blocks: Vec<u64> = (0..16u64).map(|i| i * 128 * 1024).collect();
 
     println!("16 blocks at 128 KB stride, re-walked 100 times:\n");
-    for hash in [HashKind::Traditional, HashKind::PrimeModulo, HashKind::PrimeDisplacement] {
+    for hash in [
+        HashKind::Traditional,
+        HashKind::PrimeModulo,
+        HashKind::PrimeDisplacement,
+    ] {
         let mut l2 = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(hash));
         for _ in 0..100 {
             for &addr in &blocks {

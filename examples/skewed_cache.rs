@@ -52,7 +52,11 @@ fn main() {
     let bzip2 = by_name("bzip2").expect("registry has bzip2");
     let refs = 500_000;
     let base_run = run_workload(bzip2, Scheme::Base, refs);
-    for scheme in [Scheme::PrimeModulo, Scheme::Skewed, Scheme::SkewedPrimeDisplacement] {
+    for scheme in [
+        Scheme::PrimeModulo,
+        Scheme::Skewed,
+        Scheme::SkewedPrimeDisplacement,
+    ] {
         let r = run_workload(bzip2, scheme, refs);
         println!(
             "  {:<12} time x{:.3}, L2 misses x{:.3}",

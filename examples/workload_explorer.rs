@@ -19,13 +19,20 @@ fn main() {
                 "  {:<8} ({}, {})",
                 w.name,
                 w.suite,
-                if w.expected_non_uniform { "non-uniform" } else { "uniform" }
+                if w.expected_non_uniform {
+                    "non-uniform"
+                } else {
+                    "uniform"
+                }
             );
         }
         std::process::exit(1);
     };
 
-    println!("workload {name} ({}), {refs} memory references\n", workload.suite);
+    println!(
+        "workload {name} ({}), {refs} memory references\n",
+        workload.suite
+    );
     let base = run_workload(workload, Scheme::Base, refs);
     let cv = uniformity_ratio(&base.l2.set_accesses);
     println!(

@@ -47,9 +47,9 @@
 #![warn(missing_docs)]
 
 pub use primecache_cache as cache;
-pub use primecache_heap as heap;
 pub use primecache_core as core;
 pub use primecache_cpu as cpu;
+pub use primecache_heap as heap;
 pub use primecache_mem as mem;
 pub use primecache_primes as primes;
 pub use primecache_sim as sim;

@@ -8,7 +8,7 @@ use primecache::cache::{
 };
 use primecache::mem::MemConfig;
 use primecache::sim::experiments::{miss_taxonomy, run_workload_paged};
-use primecache::sim::{run_workload, Scheme};
+use primecache::sim::Scheme;
 use primecache::trace::{interleave, offset_addresses, Event};
 use primecache::workloads::by_name;
 
@@ -25,7 +25,10 @@ fn taxonomy_sums_are_coherent_across_schemes() {
     assert_eq!(base.capacity, pmod.capacity);
     // bt's Base misses are conflict-dominated; pMod removes nearly all.
     assert!(base.conflict_fraction() > 0.5, "{base:?}");
-    assert!(pmod.conflict * 4 < base.conflict.max(10), "{pmod:?} vs {base:?}");
+    assert!(
+        pmod.conflict * 4 < base.conflict.max(10),
+        "{pmod:?} vs {base:?}"
+    );
 }
 
 #[test]
@@ -59,7 +62,10 @@ fn page_mapping_preserves_intra_page_conflicts() {
     let base = run_workload_paged(tree, Scheme::Base, 150_000, PagePolicy::Random, 4096);
     let pmod = run_workload_paged(tree, Scheme::PrimeModulo, 150_000, PagePolicy::Random, 4096);
     let speedup = base.breakdown.total() as f64 / pmod.breakdown.total() as f64;
-    assert!(speedup > 1.3, "random paging must not erase tree's gain: {speedup}");
+    assert!(
+        speedup > 1.3,
+        "random paging must not erase tree's gain: {speedup}"
+    );
 }
 
 #[test]
@@ -68,7 +74,13 @@ fn sequential_paging_dissolves_page_granular_alignment() {
     // sequential frames destroy that alignment, so Base and pMod converge.
     let bt = by_name("bt").unwrap();
     let base = run_workload_paged(bt, Scheme::Base, 150_000, PagePolicy::Sequential, 4096);
-    let pmod = run_workload_paged(bt, Scheme::PrimeModulo, 150_000, PagePolicy::Sequential, 4096);
+    let pmod = run_workload_paged(
+        bt,
+        Scheme::PrimeModulo,
+        150_000,
+        PagePolicy::Sequential,
+        4096,
+    );
     let speedup = base.breakdown.total() as f64 / pmod.breakdown.total() as f64;
     assert!(
         (0.9..1.15).contains(&speedup),

@@ -29,10 +29,16 @@ fn xor_strides_3_and_5_also_fail_at_16_sets() {
     for s in [3u64, 5, 15] {
         let short = strided_addresses(s, 64);
         let b = balance(&xor, short.iter().copied());
-        assert!(b > 1.2, "stride {s}: short-window balance {b} should be bad");
+        assert!(
+            b > 1.2,
+            "stride {s}: short-window balance {b} should be bad"
+        );
         let long = strided_addresses(s, 4096);
         let c = concentration(&xor, long.iter().copied());
-        assert!(c > 5.0, "stride {s}: concentration {c} should stay non-ideal");
+        assert!(
+            c > 5.0,
+            "stride {s}: concentration {c} should stay non-ideal"
+        );
     }
     // A traditional cache is perfectly fine on these odd strides — the
     // §3.3 argument that XOR can be *worse* than no hashing at all.

@@ -79,12 +79,18 @@ fn concentration_separates_pmod_from_xor_on_odd_strides() {
         let addrs = strided_addresses(stride, 8192);
         let c_pmod = concentration(&pmod, addrs.iter().copied());
         let c_xor = concentration(&xor, addrs.iter().copied());
-        assert!(c_pmod < 1e-9, "stride {stride}: pMod concentration {c_pmod}");
+        assert!(
+            c_pmod < 1e-9,
+            "stride {stride}: pMod concentration {c_pmod}"
+        );
         if c_xor > 1.0 {
             pmod_worse += 1;
         }
     }
-    assert!(pmod_worse >= 6, "XOR should concentrate on most odd strides");
+    assert!(
+        pmod_worse >= 6,
+        "XOR should concentrate on most odd strides"
+    );
 }
 
 #[test]
@@ -92,9 +98,8 @@ fn prime_moduli_used_by_the_stack_are_prime() {
     for phys in [256u64, 512, 1024, 2048, 4096, 8192, 16384] {
         let n = prev_prime(phys).unwrap();
         assert!(is_prime(n));
-        let cache = Cache::new(
-            CacheConfig::new(phys * 4 * 64, 4, 64).with_hash(HashKind::PrimeModulo),
-        );
+        let cache =
+            Cache::new(CacheConfig::new(phys * 4 * 64, 4, 64).with_hash(HashKind::PrimeModulo));
         assert_eq!(cache.n_set(), n, "phys = {phys}");
     }
 }
@@ -104,8 +109,7 @@ fn fragmentation_cost_is_negligible_in_practice() {
     // Running the same uniform stream through Base and pMod caches of the
     // paper's L2: the ~0.44% capacity loss must cost < 2% extra misses.
     let mut base = Cache::new(CacheConfig::new(512 * 1024, 4, 64));
-    let mut pmod =
-        Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::PrimeModulo));
+    let mut pmod = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::PrimeModulo));
     // Cyclic working set just under capacity.
     for round in 0..6 {
         let _ = round;

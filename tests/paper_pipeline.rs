@@ -39,7 +39,10 @@ fn fig13_shape_base_concentrates_pmod_spreads() {
     let pmod_frac = sets_carrying_share(&pmod, 0.90);
     // Paper: "vast majority of cache misses ... concentrated in about 10%
     // of the sets" under Base; pMod spreads them.
-    assert!(base_frac < 0.2, "Base: 90% of misses in {base_frac:.2} of sets");
+    assert!(
+        base_frac < 0.2,
+        "Base: 90% of misses in {base_frac:.2} of sets"
+    );
     assert!(
         pmod_frac > 2.0 * base_frac,
         "pMod must spread misses: {pmod_frac:.2} vs {base_frac:.2}"
@@ -68,19 +71,14 @@ fn prime_hashing_is_safe_on_uniform_applications() {
 #[test]
 fn uniformity_classification_survives_the_full_pipeline() {
     // §4 through the *timing* pipeline rather than cache-only.
-    for (name, expect_non_uniform) in
-        [("tree", true), ("bt", true), ("swim", false), ("lu", false)]
+    for (name, expect_non_uniform) in [("tree", true), ("bt", true), ("swim", false), ("lu", false)]
     {
         let w = by_name(name).unwrap();
         // Full-coverage traces: short ones see only part of a workload's
         // footprint (e.g. lu's early panels) and skew the histogram.
         let r = run_workload(w, Scheme::Base, REFS_STEADY);
         let cv = uniformity_ratio(&r.l2.set_accesses);
-        assert_eq!(
-            cv > 0.5,
-            expect_non_uniform,
-            "{name}: cv = {cv:.3}"
-        );
+        assert_eq!(cv > 0.5, expect_non_uniform, "{name}: cv = {cv:.3}");
     }
 }
 
@@ -95,7 +93,10 @@ fn eight_way_is_not_an_effective_substitute() {
     let eight_gain = base.breakdown.total() as f64 / eight.breakdown.total() as f64;
     let pmod_gain = base.breakdown.total() as f64 / pmod.breakdown.total() as f64;
     assert!(eight_gain < 1.1, "8-way gain {eight_gain}");
-    assert!(pmod_gain > eight_gain + 0.2, "pMod {pmod_gain} vs 8-way {eight_gain}");
+    assert!(
+        pmod_gain > eight_gain + 0.2,
+        "pMod {pmod_gain} vs 8-way {eight_gain}"
+    );
 }
 
 #[test]
@@ -108,7 +109,10 @@ fn skewed_cache_pays_with_pathological_cases() {
     let pmod = run_workload(bzip2, Scheme::PrimeModulo, REFS_STEADY);
     let skw_norm = skw.breakdown.total() as f64 / base.breakdown.total() as f64;
     let pmod_norm = pmod.breakdown.total() as f64 / base.breakdown.total() as f64;
-    assert!(skw_norm > 1.005, "skewed should leak misses on bzip2: {skw_norm}");
+    assert!(
+        skw_norm > 1.005,
+        "skewed should leak misses on bzip2: {skw_norm}"
+    );
     assert!(pmod_norm < 1.01, "pMod must stay safe: {pmod_norm}");
 }
 
@@ -122,7 +126,10 @@ fn only_skewing_helps_the_scattered_block_workloads() {
     let skw = run_workload(mst, Scheme::Skewed, REFS);
     let pmod_norm = pmod.breakdown.total() as f64 / base.breakdown.total() as f64;
     let skw_norm = skw.breakdown.total() as f64 / base.breakdown.total() as f64;
-    assert!(pmod_norm > 0.95, "single hashes cannot fix mst: {pmod_norm}");
+    assert!(
+        pmod_norm > 0.95,
+        "single hashes cannot fix mst: {pmod_norm}"
+    );
     assert!(skw_norm < 0.9, "skewing must help mst: {skw_norm}");
 }
 

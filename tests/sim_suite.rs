@@ -16,9 +16,9 @@ fn sweep_produces_a_full_matrix() {
     assert_eq!(sweep.cells.len(), 23);
     for w in all() {
         for s in schemes {
-            let cell = sweep.get(w.name, s).unwrap_or_else(|| {
-                panic!("missing cell {}/{}", w.name, s.label())
-            });
+            let cell = sweep
+                .get(w.name, s)
+                .unwrap_or_else(|| panic!("missing cell {}/{}", w.name, s.label()));
             assert_eq!(cell.workload, w.name);
             assert!(cell.result.breakdown.total() > 0);
             assert!(cell.result.l1.accesses >= REFS);
@@ -41,7 +41,11 @@ fn table4_pmod_beats_base_on_non_uniform_average() {
     let sweep = run_sweep(&[Scheme::Base, Scheme::PrimeModulo], REFS);
     let rows = table4(&sweep, &[Scheme::PrimeModulo]);
     let r = &rows[0];
-    assert!(r.non_uniform.1 > 1.15, "avg non-uniform speedup {}", r.non_uniform.1);
+    assert!(
+        r.non_uniform.1 > 1.15,
+        "avg non-uniform speedup {}",
+        r.non_uniform.1
+    );
     // Uniform apps stay near 1.0 on average.
     assert!(r.uniform.1 > 0.9 && r.uniform.1 < 1.2, "{:?}", r.uniform);
     // pMod's pathological count stays at most 1 (Table 4).
@@ -105,7 +109,13 @@ fn fig6_sweep_ranks_the_functions_like_the_paper() {
     // §5.1: pMod ideal everywhere; traditional bad on even strides only;
     // XOR and pDisp bad on many strides.
     assert_eq!(pmod, 0);
-    assert!(trad >= 120 && trad <= 136, "traditional: {trad}");
-    assert!(xor > trad, "XOR ({xor}) must be worse than traditional ({trad})");
-    assert!(pdisp > trad, "pDisp concentration is non-ideal on most strides");
+    assert!((120..=136).contains(&trad), "traditional: {trad}");
+    assert!(
+        xor > trad,
+        "XOR ({xor}) must be worse than traditional ({trad})"
+    );
+    assert!(
+        pdisp > trad,
+        "pDisp concentration is non-ideal on most strides"
+    );
 }
