@@ -1,0 +1,361 @@
+//! Per-indexer certificates: the paper's §2.2 properties derived
+//! statically instead of measured.
+//!
+//! A [`Certificate`] records, for one index function over a fixed
+//! geometry and address width:
+//!
+//! * the GF(2) **rank** and **kernel** of its symbolic model,
+//! * the **conflict-stride generators** (null-space values — addresses
+//!   separated by a carry-free multiple of one collide),
+//! * the **permutation property** (any aligned index window maps onto all
+//!   sets exactly once),
+//! * the **balance bound** — the worst-case per-set load multiple over a
+//!   full address period, the static counterpart of Eq. 1 (1.0 = ideal),
+//! * **sequence invariance** (Property 2, §2.2), and
+//! * the **Theorem 1** verdict: whether strided sequences are provably
+//!   conflict-free for every stride not a multiple of `n_set`.
+
+use primecache_core::index::{Geometry, HashKind, SKEW_DISP_FACTORS};
+use primecache_primes::{factorize, is_prime};
+
+use crate::model::{model_of, skew_disp_model, skew_xor_model, xor_folded_model, IndexModel};
+
+/// Sequence invariance (Property 2 of §2.2): whether the next set of a
+/// strided sequence depends only on the current set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Invariance {
+    /// Fully sequence invariant (the modulo family).
+    Full,
+    /// Partially invariant: all but one transition distance is constant
+    /// (the pDisp family, §3.3).
+    Partial,
+    /// Not sequence invariant (every XOR-style map).
+    None,
+}
+
+impl Invariance {
+    /// Short display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Invariance::Full => "full",
+            Invariance::Partial => "partial",
+            Invariance::None => "none",
+        }
+    }
+}
+
+/// The Theorem 1 verdict: conflict-freedom of strided sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Theorem1 {
+    /// Prime modulus `p`: for every stride `s` with `p ∤ s`, any `p`
+    /// consecutive strided accesses land on `p` distinct sets
+    /// (`gcd(s, p) = 1`), so no stride below the modulus ever conflicts.
+    Holds {
+        /// The certified prime modulus.
+        modulus: u64,
+    },
+    /// A concrete stride defeats strided conflict-freedom: carry-free
+    /// multiples of `witness_stride` collapse onto one set.
+    Fails {
+        /// The smallest derived pathological stride.
+        witness_stride: u64,
+    },
+    /// The scheme offers no such guarantee, but no single collapsing
+    /// stride was derived either.
+    NoGuarantee,
+}
+
+/// Everything the static analyzer can certify about one index function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Certificate {
+    /// Display name (paper figure labels, with bank/factor suffixes).
+    pub name: String,
+    /// Number of sets mapped into.
+    pub n_set: u64,
+    /// Address bits modeled.
+    pub in_bits: u32,
+    /// Rank of the symbolic map.
+    pub rank: u32,
+    /// Kernel dimension (`in_bits − rank` for linear maps; for the
+    /// residue/affine families, the count of independent generator
+    /// directions within `in_bits`).
+    pub kernel_dim: u32,
+    /// Conflict-stride generators, sorted ascending.
+    pub conflict_strides: Vec<u64>,
+    /// Whether any aligned window of `n_set`-ish consecutive addresses
+    /// maps onto the sets exactly once.
+    pub permutation: bool,
+    /// Whether the full-period load is ideal (Eq. 1 value of 1).
+    pub balanced: bool,
+    /// Worst-case per-set load multiple over a full period (1.0 = ideal;
+    /// `2^(k − rank)` for a rank-deficient linear map).
+    pub balance_bound: f64,
+    /// Property 2 status.
+    pub invariance: Invariance,
+    /// Theorem 1 verdict.
+    pub theorem1: Theorem1,
+    /// The symbolic model, for downstream cross-validation.
+    pub model: IndexModel,
+}
+
+impl Certificate {
+    /// The smallest conflict-stride generator, if any.
+    #[must_use]
+    pub fn smallest_conflict_stride(&self) -> Option<u64> {
+        self.conflict_strides.first().copied()
+    }
+}
+
+fn certify_linear(name: String, model: IndexModel, invariance: Invariance) -> Certificate {
+    let IndexModel::Linear(ref m) = model else {
+        unreachable!("certify_linear takes a linear model");
+    };
+    let rank = m.rank();
+    let k = m.out_bits();
+    let kernel = m.kernel_basis();
+    let balance_bound = f64::from(1u32 << (k - rank.min(k)));
+    let theorem1 = match kernel.first() {
+        Some(&d) => Theorem1::Fails { witness_stride: d },
+        None => Theorem1::NoGuarantee,
+    };
+    Certificate {
+        name,
+        n_set: 1u64 << k,
+        in_bits: m.in_bits(),
+        rank,
+        kernel_dim: m.kernel_dim(),
+        permutation: m.index_window_permutation(),
+        balanced: rank == k,
+        balance_bound,
+        invariance,
+        theorem1,
+        conflict_strides: kernel,
+        model,
+    }
+}
+
+fn certify_residue(name: String, model: IndexModel) -> Certificate {
+    let IndexModel::Residue { modulus, in_bits } = model else {
+        unreachable!("certify_residue takes a residue model");
+    };
+    let theorem1 = if is_prime(modulus) {
+        Theorem1::Holds { modulus }
+    } else {
+        // The smallest prime factor q is a stride that visits only
+        // modulus/q sets, each q times per period: guaranteed conflicts.
+        let witness = factorize(modulus).first().map_or(modulus, |&(p, _)| p);
+        Theorem1::Fails {
+            witness_stride: witness,
+        }
+    };
+    let strides = model.conflict_generators();
+    Certificate {
+        name,
+        n_set: modulus,
+        in_bits,
+        rank: model.rank(),
+        kernel_dim: u32::try_from(strides.len()).expect("few generators"),
+        permutation: true, // any m consecutive addresses are a bijection mod m
+        balanced: true,
+        balance_bound: 1.0,
+        invariance: Invariance::Full,
+        theorem1,
+        conflict_strides: strides,
+        model,
+    }
+}
+
+fn certify_affine(name: String, model: IndexModel) -> Certificate {
+    let IndexModel::Affine {
+        factor,
+        index_bits,
+        in_bits,
+    } = model
+    else {
+        unreachable!("certify_affine takes an affine model");
+    };
+    let odd = factor % 2 == 1;
+    let strides = model.conflict_generators();
+    let theorem1 = if odd {
+        Theorem1::NoGuarantee
+    } else {
+        // Even factor: stride 2^k advances the set by the factor, which
+        // shares a power of two with the modulus — only a fraction of the
+        // sets is visited, each repeatedly.
+        Theorem1::Fails {
+            witness_stride: 1u64 << index_bits,
+        }
+    };
+    Certificate {
+        name,
+        n_set: 1u64 << index_bits,
+        in_bits,
+        rank: index_bits,
+        kernel_dim: u32::try_from(strides.len()).expect("few generators"),
+        permutation: true, // x ↦ (p·T + x) is a bijection for any fixed tag
+        balanced: odd,
+        balance_bound: 1.0,
+        invariance: Invariance::Partial,
+        theorem1,
+        conflict_strides: strides,
+        model,
+    }
+}
+
+/// Certifies one [`HashKind`] over a geometry and address width.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_analyze::{certify_kind, Theorem1};
+/// use primecache_core::index::{Geometry, HashKind};
+///
+/// let c = certify_kind(HashKind::PrimeModulo, Geometry::new(2048), 26);
+/// assert_eq!(c.theorem1, Theorem1::Holds { modulus: 2039 });
+///
+/// let x = certify_kind(HashKind::Xor, Geometry::new(2048), 26);
+/// assert_eq!(x.theorem1, Theorem1::Fails { witness_stride: 2049 });
+/// ```
+#[must_use]
+pub fn certify_kind(kind: HashKind, geom: Geometry, in_bits: u32) -> Certificate {
+    let model = model_of(kind, geom, in_bits);
+    match kind {
+        HashKind::Traditional => certify_linear(kind.label().to_owned(), model, Invariance::Full),
+        HashKind::Xor => certify_linear(kind.label().to_owned(), model, Invariance::None),
+        HashKind::PrimeModulo => certify_residue(kind.label().to_owned(), model),
+        HashKind::PrimeDisplacement => certify_affine(kind.label().to_owned(), model),
+    }
+}
+
+/// Certifies the fully-folded XOR indexer.
+#[must_use]
+pub fn certify_xor_folded(geom: Geometry, in_bits: u32) -> Certificate {
+    certify_linear(
+        "XOR-fold".to_owned(),
+        xor_folded_model(geom, in_bits),
+        Invariance::None,
+    )
+}
+
+/// Certifies one Seznec skew bank.
+#[must_use]
+pub fn certify_skew_xor_bank(geom: Geometry, bank: u32, in_bits: u32) -> Certificate {
+    certify_linear(
+        format!("SKW[{bank}]"),
+        skew_xor_model(geom, bank, in_bits),
+        Invariance::None,
+    )
+}
+
+/// Certifies one prime-displacement skew bank.
+#[must_use]
+pub fn certify_skew_disp_bank(geom: Geometry, factor: u64, in_bits: u32) -> Certificate {
+    certify_affine(
+        format!("skw+pDisp[{factor}]"),
+        skew_disp_model(geom, factor, in_bits),
+    )
+}
+
+/// Certifies every indexer family the repo implements: the four
+/// [`HashKind`]s and the folded XOR over `geom`, plus the four skew banks
+/// of each family over `bank_geom` (one quarter of the lines in the
+/// paper's four-bank layout).
+#[must_use]
+pub fn certify_all(geom: Geometry, bank_geom: Geometry, in_bits: u32) -> Vec<Certificate> {
+    let mut out: Vec<Certificate> = HashKind::ALL
+        .into_iter()
+        .map(|kind| certify_kind(kind, geom, in_bits))
+        .collect();
+    out.push(certify_xor_folded(geom, in_bits));
+    for bank in 0..4 {
+        out.push(certify_skew_xor_bank(bank_geom, bank, in_bits));
+    }
+    for factor in SKEW_DISP_FACTORS {
+        out.push(certify_skew_disp_bank(bank_geom, factor, in_bits));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmod_gets_the_theorem1_certificate() {
+        let c = certify_kind(HashKind::PrimeModulo, Geometry::new(2048), 26);
+        assert_eq!(c.theorem1, Theorem1::Holds { modulus: 2039 });
+        assert!(c.balanced && c.permutation);
+        assert_eq!(c.invariance, Invariance::Full);
+    }
+
+    #[test]
+    fn composite_modulus_fails_theorem1_with_its_factor() {
+        let model = IndexModel::Residue {
+            modulus: 2047, // 23 * 89
+            in_bits: 26,
+        };
+        let c = certify_residue("pMod(2047)".to_owned(), model);
+        assert_eq!(c.theorem1, Theorem1::Fails { witness_stride: 23 });
+    }
+
+    #[test]
+    fn traditional_witness_is_the_set_count() {
+        let c = certify_kind(HashKind::Traditional, Geometry::new(1024), 26);
+        assert_eq!(
+            c.theorem1,
+            Theorem1::Fails {
+                witness_stride: 1024
+            }
+        );
+        assert_eq!(c.invariance, Invariance::Full);
+        assert!(c.permutation && c.balanced);
+    }
+
+    #[test]
+    fn xor_witness_is_n_set_plus_one() {
+        let c = certify_kind(HashKind::Xor, Geometry::new(2048), 26);
+        assert_eq!(c.smallest_conflict_stride(), Some(2049));
+        assert_eq!(c.rank, 11);
+        assert_eq!(c.kernel_dim, 15); // 26 − 11
+        assert_eq!(c.invariance, Invariance::None);
+    }
+
+    #[test]
+    fn pdisp_is_partial_and_guaranteeless() {
+        let c = certify_kind(HashKind::PrimeDisplacement, Geometry::new(2048), 26);
+        assert_eq!(c.theorem1, Theorem1::NoGuarantee);
+        assert_eq!(c.invariance, Invariance::Partial);
+        assert!(c.balanced);
+    }
+
+    #[test]
+    fn even_affine_factor_fails() {
+        let c = certify_skew_disp_bank(Geometry::new(512), 8, 26);
+        assert!(!c.balanced);
+        assert_eq!(
+            c.theorem1,
+            Theorem1::Fails {
+                witness_stride: 512
+            }
+        );
+    }
+
+    #[test]
+    fn certify_all_covers_thirteen_indexers() {
+        let all = certify_all(Geometry::new(2048), Geometry::new(512), 26);
+        assert_eq!(all.len(), 13); // 4 kinds + fold + 4 SKW + 4 disp banks
+        for c in &all {
+            assert!(c.permutation, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn skew_banks_are_full_rank_permutations() {
+        for bank in 0..4 {
+            let c = certify_skew_xor_bank(Geometry::new(512), bank, 26);
+            assert_eq!(c.rank, 9, "bank {bank}");
+            assert!(c.balanced && c.permutation);
+        }
+    }
+}

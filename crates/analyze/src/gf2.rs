@@ -1,0 +1,248 @@
+//! Linear algebra over GF(2) for bit-matrix index functions.
+//!
+//! Every XOR-style hash is a linear map from address bits to set-index
+//! bits over the two-element field: output bit `i` is the parity of some
+//! subset of input bits. Representing that subset as a `u64` mask makes a
+//! whole matrix a `Vec<u64>`, and Gaussian elimination — rank, kernel —
+//! runs in a few hundred word operations.
+//!
+//! The *kernel* (null space) is the interesting object: a nonzero vector
+//! `d` with `M·d = 0` means the addresses `a` and `a + d` map to the same
+//! set whenever the addition is carry-free (`a & d == 0`), because then
+//! `a + d = a ⊕ d` and `M(a ⊕ d) = M(a) ⊕ M(d) = M(a)`. Kernel vectors
+//! are exactly the conflict-stride generators that eviction-set
+//! construction exploits (cf. the Sandy Bridge hash reverse-engineering
+//! literature).
+
+/// A GF(2) matrix mapping `in_bits` input bits to `rows.len()` output
+/// bits. Row `i` is a mask of the input bits whose parity forms output
+/// bit `i`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_analyze::Gf2Matrix;
+///
+/// // The XOR hash for 4 sets over 4 address bits: out_i = x_i ^ t1_i.
+/// let m = Gf2Matrix::new(vec![0b0101, 0b1010], 4);
+/// assert_eq!(m.rank(), 2);
+/// assert_eq!(m.apply(0b0101), 0b01 ^ 0b01); // x=01, t1=01 -> 0
+/// assert_eq!(m.kernel_basis(), vec![0b0101, 0b1010]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gf2Matrix {
+    rows: Vec<u64>,
+    in_bits: u32,
+}
+
+impl Gf2Matrix {
+    /// Builds a matrix from row masks over `in_bits` input bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_bits` is 0 or exceeds 64, or if a row references an
+    /// input bit at or above `in_bits`.
+    #[must_use]
+    pub fn new(rows: Vec<u64>, in_bits: u32) -> Self {
+        assert!((1..=64).contains(&in_bits), "in_bits must be in 1..=64");
+        let mask = input_mask(in_bits);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(
+                r & !mask == 0,
+                "row {i} references input bits above {in_bits}"
+            );
+        }
+        Self { rows, in_bits }
+    }
+
+    /// Number of input (address) bits.
+    #[must_use]
+    pub fn in_bits(&self) -> u32 {
+        self.in_bits
+    }
+
+    /// Number of output (set-index) bits.
+    #[must_use]
+    pub fn out_bits(&self) -> u32 {
+        u32::try_from(self.rows.len()).expect("row count fits in u32")
+    }
+
+    /// The mask of input bits feeding output bit `i`.
+    #[must_use]
+    pub fn row(&self, i: u32) -> u64 {
+        self.rows[i as usize]
+    }
+
+    /// Applies the map: output bit `i` is `parity(x & row_i)`.
+    #[must_use]
+    pub fn apply(&self, x: u64) -> u64 {
+        let mut out = 0u64;
+        for (i, &r) in self.rows.iter().enumerate() {
+            out |= u64::from((x & r).count_ones() & 1) << i;
+        }
+        out
+    }
+
+    /// Rank of the matrix (dimension of the image).
+    #[must_use]
+    pub fn rank(&self) -> u32 {
+        let (_, pivots) = self.rref();
+        u32::try_from(pivots.len()).expect("pivot count fits in u32")
+    }
+
+    /// Dimension of the kernel: `in_bits - rank`.
+    #[must_use]
+    pub fn kernel_dim(&self) -> u32 {
+        self.in_bits - self.rank()
+    }
+
+    /// A basis of the kernel (null space), sorted ascending by value.
+    ///
+    /// Every returned `d` satisfies `apply(d) == 0`; together they span
+    /// all such vectors. Sorted ascending, the first element is the
+    /// smallest conflict-stride generator.
+    #[must_use]
+    pub fn kernel_basis(&self) -> Vec<u64> {
+        let (rref, pivots) = self.rref();
+        let mut basis = Vec::new();
+        for f in 0..self.in_bits {
+            if pivots.contains(&f) {
+                continue;
+            }
+            let mut v = 1u64 << f;
+            for (row, &p) in rref.iter().zip(&pivots) {
+                if (row >> f) & 1 == 1 {
+                    v |= 1 << p;
+                }
+            }
+            basis.push(v);
+        }
+        basis.sort_unstable();
+        basis
+    }
+
+    /// Whether the restriction of the map to input bits `0..out_bits` is
+    /// invertible — the *permutation certificate*: any `2^out_bits`
+    /// consecutive aligned addresses (fixed tag, all index fields) map
+    /// onto all sets exactly once.
+    #[must_use]
+    pub fn index_window_permutation(&self) -> bool {
+        let k = self.out_bits();
+        if k > self.in_bits {
+            return false;
+        }
+        let window = input_mask(k);
+        let restricted: Vec<u64> = self.rows.iter().map(|&r| r & window).collect();
+        Gf2Matrix::new(restricted, k.max(1)).rank() == k
+    }
+
+    /// Reduced row-echelon form of the nonzero rows, with the pivot
+    /// column of each returned row.
+    fn rref(&self) -> (Vec<u64>, Vec<u32>) {
+        let mut mat: Vec<u64> = self.rows.iter().copied().filter(|&r| r != 0).collect();
+        let mut pivots = Vec::new();
+        let mut r = 0usize;
+        for c in 0..self.in_bits {
+            let Some(p) = (r..mat.len()).find(|&i| (mat[i] >> c) & 1 == 1) else {
+                continue;
+            };
+            mat.swap(r, p);
+            for i in 0..mat.len() {
+                if i != r && (mat[i] >> c) & 1 == 1 {
+                    mat[i] ^= mat[r];
+                }
+            }
+            pivots.push(c);
+            r += 1;
+        }
+        mat.truncate(r);
+        (mat, pivots)
+    }
+}
+
+/// Mask of the low `bits` bits (all 64 when `bits == 64`).
+#[must_use]
+pub fn input_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity(k: u32, in_bits: u32) -> Gf2Matrix {
+        Gf2Matrix::new((0..k).map(|i| 1u64 << i).collect(), in_bits)
+    }
+
+    #[test]
+    fn identity_has_full_rank_and_padded_kernel() {
+        let m = identity(4, 10);
+        assert_eq!(m.rank(), 4);
+        assert_eq!(m.kernel_dim(), 6);
+        // Kernel = the six untouched high bits.
+        assert_eq!(
+            m.kernel_basis(),
+            (4..10).map(|i| 1u64 << i).collect::<Vec<_>>()
+        );
+        assert!(m.index_window_permutation());
+    }
+
+    #[test]
+    fn kernel_vectors_annihilate() {
+        // XOR map over 8 bits, 4 sets: out_i = x_i ^ t1_i.
+        let m = Gf2Matrix::new((0..4).map(|i| (1u64 << i) | (1 << (i + 4))).collect(), 8);
+        assert_eq!(m.rank(), 4);
+        let basis = m.kernel_basis();
+        assert_eq!(basis.len(), 4);
+        for &d in &basis {
+            assert_eq!(m.apply(d), 0, "kernel vector {d:#b} must map to 0");
+        }
+        // Smallest generator: bit 0 in both fields = 0b00010001 = 17.
+        assert_eq!(basis[0], 17);
+    }
+
+    #[test]
+    fn kernel_spans_exactly_the_null_space() {
+        // Brute-force over every 8-bit input: apply(d) == 0 iff d is a
+        // GF(2) combination of the basis.
+        let m = Gf2Matrix::new(vec![0b1100_1001, 0b0110_0011, 0b1010_0101], 8);
+        let basis = m.kernel_basis();
+        let mut span = std::collections::HashSet::from([0u64]);
+        for &b in &basis {
+            let existing: Vec<u64> = span.iter().copied().collect();
+            for v in existing {
+                span.insert(v ^ b);
+            }
+        }
+        for d in 0..256u64 {
+            assert_eq!(m.apply(d) == 0, span.contains(&d), "d = {d:#010b}");
+        }
+        assert_eq!(span.len(), 1 << m.kernel_dim());
+    }
+
+    #[test]
+    fn rank_deficient_map_is_not_a_window_permutation() {
+        // Both output bits read the same input bit: rank 1.
+        let m = Gf2Matrix::new(vec![0b01, 0b01], 6);
+        assert_eq!(m.rank(), 1);
+        assert!(!m.index_window_permutation());
+    }
+
+    #[test]
+    fn zero_matrix_kernel_is_everything() {
+        let m = Gf2Matrix::new(vec![0, 0], 5);
+        assert_eq!(m.rank(), 0);
+        assert_eq!(m.kernel_dim(), 5);
+        assert_eq!(m.kernel_basis().len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "references input bits")]
+    fn out_of_range_row_rejected() {
+        let _ = Gf2Matrix::new(vec![0b1_0000], 4);
+    }
+}

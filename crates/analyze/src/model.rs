@@ -1,0 +1,395 @@
+//! Symbolic models of every index function in `primecache_core`.
+//!
+//! Each [`SetIndexer`](primecache_core::index::SetIndexer) falls into one
+//! of three algebraic families, and each family admits exact static
+//! analysis:
+//!
+//! * **GF(2)-linear** (`Base`, `XOR`, `XOR-fold`, `SKW` banks) — a bit
+//!   matrix ([`Gf2Matrix`]); rank and kernel are computed by Gaussian
+//!   elimination.
+//! * **Residue** (`pMod`) — `a ↦ a mod m`; conflict structure is governed
+//!   by `gcd` arithmetic, and Theorem 1 holds exactly when `m` is prime.
+//! * **Affine mod 2^k** (`pDisp`, `skw+pDisp` banks) — `(p·T + x) mod 2^k`,
+//!   linear over `Z_{2^k}` in the tag/index fields.
+//!
+//! All three families share one algebraic fact this crate's predictions
+//! rest on: for a *carry-free* pair (`a & d == 0`, so `a + d = a | d` and
+//! no bit of `d` disturbs a field of `a`),
+//!
+//! ```text
+//! H(a + d) = H(a) ⊞ H(d)        (⊞ = the family's group operation)
+//! ```
+//!
+//! so `a` and `a + d` conflict for **every** carry-free `a` exactly when
+//! `H(d) = 0`. The set `{d : H(d) = 0}` — the kernel — therefore generates
+//! all universal conflict strides, and [`IndexModel::conflict_generators`]
+//! enumerates a basis of it.
+
+use primecache_core::index::Geometry;
+use primecache_core::index::HashKind;
+
+use crate::gf2::{input_mask, Gf2Matrix};
+
+/// A symbolic model of one index function over `in_bits` address bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexModel {
+    /// GF(2)-linear bit-matrix map.
+    Linear(Gf2Matrix),
+    /// `a ↦ a mod modulus` (the pMod family).
+    Residue {
+        /// The modulus (the paper picks the largest prime below the
+        /// physical set count).
+        modulus: u64,
+        /// Address bits modeled.
+        in_bits: u32,
+    },
+    /// `(factor·T + x) mod 2^index_bits` with `T = a >> index_bits`
+    /// (the pDisp family).
+    Affine {
+        /// The displacement factor `p`.
+        factor: u64,
+        /// Set-index width `k`; the modulus is `2^k`.
+        index_bits: u32,
+        /// Address bits modeled.
+        in_bits: u32,
+    },
+}
+
+impl IndexModel {
+    /// Evaluates the model at block address `a`.
+    ///
+    /// For every model built by [`model_of`] / [`skew_xor_model`] /
+    /// [`skew_disp_model`] this agrees bit-exactly with the concrete
+    /// indexer's `index()` for all `a < 2^in_bits` (the self-check and
+    /// the test suite enforce this).
+    #[must_use]
+    pub fn eval(&self, a: u64) -> u64 {
+        match self {
+            IndexModel::Linear(m) => m.apply(a & input_mask(m.in_bits())),
+            IndexModel::Residue { modulus, .. } => a % modulus,
+            IndexModel::Affine {
+                factor, index_bits, ..
+            } => {
+                let t = a >> index_bits;
+                let x = a & input_mask(*index_bits);
+                factor.wrapping_mul(t).wrapping_add(x) & input_mask(*index_bits)
+            }
+        }
+    }
+
+    /// Number of sets the model maps into.
+    #[must_use]
+    pub fn n_set(&self) -> u64 {
+        match self {
+            IndexModel::Linear(m) => 1u64 << m.out_bits(),
+            IndexModel::Residue { modulus, .. } => *modulus,
+            IndexModel::Affine { index_bits, .. } => 1u64 << index_bits,
+        }
+    }
+
+    /// Address bits the model covers.
+    #[must_use]
+    pub fn in_bits(&self) -> u32 {
+        match self {
+            IndexModel::Linear(m) => m.in_bits(),
+            IndexModel::Residue { in_bits, .. } | IndexModel::Affine { in_bits, .. } => *in_bits,
+        }
+    }
+
+    /// Whether `d` is a universal carry-free conflict stride: every pair
+    /// `(a, a + d)` with `a & d == 0` maps to the same set.
+    #[must_use]
+    pub fn is_conflict_delta(&self, d: u64) -> bool {
+        self.eval(d) == 0
+    }
+
+    /// Generators of the universal conflict strides (the eviction-pattern
+    /// generators), sorted ascending.
+    ///
+    /// * Linear: a kernel basis — GF(2) combinations with disjoint bits
+    ///   generate every collapse pattern.
+    /// * Residue: the modulus — conflicts are exactly its multiples.
+    /// * Affine: the smallest tag-borne collider `2^(k+1) − p mod 2^k`
+    ///   (tag +1 cancels index `2^k − p`) and `2^(2k)` (a tag delta that
+    ///   the factor annihilates mod `2^k`), clipped to `in_bits`.
+    #[must_use]
+    pub fn conflict_generators(&self) -> Vec<u64> {
+        match self {
+            IndexModel::Linear(m) => m.kernel_basis(),
+            IndexModel::Residue { modulus, in_bits } => {
+                if *modulus <= input_mask(*in_bits) {
+                    vec![*modulus]
+                } else {
+                    Vec::new()
+                }
+            }
+            IndexModel::Affine {
+                factor,
+                index_bits,
+                in_bits,
+            } => {
+                let k = *index_bits;
+                let mask = input_mask(k);
+                let g = factor & mask;
+                let mut out = Vec::new();
+                // Tag +1 plus the index complement of the factor.
+                let d = if g == 0 {
+                    1u64 << k
+                } else {
+                    (1u64 << k) + ((1u64 << k) - g)
+                };
+                if d <= input_mask(*in_bits) {
+                    out.push(d);
+                }
+                // Tag delta 2^k: p·2^k ≡ 0 (mod 2^k) for every p.
+                if 2 * k < 64 && (1u64 << (2 * k)) <= input_mask(*in_bits) {
+                    out.push(1u64 << (2 * k));
+                }
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// The effective GF(2) rank of the map, when linear; for the other
+    /// families, the number of index bits (they are full-rank onto their
+    /// codomain whenever well-formed).
+    #[must_use]
+    pub fn rank(&self) -> u32 {
+        match self {
+            IndexModel::Linear(m) => m.rank(),
+            IndexModel::Residue { modulus, .. } => 64 - modulus.leading_zeros(),
+            IndexModel::Affine { index_bits, .. } => *index_bits,
+        }
+    }
+}
+
+/// Builds the symbolic model of a [`HashKind`] over `in_bits` address
+/// bits.
+///
+/// # Panics
+///
+/// Panics if `in_bits` is smaller than the geometry's index width or
+/// exceeds 64.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_analyze::model_of;
+/// use primecache_core::index::{Geometry, HashKind};
+///
+/// let m = model_of(HashKind::Xor, Geometry::new(2048), 26);
+/// // The XOR null space contains the classic 2^11 + 1 stride.
+/// assert!(m.is_conflict_delta(2049));
+/// ```
+#[must_use]
+pub fn model_of(kind: HashKind, geom: Geometry, in_bits: u32) -> IndexModel {
+    let k = geom.index_bits();
+    assert!(
+        in_bits >= k && in_bits <= 64,
+        "in_bits {in_bits} must cover the {k} index bits"
+    );
+    match kind {
+        HashKind::Traditional => {
+            IndexModel::Linear(Gf2Matrix::new((0..k).map(|i| 1u64 << i).collect(), in_bits))
+        }
+        HashKind::Xor => {
+            let rows = (0..k)
+                .map(|i| {
+                    let mut r = 1u64 << i;
+                    if k + i < in_bits {
+                        r |= 1 << (k + i);
+                    }
+                    r
+                })
+                .collect();
+            IndexModel::Linear(Gf2Matrix::new(rows, in_bits))
+        }
+        HashKind::PrimeModulo => IndexModel::Residue {
+            modulus: primecache_primes::prev_prime(geom.n_set_phys())
+                .expect("geometry guarantees n_set_phys >= 2"),
+            in_bits,
+        },
+        HashKind::PrimeDisplacement => IndexModel::Affine {
+            factor: 9,
+            index_bits: k,
+            in_bits,
+        },
+    }
+}
+
+/// Symbolic model of the fully-folded XOR indexer
+/// ([`XorFolded`](primecache_core::index::XorFolded)): output bit `i` is
+/// the parity of every address bit congruent to `i` mod `k`.
+#[must_use]
+pub fn xor_folded_model(geom: Geometry, in_bits: u32) -> IndexModel {
+    let k = geom.index_bits();
+    assert!(
+        in_bits >= k && in_bits <= 64,
+        "in_bits {in_bits} must cover the {k} index bits"
+    );
+    let rows = (0..k)
+        .map(|i| {
+            (i..in_bits)
+                .step_by(k as usize)
+                .fold(0u64, |r, b| r | (1 << b))
+        })
+        .collect();
+    IndexModel::Linear(Gf2Matrix::new(rows, in_bits))
+}
+
+/// Symbolic model of one Seznec skew bank
+/// ([`SkewXorBank`](primecache_core::index::SkewXorBank)): output bit `i`
+/// is `x_i ⊕ t1_{(i − r) mod k}` with `r = bank mod k`.
+#[must_use]
+pub fn skew_xor_model(geom: Geometry, bank: u32, in_bits: u32) -> IndexModel {
+    let k = geom.index_bits();
+    assert!(
+        in_bits >= k && in_bits <= 64,
+        "in_bits {in_bits} must cover the {k} index bits"
+    );
+    let r = bank % k;
+    let rows = (0..k)
+        .map(|i| {
+            let mut row = 1u64 << i;
+            let t1_bit = k + (i + k - r) % k;
+            if t1_bit < in_bits {
+                row |= 1 << t1_bit;
+            }
+            row
+        })
+        .collect();
+    IndexModel::Linear(Gf2Matrix::new(rows, in_bits))
+}
+
+/// Symbolic model of one prime-displacement skew bank
+/// ([`SkewDispBank`](primecache_core::index::SkewDispBank)).
+#[must_use]
+pub fn skew_disp_model(geom: Geometry, factor: u64, in_bits: u32) -> IndexModel {
+    let k = geom.index_bits();
+    assert!(
+        in_bits >= k && in_bits <= 64,
+        "in_bits {in_bits} must cover the {k} index bits"
+    );
+    IndexModel::Affine {
+        factor,
+        index_bits: k,
+        in_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primecache_core::index::{
+        PrimeDisplacement, PrimeModulo, SetIndexer, SkewXorBank, Traditional, Xor, XorFolded,
+    };
+
+    const IN_BITS: u32 = 26;
+
+    fn sample_addrs() -> Vec<u64> {
+        let mut v: Vec<u64> = (0..4096u64).collect();
+        v.extend((0..2000u64).map(|i| (i * 0x9E37_79B9) & input_mask(IN_BITS)));
+        v
+    }
+
+    #[test]
+    fn models_agree_with_concrete_indexers() {
+        let geom = Geometry::new(2048);
+        let cases: Vec<(IndexModel, Box<dyn SetIndexer>)> = vec![
+            (
+                model_of(HashKind::Traditional, geom, IN_BITS),
+                Box::new(Traditional::new(geom)),
+            ),
+            (
+                model_of(HashKind::Xor, geom, IN_BITS),
+                Box::new(Xor::new(geom)),
+            ),
+            (
+                model_of(HashKind::PrimeModulo, geom, IN_BITS),
+                Box::new(PrimeModulo::new(geom)),
+            ),
+            (
+                model_of(HashKind::PrimeDisplacement, geom, IN_BITS),
+                Box::new(PrimeDisplacement::paper_default(geom)),
+            ),
+            (
+                xor_folded_model(geom, IN_BITS),
+                Box::new(XorFolded::new(geom)),
+            ),
+        ];
+        for (model, idx) in &cases {
+            for &a in &sample_addrs() {
+                assert_eq!(model.eval(a), idx.index(a), "{}: a = {a:#x}", idx.name());
+            }
+        }
+    }
+
+    #[test]
+    fn skew_models_agree_with_banks() {
+        let geom = Geometry::new(512);
+        for bank in 0..4 {
+            let model = skew_xor_model(geom, bank, IN_BITS);
+            let idx = SkewXorBank::new(geom, bank);
+            for &a in &sample_addrs() {
+                assert_eq!(model.eval(a), idx.index(a), "bank {bank}, a = {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn xor_kernel_contains_the_classic_stride() {
+        let m = model_of(HashKind::Xor, Geometry::new(2048), IN_BITS);
+        let gens = m.conflict_generators();
+        assert!(gens.contains(&2049), "2^11 + 1 must generate conflicts");
+        // Everything above the bits XOR reads is also in the null space.
+        assert!(gens.contains(&(1 << 22)));
+    }
+
+    #[test]
+    fn conflict_deltas_collide_carry_free() {
+        let geom = Geometry::new(256);
+        for kind in HashKind::ALL {
+            let model = model_of(kind, geom, 24);
+            let idx = kind.build(geom);
+            for d in model.conflict_generators() {
+                // Carry-free companions of d.
+                for a in (0..(1u64 << 24)).step_by(977) {
+                    let a = a & !d;
+                    assert_eq!(
+                        idx.index(a + d),
+                        idx.index(a),
+                        "{kind}: a = {a:#x}, d = {d:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn affine_generators_match_theory() {
+        let m = skew_disp_model(Geometry::new(2048), 9, IN_BITS);
+        let gens = m.conflict_generators();
+        // 2^12 − 9 = tag +1 with index 2^11 − 9.
+        assert_eq!(gens[0], (1 << 12) - 9);
+        assert!(gens.contains(&(1 << 22)));
+        for &d in &gens {
+            assert_eq!(m.eval(d), 0, "d = {d:#x}");
+        }
+    }
+
+    #[test]
+    fn residue_generator_is_the_modulus() {
+        let m = model_of(HashKind::PrimeModulo, Geometry::new(2048), IN_BITS);
+        assert_eq!(m.conflict_generators(), vec![2039]);
+        assert_eq!(m.n_set(), 2039);
+    }
+
+    #[test]
+    fn folded_model_smallest_kernel_stride() {
+        let m = xor_folded_model(Geometry::new(2048), 33);
+        let gens = m.conflict_generators();
+        // Bits {0, 11} survive the fold together: 2^11 + 1.
+        assert_eq!(gens[0], 2049);
+    }
+}

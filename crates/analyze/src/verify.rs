@@ -1,0 +1,295 @@
+//! Self-check: cross-validate every static prediction against the
+//! concrete indexers and brute-force conflict counting.
+//!
+//! The analyzer is only trustworthy if its symbolic models *are* the
+//! shipped index functions. This module checks, exhaustively on small
+//! geometries and by sampling on the paper's:
+//!
+//! 1. **Model agreement** — `model.eval(a) == indexer.index(a)`.
+//! 2. **Kernel equivalence** — brute-force enumeration of every delta on
+//!    a small geometry agrees with `is_conflict_delta` exactly: `d` makes
+//!    all carry-free pairs collide iff the model says so.
+//! 3. **Balance certificates** — full-period histograms match the
+//!    certified balance bound.
+//! 4. **Theorem 1** — every stride below a prime modulus really is
+//!    conflict-free, and every `Fails` witness really collapses.
+
+use primecache_core::index::{
+    Geometry, HashKind, PrimeModulo, SetIndexer, SkewDispBank, SkewXorBank, XorFolded,
+    SKEW_DISP_FACTORS,
+};
+
+use crate::certificate::{certify_all, Theorem1};
+use crate::gf2::input_mask;
+use crate::model::{model_of, skew_disp_model, skew_xor_model, xor_folded_model, IndexModel};
+
+/// Outcome of one self-check stage.
+#[derive(Debug, Clone)]
+pub struct CheckResult {
+    /// Stage name.
+    pub name: &'static str,
+    /// Number of individual comparisons performed.
+    pub cases: u64,
+    /// First failure description, if any.
+    pub failure: Option<String>,
+}
+
+impl CheckResult {
+    /// Whether the stage passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Aggregated self-check outcome.
+#[derive(Debug, Clone)]
+pub struct SelfCheck {
+    /// Per-stage results.
+    pub stages: Vec<CheckResult>,
+}
+
+impl SelfCheck {
+    /// Whether every stage passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.stages.iter().all(CheckResult::passed)
+    }
+}
+
+/// Every (model, concrete indexer) pair for one geometry.
+fn pairs(geom: Geometry, in_bits: u32) -> Vec<(String, IndexModel, Box<dyn SetIndexer>)> {
+    let mut out: Vec<(String, IndexModel, Box<dyn SetIndexer>)> = HashKind::ALL
+        .into_iter()
+        .map(|kind| {
+            (
+                kind.label().to_owned(),
+                model_of(kind, geom, in_bits),
+                kind.build(geom),
+            )
+        })
+        .collect();
+    out.push((
+        "XOR-fold".to_owned(),
+        xor_folded_model(geom, in_bits),
+        Box::new(XorFolded::new(geom)),
+    ));
+    for bank in 0..4 {
+        out.push((
+            format!("SKW[{bank}]"),
+            skew_xor_model(geom, bank, in_bits),
+            Box::new(SkewXorBank::new(geom, bank)),
+        ));
+    }
+    for factor in SKEW_DISP_FACTORS {
+        out.push((
+            format!("skw+pDisp[{factor}]"),
+            skew_disp_model(geom, factor, in_bits),
+            Box::new(SkewDispBank::new(geom, factor)),
+        ));
+    }
+    out
+}
+
+fn check_model_agreement(geom: Geometry, in_bits: u32) -> CheckResult {
+    let mut cases = 0u64;
+    let mut failure = None;
+    'outer: for (name, model, idx) in pairs(geom, in_bits) {
+        let mask = input_mask(in_bits);
+        let mut a = 0u64;
+        for step in 0..50_000u64 {
+            a = (a.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(step)) & mask;
+            cases += 1;
+            if model.eval(a) != idx.index(a) {
+                failure = Some(format!(
+                    "{name}: model {} != indexer {} at a = {a:#x}",
+                    model.eval(a),
+                    idx.index(a)
+                ));
+                break 'outer;
+            }
+        }
+    }
+    CheckResult {
+        name: "model-agreement",
+        cases,
+        failure,
+    }
+}
+
+fn check_kernel_equivalence(geom: Geometry, in_bits: u32) -> CheckResult {
+    let mut cases = 0u64;
+    let mut failure = None;
+    let top = 1u64 << in_bits;
+    'outer: for (name, model, idx) in pairs(geom, in_bits) {
+        for d in 1..top {
+            cases += 1;
+            // Brute-force: d collides universally iff it collides at a = 0
+            // and at every sampled carry-free companion (the group law
+            // makes a = 0 decisive; the samples guard the law itself).
+            let mut brute = idx.index(d) == idx.index(0);
+            let mut a = 0x5DEE_CE66u64;
+            for _ in 0..8 {
+                a = a.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(d);
+                let a_free = a & input_mask(in_bits) & !d;
+                brute &= idx.index(a_free + d) == idx.index(a_free);
+                if !brute {
+                    break;
+                }
+            }
+            if brute != model.is_conflict_delta(d) {
+                failure = Some(format!(
+                    "{name}: delta {d:#x} brute-force collider = {brute}, \
+                     model predicts {}",
+                    model.is_conflict_delta(d)
+                ));
+                break 'outer;
+            }
+        }
+    }
+    CheckResult {
+        name: "kernel-equivalence",
+        cases,
+        failure,
+    }
+}
+
+fn check_balance_certificates(geom: Geometry, bank_geom: Geometry, in_bits: u32) -> CheckResult {
+    let mut cases = 0u64;
+    let mut failure = None;
+    for cert in certify_all(geom, bank_geom, in_bits) {
+        let n_set = usize::try_from(cert.n_set).expect("set count fits usize");
+        let mut hist = vec![0u64; n_set];
+        for a in 0..(1u64 << in_bits) {
+            hist[usize::try_from(cert.model.eval(a)).expect("set index fits usize")] += 1;
+        }
+        cases += 1u64 << in_bits;
+        let max = hist.iter().copied().max().unwrap_or(0);
+        let ideal = (1u64 << in_bits) as f64 / cert.n_set as f64;
+        let measured_bound = max as f64 / ideal;
+        // The residue family overshoots ideal by at most one partial
+        // period; linear/affine families must match the bound exactly.
+        let slack = if matches!(cert.model, IndexModel::Residue { .. }) {
+            1.0 + cert.n_set as f64 / (1u64 << in_bits) as f64
+        } else {
+            cert.balance_bound
+        };
+        if measured_bound > slack + 1e-9 {
+            failure = Some(format!(
+                "{}: measured per-set load multiple {measured_bound:.3} \
+                 exceeds certified bound {slack:.3}",
+                cert.name
+            ));
+            break;
+        }
+    }
+    CheckResult {
+        name: "balance-certificates",
+        cases,
+        failure,
+    }
+}
+
+fn check_theorem1(geom: Geometry, bank_geom: Geometry, in_bits: u32) -> CheckResult {
+    let mut cases = 0u64;
+    let mut failure = None;
+    for cert in certify_all(geom, bank_geom, in_bits) {
+        match cert.theorem1 {
+            Theorem1::Holds { modulus } => {
+                // Every stride below the modulus: one full period maps to
+                // all-distinct sets.
+                let idx = PrimeModulo::with_modulus(geom, modulus);
+                for s in 1..modulus.min(512) {
+                    cases += 1;
+                    let mut seen = vec![false; usize::try_from(modulus).expect("fits")];
+                    let distinct = (0..modulus)
+                        .filter(|i| {
+                            let set = usize::try_from(idx.index(i * s)).expect("set fits usize");
+                            !std::mem::replace(&mut seen[set], true)
+                        })
+                        .count() as u64;
+                    if distinct != modulus {
+                        failure = Some(format!(
+                            "{}: stride {s} touched {distinct} of {modulus} sets",
+                            cert.name
+                        ));
+                    }
+                }
+            }
+            Theorem1::Fails { witness_stride } => {
+                // The witness must produce real conflicts: n_set accesses
+                // landing on strictly fewer sets.
+                cases += 1;
+                let steps = cert.n_set.min(1u64 << in_bits.saturating_sub(16).max(8));
+                let distinct = (0..steps)
+                    .map(|i| cert.model.eval(i.wrapping_mul(witness_stride)))
+                    .collect::<std::collections::HashSet<u64>>()
+                    .len() as u64;
+                if distinct >= steps {
+                    failure = Some(format!(
+                        "{}: witness stride {witness_stride} produced no \
+                         conflicts over {steps} accesses",
+                        cert.name
+                    ));
+                }
+            }
+            Theorem1::NoGuarantee => {}
+        }
+        if failure.is_some() {
+            break;
+        }
+    }
+    CheckResult {
+        name: "theorem1-certificates",
+        cases,
+        failure,
+    }
+}
+
+/// Runs the full self-check battery: exhaustive on a 64-set geometry,
+/// sampled on the paper's 2048-set L2.
+#[must_use]
+pub fn self_check() -> SelfCheck {
+    let small = Geometry::new(64);
+    let small_banks = Geometry::new(16);
+    let paper = Geometry::new(2048);
+    let paper_banks = Geometry::new(512);
+    SelfCheck {
+        stages: vec![
+            check_model_agreement(paper, 26),
+            check_model_agreement(small, 14),
+            check_kernel_equivalence(small, 14),
+            check_balance_certificates(small, small_banks, 14),
+            check_theorem1(small, small_banks, 14),
+            check_theorem1(paper, paper_banks, 26),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_full_battery_passes() {
+        let report = self_check();
+        for stage in &report.stages {
+            assert!(
+                stage.passed(),
+                "{}: {}",
+                stage.name,
+                stage.failure.as_deref().unwrap_or("")
+            );
+            assert!(stage.cases > 0, "{} ran no cases", stage.name);
+        }
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn kernel_equivalence_is_exhaustive_on_tiny_geometries() {
+        let r = check_kernel_equivalence(Geometry::new(16), 10);
+        assert!(r.passed(), "{:?}", r.failure);
+        // 13 indexers x (2^10 - 1) deltas.
+        assert_eq!(r.cases, 13 * 1023);
+    }
+}

@@ -57,7 +57,7 @@ pub use fully_assoc::FullyAssociative;
 pub use hierarchy::{AccessOutcome, Hierarchy, HierarchyConfig, L2Organization};
 pub use infinite::InfiniteCache;
 pub use set_assoc::Cache;
-pub use skewed::SkewedCache;
+pub use skewed::{bank_disp_factor, SkewedCache};
 pub use stats::CacheStats;
 pub use tlb::{Tlb, TlbStats};
 pub use victim::VictimCache;

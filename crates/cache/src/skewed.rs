@@ -53,6 +53,16 @@ pub struct SkewedCache {
     pending_writebacks: Vec<u64>,
 }
 
+/// The displacement factor bank `bank` uses in a prime-displacement
+/// skewed cache: the four paper factors ([`SKEW_DISP_FACTORS`]), with
+/// repeats beyond four banks nudged by an even offset so every factor
+/// stays odd and distinct.
+#[must_use]
+pub fn bank_disp_factor(bank: u32) -> u64 {
+    SKEW_DISP_FACTORS[bank as usize % SKEW_DISP_FACTORS.len()]
+        + 2 * (u64::from(bank) / SKEW_DISP_FACTORS.len() as u64) * 41
+}
+
 impl SkewedCache {
     /// Builds a skewed cache from its configuration.
     #[must_use]
@@ -62,9 +72,7 @@ impl SkewedCache {
             .map(|b| match config.hash() {
                 SkewHashKind::Xor => Box::new(SkewXorBank::new(geom, b)) as Box<dyn SetIndexer>,
                 SkewHashKind::PrimeDisplacement => {
-                    let factor = SKEW_DISP_FACTORS[b as usize % SKEW_DISP_FACTORS.len()]
-                        + 2 * (b as u64 / SKEW_DISP_FACTORS.len() as u64) * 41;
-                    Box::new(SkewDispBank::new(geom, factor)) as Box<dyn SetIndexer>
+                    Box::new(SkewDispBank::new(geom, bank_disp_factor(b))) as Box<dyn SetIndexer>
                 }
             })
             .collect();

@@ -1,13 +1,16 @@
 //! CLI subcommand implementations.
 
-use primecache_core::index::{Geometry, HashKind};
+use primecache_analyze::{
+    certify_all, has_errors, model_of, report_json, self_check, xor_folded_model, Theorem1,
+};
+use primecache_core::index::{Geometry, HashKind, SetIndexer, XorFolded};
 use primecache_core::metrics::{
     balance, concentration, strided_addresses, uniformity_ratio, violation_fraction, OnlineMetrics,
 };
 use primecache_sim::experiments::miss_taxonomy;
 use primecache_sim::report::render_table;
 use primecache_sim::suite::run_sweep;
-use primecache_sim::{run_workload, Scheme};
+use primecache_sim::{run_workload, MachineConfig, Scheme};
 use primecache_trace::{read_trace, write_trace, TraceStats};
 use primecache_workloads::profile::profile_of;
 use primecache_workloads::{all, by_name};
@@ -26,6 +29,8 @@ USAGE:
   pcache metrics --stride S                balance/concentration at a stride
   pcache metrics --app <name> [--refs N]   same metrics over a workload trace
   pcache taxonomy [--refs N]               three-C miss decomposition
+  pcache analyze [--json]                  static certificates + config lints
+  pcache analyze --self-check [--refs N]   cross-validate the static analyzer
   pcache trace <app> --out FILE [--refs N] dump a binary trace
   pcache inspect FILE                      summarize a binary trace
 
@@ -301,6 +306,199 @@ pub fn taxonomy(args: &[String]) -> i32 {
         )
     );
     0
+}
+
+/// The L2 geometry and skew-bank geometry the paper machine builds.
+fn analysis_geometries(machine: &MachineConfig) -> (Geometry, Geometry) {
+    let geom = match machine.l2_organization(Scheme::Base) {
+        primecache_cache::L2Organization::SetAssoc(c) => Geometry::new(c.n_set_phys()),
+        _ => Geometry::new(2048),
+    };
+    let bank_geom = match machine.l2_organization(Scheme::Skewed) {
+        primecache_cache::L2Organization::Skewed(c) => Geometry::new(c.sets_per_bank()),
+        _ => geom,
+    };
+    (geom, bank_geom)
+}
+
+/// `pcache analyze [--json]` / `pcache analyze --self-check [--refs N]`
+pub fn analyze(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--self-check") {
+        return analyze_self_check(args);
+    }
+    let machine = MachineConfig::paper_default();
+    let (geom, bank_geom) = analysis_geometries(&machine);
+    let in_bits = (2 * geom.index_bits() + 4).min(64);
+    let certs = certify_all(geom, bank_geom, in_bits);
+    let lints: Vec<(Scheme, primecache_analyze::Lint)> = Scheme::ALL
+        .into_iter()
+        .flat_map(|s| machine.lint_scheme(s).into_iter().map(move |l| (s, l)))
+        .collect();
+    let bare: Vec<primecache_analyze::Lint> = lints.iter().map(|(_, l)| l.clone()).collect();
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report_json(&certs, &bare));
+        return i32::from(has_errors(&bare));
+    }
+    let rows: Vec<Vec<String>> = certs
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.n_set.to_string(),
+                c.rank.to_string(),
+                c.kernel_dim.to_string(),
+                c.smallest_conflict_stride()
+                    .map_or_else(|| "—".to_owned(), |d| d.to_string()),
+                if c.permutation { "yes" } else { "no" }.to_owned(),
+                format!("{:.1}", c.balance_bound),
+                c.invariance.label().to_owned(),
+                match &c.theorem1 {
+                    Theorem1::Holds { modulus } => format!("holds (p={modulus})"),
+                    Theorem1::Fails { witness_stride } => {
+                        format!("fails (stride {witness_stride})")
+                    }
+                    Theorem1::NoGuarantee => "no guarantee".to_owned(),
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "static certificates over {} address bits ({} L2 sets, {}-set skew banks):\n",
+        in_bits,
+        geom.n_set_phys(),
+        bank_geom.n_set_phys()
+    );
+    print!(
+        "{}",
+        render_table(
+            &[
+                "hash",
+                "sets",
+                "rank",
+                "kernel",
+                "min stride",
+                "perm",
+                "bal bound",
+                "invariance",
+                "theorem 1"
+            ],
+            &rows
+        )
+    );
+    println!();
+    if bare.is_empty() {
+        println!("config lints: all {} schemes clean", Scheme::ALL.len());
+    } else {
+        println!("config lints:");
+        for (s, l) in &lints {
+            println!("  {s}: {l}");
+        }
+    }
+    i32::from(has_errors(&bare))
+}
+
+/// `pcache analyze --self-check [--refs N]`: the full static-vs-concrete
+/// cross-validation battery, then the 23-workload distribution check.
+fn analyze_self_check(args: &[String]) -> i32 {
+    let refs = match flag_parsed(args, "--refs", 60_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let mut failed = false;
+    let report = self_check();
+    for stage in &report.stages {
+        match &stage.failure {
+            None => println!("  ok   {} ({} cases)", stage.name, stage.cases),
+            Some(f) => {
+                println!("  FAIL {}: {f}", stage.name);
+                failed = true;
+            }
+        }
+    }
+    match check_workload_distributions(refs) {
+        Ok(cases) => println!(
+            "  ok   workload-distributions ({cases} cases over {} apps)",
+            all().len()
+        ),
+        Err(f) => {
+            println!("  FAIL workload-distributions: {f}");
+            failed = true;
+        }
+    }
+    let machine = MachineConfig::paper_default();
+    let mut lint_errors = 0usize;
+    for s in Scheme::ALL {
+        if has_errors(&machine.lint_scheme(s)) {
+            println!("  FAIL lint: scheme {s} has error-level lints");
+            lint_errors += 1;
+        }
+    }
+    if lint_errors == 0 {
+        println!("  ok   config-lints ({} schemes)", Scheme::ALL.len());
+    } else {
+        failed = true;
+    }
+    i32::from(failed)
+}
+
+/// Streams every workload's block addresses through each single-function
+/// indexer and checks the measured set-index distribution stays inside
+/// the statically predicted image (e.g. pMod never touches the 9 sets at
+/// or above its modulus) and matches the symbolic model access-by-access.
+fn check_workload_distributions(refs: u64) -> Result<u64, String> {
+    let geom = Geometry::new(2048);
+    // 64-bit models: exact for arbitrary workload address ranges.
+    let mut indexers: Vec<(String, primecache_analyze::IndexModel, Box<dyn SetIndexer>)> =
+        HashKind::ALL
+            .into_iter()
+            .map(|kind| {
+                (
+                    kind.label().to_owned(),
+                    model_of(kind, geom, 64),
+                    kind.build(geom),
+                )
+            })
+            .collect();
+    indexers.push((
+        "XOR-fold".to_owned(),
+        xor_folded_model(geom, 64),
+        Box::new(XorFolded::new(geom)),
+    ));
+    let mut cases = 0u64;
+    for w in all() {
+        let blocks: Vec<u64> = w
+            .trace(refs)
+            .iter()
+            .filter_map(primecache_trace::Event::addr)
+            .map(|a| a / 64)
+            .collect();
+        for (name, model, idx) in &indexers {
+            let n_set = model.n_set();
+            for &b in &blocks {
+                let predicted = model.eval(b);
+                let measured = idx.index(b);
+                if predicted != measured {
+                    return Err(format!(
+                        "{}/{name}: model predicts set {predicted}, indexer \
+                         maps block {b:#x} to {measured}",
+                        w.name
+                    ));
+                }
+                if measured >= n_set {
+                    return Err(format!(
+                        "{}/{name}: block {b:#x} landed on set {measured}, \
+                         outside the static image [0, {n_set})",
+                        w.name
+                    ));
+                }
+                cases += 1;
+            }
+        }
+    }
+    Ok(cases)
 }
 
 /// `pcache metrics --app <name>`: the §2 metrics over a workload's block

@@ -1,5 +1,7 @@
 //! Library surface of the `pcache` CLI (exposed for testing; the binary
 //! in `main.rs` is a thin dispatcher over [`commands`]).
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod commands;

@@ -54,7 +54,7 @@ impl TlbAssist {
         // The final add is (entry < n_set) + (offset blocks < page/line);
         // size the selector for that reach.
         let max = n_set - 1 + page_size / line_size - 1;
-        let inputs = (max / n_set + 1) as u32;
+        let inputs = u32::try_from(max / n_set + 1).expect("selector input count is tiny");
         Self {
             n_set,
             page_size,
@@ -83,7 +83,10 @@ impl TlbAssist {
     pub fn page_entry(&self, page_index: u64) -> u64 {
         let blocks_per_page = self.page_size / self.line_size;
         // (page_index * blocks_per_page) mod n_set, overflow-safe.
-        ((u128::from(page_index) * u128::from(blocks_per_page)) % u128::from(self.n_set)) as u64
+        u64::try_from(
+            (u128::from(page_index) * u128::from(blocks_per_page)) % u128::from(self.n_set),
+        )
+        .expect("residue below a u64 modulus")
     }
 
     /// The L1-miss-time computation: add the block bits of the page offset

@@ -120,7 +120,7 @@ mod tests {
             let m = 256 * 64;
             let mut counts = [0u32; 256];
             for i in 0..m {
-                counts[pd.index(i * s) as usize] += 1;
+                counts[usize::try_from(pd.index(i * s)).unwrap()] += 1;
             }
             let mean = m as f64 / 256.0;
             assert!(counts.iter().all(|&c| c > 0), "stride {s}: uncovered set");

@@ -40,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::cast_possible_truncation)]
 
 pub mod analysis;
 pub mod hw;

@@ -40,11 +40,12 @@ where
     A: IntoIterator<Item = u64>,
 {
     let n_set = indexer.n_set() as f64;
-    let mut last_pos: Vec<Option<usize>> = vec![None; indexer.n_set() as usize];
+    let mut last_pos: Vec<Option<usize>> =
+        vec![None; usize::try_from(indexer.n_set()).expect("set count fits usize")];
     let mut sum_sq = 0.0f64;
     let mut defined = 0u64;
     for (pos, a) in addrs.into_iter().enumerate() {
-        let set = indexer.index(a) as usize;
+        let set = usize::try_from(indexer.index(a)).expect("set index fits usize");
         if let Some(prev) = last_pos[set] {
             let d = (pos - prev) as f64;
             let dev = d - n_set;

@@ -34,11 +34,13 @@ where
         return 0.0;
     }
     let sets: Vec<u64> = addrs.iter().map(|&a| indexer.index(a)).collect();
-    let mut last_pos: Vec<Option<usize>> = vec![None; indexer.n_set() as usize];
+    let mut last_pos: Vec<Option<usize>> =
+        vec![None; usize::try_from(indexer.n_set()).expect("set count fits usize")];
     let mut tested = 0u64;
     let mut violated = 0u64;
     for (pos, &set) in sets.iter().enumerate() {
-        if let Some(prev) = last_pos[set as usize] {
+        let set = usize::try_from(set).expect("set index fits usize");
+        if let Some(prev) = last_pos[set] {
             // Implication: sets[prev] == sets[pos] => sets[prev+1] == sets[pos+1].
             if pos + 1 < sets.len() {
                 tested += 1;
@@ -47,7 +49,7 @@ where
                 }
             }
         }
-        last_pos[set as usize] = Some(pos);
+        last_pos[set] = Some(pos);
     }
     if tested == 0 {
         0.0

@@ -47,9 +47,9 @@ where
     I: SetIndexer + ?Sized,
     A: IntoIterator<Item = u64>,
 {
-    let mut counts = vec![0u64; indexer.n_set() as usize];
+    let mut counts = vec![0u64; usize::try_from(indexer.n_set()).expect("set count fits usize")];
     for a in addrs {
-        counts[indexer.index(a) as usize] += 1;
+        counts[usize::try_from(indexer.index(a)).expect("set index fits usize")] += 1;
     }
     counts
 }

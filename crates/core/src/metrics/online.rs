@@ -46,8 +46,8 @@ impl OnlineMetrics {
     pub fn new(n_set: u64) -> Self {
         assert!(n_set > 0, "need at least one set");
         Self {
-            counts: vec![0; n_set as usize],
-            last_pos: vec![None; n_set as usize],
+            counts: vec![0; usize::try_from(n_set).expect("set count fits usize")],
+            last_pos: vec![None; usize::try_from(n_set).expect("set count fits usize")],
             pos: 0,
             gap_sq_sum: 0.0,
             gaps: 0,
@@ -58,7 +58,7 @@ impl OnlineMetrics {
     /// Feeds one block address through the indexer.
     pub fn observe<I: SetIndexer + ?Sized>(&mut self, indexer: &I, block_addr: u64) {
         debug_assert_eq!(indexer.n_set(), self.n_set, "indexer/accumulator mismatch");
-        let set = indexer.index(block_addr) as usize;
+        let set = usize::try_from(indexer.index(block_addr)).expect("set index fits usize");
         self.counts[set] += 1;
         if let Some(prev) = self.last_pos[set] {
             let dev = (self.pos - prev) as f64 - self.n_set as f64;

@@ -1,9 +1,11 @@
 //! Machine configuration and the compared cache schemes.
 
+use primecache_analyze::{has_errors, lint_kind, lint_skew_disp, lint_skew_xor, Lint};
 use primecache_cache::{
-    CacheConfig, HierarchyConfig, L2Organization, ReplacementKind, SkewHashKind, SkewedConfig,
+    bank_disp_factor, CacheConfig, HierarchyConfig, L2Organization, ReplacementKind, SkewHashKind,
+    SkewedConfig,
 };
-use primecache_core::index::HashKind;
+use primecache_core::index::{Geometry, HashKind};
 use primecache_cpu::CpuConfig;
 use primecache_mem::MemConfig;
 use serde::{Deserialize, Serialize};
@@ -165,6 +167,48 @@ impl MachineConfig {
     pub fn hierarchy_config(&self, scheme: Scheme) -> HierarchyConfig {
         HierarchyConfig::paper_default(self.l2_organization(scheme))
     }
+
+    /// Statically lints the L2 configuration a scheme would build:
+    /// composite moduli, even displacement factors, rank-deficient or
+    /// duplicated skew banks, documented stride hazards.
+    #[must_use]
+    pub fn lint_scheme(&self, scheme: Scheme) -> Vec<Lint> {
+        match self.l2_organization(scheme) {
+            L2Organization::SetAssoc(c) => lint_kind(c.hash(), Geometry::new(c.n_set_phys())),
+            L2Organization::Skewed(c) => {
+                let geom = Geometry::new(c.sets_per_bank());
+                match c.hash() {
+                    SkewHashKind::Xor => lint_skew_xor(geom, c.banks()),
+                    SkewHashKind::PrimeDisplacement => {
+                        let factors: Vec<u64> = (0..c.banks()).map(bank_disp_factor).collect();
+                        lint_skew_disp(geom, &factors)
+                    }
+                }
+            }
+            L2Organization::FullyAssociative { .. } => Vec::new(),
+        }
+    }
+
+    /// Runs the lint pass and panics on any error-level finding — the
+    /// guard the run drivers place in front of suite construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the joined lint messages when the scheme's L2
+    /// configuration is degenerate.
+    pub fn check_scheme(&self, scheme: Scheme) {
+        let lints = self.lint_scheme(scheme);
+        assert!(
+            !has_errors(&lints),
+            "degenerate {} configuration:\n{}",
+            scheme.label(),
+            lints
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
 }
 
 impl Default for MachineConfig {
@@ -202,6 +246,25 @@ mod tests {
             }
             other => panic!("unexpected organization {other:?}"),
         }
+    }
+
+    #[test]
+    fn every_scheme_lints_clean_of_errors() {
+        let m = MachineConfig::paper_default();
+        for s in Scheme::ALL {
+            let lints = m.lint_scheme(s);
+            assert!(!primecache_analyze::has_errors(&lints), "{s}: {lints:?}");
+            m.check_scheme(s); // must not panic
+        }
+    }
+
+    #[test]
+    fn xor_scheme_carries_the_stride_warning() {
+        let m = MachineConfig::paper_default();
+        let lints = m.lint_scheme(Scheme::Xor);
+        assert!(lints.iter().any(|l| l.code == "pathological-null-space"));
+        // The paper's recommended scheme is warning-free.
+        assert!(m.lint_scheme(Scheme::PrimeModulo).is_empty());
     }
 
     #[test]

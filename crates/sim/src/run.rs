@@ -35,6 +35,8 @@ impl RunResult {
 /// Runs an explicit trace under a scheme on the paper's machine.
 #[must_use]
 pub fn run_trace(trace: Vec<Event>, scheme: Scheme, machine: &MachineConfig) -> RunResult {
+    #[cfg(any(debug_assertions, feature = "check"))]
+    machine.check_scheme(scheme);
     let mut hierarchy = Hierarchy::new(machine.hierarchy_config(scheme));
     let mut dram = Dram::new(machine.mem);
     let mut cpu = Cpu::new(machine.cpu);

@@ -145,6 +145,12 @@ impl Sweep {
 /// fanning out across CPU cores.
 #[must_use]
 pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
+    // Static lint pass first: refuse to burn a 23-application sweep on a
+    // degenerate L2 configuration.
+    let machine = crate::MachineConfig::paper_default();
+    for &s in schemes {
+        machine.check_scheme(s);
+    }
     let tasks: Vec<(&'static Workload, Scheme)> = all()
         .iter()
         .flat_map(|w| schemes.iter().map(move |&s| (w, s)))

@@ -22,7 +22,10 @@
 //!   the address layouts behind the paper's padded-struct pathologies,
 //! * [`workloads`] — synthetic models of the paper's 23 applications,
 //! * [`sim`] — the experiment framework that regenerates every table and
-//!   figure.
+//!   figure,
+//! * [`analyze`] — the static conflict-miss analyzer: symbolic
+//!   GF(2)/residue models of every index function, per-indexer
+//!   certificates, and the config lint pass.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use primecache_analyze as analyze;
 pub use primecache_cache as cache;
 pub use primecache_core as core;
 pub use primecache_cpu as cpu;

@@ -1,0 +1,175 @@
+//! Cross-layer tests of the static conflict-miss analyzer: symbolic
+//! predictions vs brute-force enumeration, vs the cache simulator, and vs
+//! the 23 workload models' measured set-index distributions.
+
+use primecache::analyze::{certify_all, certify_kind, model_of, xor_folded_model, Theorem1};
+use primecache::cache::{Cache, CacheConfig, CacheSim};
+use primecache::core::index::{Geometry, HashKind, SetIndexer, XorFolded};
+use primecache::core::metrics::set_histogram;
+use primecache::workloads::all;
+use primecache_check::prop::forall;
+
+/// Brute-force universal-conflict test for a delta: `a` and `a + d`
+/// collide for every sampled carry-free `a`.
+fn brute_conflict(idx: &dyn SetIndexer, d: u64, in_bits: u32, rng_seed: u64) -> bool {
+    let mask = (1u64 << in_bits) - 1;
+    if idx.index(d) != idx.index(0) {
+        return false;
+    }
+    let mut a = rng_seed | 1;
+    for _ in 0..16 {
+        a = a.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(d);
+        let a_free = a & mask & !d;
+        if idx.index(a_free + d) != idx.index(a_free) {
+            return false;
+        }
+    }
+    true
+}
+
+#[test]
+fn null_space_predictions_match_brute_force_on_small_geometries() {
+    // For every hash kind and every geometry with n_set <= 64, a randomly
+    // drawn delta is a universal conflict stride exactly when the symbolic
+    // model says so.
+    forall(
+        "null-space matches brute force",
+        400,
+        |rng| {
+            (
+                rng.range_u32(1, 7),       // index bits: 2..=64 sets
+                rng.range_u64(1, 1 << 12), // candidate delta
+                rng.next_u64(),            // sampling seed
+            )
+        },
+        |&(k, d, seed)| {
+            let geom = Geometry::new(1 << k);
+            let in_bits = 12;
+            for kind in HashKind::ALL {
+                let model = model_of(kind, geom, in_bits);
+                let idx = kind.build(geom);
+                assert_eq!(
+                    model.is_conflict_delta(d),
+                    brute_conflict(idx.as_ref(), d, in_bits, seed),
+                    "{kind}: {} sets, delta {d:#x}",
+                    1u64 << k
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn every_certified_stride_collides_in_the_real_indexer() {
+    forall(
+        "certified strides collide",
+        200,
+        |rng| (rng.range_u32(1, 7), rng.next_u64()),
+        |&(k, seed)| {
+            let geom = Geometry::new(1 << k);
+            for kind in HashKind::ALL {
+                let cert = certify_kind(kind, geom, 12);
+                let idx = kind.build(geom);
+                for &d in &cert.conflict_strides {
+                    assert!(
+                        brute_conflict(idx.as_ref(), d, 12, seed),
+                        "{kind}: certified stride {d:#x} must collide"
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn xor_pathology_derived_statically_and_confirmed_by_simulation() {
+    // Statically: 2^11 + 1 generates the XOR null space for the paper's
+    // 2048-set L2.
+    let cert = certify_kind(HashKind::Xor, Geometry::new(2048), 26);
+    assert_eq!(cert.smallest_conflict_stride(), Some(2049));
+    assert_eq!(
+        cert.theorem1,
+        Theorem1::Fails {
+            witness_stride: 2049
+        }
+    );
+
+    // Dynamically: blocks i * 2049 (i < 2^11 keeps the multiples
+    // carry-free) all collapse onto set 0 of a 4-way XOR L2, so eight of
+    // them re-accessed in rounds thrash: every access misses.
+    let eviction_blocks: Vec<u64> = (1..=8u64).map(|i| i * 2049).collect();
+    let mut xor = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::Xor));
+    for _ in 0..4 {
+        for &b in &eviction_blocks {
+            xor.access(b * 64, false);
+        }
+    }
+    let xs = xor.stats().clone();
+    assert_eq!(
+        xs.misses, xs.accesses,
+        "XOR must thrash on its null-space stride"
+    );
+
+    // The same addresses spread across a prime-modulo L2: after the cold
+    // pass, every round hits.
+    let mut pmod = Cache::new(CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::PrimeModulo));
+    for _ in 0..4 {
+        for &b in &eviction_blocks {
+            pmod.access(b * 64, false);
+        }
+    }
+    let ps = pmod.stats().clone();
+    assert_eq!(
+        ps.misses,
+        eviction_blocks.len() as u64,
+        "pMod takes only the compulsory misses"
+    );
+}
+
+#[test]
+fn workload_distributions_stay_inside_the_static_image() {
+    // Every workload's measured set-index histogram must fit the
+    // statically predicted image: no workload ever touches a physical set
+    // the analyzer proves unreachable (e.g. pMod sets >= 2039).
+    let geom = Geometry::new(2048);
+    let certs = certify_all(geom, geom, 26);
+    for w in all() {
+        let blocks: Vec<u64> = w
+            .trace(30_000)
+            .iter()
+            .filter_map(primecache::trace::Event::addr)
+            .map(|a| a / 64)
+            .collect();
+        for kind in HashKind::ALL {
+            let cert = certs
+                .iter()
+                .find(|c| c.name == kind.label())
+                .expect("certificate for every kind");
+            let idx = kind.build(geom);
+            let hist = set_histogram(idx.as_ref(), blocks.iter().copied());
+            let n_set = usize::try_from(cert.n_set).expect("set count fits usize");
+            for (set, &count) in hist.iter().enumerate() {
+                assert!(
+                    set < n_set || count == 0,
+                    "{}/{kind}: set {set} outside the static image [0, {n_set}) \
+                     received {count} accesses",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn folded_model_is_exact_at_full_width() {
+    // The 64-bit folded model matches XorFolded for blocks far above the
+    // narrow analysis window.
+    let geom = Geometry::new(2048);
+    let model = xor_folded_model(geom, 64);
+    let idx = XorFolded::new(geom);
+    let mut a = 0x0123_4567_89AB_CDEFu64;
+    for _ in 0..10_000 {
+        a = a.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        assert_eq!(model.eval(a), idx.index(a), "a = {a:#x}");
+    }
+}
