@@ -1,0 +1,71 @@
+//! End-to-end throughput benchmark: simulated refs/sec per scheme over
+//! the full 23-workload suite, written to `BENCH_throughput.json`.
+//!
+//! ```text
+//! cargo run --release -p primecache-bench --bin throughput -- \
+//!     [--refs N] [--out FILE] [--baseline FILE] [--max-regress PCT]
+//! ```
+//!
+//! With `--baseline`, the run compares against the committed baseline
+//! and exits nonzero when any scheme's refs/sec falls more than
+//! `--max-regress` percent (default 30) below it — the CI smoke gate.
+
+use primecache_sim::throughput::{baseline_refs_per_sec, measure};
+use primecache_sim::Scheme;
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let refs: u64 = flag_value(&args, "--refs")
+        .map(|v| v.parse().expect("--refs expects a number"))
+        .unwrap_or(100_000);
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "BENCH_throughput.json".to_owned());
+    let max_regress: f64 = flag_value(&args, "--max-regress")
+        .map(|v| v.parse().expect("--max-regress expects a percentage"))
+        .unwrap_or(30.0)
+        / 100.0;
+
+    println!("throughput: {refs} refs/workload x 23 workloads per scheme\n");
+    let report = measure(&Scheme::ALL, refs);
+    for s in &report.schemes {
+        println!(
+            "  {:>10}  {:>12.0} refs/sec  ({} refs in {:.2}s)",
+            s.scheme.label(),
+            s.refs_per_sec,
+            s.refs,
+            s.seconds
+        );
+    }
+
+    std::fs::write(&out, report.to_json()).expect("write throughput JSON");
+    println!("\nwrote {out}");
+
+    if let Some(baseline_path) = flag_value(&args, "--baseline") {
+        let json = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline = baseline_refs_per_sec(&json);
+        assert!(
+            !baseline.is_empty(),
+            "baseline {baseline_path} contains no scheme entries"
+        );
+        let regressions = report.regressions(&baseline, max_regress);
+        if regressions.is_empty() {
+            println!(
+                "no scheme regressed more than {:.0}% vs {baseline_path}",
+                max_regress * 100.0
+            );
+        } else {
+            eprintln!("throughput regression vs {baseline_path}:");
+            for msg in &regressions {
+                eprintln!("  {msg}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -189,9 +189,14 @@ impl Hierarchy {
             return AccessOutcome::L1Hit;
         }
         // L1 miss: demand access to L2. The fill into L1 happened inside
-        // `Cache::access`; forward its dirty victims below.
-        let l2_set = self.l2_demand_set(addr);
-        let l2_hit = self.l2.access(addr, false);
+        // `Cache::access`; forward its dirty victims below. The
+        // set-associative path computes the set index once for both the
+        // access and the demand-stats attribution.
+        let (l2_set, l2_hit) = match &mut self.l2 {
+            L2::Set(c) => c.access_indexed(addr, false),
+            L2::Skewed(c) => (c.stat_set_of(addr), c.access(addr, false)),
+            L2::Fa(c) => (0, c.access(addr, false)),
+        };
         self.l2_demand.record(l2_set, !l2_hit, write);
         if !l2_hit && self.config.prefetch_depth > 0 {
             // Idealized next-line prefetch: install the following lines.
@@ -218,16 +223,6 @@ impl Hierarchy {
     #[must_use]
     pub fn prefetches(&self) -> u64 {
         self.prefetches
-    }
-
-    /// The demand-stats set index for an address (mirrors the L2's own
-    /// attribution).
-    fn l2_demand_set(&self, addr: u64) -> usize {
-        match &self.l2 {
-            L2::Set(c) => c.set_of(addr),
-            L2::Skewed(c) => c.stat_set_of(addr),
-            L2::Fa(_) => 0,
-        }
     }
 
     fn drain_l1_writebacks(&mut self) {

@@ -125,8 +125,39 @@ impl Cache {
     /// block units (e.g. writeback traffic) uses this directly.
     pub fn access_block(&mut self, block: u64, write: bool) -> bool {
         let set = self.indexer.index(block) as usize;
+        self.access_block_in_set(set, block, write)
+    }
+
+    /// Simulates an access, returning `(set, hit)` with the set index
+    /// computed once — callers that attribute per-set stats avoid a
+    /// second evaluation of the index function.
+    pub fn access_indexed(&mut self, addr: u64, write: bool) -> (usize, bool) {
+        let block = self.block_of(addr);
+        let set = self.indexer.index(block) as usize;
+        (set, self.access_block_in_set(set, block, write))
+    }
+
+    /// The access hot path, with `set` already computed from `block`.
+    ///
+    /// One fused scan over the ways finds both the hit way and the
+    /// fill-victim candidate (first invalid way), so a miss does not
+    /// rescan the set.
+    fn access_block_in_set(&mut self, set: usize, block: u64, write: bool) -> bool {
+        debug_assert_eq!(set as u64, self.indexer.index(block));
         let base = set * self.assoc;
-        if let Some(way) = self.probe(set, block) {
+        let mut hit_way = None;
+        let mut invalid_way = None;
+        for (i, l) in self.lines[base..base + self.assoc].iter().enumerate() {
+            if l.valid {
+                if l.block == block {
+                    hit_way = Some(i);
+                    break;
+                }
+            } else if invalid_way.is_none() {
+                invalid_way = Some(i);
+            }
+        }
+        if let Some(way) = hit_way {
             self.stats.record(set, false, write);
             if write {
                 self.lines[base + way].dirty = true;
@@ -140,10 +171,7 @@ impl Cache {
         }
         self.stats.record(set, true, write);
         // Choose a victim: first invalid way, else the policy's pick.
-        let way = self.lines[base..base + self.assoc]
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| self.replacers[set].victim() as usize);
+        let way = invalid_way.unwrap_or_else(|| self.replacers[set].victim() as usize);
         let victim = &mut self.lines[base + way];
         if victim.valid && victim.dirty {
             self.stats.record_writeback();

@@ -25,8 +25,8 @@ use primecache_core::hw::{
     mersenne_fold, IterativeLinear, Polynomial, SubtractSelect, TlbAssist, Wired2039,
 };
 use primecache_core::index::{
-    Geometry, HashKind, PrimeDisplacement, SetIndexer, SkewDispBank, SkewXorBank, XorFolded,
-    SKEW_DISP_FACTORS,
+    FastMod, Geometry, HashKind, PrimeDisplacement, PrimeModulo, SetIndexer, SkewDispBank,
+    SkewXorBank, XorFolded, SKEW_DISP_FACTORS,
 };
 use primecache_mem::{Dram, MemConfig};
 
@@ -351,6 +351,70 @@ fn scalar_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
 }
 
 // ---------------------------------------------------------------------------
+// Strength-reduced modulo units (the FastMod reciprocal on the hot path).
+// ---------------------------------------------------------------------------
+
+/// Every supported L2 geometry (256 to 16 K sets) and the Table-1 prime
+/// the pMod indexer picks for it.
+const PMOD_GEOMETRIES: [(u64, u64); 7] = [
+    (256, 251),
+    (512, 509),
+    (1024, 1021),
+    (2048, 2039),
+    (4096, 4093),
+    (8192, 8191),
+    (16384, 16381),
+];
+
+fn fastmod_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    let mut out = Vec::new();
+    let n = cfg.addrs_per_unit;
+    let full = u64::MAX;
+
+    // The strength-reduced pMod index (reciprocal multiply, no division)
+    // against the literal `block % p`, for every supported prime.
+    for (phys, prime) in PMOD_GEOMETRIES {
+        let pmod = PrimeModulo::new(Geometry::new(phys));
+        assert_eq!(pmod.n_set(), prime, "prime table drifted for {phys} sets");
+        let strides = adversarial_strides(prime);
+        out.push(run_unit(
+            cfg,
+            &format!("index/pMod-fastmod-{prime}"),
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| {
+                assert_eq!(
+                    pmod.index(a),
+                    a % prime,
+                    "strength-reduced pMod diverges from % {prime} at block {a:#x}"
+                );
+            },
+        ));
+    }
+
+    // FastMod itself over arbitrary divisors, not just the cache primes:
+    // the reciprocal construction must be exact for every (x, d) pair.
+    out.push(run_unit(
+        cfg,
+        "hw/fastmod-fuzz",
+        n,
+        1,
+        move |rng| (rng.next_u64(), rng.next_u64().max(1)),
+        move |&(x, d)| {
+            let d = d.max(1);
+            assert_eq!(
+                FastMod::new(d).reduce(x),
+                x % d,
+                "FastMod({d}).reduce({x:#x}) diverges from native %"
+            );
+        },
+    ));
+
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Cache stream units.
 // ---------------------------------------------------------------------------
 
@@ -609,6 +673,7 @@ fn dram_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
 #[must_use]
 pub fn run_battery(cfg: &BatteryConfig) -> Vec<UnitReport> {
     let mut out = scalar_units(cfg);
+    out.extend(fastmod_units(cfg));
     out.extend(set_assoc_units(cfg));
     out.extend(skewed_units(cfg));
     out.push(victim_unit(cfg));
@@ -668,6 +733,10 @@ mod tests {
             "index/XOR-fold",
             "index/SKW-bank0",
             "index/skw+pDisp-9",
+            "index/pMod-fastmod-251",
+            "index/pMod-fastmod-2039",
+            "index/pMod-fastmod-16381",
+            "hw/fastmod-fuzz",
             "hw/subtract_select",
             "hw/iterative_linear-t0",
             "hw/polynomial",

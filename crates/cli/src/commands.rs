@@ -10,6 +10,7 @@ use primecache_core::metrics::{
 use primecache_sim::experiments::miss_taxonomy;
 use primecache_sim::report::render_table;
 use primecache_sim::suite::run_sweep;
+use primecache_sim::throughput::{baseline_refs_per_sec, measure};
 use primecache_sim::{run_workload, MachineConfig, Scheme};
 use primecache_trace::{read_trace, write_trace, TraceStats};
 use primecache_workloads::profile::profile_of;
@@ -29,6 +30,7 @@ USAGE:
   pcache metrics --stride S                balance/concentration at a stride
   pcache metrics --app <name> [--refs N]   same metrics over a workload trace
   pcache taxonomy [--refs N]               three-C miss decomposition
+  pcache bench [--scheme S] [--refs N]     simulator throughput (refs/sec)
   pcache analyze [--json]                  static certificates + config lints
   pcache analyze --self-check [--refs N]   cross-validate the static analyzer
   pcache trace <app> --out FILE [--refs N] dump a binary trace
@@ -222,6 +224,95 @@ pub fn sweep(args: &[String]) -> i32 {
     }
     println!("execution time normalized to Base ({refs} refs):\n");
     print!("{}", render_table(&header, &rows));
+    0
+}
+
+/// `pcache bench [--scheme S] [--refs N] [--out FILE] [--baseline FILE]
+/// [--max-regress PCT]`
+///
+/// Measures end-to-end simulator throughput (simulated memory references
+/// per wall-clock second) over the whole workload suite, one row per
+/// scheme. `--out` writes the `BENCH_throughput.json` document;
+/// `--baseline` turns the run into a regression gate.
+pub fn bench(args: &[String]) -> i32 {
+    let refs = match flag_parsed(args, "--refs", 50_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let schemes: Vec<Scheme> = match flag_value(args, "--scheme") {
+        None => Scheme::ALL.to_vec(),
+        Some(label) => match parse_scheme(label) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown scheme '{label}'");
+                return 2;
+            }
+        },
+    };
+    let max_regress = match flag_parsed(args, "--max-regress", 30.0f64) {
+        Ok(v) => v / 100.0,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let report = measure(&schemes, refs);
+    let rows: Vec<Vec<String>> = report
+        .schemes
+        .iter()
+        .map(|s| {
+            vec![
+                s.scheme.label().to_owned(),
+                s.refs.to_string(),
+                format!("{:.2}", s.seconds),
+                format!("{:.0}", s.refs_per_sec),
+            ]
+        })
+        .collect();
+    println!(
+        "simulator throughput: {refs} refs/workload x {} workloads per scheme:\n",
+        report.workloads
+    );
+    print!(
+        "{}",
+        render_table(&["scheme", "refs", "seconds", "refs/sec"], &rows)
+    );
+    if let Some(out) = flag_value(args, "--out") {
+        if let Err(e) = std::fs::write(out, report.to_json()) {
+            eprintln!("cannot write {out}: {e}");
+            return 1;
+        }
+        println!("\nwrote {out}");
+    }
+    if let Some(path) = flag_value(args, "--baseline") {
+        let json = match std::fs::read_to_string(path) {
+            Ok(j) => j,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return 1;
+            }
+        };
+        let baseline = baseline_refs_per_sec(&json);
+        if baseline.is_empty() {
+            eprintln!("baseline {path} contains no scheme entries");
+            return 1;
+        }
+        let regressions = report.regressions(&baseline, max_regress);
+        if !regressions.is_empty() {
+            eprintln!("throughput regression vs {path}:");
+            for msg in &regressions {
+                eprintln!("  {msg}");
+            }
+            return 1;
+        }
+        println!(
+            "no scheme regressed more than {:.0}% vs {path}",
+            max_regress * 100.0
+        );
+    }
     0
 }
 

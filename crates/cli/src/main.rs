@@ -6,6 +6,7 @@
 //! pcache classify [--refs N]               §4 uniformity classification
 //! pcache sweep [--refs N]                  all apps x main schemes
 //! pcache metrics --stride S                balance/concentration at a stride
+//! pcache bench [--scheme S] [--refs N]     simulator throughput (refs/sec)
 //! pcache analyze [--json|--self-check]     static certificates + config lints
 //! pcache trace <app> --out FILE [--refs N] dump a binary trace
 //! pcache inspect FILE                      summarize a binary trace
@@ -22,6 +23,7 @@ fn main() {
         Some("sweep") => commands::sweep(&argv[1..]),
         Some("metrics") => commands::metrics(&argv[1..]),
         Some("taxonomy") => commands::taxonomy(&argv[1..]),
+        Some("bench") => commands::bench(&argv[1..]),
         Some("analyze") => commands::analyze(&argv[1..]),
         Some("trace") => commands::trace(&argv[1..]),
         Some("inspect") => commands::inspect(&argv[1..]),

@@ -65,3 +65,62 @@ fn classify_and_taxonomy_run() {
     assert_eq!(commands::classify(&args(&["--refs", "3000"])), 0);
     assert_eq!(commands::taxonomy(&args(&["--refs", "3000"])), 0);
 }
+
+#[test]
+fn bench_measures_and_gates_on_a_baseline() {
+    assert_eq!(commands::bench(&args(&["--scheme", "wat"])), 2);
+    assert_eq!(commands::bench(&args(&["--refs", "nope"])), 2);
+    assert_eq!(
+        commands::bench(&args(&["--baseline", "/nonexistent/baseline.json"])),
+        1
+    );
+
+    let dir = std::env::temp_dir().join("pcache_cli_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("thrpt.json");
+    let out_str = out.to_str().unwrap();
+    // Measure one scheme and write the JSON document.
+    assert_eq!(
+        commands::bench(&args(&[
+            "--scheme", "pMod", "--refs", "2000", "--out", out_str
+        ])),
+        0
+    );
+    let json = std::fs::read_to_string(&out).unwrap();
+    assert!(json.contains("\"scheme\": \"pMod\""), "{json}");
+
+    // Gating against its own numbers (with a wide tolerance for timing
+    // noise) passes; against an impossible baseline it fails.
+    assert_eq!(
+        commands::bench(&args(&[
+            "--scheme",
+            "pMod",
+            "--refs",
+            "2000",
+            "--baseline",
+            out_str,
+            "--max-regress",
+            "95"
+        ])),
+        0
+    );
+    let impossible = dir.join("impossible.json");
+    std::fs::write(
+        &impossible,
+        "{\"schemes\": [{\"scheme\": \"pMod\", \"refs_per_sec\": 1e18}]}",
+    )
+    .unwrap();
+    assert_eq!(
+        commands::bench(&args(&[
+            "--scheme",
+            "pMod",
+            "--refs",
+            "2000",
+            "--baseline",
+            impossible.to_str().unwrap()
+        ])),
+        1
+    );
+    std::fs::remove_file(out).ok();
+    std::fs::remove_file(impossible).ok();
+}

@@ -16,6 +16,7 @@
 //! | Skewed (Seznec circular-shift XOR), one function per bank | [`SkewXorBank`] |
 //! | Skewed + pDisp, one prime per bank | [`SkewDispBank`] |
 
+mod fastdiv;
 mod geometry;
 mod kind;
 mod pdisp;
@@ -25,6 +26,7 @@ mod traditional;
 mod xor;
 mod xor_folded;
 
+pub use fastdiv::FastMod;
 pub use geometry::Geometry;
 pub use kind::HashKind;
 pub use pdisp::PrimeDisplacement;

@@ -1,6 +1,6 @@
 //! Prime modulo indexing (pMod).
 
-use super::{Geometry, SetIndexer};
+use super::{FastMod, Geometry, SetIndexer};
 use primecache_primes::prev_prime;
 
 /// The prime modulo index function: `H(a) = a mod n_set`, where `n_set` is
@@ -13,9 +13,11 @@ use primecache_primes::prev_prime;
 /// behaviour. The `Δ = n_set_phys - n_set` wasted sets are the (negligible)
 /// fragmentation of Table 1.
 ///
-/// The software model computes a true `%`; the bit-level hardware schemes
-/// that replace the division with narrow adds live in [`crate::hw`] and are
-/// tested for equivalence against this reference.
+/// The software model reduces by the precomputed reciprocal
+/// ([`FastMod`]) instead of a hardware-division `%` — exact for every
+/// address, division-free on the per-access path; the bit-level hardware
+/// schemes that replace the division with narrow adds live in
+/// [`crate::hw`] and are tested for equivalence against this reference.
 ///
 /// # Examples
 ///
@@ -30,7 +32,7 @@ use primecache_primes::prev_prime;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrimeModulo {
     geom: Geometry,
-    n_set: u64,
+    modulo: FastMod,
 }
 
 impl PrimeModulo {
@@ -44,7 +46,10 @@ impl PrimeModulo {
     #[must_use]
     pub fn new(geom: Geometry) -> Self {
         let n_set = prev_prime(geom.n_set_phys()).expect("geometry guarantees n_set_phys >= 2");
-        Self { geom, n_set }
+        Self {
+            geom,
+            modulo: FastMod::new(n_set),
+        }
     }
 
     /// Creates a prime-modulo indexer with an explicit modulus.
@@ -66,7 +71,7 @@ impl PrimeModulo {
         );
         Self {
             geom,
-            n_set: modulus,
+            modulo: FastMod::new(modulus),
         }
     }
 
@@ -79,7 +84,7 @@ impl PrimeModulo {
     /// Wasted sets `Δ = n_set_phys - n_set` (Table 1).
     #[must_use]
     pub fn delta(&self) -> u64 {
-        self.geom.n_set_phys() - self.n_set
+        self.geom.n_set_phys() - self.modulo.divisor()
     }
 
     /// Fraction of physical sets wasted (fragmentation, Table 1).
@@ -91,11 +96,13 @@ impl PrimeModulo {
 
 impl SetIndexer for PrimeModulo {
     fn index(&self, block_addr: u64) -> u64 {
-        block_addr % self.n_set
+        let set = self.modulo.reduce(block_addr);
+        debug_assert_eq!(set, block_addr % self.modulo.divisor());
+        set
     }
 
     fn n_set(&self) -> u64 {
-        self.n_set
+        self.modulo.divisor()
     }
 
     fn name(&self) -> &'static str {

@@ -34,6 +34,7 @@ pub mod export;
 pub mod report;
 mod run;
 pub mod suite;
+pub mod throughput;
 
 pub use config::{MachineConfig, Scheme};
 pub use run::{run_trace, run_workload, run_workload_warm, RunResult};

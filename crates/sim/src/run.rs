@@ -32,9 +32,16 @@ impl RunResult {
     }
 }
 
-/// Runs an explicit trace under a scheme on the paper's machine.
+/// Runs an explicit event stream under a scheme on the paper's machine.
+///
+/// Accepts anything iterable — a materialized `Vec<Event>` or a lazy
+/// [`primecache_workloads::EventStream`] — so peak memory can stay O(1)
+/// in trace length.
 #[must_use]
-pub fn run_trace(trace: Vec<Event>, scheme: Scheme, machine: &MachineConfig) -> RunResult {
+pub fn run_trace<T>(trace: T, scheme: Scheme, machine: &MachineConfig) -> RunResult
+where
+    T: IntoIterator<Item = Event>,
+{
     #[cfg(any(debug_assertions, feature = "check"))]
     machine.check_scheme(scheme);
     let mut hierarchy = Hierarchy::new(machine.hierarchy_config(scheme));
@@ -52,7 +59,8 @@ pub fn run_trace(trace: Vec<Event>, scheme: Scheme, machine: &MachineConfig) -> 
 
 /// Runs a workload under a scheme on the paper's default machine.
 ///
-/// `target_refs` controls the trace length (memory references).
+/// `target_refs` controls the trace length (memory references). The
+/// trace is streamed from a generator thread, never materialized.
 ///
 /// # Examples
 ///
@@ -66,7 +74,7 @@ pub fn run_trace(trace: Vec<Event>, scheme: Scheme, machine: &MachineConfig) -> 
 #[must_use]
 pub fn run_workload(workload: &Workload, scheme: Scheme, target_refs: u64) -> RunResult {
     run_trace(
-        workload.trace(target_refs),
+        workload.events(target_refs),
         scheme,
         &MachineConfig::paper_default(),
     )
@@ -77,6 +85,10 @@ pub fn run_workload(workload: &Workload, scheme: Scheme, target_refs: u64) -> Ru
 /// statistic (and the cycle clock) resets and only the next
 /// `measure_refs` references are measured — excluding compulsory misses
 /// from the figures, as steady-state methodology prescribes.
+///
+/// The warm/measure boundary is a mid-stream stat reset on one
+/// continuous event stream: no combined `warm + measure` trace is ever
+/// built in memory.
 ///
 /// # Examples
 ///
@@ -95,27 +107,39 @@ pub fn run_workload_warm(
     measure_refs: u64,
 ) -> RunResult {
     let machine = MachineConfig::paper_default();
-    let trace = workload.trace(warm_refs + measure_refs);
-    // Split at the event where `warm_refs` memory references have passed.
-    let mut seen = 0u64;
-    let split = trace
-        .iter()
-        .position(|e| {
-            if e.is_memory() {
-                seen += 1;
-            }
-            seen >= warm_refs
-        })
-        .map_or(trace.len(), |i| i + 1);
-    let (warm, measure) = trace.split_at(split);
+    let mut stream = workload.events(warm_refs + measure_refs);
 
     let mut hierarchy = Hierarchy::new(machine.hierarchy_config(scheme));
     let mut dram = Dram::new(machine.mem);
     let mut cpu = Cpu::new(machine.cpu);
-    let _ = cpu.run(warm.to_vec(), &mut hierarchy, &mut dram);
+
+    // Warm phase: pull events off the shared stream until `warm_refs`
+    // memory references have passed. The boundary falls immediately
+    // *after* the event that completes the `warm_refs`-th reference,
+    // exactly where the old split-a-materialized-Vec implementation cut.
+    let mut seen = 0u64;
+    let mut boundary = false;
+    let warm = std::iter::from_fn(|| {
+        if boundary {
+            return None;
+        }
+        let ev = stream.next()?;
+        if ev.is_memory() {
+            seen += 1;
+        }
+        if seen >= warm_refs {
+            boundary = true;
+        }
+        Some(ev)
+    });
+    let _ = cpu.run(warm, &mut hierarchy, &mut dram);
+
+    // Mid-stream reset: statistics and the cycle clock restart, cache
+    // and DRAM *state* (tags, LRU, open rows) carries over.
     hierarchy.reset_stats();
     dram.new_epoch();
-    let breakdown = cpu.run(measure.to_vec(), &mut hierarchy, &mut dram);
+
+    let breakdown = cpu.run(&mut stream, &mut hierarchy, &mut dram);
     RunResult {
         scheme,
         breakdown,
@@ -174,5 +198,79 @@ mod tests {
         let b = run_workload(w, Scheme::Xor, 10_000);
         assert_eq!(a.breakdown, b.breakdown);
         assert_eq!(a.l2.misses, b.l2.misses);
+    }
+
+    /// The pre-streaming `run_workload_warm` materialized the combined
+    /// trace and split it at the warm boundary. Reproduce that path here
+    /// and assert the mid-stream-reset implementation is bit-identical.
+    fn warm_via_materialized_split(
+        workload: &primecache_workloads::Workload,
+        scheme: Scheme,
+        warm_refs: u64,
+        measure_refs: u64,
+    ) -> RunResult {
+        let machine = MachineConfig::paper_default();
+        let trace = workload.trace(warm_refs + measure_refs);
+        let mut seen = 0u64;
+        let split = trace
+            .iter()
+            .position(|e| {
+                if e.is_memory() {
+                    seen += 1;
+                }
+                seen >= warm_refs
+            })
+            .map_or(trace.len(), |i| i + 1);
+        let (warm, measure) = trace.split_at(split);
+
+        let mut hierarchy = Hierarchy::new(machine.hierarchy_config(scheme));
+        let mut dram = Dram::new(machine.mem);
+        let mut cpu = Cpu::new(machine.cpu);
+        let _ = cpu.run(warm.to_vec(), &mut hierarchy, &mut dram);
+        hierarchy.reset_stats();
+        dram.new_epoch();
+        let breakdown = cpu.run(measure.to_vec(), &mut hierarchy, &mut dram);
+        RunResult {
+            scheme,
+            breakdown,
+            l1: hierarchy.l1_stats().clone(),
+            l2: hierarchy.l2_stats().clone(),
+            dram: *dram.stats(),
+        }
+    }
+
+    #[test]
+    fn warm_stream_reset_matches_legacy_split_path() {
+        for (name, scheme, warm, measure) in [
+            ("tree", Scheme::PrimeModulo, 20_000, 20_000),
+            ("mcf", Scheme::Base, 5_000, 15_000),
+            ("swim", Scheme::Xor, 0, 10_000), // zero-warm edge case
+        ] {
+            let w = by_name(name).unwrap();
+            let streamed = run_workload_warm(w, scheme, warm, measure);
+            let legacy = warm_via_materialized_split(w, scheme, warm, measure);
+            assert_eq!(
+                streamed.breakdown, legacy.breakdown,
+                "{name}/{scheme:?}: breakdown diverges"
+            );
+            assert_eq!(streamed.l1, legacy.l1, "{name}/{scheme:?}: L1 diverges");
+            assert_eq!(streamed.l2, legacy.l2, "{name}/{scheme:?}: L2 diverges");
+            assert_eq!(
+                streamed.dram, legacy.dram,
+                "{name}/{scheme:?}: DRAM diverges"
+            );
+        }
+    }
+
+    #[test]
+    fn streamed_run_matches_materialized_run() {
+        let machine = MachineConfig::paper_default();
+        for name in ["tree", "swim", "cg"] {
+            let w = by_name(name).unwrap();
+            let streamed = run_trace(w.events(15_000), Scheme::PrimeModulo, &machine);
+            let materialized = run_trace(w.trace(15_000), Scheme::PrimeModulo, &machine);
+            assert_eq!(streamed.breakdown, materialized.breakdown, "{name}");
+            assert_eq!(streamed.l2, materialized.l2, "{name}");
+        }
     }
 }

@@ -141,8 +141,34 @@ impl Sweep {
     }
 }
 
+/// Relative simulation cost of one `(workload, scheme)` cell, used to
+/// schedule longest tasks first (LPT): with equal-length traces the
+/// dominant cost axis is the per-access work of the L2 organization —
+/// the fully-associative probe scans every line, the skewed banks probe
+/// one hash per way — and the tiebreaker is the workload's footprint
+/// (bigger footprints miss more, and misses cost DRAM modeling work).
+fn task_cost(workload: &Workload, scheme: Scheme) -> u64 {
+    let scheme_weight: u64 = match scheme {
+        Scheme::FullyAssociative => 8,
+        Scheme::Skewed | Scheme::SkewedPrimeDisplacement => 3,
+        _ => 2,
+    };
+    let footprint =
+        primecache_workloads::profile::profile_of(workload.name).map_or(1, |p| p.footprint_bytes);
+    // log2 of the footprint keeps the scheme weight dominant while still
+    // ordering workloads within a scheme.
+    scheme_weight * 64 + u64::from(footprint.ilog2())
+}
+
 /// Runs `schemes` × all 23 workloads with `target_refs`-long traces,
 /// fanning out across CPU cores.
+///
+/// Scheduling: cells are dispatched longest-cost-first ([`task_cost`]),
+/// so a slow cell (e.g. fully-associative `charmm`) starts early instead
+/// of serializing the tail of the sweep. Each task writes into its own
+/// pre-sized result slot — no contended collection vector — and traces
+/// are streamed, so peak memory stays O(1) in `target_refs` even with
+/// every core busy.
 #[must_use]
 pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
     // Static lint pass first: refuse to burn a 23-application sweep on a
@@ -151,11 +177,12 @@ pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
     for &s in schemes {
         machine.check_scheme(s);
     }
-    let tasks: Vec<(&'static Workload, Scheme)> = all()
+    let mut tasks: Vec<(&'static Workload, Scheme)> = all()
         .iter()
         .flat_map(|w| schemes.iter().map(move |&s| (w, s)))
         .collect();
-    let results: Mutex<Vec<Cell>> = Mutex::new(Vec::with_capacity(tasks.len()));
+    tasks.sort_by_key(|&(w, s)| std::cmp::Reverse(task_cost(w, s)));
+    let slots: Vec<Mutex<Option<Cell>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -167,19 +194,20 @@ pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(w, s)) = tasks.get(i) else { break };
                 let result = run_workload(w, s, target_refs);
-                results
-                    .lock()
-                    .expect("sweep results mutex poisoned")
-                    .push(Cell {
-                        workload: w.name,
-                        non_uniform: w.expected_non_uniform,
-                        result,
-                    });
+                *slots[i].lock().expect("sweep slot mutex poisoned") = Some(Cell {
+                    workload: w.name,
+                    non_uniform: w.expected_non_uniform,
+                    result,
+                });
             });
         }
     });
     let mut sweep = Sweep::default();
-    for cell in results.into_inner().expect("sweep results mutex poisoned") {
+    for slot in slots {
+        let cell = slot
+            .into_inner()
+            .expect("sweep slot mutex poisoned")
+            .expect("every dispatched task fills its slot");
         sweep
             .cells
             .entry(cell.workload)

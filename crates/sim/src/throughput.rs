@@ -1,0 +1,235 @@
+//! End-to-end simulation throughput measurement (simulated refs/sec).
+//!
+//! The ROADMAP's north star is a simulator that runs "as fast as the
+//! hardware allows"; this module is how that claim stays honest. It
+//! drives the full streaming pipeline — generator thread, bounded
+//! channel, CPU model, hierarchy, DRAM — over all 23 workloads per
+//! scheme, measures wall-clock, and reports memory references retired
+//! per second. The `throughput` bench binary emits the result as
+//! `BENCH_throughput.json`, and CI fails when a scheme regresses more
+//! than the allowed fraction against the committed baseline.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use primecache_workloads::all;
+
+use crate::{run_workload, Scheme};
+
+/// Throughput of one scheme across the whole workload suite.
+#[derive(Debug, Clone)]
+pub struct SchemeThroughput {
+    /// The scheme measured.
+    pub scheme: Scheme,
+    /// Total memory references simulated (all 23 workloads).
+    pub refs: u64,
+    /// Wall-clock seconds for the whole suite.
+    pub seconds: f64,
+    /// Simulated memory references per second.
+    pub refs_per_sec: f64,
+}
+
+/// A full throughput report: every requested scheme over all workloads.
+#[derive(Debug, Clone)]
+pub struct ThroughputReport {
+    /// References requested per workload.
+    pub refs_per_workload: u64,
+    /// Number of workloads in the suite.
+    pub workloads: usize,
+    /// Per-scheme measurements, in the order requested.
+    pub schemes: Vec<SchemeThroughput>,
+}
+
+/// Measures end-to-end refs/sec for each scheme: all 23 workloads,
+/// `refs_per_workload` references each, streamed.
+#[must_use]
+pub fn measure(schemes: &[Scheme], refs_per_workload: u64) -> ThroughputReport {
+    let suite = all();
+    let per_scheme = schemes
+        .iter()
+        .map(|&scheme| {
+            let start = Instant::now();
+            let mut refs = 0u64;
+            for w in suite {
+                let r = run_workload(w, scheme, refs_per_workload);
+                refs += r.l1.accesses;
+            }
+            let seconds = start.elapsed().as_secs_f64();
+            SchemeThroughput {
+                scheme,
+                refs,
+                seconds,
+                refs_per_sec: if seconds > 0.0 {
+                    refs as f64 / seconds
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
+    ThroughputReport {
+        refs_per_workload,
+        workloads: suite.len(),
+        schemes: per_scheme,
+    }
+}
+
+impl ThroughputReport {
+    /// Renders the report as the `BENCH_throughput.json` document.
+    ///
+    /// Hand-rolled writer (the workspace `serde` is a no-op shim); the
+    /// format is the one [`baseline_refs_per_sec`] parses back.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"refs_per_workload\": {},", self.refs_per_workload);
+        let _ = writeln!(out, "  \"workloads\": {},", self.workloads);
+        out.push_str("  \"schemes\": [\n");
+        for (i, s) in self.schemes.iter().enumerate() {
+            let comma = if i + 1 < self.schemes.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"scheme\": \"{}\", \"refs\": {}, \"seconds\": {:.6}, \
+                 \"refs_per_sec\": {:.0}}}{comma}",
+                s.scheme.label(),
+                s.refs,
+                s.seconds,
+                s.refs_per_sec
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Compares this report against a committed baseline and returns one
+    /// message per scheme whose refs/sec fell more than `max_regress`
+    /// (a fraction, e.g. `0.30`) below the baseline value. Schemes
+    /// absent from the baseline are skipped.
+    #[must_use]
+    pub fn regressions(&self, baseline: &BTreeMap<String, f64>, max_regress: f64) -> Vec<String> {
+        self.schemes
+            .iter()
+            .filter_map(|s| {
+                let &base = baseline.get(s.scheme.label())?;
+                let floor = base * (1.0 - max_regress);
+                (s.refs_per_sec < floor).then(|| {
+                    format!(
+                        "{}: {:.0} refs/sec is below the regression floor {:.0} \
+                         (baseline {:.0}, max regression {:.0}%)",
+                        s.scheme.label(),
+                        s.refs_per_sec,
+                        floor,
+                        base,
+                        max_regress * 100.0
+                    )
+                })
+            })
+            .collect()
+    }
+}
+
+/// Extracts `scheme label -> refs_per_sec` pairs from a throughput JSON
+/// document (the format [`ThroughputReport::to_json`] writes).
+///
+/// A minimal scanner, not a general JSON parser: it pairs each
+/// `"scheme": "<label>"` with the next `"refs_per_sec": <number>`.
+#[must_use]
+pub fn baseline_refs_per_sec(json: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"scheme\":") {
+        rest = &rest[at + "\"scheme\":".len()..];
+        let Some(open) = rest.find('"') else { break };
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        let label = rest[open + 1..open + 1 + close].to_owned();
+        let Some(rp) = rest.find("\"refs_per_sec\":") else {
+            break;
+        };
+        let tail = rest[rp + "\"refs_per_sec\":".len()..].trim_start();
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].parse::<f64>() {
+            out.insert(label, v);
+        }
+        rest = &rest[rp + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_covers_requested_schemes() {
+        let report = measure(&[Scheme::Base, Scheme::PrimeModulo], 500);
+        assert_eq!(report.schemes.len(), 2);
+        for s in &report.schemes {
+            assert!(s.refs >= 500 * 23, "{}: {} refs", s.scheme.label(), s.refs);
+            assert!(s.refs_per_sec > 0.0);
+        }
+    }
+
+    #[test]
+    fn json_round_trips_through_the_baseline_scanner() {
+        let report = measure(&[Scheme::Base, Scheme::Xor], 200);
+        let json = report.to_json();
+        let parsed = baseline_refs_per_sec(&json);
+        assert_eq!(parsed.len(), 2);
+        for s in &report.schemes {
+            let v = parsed[s.scheme.label()];
+            // to_json rounds to whole refs/sec.
+            assert!(
+                (v - s.refs_per_sec).abs() <= 1.0,
+                "{v} vs {}",
+                s.refs_per_sec
+            );
+        }
+    }
+
+    #[test]
+    fn regression_check_fires_only_below_floor() {
+        let report = ThroughputReport {
+            refs_per_workload: 1,
+            workloads: 23,
+            schemes: vec![
+                SchemeThroughput {
+                    scheme: Scheme::Base,
+                    refs: 23,
+                    seconds: 1.0,
+                    refs_per_sec: 65.0,
+                },
+                SchemeThroughput {
+                    scheme: Scheme::Xor,
+                    refs: 23,
+                    seconds: 1.0,
+                    refs_per_sec: 75.0,
+                },
+            ],
+        };
+        let baseline: BTreeMap<String, f64> =
+            [("Base".to_owned(), 100.0), ("XOR".to_owned(), 100.0)].into();
+        let msgs = report.regressions(&baseline, 0.30);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].starts_with("Base:"), "{}", msgs[0]);
+    }
+
+    #[test]
+    fn schemes_missing_from_baseline_are_skipped() {
+        let report = ThroughputReport {
+            refs_per_workload: 1,
+            workloads: 23,
+            schemes: vec![SchemeThroughput {
+                scheme: Scheme::FullyAssociative,
+                refs: 23,
+                seconds: 1.0,
+                refs_per_sec: 1.0,
+            }],
+        };
+        assert!(report.regressions(&BTreeMap::new(), 0.3).is_empty());
+    }
+}

@@ -9,8 +9,6 @@
 //! the same L2 sets and thrash a 4-way cache — the conflict pattern prime
 //! indexing untangles.
 
-use primecache_trace::Event;
-
 use crate::util::{Lcg, TraceSink};
 
 const KB: u64 = 1024;
@@ -20,8 +18,7 @@ const MB: u64 = 1024 * 1024;
 ///
 /// Three-source one-destination sweeps, unit stride, odd row length —
 /// uniform set usage, misses dominated by capacity (streaming).
-pub fn swim(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn swim(t: &mut TraceSink) {
     let n = 513u64; // odd grid dimension, as in the real code
     let elems = n * n;
     let base = |arr: u64| arr * (elems * 8 + 8 * 1024) + 0x1000_0000;
@@ -33,12 +30,11 @@ pub fn swim(target_refs: u64) -> Vec<Event> {
             t.load(base(2) + i * 8);
             t.store(base(3) + i * 8);
             t.fp_work(10);
-            if t.refs() >= target_refs {
+            if t.done() {
                 break 'outer;
             }
         }
     }
-    t.into_events()
 }
 
 /// SPEC mgrid: multigrid V-cycles on a 130^3-padded grid.
@@ -47,8 +43,7 @@ pub fn swim(target_refs: u64) -> Vec<Event> {
 /// odd multiples of the line size, so sets are used uniformly. The cyclic
 /// reuse of the near-capacity fine grid is what a pseudo-LRU skewed cache
 /// mishandles (one of the paper's Fig. 10 pathological apps).
-pub fn mgrid(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn mgrid(t: &mut TraceSink) {
     let n = 66u64; // odd-ish padded dimension (64 + 2 ghost)
     let plane = n * n;
     let base = 0x2000_0000u64;
@@ -65,7 +60,7 @@ pub fn mgrid(target_refs: u64) -> Vec<Event> {
                 t.load(a + n * 8 * level);
                 t.store(base + 48 * MB + i * stride);
                 t.fp_work(12);
-                if t.refs() >= target_refs {
+                if t.done() {
                     break 'outer;
                 }
             }
@@ -76,21 +71,19 @@ pub fn mgrid(target_refs: u64) -> Vec<Event> {
             for i in 0..coarse {
                 t.load(base + 96 * MB + i * 8);
                 t.fp_work(6);
-                if t.refs() >= target_refs {
+                if t.done() {
                     break 'outer;
                 }
             }
         }
     }
-    t.into_events()
 }
 
 /// SPEC applu: SSOR solver, 33^3 grid of 5-variable cells (AoS, 40 B).
 ///
 /// Forward/backward wavefront sweeps; the 40-byte element size keeps
 /// block usage dense and uniform.
-pub fn applu(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn applu(t: &mut TraceSink) {
     let n = 33u64;
     let cells = n * n * n;
     let elem = 40u64; // 5 doubles
@@ -104,7 +97,7 @@ pub fn applu(target_refs: u64) -> Vec<Event> {
             }
             t.store(rhs + c * elem);
             t.fp_work(24);
-            if t.refs() >= target_refs {
+            if t.done() {
                 break 'outer;
             }
         }
@@ -113,20 +106,18 @@ pub fn applu(target_refs: u64) -> Vec<Event> {
             t.load(rhs + c * elem);
             t.store(base + c * elem);
             t.fp_work(16);
-            if t.refs() >= target_refs {
+            if t.done() {
                 break 'outer;
             }
         }
     }
-    t.into_events()
 }
 
 /// SPEC tomcatv: mesh generation, 513x513 grids, row and column sweeps.
 ///
 /// Column sweeps have a stride of 513*8 = 4104 bytes — 64.125 blocks, an
 /// odd walk that rotates through every set.
-pub fn tomcatv(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn tomcatv(t: &mut TraceSink) {
     let n = 513u64;
     let base = |arr: u64| 0x4000_0000 + arr * (n * n * 8 + 3 * KB + 24);
     'outer: loop {
@@ -136,7 +127,7 @@ pub fn tomcatv(target_refs: u64) -> Vec<Event> {
             t.load(base(1) + i * 8);
             t.store(base(2) + i * 8);
             t.fp_work(14);
-            if t.refs() >= target_refs {
+            if t.done() {
                 break 'outer;
             }
         }
@@ -149,12 +140,11 @@ pub fn tomcatv(target_refs: u64) -> Vec<Event> {
                 t.fp_work(8);
             }
             t.branch(col % 16 == 0);
-            if t.refs() >= target_refs {
+            if t.done() {
                 break 'outer;
             }
         }
     }
-    t.into_events()
 }
 
 /// NASA euler: 3D flux solver on a 50^3 grid, 5-variable AoS cells.
@@ -163,8 +153,7 @@ pub fn tomcatv(target_refs: u64) -> Vec<Event> {
 /// 2 KB and 100 KB strides — all odd in block units, hence uniform, but
 /// with enough L2-scale reuse that a fully-associative cache still removes
 /// some conflict misses (as in the paper's Fig. 12).
-pub fn euler(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn euler(t: &mut TraceSink) {
     let n = 50u64;
     let elem = 40u64;
     let base = 0x5000_0000u64;
@@ -183,13 +172,12 @@ pub fn euler(target_refs: u64) -> Vec<Event> {
                 if c >= cells {
                     c = c % cells + 1; // next pencil
                 }
-                if t.refs() >= target_refs {
+                if t.done() {
                     break 'outer;
                 }
             }
         }
     }
-    t.into_events()
 }
 
 /// Shared machinery of the NAS `bt`/`sp` models: an iterative solver
@@ -206,7 +194,7 @@ pub fn euler(target_refs: u64) -> Vec<Event> {
 /// the memory-stall share of execution at realistic levels.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn aligned_multiarray(
-    target_refs: u64,
+    t: &mut TraceSink,
     seed: u64,
     regions: u64,
     region_bytes: u64,
@@ -214,8 +202,7 @@ pub(crate) fn aligned_multiarray(
     loads_per_block: u64,
     work_per_load: u32,
     sweeps_per_region: u32,
-) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+) {
     let mut rng = Lcg::new(seed);
     let hot_base = |r: u64| 0x8000_0000 + r * align;
     let blocks_per_region = region_bytes / 64;
@@ -237,39 +224,39 @@ pub(crate) fn aligned_multiarray(
                     if b % 32 == 0 {
                         t.branch(rng.chance(1, 24));
                     }
-                    if t.refs() >= target_refs {
+                    if t.done() {
                         break 'outer;
                     }
                 }
             }
         }
     }
-    t.into_events()
 }
 
 /// NAS bt: block-tridiagonal solver. Twelve power-of-two-aligned solution
 /// and RHS arrays swept every iteration — more aliased regions than even
 /// an 8-way cache has ways, so only rehashing helps (the archetypal
 /// non-uniform app). The 5x5 block solves give heavy per-element compute.
-pub fn bt(target_refs: u64) -> Vec<Event> {
-    aligned_multiarray(target_refs, 0xB7, 12, 32 * KB, 4 * MB + 128 * KB, 6, 150, 1)
+pub fn bt(t: &mut TraceSink) {
+    aligned_multiarray(t, 0xB7, 12, 32 * KB, 4 * MB + 128 * KB, 6, 150, 1)
 }
 
 /// NAS sp: scalar-pentadiagonal solver. Ten aligned 24 KB working planes,
 /// lighter per-element compute than bt.
-pub fn sp(target_refs: u64) -> Vec<Event> {
-    aligned_multiarray(target_refs, 0x59, 10, 24 * KB, 2 * MB, 5, 130, 3)
+pub fn sp(t: &mut TraceSink) {
+    aligned_multiarray(t, 0x59, 10, 24 * KB, 2 * MB, 5, 130, 3)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::util::materialize;
     use primecache_trace::TraceStats;
 
     #[test]
     fn all_generators_hit_their_target() {
         for (name, f) in [
-            ("swim", swim as fn(u64) -> Vec<Event>),
+            ("swim", swim as fn(&mut TraceSink)),
             ("mgrid", mgrid),
             ("applu", applu),
             ("tomcatv", tomcatv),
@@ -277,7 +264,7 @@ mod tests {
             ("bt", bt),
             ("sp", sp),
         ] {
-            let trace = f(5_000);
+            let trace = materialize(f, 5_000);
             let stats: TraceStats = trace.iter().collect();
             assert!(stats.memory_refs() >= 5_000, "{name}: {stats:?}");
             assert!(stats.memory_refs() < 6_000, "{name} overshoots: {stats:?}");
@@ -286,13 +273,13 @@ mod tests {
 
     #[test]
     fn traces_are_deterministic() {
-        assert_eq!(bt(2_000), bt(2_000));
-        assert_eq!(swim(2_000), swim(2_000));
+        assert_eq!(materialize(bt, 2_000), materialize(bt, 2_000));
+        assert_eq!(materialize(swim, 2_000), materialize(swim, 2_000));
     }
 
     #[test]
     fn bt_touches_aligned_regions() {
-        let trace = bt(10_000);
+        let trace = materialize(bt, 10_000);
         let hot = trace
             .iter()
             .filter_map(|e| e.addr())
@@ -303,7 +290,7 @@ mod tests {
 
     #[test]
     fn swim_emits_stores() {
-        let stats: TraceStats = swim(8_000).iter().collect();
+        let stats: TraceStats = materialize(swim, 8_000).iter().collect();
         assert!(stats.stores > 1_000);
         assert!(stats.loads > 3 * stats.stores / 2);
     }

@@ -38,7 +38,9 @@ pub mod profile;
 mod registry;
 mod sparse;
 mod spec_int;
+mod stream;
 mod util;
 
 pub use registry::{all, by_name, non_uniform_names, uniform_names, Workload};
-pub use util::Lcg;
+pub use stream::EventStream;
+pub use util::{materialize, Lcg, TraceSink};

@@ -6,26 +6,23 @@
 //! uniform; charmm's larger working set gives it the visible conflict
 //! misses a fully-associative cache removes in Fig. 12.
 
-use primecache_trace::Event;
-
 use crate::util::{Lcg, TraceSink};
 
 /// Shared neighbour-list kernel.
 fn md_kernel(
-    target_refs: u64,
+    t: &mut TraceSink,
     seed: u64,
     n_particles: u64,
     record_bytes: u64,
     neighbours: u64,
     window: u64,
     work_per_pair: u32,
-) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+) {
     let mut rng = Lcg::new(seed);
     let pos_base = 0x8000_0000u64 + 8; // packed, odd offset
     let force_base = 0xA000_0000u64 + 16;
     let mut i = 0u64;
-    while t.refs() < target_refs {
+    while !t.done() {
         // Load particle i.
         t.load(pos_base + i * record_bytes);
         // Gather its neighbours (spatially local window).
@@ -43,41 +40,41 @@ fn md_kernel(
         }
         i = (i + 1) % n_particles;
     }
-    t.into_events()
 }
 
 /// CHARMM: full molecular mechanics; 48-byte records, wide neighbourhoods,
 /// a multi-megabyte working set with reuse that gives real (uniformly
 /// spread) conflict misses.
-pub fn charmm(target_refs: u64) -> Vec<Event> {
-    md_kernel(target_refs, 0xC4, 60_000, 48, 12, 4_096, 14)
+pub fn charmm(t: &mut TraceSink) {
+    md_kernel(t, 0xC4, 60_000, 48, 12, 4_096, 14)
 }
 
 /// moldyn: the CHARMM kernel in isolation; smaller system, tighter
 /// neighbourhoods, more compute per pair.
-pub fn moldyn(target_refs: u64) -> Vec<Event> {
-    md_kernel(target_refs, 0x3D, 16_384, 48, 8, 512, 18)
+pub fn moldyn(t: &mut TraceSink) {
+    md_kernel(t, 0x3D, 16_384, 48, 8, 512, 18)
 }
 
 /// GROMOS nbf: non-bonded-force kernel; 32-byte records, very local
 /// neighbourhoods — nearly streaming.
-pub fn nbf(target_refs: u64) -> Vec<Event> {
-    md_kernel(target_refs, 0x8F, 32_768, 32, 6, 128, 10)
+pub fn nbf(t: &mut TraceSink) {
+    md_kernel(t, 0x8F, 32_768, 32, 6, 128, 10)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::util::materialize;
     use primecache_trace::TraceStats;
 
     #[test]
     fn generators_reach_target() {
         for (name, f) in [
-            ("charmm", charmm as fn(u64) -> Vec<Event>),
+            ("charmm", charmm as fn(&mut TraceSink)),
             ("moldyn", moldyn),
             ("nbf", nbf),
         ] {
-            let stats: TraceStats = f(5_000).iter().collect();
+            let stats: TraceStats = materialize(f, 5_000).iter().collect();
             assert!(stats.memory_refs() >= 5_000, "{name}");
             assert!(stats.memory_refs() < 5_100, "{name} overshoots");
         }
@@ -85,7 +82,7 @@ mod tests {
 
     #[test]
     fn gathers_are_window_local() {
-        let addrs: Vec<u64> = nbf(10_000)
+        let addrs: Vec<u64> = materialize(nbf, 10_000)
             .iter()
             .filter_map(|e| e.addr())
             .filter(|&a| a < 0xA000_0000)
@@ -103,7 +100,7 @@ mod tests {
     #[test]
     fn records_are_packed_not_padded() {
         // No power-of-two alignment: addresses mod 64 take many values.
-        let mods: std::collections::HashSet<u64> = charmm(10_000)
+        let mods: std::collections::HashSet<u64> = materialize(charmm, 10_000)
             .iter()
             .filter_map(|e| e.addr())
             .map(|a| a % 64)
@@ -113,7 +110,7 @@ mod tests {
 
     #[test]
     fn determinism() {
-        assert_eq!(charmm(3_000), charmm(3_000));
-        assert_eq!(nbf(3_000), nbf(3_000));
+        assert_eq!(materialize(charmm, 3_000), materialize(charmm, 3_000));
+        assert_eq!(materialize(nbf, 3_000), materialize(nbf, 3_000));
     }
 }

@@ -1,7 +1,5 @@
 //! NAS kernels: ft (non-uniform), is and lu (uniform).
 
-use primecache_trace::Event;
-
 use crate::util::{Lcg, TraceSink};
 
 const KB: u64 = 1024;
@@ -15,8 +13,7 @@ const MB: u64 = 1024 * 1024;
 /// traditional indexing they overlay the same 1024 L2 sets — six ways of
 /// pressure on a 4-way cache — while the other half of the cache idles:
 /// non-uniform *and* conflict-bound, the paper's ft signature.
-pub fn ft(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn ft(t: &mut TraceSink) {
     let mut rng = Lcg::new(0xF7);
     let stage_base = |s: u64| 0x8000_0000 + s * (4 * MB);
     let stages = 10u64;
@@ -54,7 +51,7 @@ pub fn ft(target_refs: u64) -> Vec<Event> {
                         twiddle_pos += 1;
                         t.fp_work(12);
                     }
-                    if t.refs() >= target_refs {
+                    if t.done() {
                         break 'outer;
                     }
                 }
@@ -67,25 +64,23 @@ pub fn ft(target_refs: u64) -> Vec<Event> {
             t.store(data_base + 64 * MB + (pos % data_elems) * 16);
             t.fp_work(10);
             pos += 1;
-            if t.refs() >= target_refs {
+            if t.done() {
                 break 'outer;
             }
         }
     }
-    t.into_events()
 }
 
 /// NAS is: integer sort. Random keys stream in, histogram buckets count
 /// them; bucket indices are uniformly distributed, so set usage is even.
-pub fn is(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn is(t: &mut TraceSink) {
     let mut rng = Lcg::new(0x15);
     let keys_base = 0x6000_0000u64;
     let buckets_base = 0x7000_0000u64 + 8 * KB + 24; // odd offset
     let n_buckets = 1u64 << 16; // 256 KB of 4-byte counters
     let n_keys = 1u64 << 22;
     let mut i = 0u64;
-    while t.refs() < target_refs {
+    while !t.done() {
         // Sequential key read.
         t.load(keys_base + (i % n_keys) * 4);
         // Random-bucket increment: load + store.
@@ -98,15 +93,13 @@ pub fn is(target_refs: u64) -> Vec<Event> {
         }
         i += 1;
     }
-    t.into_events()
 }
 
 /// NAS lu: blocked dense LU factorization (right-looking). Each step
 /// factors a 32x32 panel and then updates the whole trailing submatrix,
 /// so coverage of the (odd-pitch) matrix is dense and set usage uniform;
 /// the active panel enjoys L2-resident reuse.
-pub fn lu(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn lu(t: &mut TraceSink) {
     let n = 768u64; // matrix dimension (multiple of the 32 block)
     let bs = 32u64;
     let row_bytes = n * 8 + 64; // padded, non-power-of-two pitch
@@ -123,7 +116,7 @@ pub fn lu(target_refs: u64) -> Vec<Event> {
                     t.store(addr(r, c));
                     t.fp_work(9);
                 }
-                if t.refs() >= target_refs {
+                if t.done() {
                     break 'outer;
                 }
             }
@@ -135,24 +128,24 @@ pub fn lu(target_refs: u64) -> Vec<Event> {
                     t.store(addr(r, c));
                     t.fp_work(20);
                 }
-                if t.refs() >= target_refs {
+                if t.done() {
                     break 'outer;
                 }
             }
         }
     }
-    t.into_events()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::util::materialize;
     use primecache_trace::TraceStats;
 
     #[test]
     fn generators_reach_target() {
-        for (name, f) in [("ft", ft as fn(u64) -> Vec<Event>), ("is", is), ("lu", lu)] {
-            let stats: TraceStats = f(5_000).iter().collect();
+        for (name, f) in [("ft", ft as fn(&mut TraceSink)), ("is", is), ("lu", lu)] {
+            let stats: TraceStats = materialize(f, 5_000).iter().collect();
             assert!(stats.memory_refs() >= 5_000, "{name}");
             assert!(stats.memory_refs() < 5_200, "{name} overshoots");
         }
@@ -160,7 +153,7 @@ mod tests {
 
     #[test]
     fn ft_hot_buffers_dominate() {
-        let trace = ft(20_000);
+        let trace = materialize(ft, 20_000);
         let hot = trace
             .iter()
             .filter_map(|e| e.addr())
@@ -172,7 +165,7 @@ mod tests {
 
     #[test]
     fn is_buckets_spread() {
-        let trace = is(30_000);
+        let trace = materialize(is, 30_000);
         let buckets: std::collections::HashSet<u64> = trace
             .iter()
             .filter_map(|e| e.addr())
@@ -184,8 +177,8 @@ mod tests {
 
     #[test]
     fn determinism() {
-        assert_eq!(ft(3_000), ft(3_000));
-        assert_eq!(is(3_000), is(3_000));
-        assert_eq!(lu(3_000), lu(3_000));
+        assert_eq!(materialize(ft, 3_000), materialize(ft, 3_000));
+        assert_eq!(materialize(is, 3_000), materialize(is, 3_000));
+        assert_eq!(materialize(lu, 3_000), materialize(lu, 3_000));
     }
 }

@@ -1,7 +1,5 @@
 //! Pointer-chasing workloads: tree (non-uniform) and mst (uniform).
 
-use primecache_trace::Event;
-
 use crate::util::{Lcg, TraceSink};
 
 /// The Hawaii Barnes–Hut treecode (`tree`): force evaluation walks an
@@ -11,8 +9,7 @@ use crate::util::{Lcg, TraceSink};
 /// upper tree levels are revisited for every body, so the piled-up sets
 /// thrash a 4-way cache; prime indexing spreads the nodes and removes
 /// nearly all misses (the paper's biggest win, ~2.3–2.6x).
-pub fn tree(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn tree(t: &mut TraceSink) {
     let mut rng = Lcg::new(0x7E);
     // 4000 x 512-B allocator slots: 250 KB of *touched* node headers —
     // inside the L2 when spread by a prime index, but piled 15-deep onto
@@ -22,7 +19,7 @@ pub fn tree(target_refs: u64) -> Vec<Event> {
     let bodies_base = 0x9000_0000u64 + 40;
     let n_bodies = 2_048u64; // 192 KB of bodies: L2-resident
     let mut body = 0u64;
-    while t.refs() < target_refs {
+    while !t.done() {
         // Load the body being updated.
         t.load(bodies_base + body * 96);
         // Walk from the root: upper levels are shared and hot, deeper
@@ -46,15 +43,13 @@ pub fn tree(target_refs: u64) -> Vec<Event> {
         t.branch(rng.chance(1, 10));
         body = (body + 1) % n_bodies;
     }
-    t.into_events()
 }
 
 /// Olden mst: minimum spanning tree over a hash-table-based graph. Hash
 /// entries are packed 64-byte records spread uniformly, chased
 /// dependently. Uniform sets, but with cross-set reuse patterns a skewed
 /// cache can exploit (mst only speeds up under SKW in the paper, Fig. 10).
-pub fn mst(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn mst(t: &mut TraceSink) {
     let mut rng = Lcg::new(0x57);
     // Hash-table entries are allocated all over the heap: ~8500 scattered
     // blocks, randomly placed, with combined footprint right at the L2
@@ -70,7 +65,7 @@ pub fn mst(target_refs: u64) -> Vec<Event> {
     let n_entries = entries.len() as u64;
     let vertex_base = 0xB000_0000u64 + 16;
     let n_vertices = 3_000u64;
-    while t.refs() < target_refs {
+    while !t.done() {
         // Pick a vertex, walk its adjacency via hash probes.
         let v = rng.below(n_vertices);
         t.load(vertex_base + v * 32);
@@ -86,18 +81,18 @@ pub fn mst(target_refs: u64) -> Vec<Event> {
         t.work(10);
         t.branch(rng.chance(1, 8));
     }
-    t.into_events()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::util::materialize;
     use primecache_trace::TraceStats;
 
     #[test]
     fn generators_reach_target() {
-        for (name, f) in [("tree", tree as fn(u64) -> Vec<Event>), ("mst", mst)] {
-            let stats: TraceStats = f(5_000).iter().collect();
+        for (name, f) in [("tree", tree as fn(&mut TraceSink)), ("mst", mst)] {
+            let stats: TraceStats = materialize(f, 5_000).iter().collect();
             assert!(stats.memory_refs() >= 5_000, "{name}");
             assert!(stats.memory_refs() < 5_100, "{name} overshoots");
         }
@@ -105,7 +100,7 @@ mod tests {
 
     #[test]
     fn tree_nodes_are_512_byte_slots() {
-        let node_addrs: Vec<u64> = tree(20_000)
+        let node_addrs: Vec<u64> = materialize(tree, 20_000)
             .iter()
             .filter_map(|e| e.addr())
             .filter(|&a| (0x8000_0000..0x9000_0000u64).contains(&a))
@@ -120,7 +115,7 @@ mod tests {
     #[test]
     fn tree_reuses_upper_levels() {
         let mut counts = std::collections::HashMap::new();
-        for a in tree(30_000)
+        for a in materialize(tree, 30_000)
             .iter()
             .filter_map(|e| e.addr())
             .filter(|&a| (0x8000_0000..0x9000_0000u64).contains(&a))
@@ -133,15 +128,15 @@ mod tests {
 
     #[test]
     fn both_are_chase_heavy() {
-        for f in [tree as fn(u64) -> Vec<Event>, mst] {
-            let stats: TraceStats = f(10_000).iter().collect();
+        for f in [tree as fn(&mut TraceSink), mst] {
+            let stats: TraceStats = materialize(f, 10_000).iter().collect();
             assert!(stats.dependent_loads * 2 > stats.memory_refs(), "{stats:?}");
         }
     }
 
     #[test]
     fn determinism() {
-        assert_eq!(tree(3_000), tree(3_000));
-        assert_eq!(mst(3_000), mst(3_000));
+        assert_eq!(materialize(tree, 3_000), materialize(tree, 3_000));
+        assert_eq!(materialize(mst, 3_000), materialize(mst, 3_000));
     }
 }

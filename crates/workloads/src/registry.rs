@@ -2,6 +2,8 @@
 
 use primecache_trace::Event;
 
+use crate::stream::EventStream;
+use crate::util::{materialize, TraceSink};
 use crate::{grid, md, nas, pointer, sparse, spec_int};
 
 /// One application model: a named deterministic trace generator plus the
@@ -14,14 +16,25 @@ pub struct Workload {
     pub suite: &'static str,
     /// Whether the paper classifies it as non-uniform (stdev/mean > 0.5).
     pub expected_non_uniform: bool,
-    generator: fn(u64) -> Vec<Event>,
+    generator: fn(&mut TraceSink),
 }
 
 impl Workload {
-    /// Generates a trace with at least `target_refs` memory references.
+    /// Materializes a trace with at least `target_refs` memory references.
+    ///
+    /// Peak memory is linear in trace length; prefer [`Workload::events`]
+    /// for large reference counts.
     #[must_use]
     pub fn trace(&self, target_refs: u64) -> Vec<Event> {
-        (self.generator)(target_refs)
+        materialize(self.generator, target_refs)
+    }
+
+    /// Streams the same event sequence as [`Workload::trace`] with O(1)
+    /// peak memory: the generator runs on its own thread and events
+    /// arrive through a bounded channel.
+    #[must_use]
+    pub fn events(&self, target_refs: u64) -> EventStream {
+        EventStream::spawn(self.generator, target_refs)
     }
 }
 
@@ -240,6 +253,14 @@ mod tests {
         for w in all() {
             let trace = w.trace(1_000);
             let refs = trace.iter().filter(|e| e.is_memory()).count();
+            assert!(refs >= 1_000, "{}: {refs}", w.name);
+        }
+    }
+
+    #[test]
+    fn every_workload_streams_memory_refs() {
+        for w in all() {
+            let refs = w.events(1_000).filter(Event::is_memory).count();
             assert!(refs >= 1_000, "{}: {refs}", w.name);
         }
     }

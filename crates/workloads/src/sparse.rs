@@ -7,8 +7,6 @@
 //! L2 sets. `sparse` and `equake` gather into densely packed vectors with
 //! odd row lengths — uniform.
 
-use primecache_trace::Event;
-
 use crate::util::{Lcg, TraceSink};
 
 const KB: u64 = 1024;
@@ -18,14 +16,13 @@ const MB: u64 = 1024 * 1024;
 /// Shared CSR sweep: for each row, stream `nnz_per_row` (value, col) pairs
 /// and gather `x[col]` via `gather`, then store `y[row]`.
 fn csr_sweep(
-    target_refs: u64,
+    t: &mut TraceSink,
     seed: u64,
     rows: u64,
     nnz_per_row: u64,
     work_per_nz: u32,
     mut gather: impl FnMut(&mut Lcg, u64) -> u64,
-) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+) {
     let mut rng = Lcg::new(seed);
     let vals_base = 0x6_0000_0000u64;
     let y_base = 0x7_0000_0000u64 + 8 * KB + 40;
@@ -42,7 +39,7 @@ fn csr_sweep(
                 let x_addr = gather(&mut rng, row);
                 t.load(x_addr);
                 t.fp_work(work_per_nz);
-                if t.refs() >= target_refs {
+                if t.done() {
                     break 'outer;
                 }
             }
@@ -50,7 +47,6 @@ fn csr_sweep(
             t.branch(rng.chance(1, 16));
         }
     }
-    t.into_events()
 }
 
 /// NAS cg: conjugate gradient on a renumbered random graph. Gathers split
@@ -63,7 +59,7 @@ fn csr_sweep(
 /// caches, with their extra placement freedom, win — exactly the paper's
 /// observation that "with cg and mst, only the skewed associative schemes
 /// are able to obtain speedups" (§5.3).
-pub fn cg(target_refs: u64) -> Vec<Event> {
+pub fn cg(t: &mut TraceSink) {
     let hot_base = 0x8000_0000u64; // 64 KB of hot vertices, block-aligned
     let hot_blocks = 1024u64;
     // The cold vertices live on ~7000 *scattered* blocks of a large heap
@@ -75,7 +71,7 @@ pub fn cg(target_refs: u64) -> Vec<Event> {
     let tail_blocks: Vec<u64> = (0..3_500)
         .map(|_| tail_base + placement.below(32 * 1024) * 64)
         .collect();
-    csr_sweep(target_refs, 0xC6, 1 << 11, 8, 24, move |rng, _row| {
+    csr_sweep(t, 0xC6, 1 << 11, 8, 24, move |rng, _row| {
         if rng.chance(3, 5) {
             // High-degree head, skewed toward the very front.
             hot_base + rng.skewed(hot_blocks) * 64 + rng.below(8) * 8
@@ -89,10 +85,10 @@ pub fn cg(target_refs: u64) -> Vec<Event> {
 /// nodes are 256-byte padded structures; the solver gathers the 64-byte
 /// header of each neighbour, so only every fourth L2 set is ever touched
 /// by the gather stream.
-pub fn irr(target_refs: u64) -> Vec<Event> {
+pub fn irr(t: &mut TraceSink) {
     let nodes = 8_192u64; // 2 MB of 256-B nodes
     let node_base = 0x8000_0000u64;
-    csr_sweep(target_refs, 0x17, 1 << 14, 9, 320, move |rng, row| {
+    csr_sweep(t, 0x17, 1 << 14, 9, 320, move |rng, row| {
         // High-degree mesh vertices dominate the gathers; the rest are a
         // local window around the row's own node.
         let neigh = if rng.chance(2, 3) {
@@ -107,10 +103,10 @@ pub fn irr(target_refs: u64) -> Vec<Event> {
 /// SparseBench sparse: conjugate-gradient iteration over a banded matrix
 /// with densely packed x — uniform sets. Its near-capacity cyclic reuse is
 /// what the skewed pseudo-LRU mishandles (a Fig. 10 pathological app).
-pub fn sparse(target_refs: u64) -> Vec<Event> {
+pub fn sparse(t: &mut TraceSink) {
     let x_base = 0xA000_0000u64 + 24; // packed, odd offset
     let n = 48_000u64; // 384 KB vector: just inside the L2
-    csr_sweep(target_refs, 0x5A, n / 8, 7, 9, move |rng, row| {
+    csr_sweep(t, 0x5A, n / 8, 7, 9, move |rng, row| {
         // Banded: columns near the diagonal.
         let col = (row * 8 + rng.below(640)) % n;
         x_base + col * 8
@@ -119,10 +115,10 @@ pub fn sparse(target_refs: u64) -> Vec<Event> {
 
 /// SPEC equake: sparse matrix-vector products from an unstructured FEM
 /// mesh; the renumbered mesh gives a roughly uniform gather distribution.
-pub fn equake(target_refs: u64) -> Vec<Event> {
+pub fn equake(t: &mut TraceSink) {
     let x_base = 0xB000_0000u64 + 8;
     let n = 380_000u64; // ~3 MB packed vector of 3-vectors
-    csr_sweep(target_refs, 0xEA, 1 << 15, 5, 12, move |rng, _row| {
+    csr_sweep(t, 0xEA, 1 << 15, 5, 12, move |rng, _row| {
         x_base + rng.below(n) * 8
     })
 }
@@ -130,17 +126,18 @@ pub fn equake(target_refs: u64) -> Vec<Event> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::util::materialize;
     use primecache_trace::TraceStats;
 
     #[test]
     fn generators_reach_target() {
         for (name, f) in [
-            ("cg", cg as fn(u64) -> Vec<Event>),
+            ("cg", cg as fn(&mut TraceSink)),
             ("irr", irr),
             ("sparse", sparse),
             ("equake", equake),
         ] {
-            let stats: TraceStats = f(5_000).iter().collect();
+            let stats: TraceStats = materialize(f, 5_000).iter().collect();
             assert!(stats.memory_refs() >= 5_000, "{name}");
             assert!(stats.memory_refs() < 5_100, "{name} overshoots");
         }
@@ -148,7 +145,7 @@ mod tests {
 
     #[test]
     fn irr_touches_only_padded_headers() {
-        let blocks: std::collections::HashSet<u64> = irr(20_000)
+        let blocks: std::collections::HashSet<u64> = materialize(irr, 20_000)
             .iter()
             .filter_map(|e| e.addr())
             .filter(|&a| (0x8000_0000..0x6_0000_0000u64).contains(&a))
@@ -162,7 +159,7 @@ mod tests {
     #[test]
     fn cg_gathers_cluster_in_the_hot_head() {
         // 3/5 of gathers target the 64 KB high-degree head.
-        let gathers: Vec<u64> = cg(20_000)
+        let gathers: Vec<u64> = materialize(cg, 20_000)
             .iter()
             .filter_map(|e| e.addr())
             .filter(|&a| (0x8000_0000..0x6_0000_0000u64).contains(&a))
@@ -176,7 +173,7 @@ mod tests {
 
     #[test]
     fn determinism() {
-        assert_eq!(cg(3_000), cg(3_000));
-        assert_eq!(sparse(3_000), sparse(3_000));
+        assert_eq!(materialize(cg, 3_000), materialize(cg, 3_000));
+        assert_eq!(materialize(sparse, 3_000), materialize(sparse, 3_000));
     }
 }

@@ -1,8 +1,6 @@
 //! SPECint-style workloads: bzip2, gap, parser (uniform) and mcf
 //! (non-uniform).
 
-use primecache_trace::Event;
-
 use crate::util::{Lcg, TraceSink};
 
 const KB: u64 = 1024;
@@ -11,14 +9,13 @@ const KB: u64 = 1024;
 /// sequentially and revisited with data-dependent (but uniformly spread)
 /// suffix comparisons. The working set cycles just inside the L2 with true
 /// LRU — the reuse pattern a skewed pseudo-LRU cache degrades (Fig. 10).
-pub fn bzip2(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn bzip2(t: &mut TraceSink) {
     let mut rng = Lcg::new(0xB2);
     let block_base = 0xC000_0000u64 + 104; // packed buffer, odd offset
     let block = 256 * KB;
     let ptrs_base = 0xD000_0000u64 + 8;
     let mut pos = 0u64;
-    while t.refs() < target_refs {
+    while !t.done() {
         // Sequential scan of the block (RLE + frequency counting).
         for _ in 0..4 {
             t.load(block_base + pos % block);
@@ -35,19 +32,17 @@ pub fn bzip2(target_refs: u64) -> Vec<Event> {
             t.branch(rng.chance(1, 5));
         }
     }
-    t.into_events()
 }
 
 /// SPEC gap: computational group theory. Bag-of-objects heap with packed
 /// 64-byte objects walked via pointer chains; allocation order makes the
 /// heap dense, so set usage is uniform.
-pub fn gap(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn gap(t: &mut TraceSink) {
     let mut rng = Lcg::new(0x9A);
     let heap_base = 0xE000_0000u64;
     let objects = 64 * 1024u64; // 4 MB of packed 64-B objects
     let mut cursor = 0u64;
-    while t.refs() < target_refs {
+    while !t.done() {
         // Follow a short pointer chain (dependent loads).
         for _ in 0..3 {
             cursor = (cursor * 31 + rng.below(997) + 1) % objects;
@@ -59,7 +54,6 @@ pub fn gap(target_refs: u64) -> Vec<Event> {
         t.work(18);
         t.branch(rng.chance(1, 9));
     }
-    t.into_events()
 }
 
 /// SPEC mcf: network-simplex minimum-cost flow. Node structures are 128
@@ -68,8 +62,7 @@ pub fn gap(target_refs: u64) -> Vec<Event> {
 /// the arc array streams through sequentially with capacity misses no
 /// hashing can remove. The result is a memory-bound app with a modest
 /// hashing upside, matching the paper's mcf bar.
-pub fn mcf(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn mcf(t: &mut TraceSink) {
     let mut rng = Lcg::new(0x3C);
     let arcs_base = 0x8000_0000u64;
     let arc_bytes = 4 * 1024 * KB; // 4 MB of packed 96-B arcs: streams
@@ -77,7 +70,7 @@ pub fn mcf(target_refs: u64) -> Vec<Event> {
     let n_nodes = 7_000u64; // 875 KB of 128-B nodes, heads only
     let mut node = 0u64;
     let mut arc_pos = 0u64;
-    while t.refs() < target_refs {
+    while !t.done() {
         // Arc pricing scan: sequential over packed 96-B arc records.
         for _ in 0..2 {
             let a = arcs_base + (arc_pos * 96) % arc_bytes;
@@ -97,19 +90,17 @@ pub fn mcf(target_refs: u64) -> Vec<Event> {
         }
         t.branch(rng.chance(1, 5));
     }
-    t.into_events()
 }
 
 /// SPEC parser: dictionary word lookups in a packed hash table plus a
 /// small parse-state stack; bucket indices are uniform.
-pub fn parser(target_refs: u64) -> Vec<Event> {
-    let mut t = TraceSink::with_target(target_refs);
+pub fn parser(t: &mut TraceSink) {
     let mut rng = Lcg::new(0xAE);
     let dict_base = 0xF000_0000u64 + 56;
     let buckets = 1_000_003u64; // prime-sized table, packed 16-B entries
     let stack_base = 0xF800_0000u64;
     let mut depth = 0u64;
-    while t.refs() < target_refs {
+    while !t.done() {
         // Hash lookup with a short probe chain.
         let h = rng.below(buckets);
         t.load(dict_base + h * 16);
@@ -123,23 +114,23 @@ pub fn parser(target_refs: u64) -> Vec<Event> {
         t.work(20);
         t.branch(rng.chance(1, 7));
     }
-    t.into_events()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::util::materialize;
     use primecache_trace::TraceStats;
 
     #[test]
     fn generators_reach_target() {
         for (name, f) in [
-            ("bzip2", bzip2 as fn(u64) -> Vec<Event>),
+            ("bzip2", bzip2 as fn(&mut TraceSink)),
             ("gap", gap),
             ("mcf", mcf),
             ("parser", parser),
         ] {
-            let stats: TraceStats = f(5_000).iter().collect();
+            let stats: TraceStats = materialize(f, 5_000).iter().collect();
             assert!(stats.memory_refs() >= 5_000, "{name}");
             assert!(stats.memory_refs() < 5_100, "{name} overshoots");
         }
@@ -147,7 +138,7 @@ mod tests {
 
     #[test]
     fn mcf_node_chases_touch_only_heads() {
-        let node_blocks: Vec<u64> = mcf(20_000)
+        let node_blocks: Vec<u64> = materialize(mcf, 20_000)
             .iter()
             .filter_map(|e| e.addr())
             .filter(|&a| a >= 0x9800_0000u64)
@@ -162,15 +153,15 @@ mod tests {
 
     #[test]
     fn mcf_and_gap_chase_pointers() {
-        for f in [mcf as fn(u64) -> Vec<Event>, gap] {
-            let stats: TraceStats = f(10_000).iter().collect();
+        for f in [mcf as fn(&mut TraceSink), gap] {
+            let stats: TraceStats = materialize(f, 10_000).iter().collect();
             assert!(stats.dependent_loads > 1_000, "{stats:?}");
         }
     }
 
     #[test]
     fn bzip2_stays_in_its_block() {
-        let max = bzip2(20_000)
+        let max = materialize(bzip2, 20_000)
             .iter()
             .filter_map(|e| e.addr())
             .filter(|&a| (0xC000_0000..0xD000_0000u64).contains(&a))
@@ -181,7 +172,7 @@ mod tests {
 
     #[test]
     fn determinism() {
-        assert_eq!(mcf(3_000), mcf(3_000));
-        assert_eq!(parser(3_000), parser(3_000));
+        assert_eq!(materialize(mcf, 3_000), materialize(mcf, 3_000));
+        assert_eq!(materialize(parser, 3_000), materialize(parser, 3_000));
     }
 }

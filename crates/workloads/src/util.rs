@@ -69,21 +69,72 @@ impl Lcg {
     }
 }
 
+/// Events per channel chunk when a sink streams to an [`crate::EventStream`].
+///
+/// Large enough to amortize channel synchronization over thousands of
+/// events, small enough that peak buffered memory (chunk × channel depth)
+/// stays well under a megabyte.
+pub(crate) const STREAM_CHUNK: usize = 16384;
+
+/// Where a [`TraceSink`] delivers its events.
+#[derive(Debug)]
+enum Output {
+    /// Materialize the whole trace (legacy `Workload::trace` path, tests).
+    Buffer(Vec<Event>),
+    /// Stream fixed-size chunks to a consumer thread; `closed` flips when
+    /// the consumer hangs up, which makes [`TraceSink::done`] return true
+    /// so the generator unwinds early instead of producing into the void.
+    Channel {
+        chunk: Vec<Event>,
+        tx: std::sync::mpsc::SyncSender<Vec<Event>>,
+        closed: bool,
+    },
+}
+
 /// Builder that appends events while tracking how many memory references
-/// have been emitted — generators loop until they reach their target.
-#[derive(Debug, Default)]
+/// have been emitted — generators loop until [`TraceSink::done`].
+///
+/// The streaming generator contract: a generator is a
+/// `fn(&mut TraceSink)` that emits a deterministic event sequence
+/// (independent of the output mode) and polls `done()` at least once per
+/// bounded number of events. The same generator therefore serves both the
+/// materialized `Workload::trace` path and the O(1)-memory
+/// `Workload::events` stream.
+#[derive(Debug)]
 pub struct TraceSink {
-    events: Vec<Event>,
+    out: Output,
     refs: u64,
+    target: u64,
 }
 
 impl TraceSink {
-    /// Creates an empty sink, pre-allocating for `target_refs` references.
+    /// Creates a buffering sink, pre-allocating for `target_refs`
+    /// references.
     #[must_use]
     pub fn with_target(target_refs: u64) -> Self {
         Self {
-            events: Vec::with_capacity((target_refs as usize).saturating_mul(2).min(1 << 26)),
+            out: Output::Buffer(Vec::with_capacity(
+                (target_refs as usize).saturating_mul(2).min(1 << 26),
+            )),
             refs: 0,
+            target: target_refs,
+        }
+    }
+
+    /// Creates a sink that streams chunks into `tx` (used by
+    /// [`crate::EventStream`]).
+    pub(crate) fn for_channel(
+        target_refs: u64,
+        tx: std::sync::mpsc::SyncSender<Vec<Event>>,
+    ) -> Self {
+        Self {
+            out: Output::Channel {
+                chunk: Vec::with_capacity(STREAM_CHUNK),
+                tx,
+                closed: false,
+            },
+            refs: 0,
+            target: target_refs,
         }
     }
 
@@ -93,28 +144,59 @@ impl TraceSink {
         self.refs
     }
 
+    /// The reference target the generator should run to.
+    #[must_use]
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// True once the generator should stop: the reference target is met,
+    /// or (in streaming mode) the consumer dropped the stream.
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.refs >= self.target || matches!(&self.out, Output::Channel { closed: true, .. })
+    }
+
+    fn push(&mut self, ev: Event) {
+        match &mut self.out {
+            Output::Buffer(events) => events.push(ev),
+            Output::Channel { chunk, tx, closed } => {
+                if *closed {
+                    return;
+                }
+                chunk.push(ev);
+                if chunk.len() >= STREAM_CHUNK {
+                    let full = std::mem::replace(chunk, Vec::with_capacity(STREAM_CHUNK));
+                    if tx.send(full).is_err() {
+                        *closed = true;
+                    }
+                }
+            }
+        }
+    }
+
     /// Emits an independent load.
     pub fn load(&mut self, addr: u64) {
-        self.events.push(Event::load(addr));
+        self.push(Event::load(addr));
         self.refs += 1;
     }
 
     /// Emits a serializing (pointer-chase) load.
     pub fn chase(&mut self, addr: u64) {
-        self.events.push(Event::chase(addr));
+        self.push(Event::chase(addr));
         self.refs += 1;
     }
 
     /// Emits a store.
     pub fn store(&mut self, addr: u64) {
-        self.events.push(Event::Store { addr });
+        self.push(Event::Store { addr });
         self.refs += 1;
     }
 
     /// Emits `n` instructions of integer compute.
     pub fn work(&mut self, n: u32) {
         if n > 0 {
-            self.events.push(Event::Work(n));
+            self.push(Event::Work(n));
         }
     }
 
@@ -122,20 +204,50 @@ impl TraceSink {
     /// the 4-wide FP units of Table 3).
     pub fn fp_work(&mut self, n: u32) {
         if n > 0 {
-            self.events.push(Event::FpWork(n));
+            self.push(Event::FpWork(n));
         }
     }
 
     /// Emits a branch.
     pub fn branch(&mut self, mispredict: bool) {
-        self.events.push(Event::Branch { mispredict });
+        self.push(Event::Branch { mispredict });
     }
 
-    /// Finishes the trace.
+    /// Flushes any partially filled streaming chunk (no-op when buffering).
+    pub(crate) fn finish(&mut self) {
+        if let Output::Channel { chunk, tx, closed } = &mut self.out {
+            if !*closed && !chunk.is_empty() {
+                let rest = std::mem::take(chunk);
+                *closed = tx.send(rest).is_err();
+            }
+        }
+    }
+
+    /// Finishes a buffered trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a streaming sink; streamed events have
+    /// already been handed to the consumer.
     #[must_use]
     pub fn into_events(self) -> Vec<Event> {
-        self.events
+        match self.out {
+            Output::Buffer(events) => events,
+            Output::Channel { .. } => panic!("into_events on a streaming TraceSink"),
+        }
     }
+}
+
+/// Runs a streaming generator to completion into a materialized `Vec`.
+///
+/// This is the legacy-compatible path: `materialize(f, n)` produces
+/// exactly the event sequence the pre-streaming `fn(u64) -> Vec<Event>`
+/// generators returned.
+#[must_use]
+pub fn materialize(generator: fn(&mut TraceSink), target_refs: u64) -> Vec<Event> {
+    let mut sink = TraceSink::with_target(target_refs);
+    generator(&mut sink);
+    sink.into_events()
 }
 
 #[cfg(test)]
@@ -188,5 +300,66 @@ mod tests {
         let mut sink = TraceSink::with_target(1);
         sink.work(0);
         assert!(sink.into_events().is_empty());
+    }
+
+    #[test]
+    fn done_tracks_target() {
+        let mut sink = TraceSink::with_target(2);
+        assert!(!sink.done());
+        sink.load(0);
+        assert!(!sink.done());
+        sink.load(64);
+        assert!(sink.done());
+    }
+
+    #[test]
+    fn channel_sink_reports_done_after_receiver_drops() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        let mut sink = TraceSink::for_channel(u64::MAX, tx);
+        drop(rx);
+        // The hangup is only observed at the next chunk flush.
+        for i in 0..2 * STREAM_CHUNK as u64 {
+            sink.load(i * 64);
+        }
+        assert!(sink.done());
+    }
+
+    #[test]
+    fn channel_sink_streams_all_events_in_order() {
+        let (tx, rx) = std::sync::mpsc::sync_channel(4);
+        let mut sink = TraceSink::for_channel(u64::MAX, tx);
+        let n = STREAM_CHUNK as u64 + 17;
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Ok(chunk) = rx.recv() {
+                got.extend(chunk);
+            }
+            got
+        });
+        for i in 0..n {
+            sink.load(i * 64);
+        }
+        sink.finish();
+        drop(sink);
+        let got = consumer.join().expect("consumer thread");
+        assert_eq!(got.len() as u64, n);
+        assert_eq!(got[0], Event::load(0));
+        assert_eq!(got[got.len() - 1], Event::load((n - 1) * 64));
+    }
+
+    #[test]
+    fn materialize_matches_handwritten_generator() {
+        fn tiny(t: &mut TraceSink) {
+            let mut a = 0u64;
+            while !t.done() {
+                t.load(a);
+                a += 64;
+            }
+        }
+        let trace = materialize(tiny, 5);
+        assert_eq!(
+            trace,
+            (0..5).map(|i| Event::load(i * 64)).collect::<Vec<_>>()
+        );
     }
 }
