@@ -66,11 +66,17 @@ fn miss_bars(sweep: &Sweep, schemes: &[Scheme], names: &[&str], title: &str) -> 
         &schemes.iter().map(|s| s.label()).collect::<Vec<_>>(),
     );
     for &name in names {
-        let values: Vec<f64> = schemes
+        // `normalized_misses` is None when the Base run has zero L2 misses
+        // (the ratio is undefined, not "all misses eliminated"); skip the
+        // group instead of plotting a misleading zero-height bar.
+        let values: Option<Vec<f64>> = schemes
             .iter()
-            .map(|&s| sweep.normalized_misses(name, s).unwrap_or(0.0))
+            .map(|&s| sweep.normalized_misses(name, s))
             .collect();
-        chart = chart.with_group(BarGroup::new(name, values));
+        match values {
+            Some(values) => chart = chart.with_group(BarGroup::new(name, values)),
+            None => eprintln!("{title}: skipping {name} (zero-miss baseline)"),
+        }
     }
     chart.render(900, 420)
 }

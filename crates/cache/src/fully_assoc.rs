@@ -2,6 +2,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 
+#[cfg(feature = "obs")]
+use primecache_obs::{Level, ObsHandle};
+
 use crate::{CacheSim, CacheStats};
 
 /// A fully-associative LRU cache — the `FA` reference of Figs. 11/12.
@@ -33,6 +36,9 @@ pub struct FullyAssociative {
     clock: u64,
     stats: CacheStats,
     pending_writebacks: Vec<u64>,
+    /// Eviction recorder, tagged with the level this cache plays.
+    #[cfg(feature = "obs")]
+    obs: Option<(Level, ObsHandle)>,
 }
 
 impl FullyAssociative {
@@ -60,7 +66,23 @@ impl FullyAssociative {
             // All stats land in a single pseudo-set.
             stats: CacheStats::new(1),
             pending_writebacks: Vec::new(),
+            #[cfg(feature = "obs")]
+            obs: None,
         }
+    }
+
+    /// Attaches an observability recorder; evictions are reported to it
+    /// tagged with `level` (set 0 — the single pseudo-set).
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, level: Level, handle: ObsHandle) {
+        self.obs = Some((level, handle));
+    }
+
+    /// Point-in-time occupancy snapshot: resident lines, as a single
+    /// pseudo-set entry.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<u64> {
+        vec![self.resident.len() as u64]
     }
 
     /// Drains the block addresses written back since the last call.
@@ -99,6 +121,10 @@ impl FullyAssociative {
             if dirty {
                 self.stats.record_writeback();
                 self.pending_writebacks.push(victim_block);
+            }
+            #[cfg(feature = "obs")]
+            if let Some((level, h)) = &self.obs {
+                h.borrow_mut().eviction(*level, 0, dirty);
             }
         }
         self.resident.insert(block, (stamp, write));

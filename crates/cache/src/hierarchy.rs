@@ -2,6 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
+#[cfg(feature = "obs")]
+use primecache_obs::{Level, ObsHandle};
+
 use crate::{
     Cache, CacheConfig, CacheSim, CacheStats, FullyAssociative, SkewedCache, SkewedConfig,
 };
@@ -151,6 +154,10 @@ pub struct Hierarchy {
     memory_writes: Vec<u64>,
     /// Lines prefetched into the L2 so far.
     prefetches: u64,
+    /// Demand-access recorder (evictions are reported by the caches
+    /// themselves through their own attached handles).
+    #[cfg(feature = "obs")]
+    obs: Option<ObsHandle>,
 }
 
 impl Hierarchy {
@@ -172,7 +179,36 @@ impl Hierarchy {
             l2_demand: CacheStats::new(n_demand_sets),
             memory_writes: Vec::new(),
             prefetches: 0,
+            #[cfg(feature = "obs")]
+            obs: None,
             config,
+        }
+    }
+
+    /// Attaches one observability recorder to the whole hierarchy: the
+    /// hierarchy reports demand accesses (L1, and L2 demand traffic —
+    /// the counts the paper's figures use), and each level reports its
+    /// own evictions.
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, handle: ObsHandle) {
+        self.l1.attach_obs(Level::L1, handle.clone());
+        match &mut self.l2 {
+            L2::Set(c) => c.attach_obs(Level::L2, handle.clone()),
+            L2::Skewed(c) => c.attach_obs(Level::L2, handle.clone()),
+            L2::Fa(c) => c.attach_obs(Level::L2, handle.clone()),
+        }
+        self.obs = Some(handle);
+    }
+
+    /// Point-in-time L2 occupancy snapshot: valid lines per set
+    /// (bank-major for a skewed L2, a single entry for FA). Not on the
+    /// access path — intended for end-of-run occupancy histograms.
+    #[must_use]
+    pub fn l2_occupancy(&self) -> Vec<u64> {
+        match &self.l2 {
+            L2::Set(c) => c.occupancy(),
+            L2::Skewed(c) => c.occupancy(),
+            L2::Fa(c) => c.occupancy(),
         }
     }
 
@@ -184,7 +220,14 @@ impl Hierarchy {
 
     /// Simulates one demand access.
     pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
-        if self.l1.access(addr, write) {
+        let (l1_set, l1_hit) = self.l1.access_indexed(addr, write);
+        let _ = l1_set;
+        #[cfg(feature = "obs")]
+        if let Some(h) = &self.obs {
+            h.borrow_mut()
+                .cache_access(Level::L1, l1_set as u32, l1_hit, write);
+        }
+        if l1_hit {
             self.drain_l1_writebacks();
             return AccessOutcome::L1Hit;
         }
@@ -198,6 +241,11 @@ impl Hierarchy {
             L2::Fa(c) => (0, c.access(addr, false)),
         };
         self.l2_demand.record(l2_set, !l2_hit, write);
+        #[cfg(feature = "obs")]
+        if let Some(h) = &self.obs {
+            h.borrow_mut()
+                .cache_access(Level::L2, l2_set as u32, l2_hit, write);
+        }
         if !l2_hit && self.config.prefetch_depth > 0 {
             // Idealized next-line prefetch: install the following lines.
             let line = match self.config.l2 {

@@ -2,6 +2,9 @@
 
 use primecache_core::index::{Geometry, SetIndexer};
 
+#[cfg(feature = "obs")]
+use primecache_obs::{Level, ObsHandle};
+
 use crate::replacement::Replacer;
 use crate::{CacheConfig, CacheSim, CacheStats};
 
@@ -41,6 +44,9 @@ pub struct Cache {
     stats: CacheStats,
     /// Block addresses written back (observable by an L2 below).
     pending_writebacks: Vec<u64>,
+    /// Eviction recorder, tagged with the level this cache plays.
+    #[cfg(feature = "obs")]
+    obs: Option<(Level, ObsHandle)>,
 }
 
 impl Cache {
@@ -77,8 +83,29 @@ impl Cache {
             replacers: vec![Replacer::new(config.replacement(), config.assoc()); n_set],
             stats: CacheStats::new(n_set),
             pending_writebacks: Vec::new(),
+            #[cfg(feature = "obs")]
+            obs: None,
             config,
         }
+    }
+
+    /// Attaches an observability recorder; every eviction is reported to
+    /// it tagged with `level`. Demand-access recording stays with the
+    /// caller (the [`Hierarchy`](crate::Hierarchy)) so writeback traffic
+    /// is not double-counted as demand.
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, level: Level, handle: ObsHandle) {
+        self.obs = Some((level, handle));
+    }
+
+    /// Point-in-time occupancy snapshot: valid lines per set. Not on the
+    /// access path — intended for end-of-run occupancy histograms.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<u64> {
+        self.lines
+            .chunks(self.assoc)
+            .map(|set| set.iter().filter(|l| l.valid).count() as u64)
+            .collect()
     }
 
     /// The cache's configuration.
@@ -173,6 +200,8 @@ impl Cache {
         // Choose a victim: first invalid way, else the policy's pick.
         let way = invalid_way.unwrap_or_else(|| self.replacers[set].victim() as usize);
         let victim = &mut self.lines[base + way];
+        #[cfg(feature = "obs")]
+        let evicted_dirty = victim.valid.then_some(victim.dirty);
         if victim.valid && victim.dirty {
             self.stats.record_writeback();
             self.pending_writebacks.push(victim.block);
@@ -183,6 +212,10 @@ impl Cache {
             dirty: write,
         };
         self.replacers[set].fill(way as u32);
+        #[cfg(feature = "obs")]
+        if let (Some((level, h)), Some(dirty)) = (&self.obs, evicted_dirty) {
+            h.borrow_mut().eviction(*level, set as u32, dirty);
+        }
         #[cfg(any(debug_assertions, feature = "check"))]
         self.debug_check(set);
         false

@@ -2,6 +2,9 @@
 
 use primecache_core::index::{Geometry, SetIndexer, SkewDispBank, SkewXorBank, SKEW_DISP_FACTORS};
 
+#[cfg(feature = "obs")]
+use primecache_obs::{Level, ObsHandle};
+
 use crate::{CacheSim, CacheStats, SkewHashKind, SkewReplacement, SkewedConfig};
 
 /// One line of a direct-mapped bank, with the usage bits the inter-bank
@@ -51,6 +54,9 @@ pub struct SkewedCache {
     rr: u32,
     stats: CacheStats,
     pending_writebacks: Vec<u64>,
+    /// Eviction recorder, tagged with the level this cache plays.
+    #[cfg(feature = "obs")]
+    obs: Option<(Level, ObsHandle)>,
 }
 
 /// The displacement factor bank `bank` uses in a prime-displacement
@@ -87,8 +93,29 @@ impl SkewedCache {
             rr: 0,
             stats: CacheStats::new(sets_per_bank),
             pending_writebacks: Vec::new(),
+            #[cfg(feature = "obs")]
+            obs: None,
             config,
         }
+    }
+
+    /// Attaches an observability recorder; every eviction is reported to
+    /// it tagged with `level` (set index = the victim's bank-0 stats set
+    /// is unavailable post-hoc, so the evicting access's bank-0 set is
+    /// used — the same axis the per-set miss histogram uses).
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, level: Level, handle: ObsHandle) {
+        self.obs = Some((level, handle));
+    }
+
+    /// Point-in-time occupancy snapshot: valid lines per (bank, set),
+    /// bank-major. Not on the access path.
+    #[must_use]
+    pub fn occupancy(&self) -> Vec<u64> {
+        self.lines
+            .chunks(self.ways)
+            .map(|set| set.iter().filter(|l| l.valid).count() as u64)
+            .collect()
     }
 
     /// The cache's configuration.
@@ -199,10 +226,17 @@ impl SkewedCache {
         let victim_i = self.pick_victim(&slots);
         let slot = slots[victim_i];
         let victim = &mut self.lines[slot];
+        #[cfg(feature = "obs")]
+        let evicted_dirty = victim.valid.then_some(victim.dirty);
         if victim.valid && victim.dirty {
             self.stats.record_writeback();
             self.pending_writebacks.push(victim.block);
         }
+        #[cfg(feature = "obs")]
+        if let (Some((level, h)), Some(dirty)) = (&self.obs, evicted_dirty) {
+            h.borrow_mut().eviction(*level, stat_set as u32, dirty);
+        }
+        let victim = &mut self.lines[slot];
         *victim = Line {
             block,
             valid: true,

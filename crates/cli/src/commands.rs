@@ -33,6 +33,12 @@ USAGE:
   pcache bench [--scheme S] [--refs N]     simulator throughput (refs/sec)
   pcache analyze [--json]                  static certificates + config lints
   pcache analyze --self-check [--refs N]   cross-validate the static analyzer
+  pcache report <app> [--scheme S] [--refs N] [--out FILE] [--compact]
+                                           self-describing run report (JSON)
+  pcache trace-events <app> [--scheme S] [--refs N] [--sample N] [--ring N]
+                      [--out FILE]         per-access event trace (JSONL)
+  pcache trace-events --sweep [--refs N] [--out FILE]
+                                           sweep-task scheduling trace (JSONL)
   pcache trace <app> --out FILE [--refs N] dump a binary trace
   pcache inspect FILE                      summarize a binary trace
 
@@ -637,6 +643,196 @@ fn metrics_app(app: &str, args: &[String]) -> i32 {
         render_table(&["hash", "balance", "concentration", "stdev/mean"], &rows)
     );
     0
+}
+
+/// `pcache report <app> [--scheme S] [--refs N] [--out FILE] [--compact]`
+///
+/// Runs one simulation and emits the versioned `primecache.run-report`
+/// JSON document: provenance (config fingerprint, git revision, wall and
+/// simulated time), the execution breakdown, per-level cache and DRAM
+/// totals, and — when built with the `obs` feature — the full named
+/// metric dump.
+pub fn report(args: &[String]) -> i32 {
+    let Some(name) = positional(args) else {
+        eprintln!("usage: pcache report <app> [--scheme S] [--refs N] [--out FILE] [--compact]");
+        return 2;
+    };
+    let Some(workload) = by_name(name) else {
+        eprintln!("unknown workload '{name}' (try `pcache list`)");
+        return 2;
+    };
+    let scheme_label = flag_value(args, "--scheme").unwrap_or("pMod");
+    let Some(scheme) = parse_scheme(scheme_label) else {
+        eprintln!("unknown scheme '{scheme_label}'");
+        return 2;
+    };
+    let refs = match flag_parsed(args, "--refs", 200_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    #[cfg(feature = "obs")]
+    let report = primecache_sim::observe::observed_report(
+        workload,
+        scheme,
+        refs,
+        primecache_obs::ObsConfig::default(),
+    )
+    .0;
+    #[cfg(not(feature = "obs"))]
+    let report = primecache_sim::report_for_run(workload, scheme, refs);
+    let text = if args.iter().any(|a| a == "--compact") {
+        let mut t = report.to_json().render();
+        t.push('\n');
+        t
+    } else {
+        report.to_json().render_pretty()
+    };
+    match flag_value(args, "--out") {
+        Some(out) => {
+            if let Err(e) = std::fs::write(out, &text) {
+                eprintln!("cannot write {out}: {e}");
+                return 1;
+            }
+            println!("wrote run report for {name}/{scheme} to {out}");
+        }
+        None => print!("{text}"),
+    }
+    0
+}
+
+/// `pcache trace-events <app> [--scheme S] [--refs N] [--sample N]
+/// [--ring N] [--out FILE]` and `pcache trace-events --sweep [--refs N]
+/// [--out FILE]`
+///
+/// Emits JSONL: one event object per line (`"ev"` discriminates
+/// access/eviction/dram/task; schema in OBSERVABILITY.md). The per-run
+/// form needs the `obs` build feature; the `--sweep` form (scheduling
+/// records of the parallel sweep) works in every build.
+pub fn trace_events(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--sweep") {
+        return trace_events_sweep(args);
+    }
+    trace_events_run(args)
+}
+
+/// Writes `lines` of JSONL to `--out` or stdout.
+fn emit_jsonl(args: &[String], events: &[primecache_obs::ObsEvent]) -> i32 {
+    use primecache_obs::{EventSink, JsonlSink};
+    let mut sink = match flag_value(args, "--out") {
+        Some(out) => match std::fs::File::create(out) {
+            Ok(f) => {
+                JsonlSink::new(Box::new(std::io::BufWriter::new(f)) as Box<dyn std::io::Write>)
+            }
+            Err(e) => {
+                eprintln!("cannot create {out}: {e}");
+                return 1;
+            }
+        },
+        None => JsonlSink::new(Box::new(std::io::stdout().lock()) as Box<dyn std::io::Write>),
+    };
+    for ev in events {
+        sink.emit(ev);
+    }
+    let lines = sink.lines();
+    if sink.finish().is_err() || lines != events.len() as u64 {
+        eprintln!("short write: {lines} of {} events", events.len());
+        return 1;
+    }
+    if let Some(out) = flag_value(args, "--out") {
+        println!("wrote {lines} events to {out}");
+    }
+    0
+}
+
+#[cfg(feature = "obs")]
+fn trace_events_run(args: &[String]) -> i32 {
+    let Some(name) = positional(args) else {
+        eprintln!(
+            "usage: pcache trace-events <app> [--scheme S] [--refs N] \
+             [--sample N] [--ring N] [--out FILE]"
+        );
+        return 2;
+    };
+    let Some(workload) = by_name(name) else {
+        eprintln!("unknown workload '{name}' (try `pcache list`)");
+        return 2;
+    };
+    let scheme_label = flag_value(args, "--scheme").unwrap_or("pMod");
+    let Some(scheme) = parse_scheme(scheme_label) else {
+        eprintln!("unknown scheme '{scheme_label}'");
+        return 2;
+    };
+    let (refs, sample, ring) = match (
+        flag_parsed(args, "--refs", 50_000u64),
+        flag_parsed(args, "--sample", 1u64),
+        flag_parsed(args, "--ring", 1usize << 20),
+    ) {
+        (Ok(r), Ok(s), Ok(g)) => (r, s, g),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let cfg = primecache_obs::ObsConfig {
+        trace_events: true,
+        sample_every: sample.max(1),
+        ring_capacity: ring,
+    };
+    let (report, mut recorder) =
+        primecache_sim::observe::observed_report(workload, scheme, refs, cfg);
+    if report.events_dropped > 0 {
+        eprintln!(
+            "note: ring overflowed; {} oldest events dropped (raise --ring or --sample)",
+            report.events_dropped
+        );
+    }
+    let mut mem = primecache_obs::MemorySink::default();
+    recorder.drain_events(&mut mem);
+    emit_jsonl(args, &mem.events)
+}
+
+#[cfg(not(feature = "obs"))]
+fn trace_events_run(_args: &[String]) -> i32 {
+    eprintln!(
+        "this pcache was built without the `obs` feature; per-access event \
+         tracing is unavailable (rebuild with `--features obs`). \
+         `pcache trace-events --sweep` works in every build."
+    );
+    2
+}
+
+/// `pcache trace-events --sweep [--refs N] [--out FILE]`: runs a small
+/// parallel sweep and emits one `task` event per (workload, scheme)
+/// cell, recording worker assignment and wall-clock placement.
+fn trace_events_sweep(args: &[String]) -> i32 {
+    use primecache_obs::{EventKind, ObsEvent};
+    let refs = match flag_parsed(args, "--refs", 20_000u64) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let sweep = run_sweep(&[Scheme::Base, Scheme::PrimeModulo], refs);
+    let events: Vec<ObsEvent> = sweep
+        .tasks
+        .iter()
+        .map(|t| ObsEvent {
+            t: t.start_us,
+            kind: EventKind::Task {
+                workload: t.workload.to_owned(),
+                scheme: t.scheme.to_owned(),
+                cost: t.cost,
+                worker: t.worker,
+                start_us: t.start_us,
+                end_us: t.end_us,
+            },
+        })
+        .collect();
+    emit_jsonl(args, &events)
 }
 
 /// `pcache trace <app> --out FILE [--refs N]`

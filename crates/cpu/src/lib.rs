@@ -43,4 +43,4 @@ mod model;
 
 pub use breakdown::ExecBreakdown;
 pub use config::CpuConfig;
-pub use model::Cpu;
+pub use model::{Cpu, StallAttribution};

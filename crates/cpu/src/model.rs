@@ -7,6 +7,9 @@ use primecache_cache::{AccessOutcome, Hierarchy};
 use primecache_mem::Dram;
 use primecache_trace::Event;
 
+#[cfg(feature = "obs")]
+use primecache_obs::ObsHandle;
+
 use crate::{CpuConfig, ExecBreakdown};
 
 /// Trace-driven timing model of the Table-3 core.
@@ -16,6 +19,53 @@ use crate::{CpuConfig, ExecBreakdown};
 #[derive(Debug, Clone)]
 pub struct Cpu {
     config: CpuConfig,
+    /// Stall attribution of the most recent [`Cpu::run`].
+    last_stalls: StallAttribution,
+    /// Sim-time clock feed for event timestamps.
+    #[cfg(feature = "obs")]
+    obs: Option<ObsHandle>,
+}
+
+/// Fine-grained attribution of [`ExecBreakdown`] stall cycles — the
+/// data behind a Figure-8-style stacked breakdown.
+///
+/// The memory-side fields partition `mem_stall` exactly:
+/// `rob + mlp + dep + store + drain == mem_stall`, and
+/// `branch == other_stall`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallAttribution {
+    /// Cycles stalled because the ROB window filled behind an
+    /// outstanding load.
+    pub rob: u64,
+    /// Cycles stalled because the maximum number of in-flight loads
+    /// (MSHR/MLP limit) was reached.
+    pub mlp: u64,
+    /// Cycles a dependent (serializing) load exposed directly.
+    pub dep: u64,
+    /// Cycles waiting on a full store buffer.
+    pub store: u64,
+    /// Cycles waiting for the last in-flight loads at program end.
+    pub drain: u64,
+    /// Branch-mispredict penalty cycles (`other_stall`).
+    pub branch: u64,
+}
+
+impl StallAttribution {
+    /// Total memory-side stall cycles; equals `ExecBreakdown::mem_stall`
+    /// for the run that produced this attribution.
+    #[must_use]
+    pub fn mem_total(&self) -> u64 {
+        self.rob + self.mlp + self.dep + self.store + self.drain
+    }
+}
+
+/// Why the core is waiting on the oldest in-flight load.
+#[derive(Debug, Clone, Copy)]
+enum StallCause {
+    /// The ROB window filled behind it.
+    Rob,
+    /// The in-flight-load limit was reached.
+    Mlp,
 }
 
 /// Issue class of an instruction (which functional units it occupies).
@@ -53,6 +103,8 @@ struct RunState {
     /// Completion times of in-flight stores (min-heap; the store buffer
     /// drains out of order and does not occupy the ROB).
     pending_stores: BinaryHeap<Reverse<u64>>,
+    /// Per-cause stall attribution (partitions `mem_stall` exactly).
+    stalls: StallAttribution,
 }
 
 impl RunState {
@@ -67,6 +119,7 @@ impl RunState {
             mem_total: 0,
             pending_loads: VecDeque::new(),
             pending_stores: BinaryHeap::new(),
+            stalls: StallAttribution::default(),
         }
     }
 
@@ -102,11 +155,17 @@ impl RunState {
         }
     }
 
-    /// Stalls until the oldest in-flight load completes.
-    fn wait_oldest_load(&mut self) {
+    /// Stalls until the oldest in-flight load completes, attributing the
+    /// exposed cycles to `cause`.
+    fn wait_oldest_load(&mut self, cause: StallCause) {
         if let Some(l) = self.pending_loads.pop_front() {
             if l.completion > self.now {
-                self.mem_stall += l.completion - self.now;
+                let delta = l.completion - self.now;
+                self.mem_stall += delta;
+                match cause {
+                    StallCause::Rob => self.stalls.rob += delta,
+                    StallCause::Mlp => self.stalls.mlp += delta,
+                }
                 self.now = l.completion;
             }
             self.retire_completed();
@@ -120,7 +179,7 @@ impl RunState {
             self.pending_loads.front(),
             Some(l) if self.instr_total.saturating_sub(l.issued_at_instr) >= rob
         ) {
-            self.wait_oldest_load();
+            self.wait_oldest_load(StallCause::Rob);
         }
     }
 }
@@ -129,13 +188,36 @@ impl Cpu {
     /// Creates a core model with the given configuration.
     #[must_use]
     pub fn new(config: CpuConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            last_stalls: StallAttribution::default(),
+            #[cfg(feature = "obs")]
+            obs: None,
+        }
     }
 
     /// The configuration in use.
     #[must_use]
     pub fn config(&self) -> &CpuConfig {
         &self.config
+    }
+
+    /// Attaches an observability recorder; the core advances its
+    /// sim-time clock so cache/DRAM events carry cycle timestamps.
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, handle: ObsHandle) {
+        self.obs = Some(handle);
+    }
+
+    /// Per-cause stall attribution of the most recent [`Cpu::run`]
+    /// (all zeros before the first run).
+    ///
+    /// Invariants: `mem_total()` equals the run's
+    /// `ExecBreakdown::mem_stall` and `branch` equals its
+    /// `other_stall`.
+    #[must_use]
+    pub fn last_stall_attribution(&self) -> StallAttribution {
+        self.last_stalls
     }
 
     /// Runs a trace through the hierarchy and DRAM, returning the cycle
@@ -184,6 +266,7 @@ impl Cpu {
                     if mispredict {
                         st.now += cfg.branch_penalty;
                         st.other_stall += cfg.branch_penalty;
+                        st.stalls.branch += cfg.branch_penalty;
                     }
                 }
                 Event::Load { addr, dep } => {
@@ -194,12 +277,13 @@ impl Cpu {
                         // Serializing load: expose the full latency.
                         Some(t) if dep && t > st.now => {
                             st.mem_stall += t - st.now;
+                            st.stalls.dep += t - st.now;
                             st.now = t;
                         }
                         Some(_) if dep => {}
                         Some(t) => {
                             if st.pending_loads.len() >= cfg.max_pending_loads {
-                                st.wait_oldest_load();
+                                st.wait_oldest_load(StallCause::Mlp);
                             }
                             st.pending_loads.push_back(InflightLoad {
                                 completion: t,
@@ -215,6 +299,7 @@ impl Cpu {
                             if let Some(Reverse(done)) = st.pending_stores.pop() {
                                 if done > st.now {
                                     st.mem_stall += done - st.now;
+                                    st.stalls.store += done - st.now;
                                     st.now = done;
                                 }
                             }
@@ -224,7 +309,14 @@ impl Cpu {
                 }
             }
             // Dirty L2 victims stream to DRAM without blocking the core.
-            for block in hierarchy.take_memory_writes() {
+            let writebacks = hierarchy.take_memory_writes();
+            #[cfg(feature = "obs")]
+            if !writebacks.is_empty() {
+                if let Some(h) = &self.obs {
+                    h.borrow_mut().set_now(st.now);
+                }
+            }
+            for block in writebacks {
                 dram.request(block * line, st.now, true);
             }
         }
@@ -233,9 +325,11 @@ impl Cpu {
         if let Some(t) = last {
             if t > st.now {
                 st.mem_stall += t - st.now;
+                st.stalls.drain += t - st.now;
                 st.now = t;
             }
         }
+        self.last_stalls = st.stalls;
         ExecBreakdown {
             busy: st.busy,
             other_stall: st.other_stall,
@@ -253,6 +347,10 @@ impl Cpu {
         hierarchy: &mut Hierarchy,
         dram: &mut Dram,
     ) -> Option<u64> {
+        #[cfg(feature = "obs")]
+        if let Some(h) = &self.obs {
+            h.borrow_mut().set_now(st.now);
+        }
         match hierarchy.access(addr, write) {
             AccessOutcome::L1Hit => None,
             AccessOutcome::L2Hit => Some(st.now + self.config.l2_hit_cycles),
@@ -437,6 +535,26 @@ mod tests {
         let b = cpu.run(strided(4096, 5000, 12), &mut h, &mut d);
         assert_eq!(b.total(), b.busy + b.other_stall + b.mem_stall);
         assert!(b.busy > 0 && b.mem_stall > 0);
+    }
+
+    #[test]
+    fn stall_attribution_partitions_the_breakdown() {
+        // The per-cause attribution must account for every stall cycle:
+        // memory causes sum to mem_stall, branch equals other_stall.
+        let mixes: Vec<Vec<Event>> = vec![
+            strided(4096, 5000, 12).collect(),
+            (0..64u64).map(|i| Event::chase(i << 20)).collect(),
+            (0..256u64)
+                .flat_map(|i| [Event::load(i * 64 * 65), Event::Store { addr: i * 64 * 65 }])
+                .collect(),
+        ];
+        for trace in mixes {
+            let (mut h, mut d, mut cpu) = setup();
+            let b = cpu.run(trace, &mut h, &mut d);
+            let s = cpu.last_stall_attribution();
+            assert_eq!(s.mem_total(), b.mem_stall, "{s:?} vs {b:?}");
+            assert_eq!(s.branch, b.other_stall, "{s:?} vs {b:?}");
+        }
     }
 
     #[test]

@@ -2,6 +2,9 @@
 
 use serde::{Deserialize, Serialize};
 
+#[cfg(feature = "obs")]
+use primecache_obs::ObsHandle;
+
 use crate::MemConfig;
 
 /// Result of one memory request.
@@ -69,6 +72,9 @@ pub struct Dram {
     /// Cycle each channel's bus becomes free.
     bus_free: Vec<u64>,
     stats: DramStats,
+    /// Per-request event recorder.
+    #[cfg(feature = "obs")]
+    obs: Option<ObsHandle>,
 }
 
 impl Dram {
@@ -81,8 +87,18 @@ impl Dram {
             bank_free: vec![0; banks],
             bus_free: vec![0; config.channels as usize],
             stats: DramStats::default(),
+            #[cfg(feature = "obs")]
+            obs: None,
             config,
         }
+    }
+
+    /// Attaches an observability recorder; every request is reported
+    /// with its channel, global bank index, row-hit outcome, and
+    /// queueing delay.
+    #[cfg(feature = "obs")]
+    pub fn attach_obs(&mut self, handle: ObsHandle) {
+        self.obs = Some(handle);
     }
 
     /// The configuration in use.
@@ -156,6 +172,11 @@ impl Dram {
             self.stats.row_misses += 1;
         }
         self.stats.queue_cycles += queue;
+        #[cfg(feature = "obs")]
+        if let Some(h) = &self.obs {
+            h.borrow_mut()
+                .dram_request(channel as u32, bank as u32, row_hit, write, queue);
+        }
 
         Completion {
             complete,

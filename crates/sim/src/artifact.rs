@@ -1,0 +1,130 @@
+//! Run-report construction: wraps a [`RunResult`] in the versioned,
+//! self-describing [`RunReport`] artifact of `primecache_obs`.
+//!
+//! This module is always compiled — a report needs only the end-of-run
+//! aggregates every build produces. The `obs` cargo feature adds the
+//! [`crate::observe`] drivers, which feed the report a full metric dump
+//! and event counts on top.
+
+use std::path::Path;
+use std::time::Instant;
+
+use primecache_obs::{
+    BreakdownSummary, CacheSummary, DramSummary, Metrics, Provenance, RunReport, RUN_REPORT_SCHEMA,
+    RUN_REPORT_VERSION,
+};
+use primecache_workloads::Workload;
+
+use crate::{run_workload, MachineConfig, RunResult, Scheme};
+
+fn cache_summary(s: &primecache_cache::CacheStats) -> CacheSummary {
+    CacheSummary {
+        accesses: s.accesses,
+        hits: s.hits,
+        misses: s.misses,
+        writes: s.writes,
+        writebacks: s.writebacks,
+    }
+}
+
+/// Builds a report from a finished run plus its provenance inputs.
+///
+/// `metrics`, `events_recorded`, and `events_dropped` come from an
+/// observed run; pass `Metrics::new()` and zeros for an uninstrumented
+/// one — the aggregate sections are complete either way.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn build_report(
+    result: &RunResult,
+    machine: &MachineConfig,
+    workload: &str,
+    refs: u64,
+    wall_ms: f64,
+    metrics: Metrics,
+    events_recorded: u64,
+    events_dropped: u64,
+) -> RunReport {
+    RunReport {
+        schema: RUN_REPORT_SCHEMA.to_owned(),
+        version: RUN_REPORT_VERSION,
+        provenance: Provenance {
+            workload: workload.to_owned(),
+            scheme: result.scheme.label().to_owned(),
+            refs,
+            // The bundled generators are deterministic functions of the
+            // workload name; there is no RNG seed to record.
+            seed: 0,
+            config_hash: machine.fingerprint(result.scheme),
+            git_rev: primecache_obs::git_revision(Path::new("."))
+                .unwrap_or_else(|| "unknown".to_owned()),
+            wall_ms,
+            sim_cycles: result.breakdown.total(),
+        },
+        breakdown: BreakdownSummary {
+            busy: result.breakdown.busy,
+            other_stall: result.breakdown.other_stall,
+            mem_stall: result.breakdown.mem_stall,
+        },
+        l1: cache_summary(&result.l1),
+        l2: cache_summary(&result.l2),
+        dram: DramSummary {
+            reads: result.dram.reads,
+            writes: result.dram.writes,
+            row_hits: result.dram.row_hits,
+            row_misses: result.dram.row_misses,
+            queue_cycles: result.dram.queue_cycles,
+        },
+        metrics,
+        events_recorded,
+        events_dropped,
+    }
+}
+
+/// Runs `workload` under `scheme` on the paper's machine and returns the
+/// report. Uses the uninstrumented driver — aggregates only, no metric
+/// dump; [`crate::observe::observed_report`] (cargo feature `obs`) is
+/// the instrumented equivalent.
+#[must_use]
+pub fn report_for_run(workload: &Workload, scheme: Scheme, refs: u64) -> RunReport {
+    let started = Instant::now();
+    let result = run_workload(workload, scheme, refs);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    build_report(
+        &result,
+        &MachineConfig::paper_default(),
+        workload.name,
+        refs,
+        wall_ms,
+        Metrics::new(),
+        0,
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primecache_workloads::by_name;
+
+    #[test]
+    fn report_mirrors_the_run_result_bit_exactly() {
+        let w = by_name("tree").unwrap();
+        let report = report_for_run(w, Scheme::PrimeModulo, 10_000);
+        let rerun = run_workload(w, Scheme::PrimeModulo, 10_000);
+        assert_eq!(report.l2.misses, rerun.l2.misses);
+        assert_eq!(report.l2.accesses, rerun.l2.accesses);
+        assert_eq!(report.l1.hits, rerun.l1.hits);
+        assert_eq!(report.breakdown.busy, rerun.breakdown.busy);
+        assert_eq!(report.provenance.sim_cycles, rerun.breakdown.total());
+        assert_eq!(report.provenance.scheme, "pMod");
+    }
+
+    #[test]
+    fn report_json_round_trips_through_text() {
+        let w = by_name("swim").unwrap();
+        let report = report_for_run(w, Scheme::Base, 5_000);
+        let text = report.to_json().render_pretty();
+        let parsed = RunReport::from_json_str(&text).unwrap();
+        assert_eq!(parsed, report);
+    }
+}

@@ -168,6 +168,17 @@ impl MachineConfig {
         HierarchyConfig::paper_default(self.l2_organization(scheme))
     }
 
+    /// Stable fingerprint of this machine under `scheme`: the FNV-1a
+    /// hash (hex) of the canonical `Debug` rendering of the machine and
+    /// the hierarchy it builds. Two runs with the same fingerprint
+    /// simulated the same configuration; it is the
+    /// `provenance.config_hash` of run reports.
+    #[must_use]
+    pub fn fingerprint(&self, scheme: Scheme) -> String {
+        let canonical = format!("{:?}|{:?}", self, self.hierarchy_config(scheme));
+        format!("{:016x}", primecache_obs::fnv1a_64(canonical.as_bytes()))
+    }
+
     /// Statically lints the L2 configuration a scheme would build:
     /// composite moduli, even displacement factors, rank-deficient or
     /// duplicated skew banks, documented stride hazards.
@@ -265,6 +276,22 @@ mod tests {
         assert!(lints.iter().any(|l| l.code == "pathological-null-space"));
         // The paper's recommended scheme is warning-free.
         assert!(m.lint_scheme(Scheme::PrimeModulo).is_empty());
+    }
+
+    #[test]
+    fn fingerprints_separate_schemes_but_not_runs() {
+        let m = MachineConfig::paper_default();
+        assert_eq!(
+            m.fingerprint(Scheme::PrimeModulo),
+            m.fingerprint(Scheme::PrimeModulo)
+        );
+        assert_ne!(m.fingerprint(Scheme::Base), m.fingerprint(Scheme::Xor));
+        let mut bigger = m;
+        bigger.l2_size *= 2;
+        assert_ne!(
+            m.fingerprint(Scheme::Base),
+            bigger.fingerprint(Scheme::Base)
+        );
     }
 
     #[test]

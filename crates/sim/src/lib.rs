@@ -28,13 +28,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 mod config;
 pub mod experiments;
 pub mod export;
+#[cfg(feature = "obs")]
+pub mod observe;
 pub mod report;
 mod run;
 pub mod suite;
 pub mod throughput;
 
+pub use artifact::{build_report, report_for_run};
 pub use config::{MachineConfig, Scheme};
 pub use run::{run_trace, run_workload, run_workload_warm, RunResult};

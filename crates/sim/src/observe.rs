@@ -1,0 +1,259 @@
+//! Instrumented run drivers (cargo feature `obs`).
+//!
+//! [`run_workload_observed`] is [`crate::run_workload`] with a
+//! `primecache_obs` recorder attached to every model: the hierarchy
+//! reports demand accesses, each cache its evictions, the DRAM its
+//! requests, and the CPU feeds the sim-time clock. On top of the hot
+//! counters, the harvested [`Metrics`] carry the per-cause stall
+//! attribution (the Fig. 8 stack, subdivided), the streaming-pipeline
+//! back-pressure counters, and the end-of-run L2 occupancy histogram.
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use primecache_cache::Hierarchy;
+use primecache_cpu::Cpu;
+use primecache_mem::Dram;
+use primecache_obs::{Histogram, Metrics, ObsConfig, Recorder, RunReport};
+use primecache_workloads::Workload;
+
+use crate::{artifact, MachineConfig, RunResult, Scheme};
+
+/// Everything an instrumented run produces.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// The plain run result (identical to the uninstrumented driver's).
+    pub result: RunResult,
+    /// The recorder, holding exact counters and any buffered events.
+    pub recorder: Recorder,
+    /// Full named-metric dump: the recorder's counters plus the
+    /// CPU/stream/occupancy supplements collected here.
+    pub metrics: Metrics,
+}
+
+/// Runs `workload` under `scheme` with observability attached.
+///
+/// Counters are exact regardless of `cfg` (sampling only thins traced
+/// `access` events), so `recorder.hot` matches the `stats.rs` aggregates
+/// in `result` bit-exactly — an invariant the `obs_layer` integration
+/// test pins.
+#[must_use]
+pub fn run_workload_observed(
+    workload: &Workload,
+    scheme: Scheme,
+    target_refs: u64,
+    cfg: ObsConfig,
+) -> ObservedRun {
+    let machine = MachineConfig::paper_default();
+    #[cfg(any(debug_assertions, feature = "check"))]
+    machine.check_scheme(scheme);
+    let handle = Recorder::handle(cfg);
+
+    let mut hierarchy = Hierarchy::new(machine.hierarchy_config(scheme));
+    hierarchy.attach_obs(handle.clone());
+    let mut dram = Dram::new(machine.mem);
+    dram.attach_obs(handle.clone());
+    let mut cpu = Cpu::new(machine.cpu);
+    cpu.attach_obs(handle.clone());
+
+    let mut stream = workload.events(target_refs);
+    let breakdown = cpu.run(&mut stream, &mut hierarchy, &mut dram);
+    let result = RunResult {
+        scheme,
+        breakdown,
+        l1: hierarchy.l1_stats().clone(),
+        l2: hierarchy.l2_stats().clone(),
+        dram: *dram.stats(),
+    };
+
+    let stalls = cpu.last_stall_attribution();
+    let (chunks, blocked_waits) = stream.stream_stats();
+    let occupancy = hierarchy.l2_occupancy();
+    drop((hierarchy, dram, cpu, stream));
+    let recorder = Rc::try_unwrap(handle)
+        .expect("all instrumented owners dropped")
+        .into_inner();
+
+    let mut metrics = recorder.metrics();
+    let cycles = |m: &mut Metrics, name: &str, help: &str, v: u64| {
+        m.set_counter(name, "cycles", help, v);
+    };
+    cycles(
+        &mut metrics,
+        "cpu.stall.rob_cycles",
+        "stall cycles from the ROB window filling behind a load",
+        stalls.rob,
+    );
+    cycles(
+        &mut metrics,
+        "cpu.stall.mlp_cycles",
+        "stall cycles from the in-flight-load (MLP) limit",
+        stalls.mlp,
+    );
+    cycles(
+        &mut metrics,
+        "cpu.stall.dep_cycles",
+        "stall cycles exposed by dependent (serializing) loads",
+        stalls.dep,
+    );
+    cycles(
+        &mut metrics,
+        "cpu.stall.store_cycles",
+        "stall cycles waiting on a full store buffer",
+        stalls.store,
+    );
+    cycles(
+        &mut metrics,
+        "cpu.stall.drain_cycles",
+        "stall cycles draining in-flight loads at program end",
+        stalls.drain,
+    );
+    cycles(
+        &mut metrics,
+        "cpu.stall.branch_cycles",
+        "branch-misprediction penalty cycles (other_stall)",
+        stalls.branch,
+    );
+    metrics.set_counter(
+        "stream.chunks",
+        "chunks",
+        "trace chunks pulled from the generator thread",
+        chunks,
+    );
+    metrics.set_counter(
+        "stream.blocked_waits",
+        "chunks",
+        "chunk pulls that found the channel empty (consumer outran generator)",
+        blocked_waits,
+    );
+    let mut hist = Histogram::new(vec![0, 1, 2, 3, 4, 6, 8]);
+    for n in occupancy {
+        hist.observe(n);
+    }
+    metrics.set_histogram(
+        "cache.l2.occupancy_per_set",
+        "lines",
+        "end-of-run distribution of valid lines across L2 sets",
+        hist,
+    );
+
+    ObservedRun {
+        result,
+        recorder,
+        metrics,
+    }
+}
+
+/// Runs an instrumented simulation and wraps it in a [`RunReport`]
+/// carrying the full metric dump; also returns the recorder so callers
+/// can drain traced events.
+#[must_use]
+pub fn observed_report(
+    workload: &Workload,
+    scheme: Scheme,
+    refs: u64,
+    cfg: ObsConfig,
+) -> (RunReport, Recorder) {
+    let started = Instant::now();
+    let run = run_workload_observed(workload, scheme, refs, cfg);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let report = artifact::build_report(
+        &run.result,
+        &MachineConfig::paper_default(),
+        workload.name,
+        refs,
+        wall_ms,
+        run.metrics,
+        run.recorder.events_recorded(),
+        run.recorder.events_dropped(),
+    );
+    (report, run.recorder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_workload;
+    use primecache_workloads::by_name;
+
+    #[test]
+    fn observed_counters_match_stats_bit_exactly() {
+        for name in ["tree", "swim", "mcf"] {
+            let w = by_name(name).unwrap();
+            let run = run_workload_observed(w, Scheme::PrimeModulo, 20_000, ObsConfig::default());
+            let h = &run.recorder.hot;
+            assert_eq!(h.l1_accesses, run.result.l1.accesses, "{name}");
+            assert_eq!(h.l1_hits, run.result.l1.hits, "{name}");
+            assert_eq!(h.l1_misses, run.result.l1.misses, "{name}");
+            assert_eq!(h.l1_writes, run.result.l1.writes, "{name}");
+            assert_eq!(h.l2_accesses, run.result.l2.accesses, "{name}");
+            assert_eq!(h.l2_hits, run.result.l2.hits, "{name}");
+            assert_eq!(h.l2_misses, run.result.l2.misses, "{name}");
+            assert_eq!(h.l2_writes, run.result.l2.writes, "{name}");
+            assert_eq!(h.dram_reads, run.result.dram.reads, "{name}");
+            assert_eq!(h.dram_writes, run.result.dram.writes, "{name}");
+            assert_eq!(h.dram_row_hits, run.result.dram.row_hits, "{name}");
+            assert_eq!(h.dram_queue_cycles, run.result.dram.queue_cycles, "{name}");
+        }
+    }
+
+    #[test]
+    fn observation_does_not_perturb_the_simulation() {
+        let w = by_name("cg").unwrap();
+        let plain = run_workload(w, Scheme::Xor, 15_000);
+        let observed = run_workload_observed(
+            w,
+            Scheme::Xor,
+            15_000,
+            ObsConfig {
+                trace_events: true,
+                sample_every: 3,
+                ..ObsConfig::default()
+            },
+        );
+        assert_eq!(plain.breakdown, observed.result.breakdown);
+        assert_eq!(plain.l2, observed.result.l2);
+        assert_eq!(plain.dram, observed.result.dram);
+    }
+
+    #[test]
+    fn stall_metrics_partition_mem_stall() {
+        let run = run_workload_observed(
+            by_name("mcf").unwrap(),
+            Scheme::Base,
+            20_000,
+            ObsConfig::default(),
+        );
+        let m = &run.metrics;
+        let mem_sum = ["rob", "mlp", "dep", "store", "drain"]
+            .iter()
+            .map(|c| m.counter(&format!("cpu.stall.{c}_cycles")).unwrap())
+            .sum::<u64>();
+        assert_eq!(mem_sum, run.result.breakdown.mem_stall);
+        assert_eq!(
+            m.counter("cpu.stall.branch_cycles").unwrap(),
+            run.result.breakdown.other_stall
+        );
+    }
+
+    #[test]
+    fn tracing_records_timestamped_events() {
+        let (report, recorder) = observed_report(
+            by_name("tree").unwrap(),
+            Scheme::PrimeModulo,
+            5_000,
+            ObsConfig {
+                trace_events: true,
+                ..ObsConfig::default()
+            },
+        );
+        assert!(report.events_recorded > 0);
+        assert_eq!(
+            report.metrics.counter("cache.l2.demand_misses"),
+            Some(report.l2.misses)
+        );
+        // Timestamps are monotone within the buffered window.
+        let times: Vec<u64> = recorder.events().map(|e| e.t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

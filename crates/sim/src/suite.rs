@@ -19,11 +19,33 @@ pub struct Cell {
     pub result: RunResult,
 }
 
+/// Scheduling record of one sweep task: which worker ran which cell,
+/// when (µs since sweep start), and at what LPT cost priority.
+/// The raw data behind `pcache trace-events --sweep` and any
+/// load-balance analysis of the LPT dispatcher.
+#[derive(Debug, Clone, Serialize)]
+pub struct TaskRecord {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Scheduling cost the LPT order used.
+    pub cost: u64,
+    /// Index of the worker thread that ran the task.
+    pub worker: u32,
+    /// Wall-clock microseconds from sweep start to task start.
+    pub start_us: u64,
+    /// Wall-clock microseconds from sweep start to task end.
+    pub end_us: u64,
+}
+
 /// A complete sweep: `results[workload][scheme]`.
 #[derive(Debug, Default, Serialize)]
 pub struct Sweep {
     /// All cells, keyed by workload then scheme label.
     pub cells: BTreeMap<&'static str, BTreeMap<&'static str, Cell>>,
+    /// Per-task scheduling records, in dispatch (LPT) order.
+    pub tasks: Vec<TaskRecord>,
 }
 
 /// A `(workload, scheme)` cell missing from a [`Sweep`].
@@ -130,6 +152,38 @@ impl Sweep {
     /// misses — a zero-miss baseline has no meaningful normalization, and
     /// the old `0.0` answer silently read as "the scheme eliminated every
     /// miss".
+    ///
+    /// ```
+    /// use primecache_cache::CacheStats;
+    /// use primecache_cpu::ExecBreakdown;
+    /// use primecache_mem::DramStats;
+    /// use primecache_sim::suite::{Cell, Sweep};
+    /// use primecache_sim::{RunResult, Scheme};
+    ///
+    /// let cell = |scheme: Scheme, misses: u64| {
+    ///     let mut l2 = CacheStats::new(16);
+    ///     l2.misses = misses;
+    ///     Cell {
+    ///         workload: "synthetic",
+    ///         non_uniform: false,
+    ///         result: RunResult {
+    ///             scheme,
+    ///             breakdown: ExecBreakdown::default(),
+    ///             l1: CacheStats::new(16),
+    ///             l2,
+    ///             dram: DramStats::default(),
+    ///         },
+    ///     }
+    /// };
+    /// let mut sweep = Sweep::default();
+    /// let row = sweep.cells.entry("synthetic").or_default();
+    /// row.insert(Scheme::Base.label(), cell(Scheme::Base, 0));
+    /// row.insert(Scheme::Xor.label(), cell(Scheme::Xor, 7));
+    ///
+    /// // Zero-miss baseline: the ratio is undefined, so the answer is
+    /// // `None` — NOT `0.0` ("every miss eliminated").
+    /// assert_eq!(sweep.normalized_misses("synthetic", Scheme::Xor), None);
+    /// ```
     #[must_use]
     pub fn normalized_misses(&self, workload: &str, scheme: Scheme) -> Option<f64> {
         let base = self.get(workload, Scheme::Base)?.result.l2_misses();
@@ -163,7 +217,7 @@ fn task_cost(workload: &Workload, scheme: Scheme) -> u64 {
 /// Runs `schemes` × all 23 workloads with `target_refs`-long traces,
 /// fanning out across CPU cores.
 ///
-/// Scheduling: cells are dispatched longest-cost-first ([`task_cost`]),
+/// Scheduling: cells are dispatched longest-cost-first (`task_cost`),
 /// so a slow cell (e.g. fully-associative `charmm`) starts early instead
 /// of serializing the tail of the sweep. Each task writes into its own
 /// pre-sized result slot — no contended collection vector — and traces
@@ -182,32 +236,48 @@ pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
         .flat_map(|w| schemes.iter().map(move |&s| (w, s)))
         .collect();
     tasks.sort_by_key(|&(w, s)| std::cmp::Reverse(task_cost(w, s)));
-    let slots: Vec<Mutex<Option<Cell>>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<(Cell, TaskRecord)>>> =
+        tasks.iter().map(|_| Mutex::new(None)).collect();
     let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(tasks.len().max(1));
+    let epoch = std::time::Instant::now();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
+        for worker in 0..workers {
+            let next = &next;
+            let tasks = &tasks;
+            let slots = &slots;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(w, s)) = tasks.get(i) else { break };
+                let start_us = epoch.elapsed().as_micros() as u64;
                 let result = run_workload(w, s, target_refs);
-                *slots[i].lock().expect("sweep slot mutex poisoned") = Some(Cell {
+                let record = TaskRecord {
+                    workload: w.name,
+                    scheme: s.label(),
+                    cost: task_cost(w, s),
+                    worker: worker as u32,
+                    start_us,
+                    end_us: epoch.elapsed().as_micros() as u64,
+                };
+                let cell = Cell {
                     workload: w.name,
                     non_uniform: w.expected_non_uniform,
                     result,
-                });
+                };
+                *slots[i].lock().expect("sweep slot mutex poisoned") = Some((cell, record));
             });
         }
     });
     let mut sweep = Sweep::default();
     for slot in slots {
-        let cell = slot
+        let (cell, record) = slot
             .into_inner()
             .expect("sweep slot mutex poisoned")
             .expect("every dispatched task fills its slot");
+        sweep.tasks.push(record);
         sweep
             .cells
             .entry(cell.workload)
@@ -284,6 +354,16 @@ mod tests {
             assert_eq!(per_scheme.len(), 2, "{name}");
         }
         assert!(sweep.normalized_time("tree", Scheme::PrimeModulo).is_some());
+        // One scheduling record per cell, each internally consistent.
+        assert_eq!(sweep.tasks.len(), 23 * 2);
+        for t in &sweep.tasks {
+            assert!(t.start_us <= t.end_us, "{t:?}");
+            assert!(t.cost > 0);
+        }
+        // LPT: dispatch order is non-increasing in cost.
+        for pair in sweep.tasks.windows(2) {
+            assert!(pair[0].cost >= pair[1].cost);
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! `streaming` integration test asserts event-for-event for all 23
 //! workloads.
 
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
 use std::thread::JoinHandle;
 
 use primecache_trace::Event;
@@ -37,6 +37,11 @@ pub struct EventStream {
     rx: Option<Receiver<Vec<Event>>>,
     chunk: std::vec::IntoIter<Event>,
     handle: Option<JoinHandle<()>>,
+    /// Chunks received from the generator so far.
+    chunks: u64,
+    /// Chunk receives that found the channel empty and had to block —
+    /// the consumer outran the generator (channel back-pressure).
+    blocked_waits: u64,
 }
 
 impl EventStream {
@@ -56,7 +61,19 @@ impl EventStream {
             rx: Some(rx),
             chunk: Vec::new().into_iter(),
             handle: Some(handle),
+            chunks: 0,
+            blocked_waits: 0,
         }
+    }
+
+    /// Back-pressure counters: `(chunks, blocked_waits)` — chunks pulled
+    /// from the generator, and how many of those pulls found the channel
+    /// empty and had to block. A high ratio means the consumer outruns
+    /// the generator; zero blocked waits means generation fully overlaps
+    /// with simulation.
+    #[must_use]
+    pub fn stream_stats(&self) -> (u64, u64) {
+        (self.chunks, self.blocked_waits)
     }
 }
 
@@ -68,9 +85,25 @@ impl Iterator for EventStream {
             if let Some(ev) = self.chunk.next() {
                 return Some(ev);
             }
-            match self.rx.as_ref()?.recv() {
-                Ok(chunk) => self.chunk = chunk.into_iter(),
-                Err(_) => {
+            // Try a non-blocking receive first purely to observe
+            // back-pressure: an empty channel here means this pull will
+            // block on the generator. One `try_recv` per chunk (4096
+            // events) is noise on the hot path.
+            let rx = self.rx.as_ref()?;
+            let received = match rx.try_recv() {
+                Ok(chunk) => Ok(chunk),
+                Err(TryRecvError::Empty) => {
+                    self.blocked_waits += 1;
+                    rx.recv().map_err(|_| ())
+                }
+                Err(TryRecvError::Disconnected) => Err(()),
+            };
+            match received {
+                Ok(chunk) => {
+                    self.chunks += 1;
+                    self.chunk = chunk.into_iter();
+                }
+                Err(()) => {
                     // Generator finished and dropped its sender.
                     self.rx = None;
                     return None;
@@ -129,5 +162,15 @@ mod tests {
     fn empty_target_yields_empty_stream() {
         let events: Vec<Event> = EventStream::spawn(counting, 0).collect();
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn stream_stats_count_chunks() {
+        let mut stream = EventStream::spawn(counting, 10_000);
+        let n = stream.by_ref().count() as u64;
+        assert!(n >= 10_000);
+        let (chunks, blocked) = stream.stream_stats();
+        assert_eq!(chunks, n.div_ceil(STREAM_CHUNK as u64));
+        assert!(blocked <= chunks);
     }
 }

@@ -25,7 +25,10 @@
 //!   figure,
 //! * [`analyze`] — the static conflict-miss analyzer: symbolic
 //!   GF(2)/residue models of every index function, per-indexer
-//!   certificates, and the config lint pass.
+//!   certificates, and the config lint pass,
+//! * [`obs`] — the observability layer: typed metrics, event tracing,
+//!   and the self-describing [`obs::RunReport`] artifact (see
+//!   `OBSERVABILITY.md`).
 //!
 //! # Quickstart
 //!
@@ -55,6 +58,7 @@ pub use primecache_core as core;
 pub use primecache_cpu as cpu;
 pub use primecache_heap as heap;
 pub use primecache_mem as mem;
+pub use primecache_obs as obs;
 pub use primecache_primes as primes;
 pub use primecache_sim as sim;
 pub use primecache_trace as trace;
