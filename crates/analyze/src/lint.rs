@@ -16,9 +16,11 @@
 //! | `duplicate-skew-factors` | error | two pDisp banks sharing a factor |
 //! | `high-fragmentation` | warning | > 5% of physical sets wasted |
 //! | `pathological-null-space` | warning | XOR-family conflict stride ≤ 4·n_set |
+//! | `idle-sweep-workers` | warning | sweep dispatches fewer tasks than workers |
 //!
 //! Errors mean the configuration defeats the scheme's own premise;
-//! warnings flag hazards the paper itself documents (§3.3).
+//! warnings flag hazards the paper itself documents (§3.3) or sweeps
+//! that cannot use the machine they run on.
 
 use primecache_core::index::{Geometry, HashKind};
 use primecache_primes::{factorize, is_prime};
@@ -225,6 +227,32 @@ pub fn lint_skew_disp(geom: Geometry, factors: &[u64]) -> Vec<Lint> {
     out
 }
 
+/// Lints the shape of a parallel sweep: `n_tasks` `(workload, scheme)`
+/// cells dispatched over `n_workers` threads.
+///
+/// The sweep scheduler's claim loop hands each task to exactly one
+/// worker, so any worker beyond the task count spins up, claims
+/// nothing, and exits — harmless, but a sign the sweep config
+/// (scheme × workload grid) is too small for the machine and the run's
+/// wall-clock will not reflect its parallelism.
+#[must_use]
+pub fn lint_sweep_shape(n_tasks: usize, n_workers: usize) -> Vec<Lint> {
+    let mut out = Vec::new();
+    if n_tasks < n_workers {
+        out.push(Lint::warning(
+            "idle-sweep-workers",
+            format!(
+                "sweep dispatches {n_tasks} task{} over {n_workers} workers: \
+                 {} worker{} never claim a task",
+                if n_tasks == 1 { "" } else { "s" },
+                n_workers - n_tasks,
+                if n_workers - n_tasks == 1 { "" } else { "s" },
+            ),
+        ));
+    }
+    out
+}
+
 /// Lints one single-function [`HashKind`] configuration over a geometry —
 /// the entry point the simulator's suite construction calls.
 #[must_use]
@@ -334,6 +362,34 @@ mod tests {
         let xor = lint_kind(HashKind::Xor, geom);
         assert!(!has_errors(&xor));
         assert!(xor[0].message.contains("2049"), "{}", xor[0].message);
+    }
+
+    #[test]
+    fn undersized_sweep_warns_about_idle_workers() {
+        let lints = lint_sweep_shape(3, 16);
+        assert!(!has_errors(&lints));
+        assert_eq!(lints[0].code, "idle-sweep-workers");
+        assert!(
+            lints[0].message.contains("13 workers never"),
+            "{}",
+            lints[0].message
+        );
+        // One idle worker uses the singular form.
+        let lints = lint_sweep_shape(15, 16);
+        assert!(
+            lints[0].message.contains("1 worker never"),
+            "{}",
+            lints[0].message
+        );
+    }
+
+    #[test]
+    fn saturating_sweep_shapes_are_clean() {
+        assert!(lint_sweep_shape(115, 16).is_empty());
+        assert!(lint_sweep_shape(16, 16).is_empty());
+        // The scheduler clamps workers to the task count, so equality
+        // after clamping is always reachable and must stay clean.
+        assert!(lint_sweep_shape(0, 0).is_empty());
     }
 
     #[test]

@@ -25,9 +25,6 @@
 //! Figure binaries accept `--refs N` to set the trace length (default
 //! 1,000,000 memory references).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod microbench;
 
 use primecache_sim::suite::Sweep;

@@ -37,9 +37,6 @@
 //! assert!(l2.stats().hits > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 mod fully_assoc;
 mod hierarchy;

@@ -13,8 +13,6 @@
 //! - [`battery`]: the differential battery run by the `primecache-check`
 //!   binary and the crate tests.
 
-#![forbid(unsafe_code)]
-
 pub mod battery;
 pub mod oracle;
 pub mod prop;

@@ -33,6 +33,8 @@ USAGE:
   pcache bench [--scheme S] [--refs N]     simulator throughput (refs/sec)
   pcache analyze [--json]                  static certificates + config lints
   pcache analyze --self-check [--refs N]   cross-validate the static analyzer
+  pcache conc-check [--bound N] [--check NAME] [--replay SEED]
+                                           model-check the concurrency protocols
   pcache report <app> [--scheme S] [--refs N] [--out FILE] [--compact]
                                            self-describing run report (JSON)
   pcache trace-events <app> [--scheme S] [--refs N] [--sample N] [--ring N]
@@ -198,6 +200,16 @@ pub fn classify(args: &[String]) -> i32 {
     0
 }
 
+/// The scheme grid `pcache sweep` dispatches; `pcache analyze` lints the
+/// resulting task count against the machine's worker count.
+const SWEEP_SCHEMES: [Scheme; 5] = [
+    Scheme::Base,
+    Scheme::Xor,
+    Scheme::PrimeModulo,
+    Scheme::PrimeDisplacement,
+    Scheme::SkewedPrimeDisplacement,
+];
+
 /// `pcache sweep [--refs N]`
 pub fn sweep(args: &[String]) -> i32 {
     let refs = match flag_parsed(args, "--refs", 100_000u64) {
@@ -207,13 +219,7 @@ pub fn sweep(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let schemes = [
-        Scheme::Base,
-        Scheme::Xor,
-        Scheme::PrimeModulo,
-        Scheme::PrimeDisplacement,
-        Scheme::SkewedPrimeDisplacement,
-    ];
+    let schemes = SWEEP_SCHEMES;
     let sweep = run_sweep(&schemes, refs);
     let mut header = vec!["app"];
     header.extend(schemes.iter().skip(1).map(|s| s.label()));
@@ -431,7 +437,13 @@ pub fn analyze(args: &[String]) -> i32 {
         .into_iter()
         .flat_map(|s| machine.lint_scheme(s).into_iter().map(move |l| (s, l)))
         .collect();
-    let bare: Vec<primecache_analyze::Lint> = lints.iter().map(|(_, l)| l.clone()).collect();
+    // Sweep-shape lint: the task grid `pcache sweep` would dispatch vs
+    // this machine's worker pool (pre-clamp, as the scheduler sees it).
+    let n_tasks = SWEEP_SCHEMES.len() * all().len();
+    let n_workers = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let sweep_lints = primecache_analyze::lint_sweep_shape(n_tasks, n_workers);
+    let mut bare: Vec<primecache_analyze::Lint> = lints.iter().map(|(_, l)| l.clone()).collect();
+    bare.extend(sweep_lints.iter().cloned());
     if args.iter().any(|a| a == "--json") {
         println!("{}", report_json(&certs, &bare));
         return i32::from(has_errors(&bare));
@@ -484,11 +496,19 @@ pub fn analyze(args: &[String]) -> i32 {
     );
     println!();
     if bare.is_empty() {
-        println!("config lints: all {} schemes clean", Scheme::ALL.len());
+        println!(
+            "config lints: all {} schemes clean; sweep shape {} tasks / {} workers ok",
+            Scheme::ALL.len(),
+            n_tasks,
+            n_workers
+        );
     } else {
         println!("config lints:");
         for (s, l) in &lints {
             println!("  {s}: {l}");
+        }
+        for l in &sweep_lints {
+            println!("  sweep: {l}");
         }
     }
     i32::from(has_errors(&bare))
@@ -537,6 +557,82 @@ fn analyze_self_check(args: &[String]) -> i32 {
         println!("  ok   config-lints ({} schemes)", Scheme::ALL.len());
     } else {
         failed = true;
+    }
+    i32::from(failed)
+}
+
+/// `pcache conc-check [--bound N] [--check NAME] [--replay SEED]`:
+/// exhaustively model-checks the shipped concurrency protocols (the
+/// streaming chunk channel and the sweep claim cursor) up to a
+/// preemption bound, plus the seeded-bug demos that prove the checker
+/// catches what it claims to.
+///
+/// `--replay SEED` (with `--check NAME`) re-executes exactly one
+/// recorded schedule — the workflow for debugging a violation a CI run
+/// printed.
+pub fn conc_check(args: &[String]) -> i32 {
+    let bound = match flag_parsed(args, "--bound", 2usize) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let only = flag_value(args, "--check");
+    let checker = primecache_conc::Checker::with_bound(bound);
+    if let Some(seed) = flag_value(args, "--replay") {
+        let Some(name) = only else {
+            eprintln!("--replay needs --check NAME to know which protocol to re-run");
+            return 2;
+        };
+        let Some(check) = primecache_conc::self_check::find(name) else {
+            eprintln!("unknown check '{name}' (try `pcache conc-check` to list them)");
+            return 2;
+        };
+        let report = check.replay(&checker, seed);
+        return match report.violation {
+            Some(v) => {
+                println!("replayed {name} @ {seed}:\n{v}");
+                1
+            }
+            None => {
+                println!("replayed {name} @ {seed}: schedule completed cleanly");
+                0
+            }
+        };
+    }
+    println!("model-checking the shipped concurrency protocols (preemption bound {bound}):");
+    let mut failed = false;
+    for check in primecache_conc::self_check::checks() {
+        if only.is_some_and(|n| n != check.name) {
+            continue;
+        }
+        let report = check.run(&checker);
+        let stats = format!(
+            "{} schedules, {} pruned, depth {}{}",
+            report.schedules,
+            report.pruned,
+            report.max_depth,
+            if report.truncated { ", TRUNCATED" } else { "" }
+        );
+        match (&report.violation, check.expect_violation) {
+            (None, false) => println!("  ok   {} ({stats})", check.name),
+            (Some(v), true) => println!(
+                "  ok   {} (expected violation found; replay seed {}; {stats})",
+                check.name, v.seed
+            ),
+            (Some(v), false) => {
+                println!("  FAIL {} ({stats}):\n{v}", check.name);
+                failed = true;
+            }
+            (None, true) => {
+                println!(
+                    "  FAIL {}: seeded bug not found in {} schedules — checker lost coverage",
+                    check.name, report.schedules
+                );
+                failed = true;
+            }
+        }
     }
     i32::from(failed)
 }

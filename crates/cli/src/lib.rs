@@ -12,7 +12,5 @@
 //! traces — see `OBSERVABILITY.md`). Flag parsing is hand-rolled in
 //! [`args`]; there are no external CLI dependencies.
 
-#![forbid(unsafe_code)]
-
 pub mod args;
 pub mod commands;

@@ -8,6 +8,7 @@
 //! pcache metrics --stride S                balance/concentration at a stride
 //! pcache bench [--scheme S] [--refs N]     simulator throughput (refs/sec)
 //! pcache analyze [--json|--self-check]     static certificates + config lints
+//! pcache conc-check [--bound N]            model-check the concurrency protocols
 //! pcache report <app> [--out FILE]         self-describing run report (JSON)
 //! pcache trace-events <app>|--sweep        event trace (JSONL)
 //! pcache trace <app> --out FILE [--refs N] dump a binary trace
@@ -27,6 +28,7 @@ fn main() {
         Some("taxonomy") => commands::taxonomy(&argv[1..]),
         Some("bench") => commands::bench(&argv[1..]),
         Some("analyze") => commands::analyze(&argv[1..]),
+        Some("conc-check") => commands::conc_check(&argv[1..]),
         Some("report") => commands::report(&argv[1..]),
         Some("trace-events") => commands::trace_events(&argv[1..]),
         Some("trace") => commands::trace(&argv[1..]),

@@ -1,0 +1,108 @@
+//! The sync facade: one trait family, two backends.
+//!
+//! Production code (the streaming trace engine, the sweep scheduler)
+//! is written against these traits and instantiated with
+//! [`crate::sync::StdBackend`], whose methods are `#[inline]` wrappers
+//! over `std` — the compiled protocol is exactly the pre-facade code.
+//! The model checker instantiates the *same* protocol source with
+//! [`crate::model::ModelBackend`], whose primitives hand every
+//! operation to a cooperative scheduler that explores interleavings.
+
+/// Outcome of a non-blocking channel receive.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecv<T> {
+    /// A value was waiting in the channel.
+    Item(T),
+    /// The channel is currently empty but the sender is still alive.
+    Empty,
+    /// The channel is empty and the sender is gone.
+    Disconnected,
+}
+
+/// Sending half of a bounded single-producer/single-consumer channel.
+pub trait SenderApi<T: Send>: Send {
+    /// Blocks while the channel is full. Returns the value back when the
+    /// receiver is gone — the producer's signal to stop generating.
+    ///
+    /// # Errors
+    ///
+    /// `Err(value)` when the receiving half has been dropped.
+    fn send(&self, value: T) -> Result<(), T>;
+}
+
+/// Receiving half of a bounded SPSC channel.
+pub trait ReceiverApi<T: Send> {
+    /// Non-blocking receive, used to *observe* back-pressure before
+    /// committing to a blocking pull.
+    fn try_recv(&self) -> TryRecv<T>;
+
+    /// Blocks until a value arrives; `None` once the channel is empty
+    /// and the sender is gone.
+    fn recv(&self) -> Option<T>;
+}
+
+/// A mutex that only exposes scoped access, so a lock can never be held
+/// across another facade operation.
+pub trait MutexApi<T>: Sync {
+    /// Runs `f` with the lock held.
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R;
+}
+
+/// The atomic claim counter of the work-stealing sweep scheduler.
+///
+/// `fetch_add` is the only operation the shipped protocol needs; it uses
+/// relaxed ordering in the `std` backend (the counter conveys no
+/// happens-before edges — slot hand-off is through the slot mutexes).
+/// The model backend is sequentially consistent: the checker explores
+/// thread interleavings, not weak-memory reorderings.
+pub trait AtomicUsizeApi: Sync {
+    /// Atomically adds `n`, returning the previous value.
+    fn fetch_add(&self, n: usize) -> usize;
+    /// Reads the current value.
+    fn load(&self) -> usize;
+    /// Overwrites the current value.
+    fn store(&self, value: usize);
+}
+
+/// The spawned thread panicked (or, under the model, was torn down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Panicked;
+
+/// Handle to a spawned thread.
+pub trait JoinApi {
+    /// Blocks until the thread finishes.
+    ///
+    /// # Errors
+    ///
+    /// [`Panicked`] when the thread unwound instead of returning; the
+    /// panic is contained, never propagated into the joiner.
+    fn join(self) -> Result<(), Panicked>;
+}
+
+/// A complete sync backend: the associated types protocols are generic
+/// over. Implemented by [`crate::sync::StdBackend`] (production) and
+/// [`crate::model::ModelBackend`] (schedule-exhaustive verification).
+pub trait Backend: Sized + 'static {
+    /// Sending half of [`Backend::spsc`].
+    type Sender<T: Send + 'static>: SenderApi<T> + 'static;
+    /// Receiving half of [`Backend::spsc`].
+    type Receiver<T: Send + 'static>: ReceiverApi<T>;
+    /// Scoped-access mutex.
+    type Mutex<T: Send + 'static>: MutexApi<T>;
+    /// Atomic claim counter.
+    type AtomicUsize: AtomicUsizeApi;
+    /// Thread handle returned by [`Backend::spawn`].
+    type JoinHandle: JoinApi;
+
+    /// Creates a bounded SPSC channel holding at most `depth` values.
+    fn spsc<T: Send + 'static>(depth: usize) -> (Self::Sender<T>, Self::Receiver<T>);
+
+    /// Creates a mutex.
+    fn mutex<T: Send + 'static>(value: T) -> Self::Mutex<T>;
+
+    /// Creates an atomic counter.
+    fn atomic_usize(value: usize) -> Self::AtomicUsize;
+
+    /// Spawns a named thread.
+    fn spawn<F: FnOnce() + Send + 'static>(name: &str, f: F) -> Self::JoinHandle;
+}

@@ -1,0 +1,363 @@
+//! Schedule exploration: depth-first search over thread interleavings.
+//!
+//! Each *decision point* is a state where every model thread is parked
+//! at an announced operation; the explorer chooses which enabled thread
+//! steps next. Exhaustiveness is bounded two ways:
+//!
+//! * **Preemption bound** — switching away from a thread that could
+//!   still run counts as a preemption; schedules using more than
+//!   `preemption_bound` of them are not explored. Forced switches (the
+//!   running thread blocked or finished) are always free, so every
+//!   execution remains schedulable and bound *b* covers all bugs
+//!   triggerable by ≤ *b* preemptions (the CHESS result: almost all
+//!   real concurrency bugs need very few).
+//! * **Sleep sets** — after fully exploring thread `t` from a state,
+//!   `t` is put to sleep there; sibling branches skip `t` until an
+//!   executed step is *dependent* on `t`'s pending operation (touches
+//!   the same object with a write, or has global effects). This prunes
+//!   interleavings that only reorder independent steps, which by
+//!   construction cannot change any observable outcome.
+//!
+//! A schedule is the sequence of thread ids granted at each decision
+//! point. Violations carry the schedule as a printable seed; `replay`
+//! re-executes exactly that schedule for debugging.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use super::exec::{Decision, Executor, StepFootprint, Tid};
+use super::{Checker, Report, Violation, ViolationKind};
+
+/// One decision point on the current DFS path.
+struct Frame {
+    /// Enabled threads, ascending (the choice menu).
+    enabled: Vec<Tid>,
+    /// Pending op of every parked thread at this point.
+    pending: Vec<(Tid, super::exec::Op)>,
+    /// The thread that executed the step leading here.
+    running_before: Option<Tid>,
+    /// Preemptions consumed on the path up to (not including) this choice.
+    preemptions: usize,
+    /// Threads asleep here: their next step is covered by a sibling branch.
+    sleep: BTreeSet<Tid>,
+    /// Choices fully explored from this point.
+    done: BTreeSet<Tid>,
+    /// The choice currently being explored.
+    chosen: Tid,
+    /// Footprint of `chosen`'s executed step (filled at the next point).
+    step: StepFootprint,
+}
+
+impl Frame {
+    fn pending_of(&self, tid: Tid) -> Option<super::exec::Op> {
+        self.pending
+            .iter()
+            .find(|&&(t, _)| t == tid)
+            .map(|&(_, op)| op)
+    }
+
+    /// Preemption cost of choosing `tid` here: 1 when the previously
+    /// running thread is still enabled but passed over.
+    fn preemption_cost(&self, tid: Tid) -> usize {
+        match self.running_before {
+            Some(r) if r != tid && self.enabled.contains(&r) => 1,
+            _ => 0,
+        }
+    }
+
+    /// Next unexplored, non-sleeping, within-bound choice (ascending).
+    fn next_candidate(&self, bound: usize) -> Option<Tid> {
+        self.enabled.iter().copied().find(|&t| {
+            !self.done.contains(&t)
+                && !self.sleep.contains(&t)
+                && self.preemptions + self.preemption_cost(t) <= bound
+        })
+    }
+
+    /// Default choice for fresh frames: keep the running thread when
+    /// possible (zero preemptions), else the lowest eligible id.
+    fn default_choice(&self, bound: usize) -> Option<Tid> {
+        if let Some(r) = self.running_before {
+            if self.enabled.contains(&r) && !self.sleep.contains(&r) && !self.done.contains(&r) {
+                return Some(r);
+            }
+        }
+        self.next_candidate(bound)
+    }
+}
+
+/// How one schedule execution ended.
+enum RunEnd {
+    /// All threads finished; no violation.
+    Complete,
+    /// Sleep sets proved the continuation redundant; abandoned.
+    Pruned,
+    /// A property failed; search stops.
+    Violation(ViolationKind),
+}
+
+pub(super) struct Search<'c> {
+    checker: &'c Checker,
+    root: Arc<dyn Fn() + Send + Sync>,
+    path: Vec<Frame>,
+    schedules: u64,
+    pruned: u64,
+    max_depth: usize,
+}
+
+impl<'c> Search<'c> {
+    pub(super) fn new(checker: &'c Checker, root: Arc<dyn Fn() + Send + Sync>) -> Self {
+        Self {
+            checker,
+            root,
+            path: Vec::new(),
+            schedules: 0,
+            pruned: 0,
+            max_depth: 0,
+        }
+    }
+
+    /// Exhaustive bounded search; stops at the first violation.
+    pub(super) fn run(mut self) -> Report {
+        let mut truncated = false;
+        loop {
+            if self.schedules >= self.checker.max_schedules {
+                truncated = true;
+                break;
+            }
+            let (end, log) = self.execute(None);
+            self.schedules += 1;
+            self.max_depth = self.max_depth.max(self.path.len());
+            match end {
+                RunEnd::Complete => {}
+                RunEnd::Pruned => self.pruned += 1,
+                RunEnd::Violation(kind) => {
+                    let seed = self.seed();
+                    return self.report(
+                        truncated,
+                        Some(Violation {
+                            kind,
+                            seed,
+                            trace: log,
+                        }),
+                    );
+                }
+            }
+            if !self.backtrack() {
+                break;
+            }
+        }
+        self.report(truncated, None)
+    }
+
+    /// Replays an explicit schedule once.
+    pub(super) fn replay(mut self, schedule: &[Tid]) -> Report {
+        let (end, log) = self.execute(Some(schedule));
+        self.schedules = 1;
+        let violation = match end {
+            RunEnd::Violation(kind) => Some(Violation {
+                kind,
+                seed: self.seed(),
+                trace: log,
+            }),
+            _ => None,
+        };
+        self.report(false, violation)
+    }
+
+    fn report(&self, truncated: bool, violation: Option<Violation>) -> Report {
+        Report {
+            schedules: self.schedules,
+            pruned: self.pruned,
+            max_depth: self.max_depth,
+            truncated,
+            violation,
+        }
+    }
+
+    /// The current path rendered as a replayable seed.
+    fn seed(&self) -> String {
+        let ids: Vec<String> = self.path.iter().map(|f| f.chosen.to_string()).collect();
+        format!("pb{};{}", self.checker.preemption_bound, ids.join(","))
+    }
+
+    /// Runs one schedule. Frames already on `self.path` force the
+    /// choices of the prefix; past the prefix (or with `forced`, past
+    /// the given list), fresh frames extend the path.
+    ///
+    /// Returns the run's end plus the executor's step log.
+    fn execute(&mut self, forced: Option<&[Tid]>) -> (RunEnd, Vec<String>) {
+        let exec = Executor::new();
+        let root = Arc::clone(&self.root);
+        exec.spawn_thread("main", Box::new(move || root()));
+        let mut depth = 0usize;
+        let end = loop {
+            let decision = exec.decision();
+            if let Some(kind) = self.terminal(&exec, &decision, depth) {
+                break kind;
+            }
+            // Attach the executed step's footprint to the frame whose
+            // choice produced it (for sleep-set derivation below).
+            if depth > 0 {
+                self.path[depth - 1].step = decision.last_step.clone();
+            }
+            let chosen = if depth < self.path.len() {
+                // Prefix: verify determinism, then follow the recorded choice.
+                let frame = &self.path[depth];
+                assert_eq!(
+                    frame.enabled, decision.enabled,
+                    "non-deterministic replay: enabled sets diverged at step {depth} \
+                     (model code must be deterministic apart from scheduling)"
+                );
+                frame.chosen
+            } else {
+                let frame = self.fresh_frame(&decision, depth, forced);
+                let choice = match forced {
+                    Some(schedule) => {
+                        let Some(&tid) = schedule.get(depth) else {
+                            // Forced schedule exhausted prematurely.
+                            break RunEnd::Pruned;
+                        };
+                        assert!(
+                            decision.enabled.contains(&tid),
+                            "seed replays a disabled thread t{tid} at step {depth}"
+                        );
+                        Some(tid)
+                    }
+                    None => frame.default_choice(self.checker.preemption_bound),
+                };
+                let Some(tid) = choice else {
+                    // Every enabled thread is asleep: this continuation
+                    // only reorders already-covered independent steps.
+                    break RunEnd::Pruned;
+                };
+                let mut frame = frame;
+                frame.chosen = tid;
+                self.path.push(frame);
+                tid
+            };
+            exec.grant(chosen);
+            depth += 1;
+        };
+        // Discard frames beyond the executed depth (a pruned/violating
+        // run may end mid-prefix on replays).
+        self.path.truncate(depth);
+        let log = exec.log();
+        exec.teardown();
+        (end, log)
+    }
+
+    /// Checks run-terminating conditions at a decision point.
+    fn terminal(&self, exec: &Executor, d: &Decision, depth: usize) -> Option<RunEnd> {
+        if let Some((thread, message)) = &d.failure {
+            return Some(RunEnd::Violation(ViolationKind::Panic {
+                thread: thread.clone(),
+                message: message.clone(),
+            }));
+        }
+        if d.steps > self.checker.max_steps {
+            return Some(RunEnd::Violation(ViolationKind::StepBudget {
+                steps: d.steps,
+            }));
+        }
+        if d.all_finished {
+            if d.leaked.is_empty() {
+                return Some(RunEnd::Complete);
+            }
+            let threads = d.leaked.iter().map(|&t| exec.describe(t)).collect();
+            return Some(RunEnd::Violation(ViolationKind::ThreadLeak { threads }));
+        }
+        if d.enabled.is_empty() {
+            let blocked: Vec<String> = d.pending.iter().map(|&(t, _)| exec.describe(t)).collect();
+            if d.root_finished {
+                // The root returned while spawned threads are still
+                // blocked — they can never be scheduled again.
+                return Some(RunEnd::Violation(ViolationKind::ThreadLeak {
+                    threads: blocked,
+                }));
+            }
+            return Some(RunEnd::Violation(ViolationKind::Deadlock { blocked }));
+        }
+        let _ = depth;
+        None
+    }
+
+    /// Builds a fresh frame at `depth`, deriving its sleep set from the
+    /// parent: threads stay asleep only while the steps executed since
+    /// they were put to sleep are independent of their pending op.
+    fn fresh_frame(&self, d: &Decision, depth: usize, forced: Option<&[Tid]>) -> Frame {
+        let mut sleep = BTreeSet::new();
+        if forced.is_none() {
+            if let Some(parent) = depth.checked_sub(1).and_then(|i| self.path.get(i)) {
+                for &t in parent.sleep.iter().chain(parent.done.iter()) {
+                    if t == parent.chosen {
+                        continue;
+                    }
+                    let Some(op) = parent.pending_of(t) else {
+                        continue;
+                    };
+                    if d.last_step.independent_of(op) {
+                        sleep.insert(t);
+                    }
+                }
+            }
+        }
+        let running_before = depth
+            .checked_sub(1)
+            .and_then(|i| self.path.get(i))
+            .map(|f| f.chosen);
+        let preemptions = depth
+            .checked_sub(1)
+            .and_then(|i| self.path.get(i))
+            .map_or(0, |f| f.preemptions + f.preemption_cost(f.chosen));
+        Frame {
+            enabled: d.enabled.clone(),
+            pending: d.pending.clone(),
+            running_before,
+            preemptions,
+            sleep,
+            done: BTreeSet::new(),
+            chosen: usize::MAX, // set by the caller
+            step: StepFootprint::default(),
+        }
+    }
+
+    /// Standard DFS backtrack: mark the deepest choice explored, switch
+    /// to its next sibling, or pop. Returns false when fully explored.
+    fn backtrack(&mut self) -> bool {
+        while let Some(last) = self.path.last_mut() {
+            let finished = last.chosen;
+            last.done.insert(finished);
+            if let Some(next) = last.next_candidate(self.checker.preemption_bound) {
+                last.chosen = next;
+                return true;
+            }
+            self.path.pop();
+        }
+        false
+    }
+}
+
+/// Parses a seed produced by [`Violation::seed`]: `pb<bound>;0,1,2,...`.
+pub(super) fn parse_seed(seed: &str) -> Result<(usize, Vec<Tid>), String> {
+    let rest = seed
+        .strip_prefix("pb")
+        .ok_or_else(|| format!("seed {seed:?} does not start with 'pb'"))?;
+    let (bound, ids) = rest
+        .split_once(';')
+        .ok_or_else(|| format!("seed {seed:?} has no ';' separator"))?;
+    let bound: usize = bound
+        .parse()
+        .map_err(|_| format!("seed bound {bound:?} is not a number"))?;
+    if ids.is_empty() {
+        return Ok((bound, Vec::new()));
+    }
+    let ids = ids
+        .split(',')
+        .map(|s| {
+            s.parse::<Tid>()
+                .map_err(|_| format!("seed step {s:?} is not a thread id"))
+        })
+        .collect::<Result<Vec<Tid>, String>>()?;
+    Ok((bound, ids))
+}

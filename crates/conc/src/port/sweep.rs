@@ -1,0 +1,42 @@
+//! The sweep scheduler's work-claiming protocol: workers race on an
+//! atomic cursor for task indices and deposit results into per-task
+//! slots.
+//!
+//! This is the protocol inside `primecache-sim::suite::run_sweep`.
+//! Verified properties (see `crates/conc/tests/model_protocols.rs`):
+//!
+//! * every task index in `0..n_tasks` is claimed by exactly one worker,
+//! * every slot is written exactly once ([`store_slot`] asserts it),
+//! * no task is lost: when all workers have joined, every slot is full.
+
+use crate::api::{AtomicUsizeApi, MutexApi};
+
+/// A worker's claim loop: atomically claims ascending task indices
+/// until the cursor passes `n_tasks`, running `work` for each claim.
+///
+/// `fetch_add` hands each index to exactly one worker, which is what
+/// makes the exactly-once slot-write property hold; the model test
+/// demonstrates that the obvious load-then-store "optimization" loses
+/// it.
+pub fn claim_loop(cursor: &impl AtomicUsizeApi, n_tasks: usize, mut work: impl FnMut(usize)) {
+    loop {
+        let i = cursor.fetch_add(1);
+        if i >= n_tasks {
+            break;
+        }
+        work(i);
+    }
+}
+
+/// Deposits a finished task's result into its pre-sized slot.
+///
+/// # Panics
+///
+/// Panics when the slot is already occupied — two workers ran the same
+/// task, which the claim protocol must make impossible.
+pub fn store_slot<T>(slot: &impl MutexApi<Option<T>>, value: T) {
+    slot.with(|s| {
+        assert!(s.is_none(), "sweep slot written twice");
+        *s = Some(value);
+    });
+}

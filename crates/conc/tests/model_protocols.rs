@@ -1,0 +1,113 @@
+//! Exhaustive model checks of the two shipped concurrent protocols —
+//! the streaming chunk channel and the sweep claim cursor — plus the
+//! seeded-bug demos proving the checker catches the failure classes it
+//! exists for.
+//!
+//! These are the same checks `pcache conc-check` and `ci/conc_smoke.sh`
+//! run; here each one is a separate test with its expectation asserted.
+
+use primecache_conc::model::ViolationKind;
+use primecache_conc::self_check::{checks, find};
+use primecache_conc::Checker;
+
+fn run(name: &str) -> (bool, primecache_conc::Report) {
+    let check = find(name).unwrap_or_else(|| panic!("unknown check {name}"));
+    let report = check.run(&Checker::default());
+    assert!(
+        !report.truncated,
+        "{name}: exploration truncated at {} schedules — raise max_schedules",
+        report.schedules
+    );
+    (check.passed(&report), report)
+}
+
+#[test]
+fn stream_delivery_is_schedule_invariant() {
+    let (passed, report) = run("stream-delivery");
+    assert!(passed, "{:?}", report.violation);
+    assert!(
+        report.schedules > 1,
+        "producer/consumer must admit multiple schedules, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn stream_early_drop_always_unwinds_and_joins_producer() {
+    let (passed, report) = run("stream-early-drop");
+    assert!(passed, "{:?}", report.violation);
+    assert!(report.schedules > 1, "got {}", report.schedules);
+}
+
+#[test]
+fn sweep_runs_every_task_exactly_once_under_all_schedules() {
+    let (passed, report) = run("sweep-exactly-once");
+    assert!(passed, "{:?}", report.violation);
+    assert!(
+        report.schedules > 10,
+        "two workers racing a cursor must admit many schedules, got {}",
+        report.schedules
+    );
+}
+
+#[test]
+fn checker_catches_lost_tail_consumer_bug() {
+    let (passed, report) = run("stream-lost-tail-bug");
+    assert!(passed, "checker missed the seeded lost-tail bug");
+    let v = report.violation.expect("expected a violation");
+    assert!(
+        matches!(&v.kind, ViolationKind::Panic { message, .. } if message.contains("tail items lost")),
+        "unexpected violation: {}",
+        v.kind
+    );
+    assert!(v.seed.starts_with("pb"), "seed: {}", v.seed);
+    assert!(!v.trace.is_empty(), "violation must carry a schedule trace");
+}
+
+#[test]
+fn checker_catches_racy_claim_cursor_bug() {
+    let (passed, report) = run("sweep-racy-cursor-bug");
+    assert!(passed, "checker missed the seeded racy-cursor bug");
+    let v = report.violation.expect("expected a violation");
+    assert!(
+        matches!(&v.kind, ViolationKind::Panic { message, .. } if message.contains("slot written twice")),
+        "unexpected violation: {}",
+        v.kind
+    );
+}
+
+#[test]
+fn seeded_bug_replays_from_printed_seed() {
+    // The workflow a failing CI run prescribes: take the seed from the
+    // report, replay exactly that schedule, observe the same violation.
+    let check = find("sweep-racy-cursor-bug").expect("check exists");
+    let checker = Checker::default();
+    let report = check.run(&checker);
+    let violation = report.violation.expect("bug found");
+    let replayed = check.replay(&checker, &violation.seed);
+    let rv = replayed.violation.expect("replay reproduces the violation");
+    assert_eq!(rv.kind, violation.kind, "replay diverged from the original");
+    assert_eq!(
+        replayed.schedules, 1,
+        "replay must execute exactly one schedule"
+    );
+}
+
+#[test]
+fn whole_suite_agrees_with_expectations() {
+    for check in checks() {
+        let report = check.run(&Checker::default());
+        assert!(
+            check.passed(&report),
+            "{}: expected {} but got {:?} ({} schedules)",
+            check.name,
+            if check.expect_violation {
+                "a violation"
+            } else {
+                "clean"
+            },
+            report.violation,
+            report.schedules
+        );
+    }
+}

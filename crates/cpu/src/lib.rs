@@ -34,9 +34,6 @@
 //! assert!(breakdown.total() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod breakdown;
 mod config;
 mod model;

@@ -33,9 +33,6 @@
 //! assert_eq!(c - b, 304);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod buddy;
 mod bump;
 mod size_class;

@@ -18,9 +18,6 @@
 //! assert!(first.latency >= again.latency, "second access hits the open row");
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod config;
 mod dram;
 

@@ -33,9 +33,6 @@
 //! per access. See `OBSERVABILITY.md` at the repo root for the metric
 //! and event reference.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod events;
 pub mod json;
 pub mod metrics;

@@ -23,9 +23,6 @@
 //! assert!(is_prime(2039));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod arith;
 mod factor;
 mod primality;

@@ -25,9 +25,6 @@
 //! assert!(pmod.l2.misses < base.l2.misses);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod artifact;
 mod config;
 pub mod experiments;

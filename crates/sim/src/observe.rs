@@ -68,6 +68,7 @@ pub fn run_workload_observed(
 
     let stalls = cpu.last_stall_attribution();
     let (chunks, blocked_waits) = stream.stream_stats();
+    let (stream_depth, stream_chunk) = stream.stream_config();
     let occupancy = hierarchy.l2_occupancy();
     drop((hierarchy, dram, cpu, stream));
     let recorder = Rc::try_unwrap(handle)
@@ -125,6 +126,18 @@ pub fn run_workload_observed(
         "chunks",
         "chunk pulls that found the channel empty (consumer outran generator)",
         blocked_waits,
+    );
+    metrics.set_counter(
+        "stream.channel_depth",
+        "slots",
+        "configured chunk slots in flight between generator and consumer",
+        stream_depth as u64,
+    );
+    metrics.set_counter(
+        "stream.chunk_events",
+        "events",
+        "configured events per streamed chunk",
+        stream_chunk as u64,
     );
     let mut hist = Histogram::new(vec![0, 1, 2, 3, 4, 6, 8]);
     for n in occupancy {

@@ -1,8 +1,16 @@
 //! Full-suite sweeps: all 23 applications across schemes, in parallel.
+//!
+//! The worker protocol — an atomic claim cursor handing each task to
+//! exactly one worker, results deposited into pre-sized per-task slots —
+//! is [`primecache_conc::port::sweep`], instantiated here with the
+//! production sync backend. The same source under the model backend is
+//! verified schedule-exhaustively (`pcache conc-check`): every task runs
+//! exactly once and lands in its own slot, no task is ever lost.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
 
+use primecache_conc::port::sweep::{claim_loop, store_slot};
+use primecache_conc::sync::{AtomicUsize, Mutex};
 use primecache_workloads::{all, Workload};
 use serde::{Deserialize, Serialize};
 
@@ -238,36 +246,41 @@ pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
     tasks.sort_by_key(|&(w, s)| std::cmp::Reverse(task_cost(w, s)));
     let slots: Vec<Mutex<Option<(Cell, TaskRecord)>>> =
         tasks.iter().map(|_| Mutex::new(None)).collect();
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(tasks.len().max(1));
+    let next = AtomicUsize::new(0);
+    let avail = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    // The clamp below keeps surplus workers from spawning at all, but a
+    // grid smaller than the machine is still worth flagging: the run's
+    // wall-clock won't reflect the hardware's parallelism.
+    for lint in primecache_analyze::lint_sweep_shape(tasks.len(), avail) {
+        eprintln!("{lint}");
+    }
+    let workers = avail.min(tasks.len().max(1));
     let epoch = std::time::Instant::now();
     std::thread::scope(|scope| {
         for worker in 0..workers {
             let next = &next;
             let tasks = &tasks;
             let slots = &slots;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(w, s)) = tasks.get(i) else { break };
-                let start_us = epoch.elapsed().as_micros() as u64;
-                let result = run_workload(w, s, target_refs);
-                let record = TaskRecord {
-                    workload: w.name,
-                    scheme: s.label(),
-                    cost: task_cost(w, s),
-                    worker: worker as u32,
-                    start_us,
-                    end_us: epoch.elapsed().as_micros() as u64,
-                };
-                let cell = Cell {
-                    workload: w.name,
-                    non_uniform: w.expected_non_uniform,
-                    result,
-                };
-                *slots[i].lock().expect("sweep slot mutex poisoned") = Some((cell, record));
+            scope.spawn(move || {
+                claim_loop(next, tasks.len(), |i| {
+                    let (w, s) = tasks[i];
+                    let start_us = epoch.elapsed().as_micros() as u64;
+                    let result = run_workload(w, s, target_refs);
+                    let record = TaskRecord {
+                        workload: w.name,
+                        scheme: s.label(),
+                        cost: task_cost(w, s),
+                        worker: worker as u32,
+                        start_us,
+                        end_us: epoch.elapsed().as_micros() as u64,
+                    };
+                    let cell = Cell {
+                        workload: w.name,
+                        non_uniform: w.expected_non_uniform,
+                        result,
+                    };
+                    store_slot(&slots[i], (cell, record));
+                });
             });
         }
     });
@@ -275,7 +288,6 @@ pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
     for slot in slots {
         let (cell, record) = slot
             .into_inner()
-            .expect("sweep slot mutex poisoned")
             .expect("every dispatched task fills its slot");
         sweep.tasks.push(record);
         sweep

@@ -18,9 +18,6 @@
 //! assert!(matches!(trace.next(), Some(Event::Load { addr: 64, .. })));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod event;
 mod gen;
 mod io;

@@ -23,9 +23,6 @@
 //! assert!(svg.contains("pMod"));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod chart;
 mod svg;
 

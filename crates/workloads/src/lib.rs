@@ -27,9 +27,6 @@
 //! assert!(trace.iter().filter(|e| e.is_memory()).count() >= 10_000);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod grid;
 mod md;
 mod nas;

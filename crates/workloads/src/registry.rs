@@ -36,6 +36,19 @@ impl Workload {
     pub fn events(&self, target_refs: u64) -> EventStream {
         EventStream::spawn(self.generator, target_refs)
     }
+
+    /// [`Workload::events`] with explicit streaming knobs: `depth` chunk
+    /// slots in flight and `chunk_events` events per chunk. Peak
+    /// buffered memory is proportional to `depth * chunk_events`; the
+    /// delivered event sequence is identical for every setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth` or `chunk_events` is zero.
+    #[must_use]
+    pub fn events_with(&self, target_refs: u64, depth: usize, chunk_events: usize) -> EventStream {
+        EventStream::spawn_with(self.generator, target_refs, depth, chunk_events)
+    }
 }
 
 /// All 23 workloads, in the paper's §4 listing order.

@@ -9,20 +9,27 @@
 //! `target_refs`, and generation overlaps with simulation on multicore
 //! hosts.
 //!
+//! The chunk protocol itself lives in
+//! [`primecache_conc::port::stream`], instantiated here with the
+//! production [`StdBackend`]; the *same source* instantiated with the
+//! model backend is verified schedule-exhaustively (`pcache
+//! conc-check`): delivery order is schedule-invariant, the `chunks`
+//! counter is exact, and early drop always unwinds and joins the
+//! generator.
+//!
 //! Determinism is preserved exactly: the generator emits the same
 //! sequence whether it writes to a buffer or a channel, which the
 //! `streaming` integration test asserts event-for-event for all 23
 //! workloads.
 
-use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
-use std::thread::JoinHandle;
-
+use primecache_conc::port::stream::ChunkStream;
+use primecache_conc::StdBackend;
 use primecache_trace::Event;
 
-use crate::util::TraceSink;
+use crate::util::{TraceSink, STREAM_CHUNK};
 
-/// Bounded chunk slots in flight between generator and consumer. With
-/// `STREAM_CHUNK` events per slot this caps buffered events at
+/// Default bounded chunk slots in flight between generator and consumer.
+/// With `STREAM_CHUNK` events per slot this caps buffered events at
 /// `CHANNEL_DEPTH * STREAM_CHUNK` regardless of trace length.
 const CHANNEL_DEPTH: usize = 4;
 
@@ -31,38 +38,40 @@ const CHANNEL_DEPTH: usize = 4;
 /// Produced by [`crate::Workload::events`]. The generator runs on a
 /// dedicated thread and is torn down promptly when the stream is dropped
 /// early: the hangup surfaces as a failed chunk send, which flips the
-/// sink's `done()` flag and unwinds the generator loop.
+/// sink's `done()` flag and unwinds the generator loop; dropping the
+/// stream joins the generator thread before returning.
 #[derive(Debug)]
 pub struct EventStream {
-    rx: Option<Receiver<Vec<Event>>>,
-    chunk: std::vec::IntoIter<Event>,
-    handle: Option<JoinHandle<()>>,
-    /// Chunks received from the generator so far.
-    chunks: u64,
-    /// Chunk receives that found the channel empty and had to block —
-    /// the consumer outran the generator (channel back-pressure).
-    blocked_waits: u64,
+    inner: ChunkStream<StdBackend, Event>,
 }
 
 impl EventStream {
     /// Spawns `generator` with a channel-backed [`TraceSink`] targeting
-    /// `target_refs` memory references.
+    /// `target_refs` memory references, with default channel depth and
+    /// chunk size.
     pub(crate) fn spawn(generator: fn(&mut TraceSink), target_refs: u64) -> Self {
-        let (tx, rx): (SyncSender<Vec<Event>>, _) = std::sync::mpsc::sync_channel(CHANNEL_DEPTH);
-        let handle = std::thread::Builder::new()
-            .name("trace-gen".into())
-            .spawn(move || {
-                let mut sink = TraceSink::for_channel(target_refs, tx);
-                generator(&mut sink);
-                sink.finish();
-            })
-            .expect("spawn trace generator thread");
+        Self::spawn_with(generator, target_refs, CHANNEL_DEPTH, STREAM_CHUNK)
+    }
+
+    /// [`EventStream::spawn`] with explicit channel `depth` (chunk slots
+    /// in flight) and `chunk_events` (events per chunk). Peak buffered
+    /// memory is proportional to `depth * chunk_events`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `depth` or `chunk_events` is zero.
+    pub(crate) fn spawn_with(
+        generator: fn(&mut TraceSink),
+        target_refs: u64,
+        depth: usize,
+        chunk_events: usize,
+    ) -> Self {
         Self {
-            rx: Some(rx),
-            chunk: Vec::new().into_iter(),
-            handle: Some(handle),
-            chunks: 0,
-            blocked_waits: 0,
+            inner: ChunkStream::spawn("trace-gen", depth, chunk_events, move |sink| {
+                let mut trace = TraceSink::for_channel(target_refs, sink);
+                generator(&mut trace);
+                trace.finish();
+            }),
         }
     }
 
@@ -73,7 +82,14 @@ impl EventStream {
     /// with simulation.
     #[must_use]
     pub fn stream_stats(&self) -> (u64, u64) {
-        (self.chunks, self.blocked_waits)
+        self.inner.stats()
+    }
+
+    /// The stream's buffering configuration: `(depth, chunk_events)`.
+    /// Peak buffered events is their product.
+    #[must_use]
+    pub fn stream_config(&self) -> (usize, usize) {
+        self.inner.config()
     }
 }
 
@@ -81,53 +97,15 @@ impl Iterator for EventStream {
     type Item = Event;
 
     fn next(&mut self) -> Option<Event> {
-        loop {
-            if let Some(ev) = self.chunk.next() {
-                return Some(ev);
-            }
-            // Try a non-blocking receive first purely to observe
-            // back-pressure: an empty channel here means this pull will
-            // block on the generator. One `try_recv` per chunk (4096
-            // events) is noise on the hot path.
-            let rx = self.rx.as_ref()?;
-            let received = match rx.try_recv() {
-                Ok(chunk) => Ok(chunk),
-                Err(TryRecvError::Empty) => {
-                    self.blocked_waits += 1;
-                    rx.recv().map_err(|_| ())
-                }
-                Err(TryRecvError::Disconnected) => Err(()),
-            };
-            match received {
-                Ok(chunk) => {
-                    self.chunks += 1;
-                    self.chunk = chunk.into_iter();
-                }
-                Err(()) => {
-                    // Generator finished and dropped its sender.
-                    self.rx = None;
-                    return None;
-                }
-            }
-        }
-    }
-}
-
-impl Drop for EventStream {
-    fn drop(&mut self) {
-        // Drop the receiver first so any blocked send in the generator
-        // fails immediately, then reap the thread.
-        self.rx = None;
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+        self.inner.next_item()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
     use super::*;
-    use crate::util::STREAM_CHUNK;
 
     fn counting(t: &mut TraceSink) {
         let mut i = 0u64;
@@ -148,6 +126,16 @@ mod tests {
     }
 
     #[test]
+    fn depth_one_stream_matches_materialized() {
+        // The tightest possible channel (one chunk slot, tiny chunks)
+        // maximizes producer/consumer lockstep; delivery must still be
+        // byte-identical to the buffered path.
+        let streamed: Vec<Event> = EventStream::spawn_with(counting, 10_000, 1, 64).collect();
+        let buffered = crate::util::materialize(counting, 10_000);
+        assert_eq!(streamed, buffered);
+    }
+
+    #[test]
     fn early_drop_terminates_generator() {
         // Target far beyond what the consumer reads; Drop must still
         // return promptly (the generator unwinds on the failed send).
@@ -156,6 +144,31 @@ mod tests {
             assert!(stream.next().is_some());
         }
         drop(stream); // must not hang
+    }
+
+    static COUNTING_FLAGGED_RETURNED: AtomicBool = AtomicBool::new(false);
+
+    fn counting_flagged(t: &mut TraceSink) {
+        counting(t);
+        COUNTING_FLAGGED_RETURNED.store(true, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn early_drop_joins_generator_thread() {
+        // Drop mid-chunk (fewer events consumed than one chunk holds):
+        // by the time drop() returns, the generator must have observed
+        // the hangup, unwound its loop normally (no panic propagation)
+        // and had its thread joined — the flag write is the generator's
+        // last statement, so seeing it proves the join was real.
+        let mut stream = EventStream::spawn(counting_flagged, u64::MAX >> 8);
+        for _ in 0..STREAM_CHUNK / 2 {
+            assert!(stream.next().is_some());
+        }
+        drop(stream);
+        assert!(
+            COUNTING_FLAGGED_RETURNED.load(Ordering::SeqCst),
+            "drop returned before the generator thread finished"
+        );
     }
 
     #[test]

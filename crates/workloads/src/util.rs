@@ -1,5 +1,7 @@
 //! Generator utilities: deterministic PRNG and trace-emission helpers.
 
+use primecache_conc::port::stream::ChunkSink;
+use primecache_conc::StdBackend;
 use primecache_trace::Event;
 
 /// A 64-bit linear congruential generator (Knuth's MMIX multiplier).
@@ -69,7 +71,8 @@ impl Lcg {
     }
 }
 
-/// Events per channel chunk when a sink streams to an [`crate::EventStream`].
+/// Default events per channel chunk when a sink streams to an
+/// [`crate::EventStream`] (overridable via [`crate::Workload::events_with`]).
 ///
 /// Large enough to amortize channel synchronization over thousands of
 /// events, small enough that peak buffered memory (chunk × channel depth)
@@ -81,14 +84,11 @@ pub(crate) const STREAM_CHUNK: usize = 16384;
 enum Output {
     /// Materialize the whole trace (legacy `Workload::trace` path, tests).
     Buffer(Vec<Event>),
-    /// Stream fixed-size chunks to a consumer thread; `closed` flips when
+    /// Stream fixed-size chunks to a consumer thread through the
+    /// model-checked chunk protocol; the sink's `is_closed` flips when
     /// the consumer hangs up, which makes [`TraceSink::done`] return true
     /// so the generator unwinds early instead of producing into the void.
-    Channel {
-        chunk: Vec<Event>,
-        tx: std::sync::mpsc::SyncSender<Vec<Event>>,
-        closed: bool,
-    },
+    Channel(ChunkSink<StdBackend, Event>),
 }
 
 /// Builder that appends events while tracking how many memory references
@@ -121,18 +121,11 @@ impl TraceSink {
         }
     }
 
-    /// Creates a sink that streams chunks into `tx` (used by
+    /// Creates a sink that streams chunks through `sink` (used by
     /// [`crate::EventStream`]).
-    pub(crate) fn for_channel(
-        target_refs: u64,
-        tx: std::sync::mpsc::SyncSender<Vec<Event>>,
-    ) -> Self {
+    pub(crate) fn for_channel(target_refs: u64, sink: ChunkSink<StdBackend, Event>) -> Self {
         Self {
-            out: Output::Channel {
-                chunk: Vec::with_capacity(STREAM_CHUNK),
-                tx,
-                closed: false,
-            },
+            out: Output::Channel(sink),
             refs: 0,
             target: target_refs,
         }
@@ -154,24 +147,13 @@ impl TraceSink {
     /// or (in streaming mode) the consumer dropped the stream.
     #[must_use]
     pub fn done(&self) -> bool {
-        self.refs >= self.target || matches!(&self.out, Output::Channel { closed: true, .. })
+        self.refs >= self.target || matches!(&self.out, Output::Channel(sink) if sink.is_closed())
     }
 
     fn push(&mut self, ev: Event) {
         match &mut self.out {
             Output::Buffer(events) => events.push(ev),
-            Output::Channel { chunk, tx, closed } => {
-                if *closed {
-                    return;
-                }
-                chunk.push(ev);
-                if chunk.len() >= STREAM_CHUNK {
-                    let full = std::mem::replace(chunk, Vec::with_capacity(STREAM_CHUNK));
-                    if tx.send(full).is_err() {
-                        *closed = true;
-                    }
-                }
-            }
+            Output::Channel(sink) => sink.push(ev),
         }
     }
 
@@ -215,11 +197,8 @@ impl TraceSink {
 
     /// Flushes any partially filled streaming chunk (no-op when buffering).
     pub(crate) fn finish(&mut self) {
-        if let Output::Channel { chunk, tx, closed } = &mut self.out {
-            if !*closed && !chunk.is_empty() {
-                let rest = std::mem::take(chunk);
-                *closed = tx.send(rest).is_err();
-            }
+        if let Output::Channel(sink) = &mut self.out {
+            sink.finish();
         }
     }
 
@@ -233,7 +212,7 @@ impl TraceSink {
     pub fn into_events(self) -> Vec<Event> {
         match self.out {
             Output::Buffer(events) => events,
-            Output::Channel { .. } => panic!("into_events on a streaming TraceSink"),
+            Output::Channel(_) => panic!("into_events on a streaming TraceSink"),
         }
     }
 }
@@ -314,8 +293,8 @@ mod tests {
 
     #[test]
     fn channel_sink_reports_done_after_receiver_drops() {
-        let (tx, rx) = std::sync::mpsc::sync_channel(1);
-        let mut sink = TraceSink::for_channel(u64::MAX, tx);
+        let (tx, rx) = primecache_conc::sync::spsc(1);
+        let mut sink = TraceSink::for_channel(u64::MAX, ChunkSink::new(tx, STREAM_CHUNK));
         drop(rx);
         // The hangup is only observed at the next chunk flush.
         for i in 0..2 * STREAM_CHUNK as u64 {
@@ -326,12 +305,13 @@ mod tests {
 
     #[test]
     fn channel_sink_streams_all_events_in_order() {
-        let (tx, rx) = std::sync::mpsc::sync_channel(4);
-        let mut sink = TraceSink::for_channel(u64::MAX, tx);
+        use primecache_conc::ReceiverApi;
+        let (tx, rx) = primecache_conc::sync::spsc(4);
+        let mut sink = TraceSink::for_channel(u64::MAX, ChunkSink::new(tx, STREAM_CHUNK));
         let n = STREAM_CHUNK as u64 + 17;
         let consumer = std::thread::spawn(move || {
             let mut got = Vec::new();
-            while let Ok(chunk) = rx.recv() {
+            while let Some(chunk) = rx.recv() {
                 got.extend(chunk);
             }
             got
