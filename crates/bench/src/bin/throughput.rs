@@ -4,13 +4,17 @@
 //! ```text
 //! cargo run --release -p primecache-bench --bin throughput -- \
 //!     [--refs N] [--out FILE] [--baseline FILE] [--max-regress PCT]
+//!     [--strict] [--reference]
 //! ```
 //!
 //! With `--baseline`, the run compares against the committed baseline
 //! and exits nonzero when any scheme's refs/sec falls more than
 //! `--max-regress` percent (default 30) below it — the CI smoke gate.
+//! A measured scheme missing from the baseline is never gated by that
+//! check; it always prints a loud warning, and with `--strict` (the CI
+//! default) it fails the run so new schemes can't dodge the floor.
 
-use primecache_sim::throughput::{baseline_refs_per_sec, measure};
+use primecache_sim::throughput::{baseline_refs_per_sec, measure, measure_reference};
 use primecache_sim::Scheme;
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
@@ -31,8 +35,23 @@ fn main() {
         .unwrap_or(30.0)
         / 100.0;
 
-    println!("throughput: {refs} refs/workload x 23 workloads per scheme\n");
-    let report = measure(&Scheme::ALL, refs);
+    // --reference: time the pre-batching `Box<dyn SetIndexer>` driver
+    // instead (bit-identical results) — the before/after comparison
+    // should come from the same machine, same session.
+    let reference = args.iter().any(|a| a == "--reference");
+    println!(
+        "throughput ({}): {refs} refs/workload x 23 workloads per scheme\n",
+        if reference {
+            "reference driver"
+        } else {
+            "batched drivers"
+        }
+    );
+    let report = if reference {
+        measure_reference(&Scheme::ALL, refs)
+    } else {
+        measure(&Scheme::ALL, refs)
+    };
     for s in &report.schemes {
         println!(
             "  {:>10}  {:>12.0} refs/sec  ({} refs in {:.2}s)",
@@ -54,6 +73,22 @@ fn main() {
             !baseline.is_empty(),
             "baseline {baseline_path} contains no scheme entries"
         );
+        let missing = report.missing_from_baseline(&baseline);
+        if !missing.is_empty() {
+            eprintln!(
+                "WARNING: {} scheme(s) measured but absent from baseline {baseline_path} \
+                 (ungated by the regression check): {}",
+                missing.len(),
+                missing.join(", ")
+            );
+            if args.iter().any(|a| a == "--strict") {
+                eprintln!(
+                    "--strict: unbaselined schemes are an error; \
+                     add entries to {baseline_path}"
+                );
+                std::process::exit(1);
+            }
+        }
         let regressions = report.regressions(&baseline, max_regress);
         if regressions.is_empty() {
             println!(

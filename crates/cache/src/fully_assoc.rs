@@ -1,11 +1,103 @@
 //! Fully-associative reference cache.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 #[cfg(feature = "obs")]
 use primecache_obs::{Level, ObsHandle};
 
 use crate::{CacheSim, CacheStats};
+
+/// Deterministic multiplicative hasher for block addresses.
+///
+/// The default `HashMap` hasher (SipHash) costs tens of cycles per
+/// lookup; block addresses need no DoS resistance, so a Fibonacci
+/// multiply plus an avalanche shift is enough. Results cannot depend on
+/// the hasher: iteration order is never observed (LRU order lives in the
+/// age tree), only key lookups.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockHasher {
+    state: u64,
+}
+
+impl Hasher for BlockHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (unused by u64 keys, kept total for correctness).
+        for &b in bytes {
+            self.state = (self.state ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.state = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state ^ (self.state >> 29)
+    }
+}
+
+/// Packed LRU age counters over a flat tournament (min) tree.
+///
+/// Leaves hold per-slot last-use stamps; each internal node holds the
+/// minimum of its children, so the least-recently-used slot is found by
+/// walking from the root (`O(log n)` over a contiguous array — no
+/// pointer chasing) and a stamp update rewrites one leaf-to-root path.
+/// Empty slots carry `u64::MAX` and are never selected while any live
+/// stamp exists.
+#[derive(Debug, Clone)]
+struct AgeTree {
+    /// 1-based heap: `tree[1]` is the root, leaves start at `leaf_base`.
+    tree: Vec<u64>,
+    leaf_base: usize,
+}
+
+impl AgeTree {
+    fn new(slots: usize) -> Self {
+        let leaf_base = slots.next_power_of_two().max(1);
+        Self {
+            tree: vec![u64::MAX; 2 * leaf_base],
+            leaf_base,
+        }
+    }
+
+    /// Sets `slot`'s stamp and repairs the min path to the root,
+    /// stopping as soon as a parent's min is unchanged (every node above
+    /// it aggregates the same value). The common case — re-stamping a
+    /// slot that was not its subtree's minimum — exits after one level
+    /// instead of walking the full path through the cold upper tree.
+    #[inline]
+    fn set(&mut self, slot: usize, stamp: u64) {
+        let mut i = self.leaf_base + slot;
+        self.tree[i] = stamp;
+        while i > 1 {
+            i /= 2;
+            let m = self.tree[2 * i].min(self.tree[2 * i + 1]);
+            if self.tree[i] == m {
+                return;
+            }
+            self.tree[i] = m;
+        }
+    }
+
+    /// The slot holding the minimum stamp (ties impossible: stamps are
+    /// unique). Must not be called while the tree is all-empty.
+    #[inline]
+    fn min_slot(&self) -> usize {
+        let mut i = 1;
+        while i < self.leaf_base {
+            i = if self.tree[2 * i] <= self.tree[2 * i + 1] {
+                2 * i
+            } else {
+                2 * i + 1
+            };
+        }
+        i - self.leaf_base
+    }
+}
 
 /// A fully-associative LRU cache — the `FA` reference of Figs. 11/12.
 ///
@@ -13,8 +105,13 @@ use crate::{CacheSim, CacheStats};
 /// conflict misses, which is how the paper separates conflict from
 /// capacity effects.
 ///
-/// LRU order is kept in a stamp-keyed [`BTreeMap`] so each access costs
-/// `O(log n_lines)` instead of an `O(n_lines)` scan.
+/// Storage is a structure-of-arrays slab (`blocks` / `dirty` per slot)
+/// located through a fast-hashed block→slot map; LRU order lives in
+/// packed age counters over a flat tournament min-tree (`AgeTree`), so an
+/// access costs one hash probe plus one `O(log n_lines)` path over a
+/// contiguous array — no `BTreeMap` node chasing, no per-access
+/// allocation. Victim choice (minimum stamp) is bit-identical to the
+/// previous stamp-keyed `BTreeMap` implementation.
 ///
 /// # Examples
 ///
@@ -29,10 +126,16 @@ use crate::{CacheSim, CacheStats};
 pub struct FullyAssociative {
     capacity_lines: usize,
     line_shift: u32,
-    /// block -> (stamp, dirty)
-    resident: HashMap<u64, (u64, bool)>,
-    /// stamp -> block (LRU order; smallest stamp = least recent)
-    order: BTreeMap<u64, u64>,
+    /// block -> slab slot.
+    slot_of: HashMap<u64, u32, BuildHasherDefault<BlockHasher>>,
+    /// Resident block address per slot (parallel to `dirty`).
+    blocks: Vec<u64>,
+    /// Dirty bit per slot.
+    dirty: Vec<bool>,
+    /// Packed last-use stamps with an embedded min tree.
+    ages: AgeTree,
+    /// Occupied slots (slots fill in order until capacity).
+    live: usize,
     clock: u64,
     stats: CacheStats,
     pending_writebacks: Vec<u64>,
@@ -48,20 +151,32 @@ impl FullyAssociative {
     /// # Panics
     ///
     /// Panics unless `line_bytes` is a power of two and the capacity holds
-    /// at least one line.
+    /// at least one line (and fewer than `u32::MAX`, the slot index
+    /// width — a loud failure instead of a silent slot-index wrap).
     #[must_use]
     pub fn new(size_bytes: u64, line_bytes: u64) -> Self {
         assert!(
             line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
-        let capacity_lines = (size_bytes / line_bytes) as usize;
-        assert!(capacity_lines >= 1, "capacity must hold at least one line");
+        let capacity = size_bytes / line_bytes;
+        assert!(capacity >= 1, "capacity must hold at least one line");
+        assert!(
+            capacity < u64::from(u32::MAX),
+            "{capacity} lines cannot be addressed in 32 bits"
+        );
+        let capacity_lines = usize::try_from(capacity).expect("capacity fits usize");
         Self {
             capacity_lines,
             line_shift: line_bytes.trailing_zeros(),
-            resident: HashMap::with_capacity(capacity_lines),
-            order: BTreeMap::new(),
+            slot_of: HashMap::with_capacity_and_hasher(
+                capacity_lines,
+                BuildHasherDefault::default(),
+            ),
+            blocks: vec![0; capacity_lines],
+            dirty: vec![false; capacity_lines],
+            ages: AgeTree::new(capacity_lines),
+            live: 0,
             clock: 0,
             // All stats land in a single pseudo-set.
             stats: CacheStats::new(1),
@@ -82,7 +197,7 @@ impl FullyAssociative {
     /// pseudo-set entry.
     #[must_use]
     pub fn occupancy(&self) -> Vec<u64> {
-        vec![self.resident.len() as u64]
+        vec![self.live as u64]
     }
 
     /// Drains the block addresses written back since the last call.
@@ -100,24 +215,21 @@ impl FullyAssociative {
     pub fn access_block(&mut self, block: u64, write: bool) -> bool {
         self.clock += 1;
         let stamp = self.clock;
-        if let Some((old_stamp, dirty)) = self.resident.get_mut(&block) {
-            self.order.remove(&*old_stamp);
-            self.order.insert(stamp, block);
-            *old_stamp = stamp;
-            *dirty |= write;
+        if let Some(&slot) = self.slot_of.get(&block) {
+            let slot = slot as usize;
+            self.ages.set(slot, stamp);
+            self.dirty[slot] |= write;
             self.stats.record(0, false, write);
             return true;
         }
         self.stats.record(0, true, write);
-        if self.resident.len() == self.capacity_lines {
-            // Evict the least recently used block.
-            let (&victim_stamp, &victim_block) =
-                self.order.iter().next().expect("cache is non-empty");
-            self.order.remove(&victim_stamp);
-            let (_, dirty) = self
-                .resident
-                .remove(&victim_block)
-                .expect("order and resident agree");
+        let slot = if self.live == self.capacity_lines {
+            // Evict the least recently used block (minimum stamp —
+            // stamps are unique, so the choice is exact LRU).
+            let slot = self.ages.min_slot();
+            let victim_block = self.blocks[slot];
+            self.slot_of.remove(&victim_block).expect("victim resident");
+            let dirty = self.dirty[slot];
             if dirty {
                 self.stats.record_writeback();
                 self.pending_writebacks.push(victim_block);
@@ -126,16 +238,26 @@ impl FullyAssociative {
             if let Some((level, h)) = &self.obs {
                 h.borrow_mut().eviction(*level, 0, dirty);
             }
-        }
-        self.resident.insert(block, (stamp, write));
-        self.order.insert(stamp, block);
+            slot
+        } else {
+            let slot = self.live;
+            self.live += 1;
+            slot
+        };
+        self.blocks[slot] = block;
+        self.dirty[slot] = write;
+        self.ages.set(slot, stamp);
+        // Capacity is checked above, so slots always fit the u32 map
+        // value (`new` rejects >4G-line configurations loudly).
+        self.slot_of
+            .insert(block, u32::try_from(slot).expect("slot fits u32"));
         false
     }
 
     /// Returns `true` if `addr`'s block is resident.
     #[must_use]
     pub fn contains(&self, addr: u64) -> bool {
-        self.resident.contains_key(&(addr >> self.line_shift))
+        self.slot_of.contains_key(&(addr >> self.line_shift))
     }
 }
 
@@ -209,5 +331,85 @@ mod tests {
         fa.access(4096, false);
         assert_eq!(fa.stats().set_accesses.len(), 1);
         assert_eq!(fa.stats().set_accesses[0], 2);
+    }
+
+    #[test]
+    fn single_line_cache_works() {
+        let mut fa = FullyAssociative::new(64, 64);
+        assert!(!fa.access_block(1, true));
+        assert!(fa.access_block(1, false));
+        assert!(!fa.access_block(2, false)); // evicts dirty block 1
+        assert_eq!(fa.take_writebacks(), vec![1]);
+    }
+
+    #[test]
+    fn non_power_of_two_capacity_works() {
+        // 3 lines: the age tree pads to 4 leaves; padding (u64::MAX)
+        // must never be chosen as a victim.
+        let mut fa = FullyAssociative::new(3 * 64, 64);
+        for b in 0..3u64 {
+            fa.access_block(b, false);
+        }
+        fa.access_block(3, false); // evicts block 0 (the LRU)
+        assert!(!fa.contains(0));
+        assert!(fa.contains(64));
+        assert!(fa.contains(2 * 64));
+        assert!(fa.contains(3 * 64));
+    }
+
+    /// The packed-age implementation must replay the old
+    /// `BTreeMap`-ordered semantics exactly: same hits, same writeback
+    /// sequence, against a naive stamp-scan model.
+    #[test]
+    fn matches_naive_lru_model() {
+        struct Naive {
+            cap: usize,
+            // (block, stamp, dirty)
+            lines: Vec<(u64, u64, bool)>,
+            clock: u64,
+            writebacks: Vec<u64>,
+        }
+        impl Naive {
+            fn access(&mut self, block: u64, write: bool) -> bool {
+                self.clock += 1;
+                if let Some(l) = self.lines.iter_mut().find(|l| l.0 == block) {
+                    l.1 = self.clock;
+                    l.2 |= write;
+                    return true;
+                }
+                if self.lines.len() == self.cap {
+                    let i = self
+                        .lines
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| l.1)
+                        .map(|(i, _)| i)
+                        .unwrap();
+                    let (b, _, d) = self.lines.swap_remove(i);
+                    if d {
+                        self.writebacks.push(b);
+                    }
+                }
+                self.lines.push((block, self.clock, write));
+                false
+            }
+        }
+        let mut fa = FullyAssociative::new(16 * 64, 64);
+        let mut naive = Naive {
+            cap: 16,
+            lines: Vec::new(),
+            clock: 0,
+            writebacks: Vec::new(),
+        };
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        for i in 0..50_000u64 {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let block = (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) % 48;
+            let write = i % 3 == 0;
+            assert_eq!(fa.access_block(block, write), naive.access(block, write));
+        }
+        assert_eq!(fa.take_writebacks(), naive.writebacks);
     }
 }

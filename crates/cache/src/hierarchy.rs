@@ -1,12 +1,21 @@
 //! Two-level cache hierarchy (L1 + L2).
+//!
+//! The hierarchy is generic over its L2 simulator ([`L2Sim`]) and its L1
+//! index function, so the monomorphized scheme drivers in
+//! `primecache-sim` can instantiate it with concrete cache types (no
+//! per-reference virtual dispatch). [`Hierarchy::new`] keeps the
+//! dynamic [`DynL2`] form for callers that pick the organization at
+//! runtime; both forms are bit-identical.
 
 use serde::{Deserialize, Serialize};
 
 #[cfg(feature = "obs")]
 use primecache_obs::{Level, ObsHandle};
 
+use primecache_core::index::SetIndexer;
+
 use crate::{
-    Cache, CacheConfig, CacheSim, CacheStats, FullyAssociative, SkewedCache, SkewedConfig,
+    Cache, CacheConfig, CacheSim, CacheStats, FullyAssociative, SkewedCache, SkewedConfig, NO_HINT,
 };
 
 /// Which component serviced a memory access.
@@ -84,36 +93,213 @@ impl HierarchyConfig {
     }
 }
 
-/// Runtime L2 — one of the three organizations.
+/// The L2 interface the hierarchy drives. Implemented by the three cache
+/// organizations and by [`DynL2`]; the hierarchy is generic over it so a
+/// concrete L2 type monomorphizes the whole access path.
+pub trait L2Sim {
+    /// A demand access (always a read at the L2: write misses
+    /// write-allocate through the L1 fill). `hint` is the L2 set index
+    /// precomputed by a batched driver, or [`NO_HINT`]; organizations
+    /// without a single per-access set (skewed, FA) ignore it. Returns
+    /// `(stats_set, hit)`.
+    fn demand_access(&mut self, addr: u64, hint: u32) -> (usize, bool);
+
+    /// A non-demand access: L1 writeback writes and prefetch fills.
+    fn plain_access(&mut self, addr: u64, write: bool) -> bool;
+
+    /// Raw statistics (demand + writeback traffic).
+    fn stats(&self) -> &CacheStats;
+
+    /// Resets statistics (contents survive).
+    fn reset_stats(&mut self);
+
+    /// Drains dirty-victim block addresses accumulated since the last call.
+    fn take_writebacks(&mut self) -> Vec<u64>;
+
+    /// Point-in-time occupancy snapshot (valid lines per set).
+    fn occupancy(&self) -> Vec<u64>;
+
+    /// Attaches an eviction recorder tagged with `level`.
+    #[cfg(feature = "obs")]
+    fn attach_obs(&mut self, level: Level, handle: ObsHandle);
+}
+
+impl<I: SetIndexer> L2Sim for Cache<I> {
+    fn demand_access(&mut self, addr: u64, hint: u32) -> (usize, bool) {
+        self.access_indexed_hinted(addr, false, hint)
+    }
+
+    fn plain_access(&mut self, addr: u64, write: bool) -> bool {
+        self.access(addr, write)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        CacheSim::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        CacheSim::reset_stats(self);
+    }
+
+    fn take_writebacks(&mut self) -> Vec<u64> {
+        Cache::take_writebacks(self)
+    }
+
+    fn occupancy(&self) -> Vec<u64> {
+        Cache::occupancy(self)
+    }
+
+    #[cfg(feature = "obs")]
+    fn attach_obs(&mut self, level: Level, handle: ObsHandle) {
+        Cache::attach_obs(self, level, handle);
+    }
+}
+
+impl<B: SetIndexer> L2Sim for SkewedCache<B> {
+    fn demand_access(&mut self, addr: u64, _hint: u32) -> (usize, bool) {
+        self.access_indexed(addr, false)
+    }
+
+    fn plain_access(&mut self, addr: u64, write: bool) -> bool {
+        self.access(addr, write)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        CacheSim::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        CacheSim::reset_stats(self);
+    }
+
+    fn take_writebacks(&mut self) -> Vec<u64> {
+        SkewedCache::take_writebacks(self)
+    }
+
+    fn occupancy(&self) -> Vec<u64> {
+        SkewedCache::occupancy(self)
+    }
+
+    #[cfg(feature = "obs")]
+    fn attach_obs(&mut self, level: Level, handle: ObsHandle) {
+        SkewedCache::attach_obs(self, level, handle);
+    }
+}
+
+impl L2Sim for FullyAssociative {
+    fn demand_access(&mut self, addr: u64, _hint: u32) -> (usize, bool) {
+        (0, self.access(addr, false))
+    }
+
+    fn plain_access(&mut self, addr: u64, write: bool) -> bool {
+        self.access(addr, write)
+    }
+
+    fn stats(&self) -> &CacheStats {
+        CacheSim::stats(self)
+    }
+
+    fn reset_stats(&mut self) {
+        CacheSim::reset_stats(self);
+    }
+
+    fn take_writebacks(&mut self) -> Vec<u64> {
+        FullyAssociative::take_writebacks(self)
+    }
+
+    fn occupancy(&self) -> Vec<u64> {
+        FullyAssociative::occupancy(self)
+    }
+
+    #[cfg(feature = "obs")]
+    fn attach_obs(&mut self, level: Level, handle: ObsHandle) {
+        FullyAssociative::attach_obs(self, level, handle);
+    }
+}
+
+/// Runtime-selected L2 — one of the three organizations, dispatched per
+/// access. The default L2 type of [`Hierarchy`]; the monomorphized
+/// drivers use concrete types instead.
 #[derive(Debug)]
-enum L2 {
+pub enum DynL2 {
+    /// A set-associative L2 (boxed index function).
     Set(Cache),
+    /// A skewed-associative L2 (boxed per-bank index functions).
     Skewed(SkewedCache),
+    /// The fully-associative reference.
     Fa(FullyAssociative),
 }
 
-impl L2 {
-    fn access(&mut self, addr: u64, write: bool) -> bool {
+impl DynL2 {
+    /// Builds the L2 an organization describes.
+    #[must_use]
+    pub fn build(l2: L2Organization) -> Self {
+        match l2 {
+            L2Organization::SetAssoc(cfg) => DynL2::Set(Cache::new(cfg)),
+            L2Organization::Skewed(cfg) => DynL2::Skewed(SkewedCache::new(cfg)),
+            L2Organization::FullyAssociative {
+                size_bytes,
+                line_bytes,
+            } => DynL2::Fa(FullyAssociative::new(size_bytes, line_bytes)),
+        }
+    }
+}
+
+impl L2Sim for DynL2 {
+    fn demand_access(&mut self, addr: u64, hint: u32) -> (usize, bool) {
         match self {
-            L2::Set(c) => c.access(addr, write),
-            L2::Skewed(c) => c.access(addr, write),
-            L2::Fa(c) => c.access(addr, write),
+            DynL2::Set(c) => c.demand_access(addr, hint),
+            DynL2::Skewed(c) => c.demand_access(addr, hint),
+            DynL2::Fa(c) => c.demand_access(addr, hint),
+        }
+    }
+
+    fn plain_access(&mut self, addr: u64, write: bool) -> bool {
+        match self {
+            DynL2::Set(c) => c.access(addr, write),
+            DynL2::Skewed(c) => c.access(addr, write),
+            DynL2::Fa(c) => c.access(addr, write),
         }
     }
 
     fn stats(&self) -> &CacheStats {
         match self {
-            L2::Set(c) => c.stats(),
-            L2::Skewed(c) => c.stats(),
-            L2::Fa(c) => c.stats(),
+            DynL2::Set(c) => CacheSim::stats(c),
+            DynL2::Skewed(c) => CacheSim::stats(c),
+            DynL2::Fa(c) => CacheSim::stats(c),
         }
     }
 
     fn reset_stats(&mut self) {
         match self {
-            L2::Set(c) => c.reset_stats(),
-            L2::Skewed(c) => c.reset_stats(),
-            L2::Fa(c) => c.reset_stats(),
+            DynL2::Set(c) => CacheSim::reset_stats(c),
+            DynL2::Skewed(c) => CacheSim::reset_stats(c),
+            DynL2::Fa(c) => CacheSim::reset_stats(c),
+        }
+    }
+
+    fn take_writebacks(&mut self) -> Vec<u64> {
+        match self {
+            DynL2::Set(c) => c.take_writebacks(),
+            DynL2::Skewed(c) => c.take_writebacks(),
+            DynL2::Fa(c) => c.take_writebacks(),
+        }
+    }
+
+    fn occupancy(&self) -> Vec<u64> {
+        match self {
+            DynL2::Set(c) => c.occupancy(),
+            DynL2::Skewed(c) => c.occupancy(),
+            DynL2::Fa(c) => c.occupancy(),
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    fn attach_obs(&mut self, level: Level, handle: ObsHandle) {
+        match self {
+            DynL2::Set(c) => c.attach_obs(level, handle),
+            DynL2::Skewed(c) => c.attach_obs(level, handle),
+            DynL2::Fa(c) => c.attach_obs(level, handle),
         }
     }
 }
@@ -143,10 +329,14 @@ impl L2 {
 /// assert_eq!(h.access(0x1000, false), AccessOutcome::L1Hit);
 /// ```
 #[derive(Debug)]
-pub struct Hierarchy {
+pub struct Hierarchy<X = DynL2, J = Box<dyn SetIndexer>>
+where
+    X: L2Sim,
+    J: SetIndexer,
+{
     config: HierarchyConfig,
-    l1: Cache,
-    l2: L2,
+    l1: Cache<J>,
+    l2: X,
     /// Demand stats of the L2 only (excludes L1 writeback traffic), used
     /// by the figures.
     l2_demand: CacheStats,
@@ -161,20 +351,22 @@ pub struct Hierarchy {
 }
 
 impl Hierarchy {
-    /// Builds the hierarchy from its configuration.
+    /// Builds the runtime-dispatched hierarchy from its configuration.
     #[must_use]
     pub fn new(config: HierarchyConfig) -> Self {
-        let l2 = match config.l2 {
-            L2Organization::SetAssoc(cfg) => L2::Set(Cache::new(cfg)),
-            L2Organization::Skewed(cfg) => L2::Skewed(SkewedCache::new(cfg)),
-            L2Organization::FullyAssociative {
-                size_bytes,
-                line_bytes,
-            } => L2::Fa(FullyAssociative::new(size_bytes, line_bytes)),
-        };
+        Self::with_parts(config, Cache::new(config.l1), DynL2::build(config.l2))
+    }
+}
+
+impl<X: L2Sim, J: SetIndexer> Hierarchy<X, J> {
+    /// Assembles a hierarchy from pre-built caches. `l1` and `l2` must
+    /// match `config` (the monomorphized drivers build all three from
+    /// the same [`HierarchyConfig`]).
+    #[must_use]
+    pub fn with_parts(config: HierarchyConfig, l1: Cache<J>, l2: X) -> Self {
         let n_demand_sets = l2.stats().set_accesses.len();
         Self {
-            l1: Cache::new(config.l1),
+            l1,
             l2,
             l2_demand: CacheStats::new(n_demand_sets),
             memory_writes: Vec::new(),
@@ -192,11 +384,7 @@ impl Hierarchy {
     #[cfg(feature = "obs")]
     pub fn attach_obs(&mut self, handle: ObsHandle) {
         self.l1.attach_obs(Level::L1, handle.clone());
-        match &mut self.l2 {
-            L2::Set(c) => c.attach_obs(Level::L2, handle.clone()),
-            L2::Skewed(c) => c.attach_obs(Level::L2, handle.clone()),
-            L2::Fa(c) => c.attach_obs(Level::L2, handle.clone()),
-        }
+        self.l2.attach_obs(Level::L2, handle.clone());
         self.obs = Some(handle);
     }
 
@@ -205,11 +393,7 @@ impl Hierarchy {
     /// access path — intended for end-of-run occupancy histograms.
     #[must_use]
     pub fn l2_occupancy(&self) -> Vec<u64> {
-        match &self.l2 {
-            L2::Set(c) => c.occupancy(),
-            L2::Skewed(c) => c.occupancy(),
-            L2::Fa(c) => c.occupancy(),
-        }
+        self.l2.occupancy()
     }
 
     /// The hierarchy's configuration.
@@ -220,6 +404,14 @@ impl Hierarchy {
 
     /// Simulates one demand access.
     pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        self.access_hinted(addr, write, NO_HINT)
+    }
+
+    /// Simulates one demand access with a precomputed L2 set-index hint
+    /// (the batched drivers compute hints a chunk at a time;
+    /// [`NO_HINT`] falls back to the scalar path). Bit-identical to
+    /// [`Hierarchy::access`].
+    pub fn access_hinted(&mut self, addr: u64, write: bool, hint: u32) -> AccessOutcome {
         let (l1_set, l1_hit) = self.l1.access_indexed(addr, write);
         let _ = l1_set;
         #[cfg(feature = "obs")]
@@ -232,14 +424,8 @@ impl Hierarchy {
             return AccessOutcome::L1Hit;
         }
         // L1 miss: demand access to L2. The fill into L1 happened inside
-        // `Cache::access`; forward its dirty victims below. The
-        // set-associative path computes the set index once for both the
-        // access and the demand-stats attribution.
-        let (l2_set, l2_hit) = match &mut self.l2 {
-            L2::Set(c) => c.access_indexed(addr, false),
-            L2::Skewed(c) => (c.stat_set_of(addr), c.access(addr, false)),
-            L2::Fa(c) => (0, c.access(addr, false)),
-        };
+        // `Cache::access`; forward its dirty victims below.
+        let (l2_set, l2_hit) = self.l2.demand_access(addr, hint);
         self.l2_demand.record(l2_set, !l2_hit, write);
         #[cfg(feature = "obs")]
         if let Some(h) = &self.obs {
@@ -254,7 +440,7 @@ impl Hierarchy {
                 L2Organization::FullyAssociative { line_bytes, .. } => line_bytes,
             };
             for i in 1..=u64::from(self.config.prefetch_depth) {
-                self.l2.access(addr + i * line, false);
+                self.l2.plain_access(addr + i * line, false);
                 self.prefetches += 1;
             }
         }
@@ -277,24 +463,20 @@ impl Hierarchy {
         let line = self.config.l1.line_bytes();
         for block in self.l1.take_writebacks() {
             // Write the victim into L2 (write-allocate on miss).
-            self.l2.access(block * line, true);
+            self.l2.plain_access(block * line, true);
         }
         self.drain_l2_writebacks();
     }
 
     fn drain_l2_writebacks(&mut self) {
-        let blocks = match &mut self.l2 {
-            L2::Set(c) => c.take_writebacks(),
-            L2::Skewed(c) => c.take_writebacks(),
-            L2::Fa(c) => c.take_writebacks(),
-        };
+        let blocks = self.l2.take_writebacks();
         self.memory_writes.extend(blocks);
     }
 
     /// L1 statistics.
     #[must_use]
     pub fn l1_stats(&self) -> &CacheStats {
-        self.l1.stats()
+        CacheSim::stats(&self.l1)
     }
 
     /// L2 statistics including L1 writeback traffic (the raw cache view).
@@ -318,7 +500,7 @@ impl Hierarchy {
 
     /// Resets all statistics (contents survive — use after warmup).
     pub fn reset_stats(&mut self) {
-        self.l1.reset_stats();
+        CacheSim::reset_stats(&mut self.l1);
         self.l2.reset_stats();
         self.l2_demand.reset();
         self.memory_writes.clear();
@@ -330,7 +512,7 @@ impl Hierarchy {
 mod tests {
     use super::*;
     use crate::SkewHashKind;
-    use primecache_core::index::HashKind;
+    use primecache_core::index::{Geometry, HashKind, PrimeModulo, Traditional};
 
     fn paper(l2: L2Organization) -> Hierarchy {
         Hierarchy::new(HierarchyConfig::paper_default(l2))
@@ -443,5 +625,55 @@ mod tests {
         assert_eq!(h.l1_stats().accesses, 0);
         assert_eq!(h.l2_stats().accesses, 0);
         assert_eq!(h.l2_raw_stats().accesses, 0);
+    }
+
+    #[test]
+    fn monomorphized_hierarchy_matches_dyn_bit_for_bit() {
+        let l2_cfg = CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::PrimeModulo);
+        let config = HierarchyConfig::paper_default(L2Organization::SetAssoc(l2_cfg));
+        let mut dynamic = Hierarchy::new(config);
+        let mut mono = Hierarchy::with_parts(
+            config,
+            Cache::with_typed(
+                config.l1,
+                Traditional::new(Geometry::new(config.l1.n_set_phys())),
+            ),
+            Cache::with_typed(l2_cfg, PrimeModulo::new(Geometry::new(l2_cfg.n_set_phys()))),
+        );
+        for i in 0..30_000u64 {
+            let addr = (i * 7919) % (1 << 24);
+            let write = i % 3 == 0;
+            assert_eq!(dynamic.access(addr, write), mono.access(addr, write), "{i}");
+            assert_eq!(
+                dynamic.take_memory_writes(),
+                mono.take_memory_writes(),
+                "memory-write divergence at access {i}"
+            );
+        }
+        assert_eq!(dynamic.l1_stats(), mono.l1_stats());
+        assert_eq!(dynamic.l2_stats(), mono.l2_stats());
+        assert_eq!(dynamic.l2_raw_stats(), mono.l2_raw_stats());
+    }
+
+    #[test]
+    fn hinted_access_matches_unhinted() {
+        let l2_cfg = CacheConfig::new(512 * 1024, 4, 64).with_hash(HashKind::PrimeModulo);
+        let config = HierarchyConfig::paper_default(L2Organization::SetAssoc(l2_cfg));
+        let indexer = PrimeModulo::new(Geometry::new(l2_cfg.n_set_phys()));
+        let mut plain = Hierarchy::new(config);
+        let mut hinted = Hierarchy::new(config);
+        let l2_shift = l2_cfg.line_bytes().trailing_zeros();
+        for i in 0..30_000u64 {
+            let addr = (i * 6151) % (1 << 24);
+            let write = i % 5 == 0;
+            #[allow(clippy::cast_possible_truncation)]
+            let hint = indexer.index(addr >> l2_shift) as u32;
+            assert_eq!(
+                plain.access(addr, write),
+                hinted.access_hinted(addr, write, hint),
+                "{i}"
+            );
+        }
+        assert_eq!(plain.l2_stats(), hinted.l2_stats());
     }
 }

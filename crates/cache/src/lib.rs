@@ -51,13 +51,22 @@ mod victim;
 
 pub use config::{CacheConfig, ReplacementKind, SkewHashKind, SkewReplacement, SkewedConfig};
 pub use fully_assoc::FullyAssociative;
-pub use hierarchy::{AccessOutcome, Hierarchy, HierarchyConfig, L2Organization};
+pub use hierarchy::{AccessOutcome, DynL2, Hierarchy, HierarchyConfig, L2Organization, L2Sim};
 pub use infinite::InfiniteCache;
 pub use set_assoc::Cache;
 pub use skewed::{bank_disp_factor, SkewedCache};
 pub use stats::CacheStats;
 pub use tlb::{Tlb, TlbStats};
 pub use victim::VictimCache;
+
+/// Sentinel "no precomputed set index" value for the hinted access
+/// paths ([`Cache::access_indexed_hinted`], [`Hierarchy::access_hinted`]).
+///
+/// Batched drivers precompute L2 set indexes a chunk at a time and pass
+/// them down as `u32` hints; `NO_HINT` makes the cache compute the index
+/// itself. Cache constructors reject configurations with `>= NO_HINT`
+/// sets, so every real set index fits.
+pub const NO_HINT: u32 = u32::MAX;
 
 /// Common behaviour shared by every cache organization in this crate.
 ///

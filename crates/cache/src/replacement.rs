@@ -215,9 +215,166 @@ impl Replacer {
     }
 }
 
+/// Replacement state for a whole cache, flat across sets.
+///
+/// The dominant policy (true LRU — every paper configuration) gets a
+/// structure-of-arrays fast path: one flat stamp array plus one clock
+/// per set, probed and updated without per-set heap indirection. Every
+/// other policy keeps its exact per-set [`Replacer`] semantics behind
+/// the fallback variant. Both variants are bit-identical to a
+/// `Vec<Replacer>` of the same kind.
+#[derive(Debug, Clone)]
+pub(crate) enum ReplBank {
+    /// Flat true-LRU: `stamps[set * assoc + way]`, `clocks[set]`.
+    Lru {
+        /// Last-use stamp per line, set-major.
+        stamps: Vec<u64>,
+        /// Monotonic per-set access clocks.
+        clocks: Vec<u64>,
+        /// Ways per set.
+        assoc: usize,
+    },
+    /// Any other policy: one [`Replacer`] per set.
+    PerSet(Vec<Replacer>),
+}
+
+impl ReplBank {
+    /// Creates replacement state for `n_set` sets of `ways` ways.
+    pub(crate) fn new(kind: ReplacementKind, n_set: usize, ways: u32) -> Self {
+        assert!(ways >= 1, "need at least one way");
+        match kind {
+            ReplacementKind::Lru => ReplBank::Lru {
+                stamps: vec![0; n_set * ways as usize],
+                clocks: vec![0; n_set],
+                assoc: ways as usize,
+            },
+            _ => ReplBank::PerSet(vec![Replacer::new(kind, ways); n_set]),
+        }
+    }
+
+    /// Records a use of `way` in `set` (hit, or fill of that way).
+    #[inline]
+    pub(crate) fn touch(&mut self, set: usize, way: usize) {
+        match self {
+            ReplBank::Lru {
+                stamps,
+                clocks,
+                assoc,
+            } => {
+                clocks[set] += 1;
+                stamps[set * *assoc + way] = clocks[set];
+            }
+            ReplBank::PerSet(replacers) => replacers[set].touch(narrow_way(way)),
+        }
+    }
+
+    /// Records a *write* use of `way` in `set`.
+    #[inline]
+    pub(crate) fn write_touch(&mut self, set: usize, way: usize) {
+        match self {
+            ReplBank::Lru { .. } => self.touch(set, way),
+            ReplBank::PerSet(replacers) => replacers[set].write_touch(narrow_way(way)),
+        }
+    }
+
+    /// Records that `way` in `set` was just filled with a new block.
+    #[inline]
+    pub(crate) fn fill(&mut self, set: usize, way: usize) {
+        match self {
+            ReplBank::Lru { .. } => self.touch(set, way),
+            ReplBank::PerSet(replacers) => replacers[set].fill(narrow_way(way)),
+        }
+    }
+
+    /// Picks the way to evict from `set`.
+    #[inline]
+    pub(crate) fn victim(&mut self, set: usize) -> usize {
+        match self {
+            ReplBank::Lru { stamps, assoc, .. } => {
+                // Minimum stamp, first way on ties — exactly
+                // `Replacer::Lru::victim`.
+                let base = set * *assoc;
+                let mut best = 0usize;
+                for i in 1..*assoc {
+                    if stamps[base + i] < stamps[base + best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+            ReplBank::PerSet(replacers) => replacers[set].victim() as usize,
+        }
+    }
+}
+
+/// Narrows a way index to the `u32` the per-set [`Replacer`] API uses.
+/// Associativity comes from a `u32` configuration field, so ways always
+/// fit; the debug assert documents the bound.
+#[inline]
+#[allow(clippy::cast_possible_truncation)]
+fn narrow_way(way: usize) -> u32 {
+    debug_assert!(u32::try_from(way).is_ok(), "way {way} exceeds u32");
+    way as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The flat LRU bank must be bit-identical to a `Vec<Replacer>` of
+    /// LRU replacers under any touch/fill/victim interleaving.
+    #[test]
+    fn flat_lru_bank_matches_per_set_replacers() {
+        let n_set = 8;
+        let ways = 4u32;
+        let mut bank = ReplBank::new(ReplacementKind::Lru, n_set, ways);
+        let mut reference: Vec<Replacer> = (0..n_set)
+            .map(|_| Replacer::new(ReplacementKind::Lru, ways))
+            .collect();
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..10_000 {
+            // xorshift64* driving a random op on a random (set, way).
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let r = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let set = (r >> 8) as usize % n_set;
+            let way = (r >> 16) as u32 % ways;
+            match r % 4 {
+                0 => {
+                    bank.touch(set, way as usize);
+                    reference[set].touch(way);
+                }
+                1 => {
+                    bank.write_touch(set, way as usize);
+                    reference[set].write_touch(way);
+                }
+                2 => {
+                    bank.fill(set, way as usize);
+                    reference[set].fill(way);
+                }
+                _ => {
+                    assert_eq!(bank.victim(set), reference[set].victim() as usize);
+                }
+            }
+        }
+        for (set, model) in reference.iter_mut().enumerate().take(n_set) {
+            assert_eq!(bank.victim(set), model.victim() as usize);
+        }
+    }
+
+    #[test]
+    fn non_lru_bank_delegates_per_set() {
+        let mut bank = ReplBank::new(ReplacementKind::Fifo, 2, 4);
+        let mut reference = Replacer::new(ReplacementKind::Fifo, 4);
+        for _ in 0..10 {
+            let b = bank.victim(0);
+            let r = reference.victim() as usize;
+            assert_eq!(b, r);
+            bank.fill(0, b);
+            reference.fill(r as u32);
+        }
+    }
 
     #[test]
     fn lru_evicts_least_recent() {

@@ -1,26 +1,36 @@
 //! The set-associative cache.
+//!
+//! Storage is structure-of-arrays: tags in one flat `Vec<u64>`, packed
+//! valid/dirty bits in a parallel `Vec<u8>`, replacement ages in a flat
+//! bank ([`ReplBank`]). The probe loop touches two small contiguous
+//! slices per access instead of an array of line structs, and the cache
+//! is generic over its [`SetIndexer`] so the monomorphized drivers in
+//! `primecache-sim` inline the index function into the probe.
 
 use primecache_core::index::{Geometry, SetIndexer};
 
 #[cfg(feature = "obs")]
 use primecache_obs::{Level, ObsHandle};
 
-use crate::replacement::Replacer;
-use crate::{CacheConfig, CacheSim, CacheStats};
+use crate::replacement::ReplBank;
+use crate::{CacheConfig, CacheSim, CacheStats, NO_HINT};
 
-/// One cache line: the stored block address acts as the tag.
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    block: u64,
-    valid: bool,
-    dirty: bool,
-}
+/// Flag bit: the way holds a valid line.
+const VALID: u8 = 1;
+/// Flag bit: the line is dirty (write-back pending on eviction).
+const DIRTY: u8 = 2;
 
 /// A write-back set-associative cache with a pluggable index function.
 ///
 /// Lines are identified by their full block address, so any
 /// [`SetIndexer`] — including prime modulo, whose set count is not a power
 /// of two — can be used without tag-width bookkeeping.
+///
+/// The type parameter is the index function. The default, `Box<dyn
+/// SetIndexer>`, keeps the historical dynamically-dispatched shape
+/// (`Cache::new` / [`Cache::with_indexer`]); performance-critical
+/// drivers instantiate `Cache<Traditional>` etc. via
+/// [`Cache::with_typed`] so the indexer inlines into the probe loop.
 ///
 /// # Examples
 ///
@@ -33,14 +43,17 @@ struct Line {
 /// assert!(c.access(0x1000, false)); // hit
 /// ```
 #[derive(Debug)]
-pub struct Cache {
+pub struct Cache<I: SetIndexer = Box<dyn SetIndexer>> {
     config: CacheConfig,
-    indexer: Box<dyn SetIndexer>,
+    indexer: I,
     assoc: usize,
     line_shift: u32,
-    /// `n_set * assoc` lines, set-major.
-    lines: Vec<Line>,
-    replacers: Vec<Replacer>,
+    /// `n_set * assoc` block-address tags, set-major.
+    tags: Vec<u64>,
+    /// Packed [`VALID`]/[`DIRTY`] bits, parallel to `tags`.
+    flags: Vec<u8>,
+    /// Replacement ages, flat across sets (see [`ReplBank`]).
+    repl: ReplBank,
     stats: CacheStats,
     /// Block addresses written back (observable by an L2 below).
     pending_writebacks: Vec<u64>,
@@ -50,14 +63,14 @@ pub struct Cache {
 }
 
 impl Cache {
-    /// Builds a cache from its configuration.
+    /// Builds a cache from its configuration (boxed index function).
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
         let indexer = config.hash().build(Geometry::new(config.n_set_phys()));
         Self::with_indexer(config, indexer)
     }
 
-    /// Builds a cache with an explicit index function (e.g. a
+    /// Builds a cache with an explicit boxed index function (e.g. a
     /// [`PrimeDisplacement`](primecache_core::index::PrimeDisplacement)
     /// with a non-default factor).
     ///
@@ -67,20 +80,49 @@ impl Cache {
     /// provides.
     #[must_use]
     pub fn with_indexer(config: CacheConfig, indexer: Box<dyn SetIndexer>) -> Self {
+        Self::with_typed(config, indexer)
+    }
+}
+
+impl<I: SetIndexer> Cache<I> {
+    /// Builds a cache over a concrete index function, monomorphizing the
+    /// probe loop over it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indexer maps into more sets than the configuration
+    /// provides, or if the set count cannot be addressed in 32 bits
+    /// (the set-index width the hot path and the batched hint protocol
+    /// use — a >4G-set configuration must fail here, loudly, instead of
+    /// aliasing sets through a silent narrowing).
+    #[must_use]
+    pub fn with_typed(config: CacheConfig, indexer: I) -> Self {
         assert!(
             indexer.n_set() <= config.n_set_phys(),
             "indexer needs {} sets but the cache has {}",
             indexer.n_set(),
             config.n_set_phys()
         );
-        let n_set = indexer.n_set() as usize;
+        assert!(
+            indexer.n_set() < u64::from(NO_HINT),
+            "{} sets cannot be addressed in 32 bits (max {})",
+            indexer.n_set(),
+            NO_HINT - 1
+        );
+        // The 32-bit guard above makes this conversion infallible on
+        // every supported target; `try_from` keeps it checked anyway.
+        let n_set = usize::try_from(indexer.n_set()).expect("set count fits usize");
         let assoc = config.assoc() as usize;
+        let total_lines = n_set
+            .checked_mul(assoc)
+            .expect("n_set * assoc overflows usize");
         Self {
             indexer,
             assoc,
             line_shift: config.line_bytes().trailing_zeros(),
-            lines: vec![Line::default(); n_set * assoc],
-            replacers: vec![Replacer::new(config.replacement(), config.assoc()); n_set],
+            tags: vec![0; total_lines],
+            flags: vec![0; total_lines],
+            repl: ReplBank::new(config.replacement(), n_set, config.assoc()),
             stats: CacheStats::new(n_set),
             pending_writebacks: Vec::new(),
             #[cfg(feature = "obs")]
@@ -102,9 +144,9 @@ impl Cache {
     /// access path — intended for end-of-run occupancy histograms.
     #[must_use]
     pub fn occupancy(&self) -> Vec<u64> {
-        self.lines
+        self.flags
             .chunks(self.assoc)
-            .map(|set| set.iter().filter(|l| l.valid).count() as u64)
+            .map(|set| set.iter().filter(|&&f| f & VALID != 0).count() as u64)
             .collect()
     }
 
@@ -138,12 +180,22 @@ impl Cache {
         addr >> self.line_shift
     }
 
+    /// Narrows an indexer-produced set index to `usize`.
+    ///
+    /// [`Cache::with_typed`] guarantees `n_set < 2^32`, so the cast is
+    /// lossless on every supported target; the debug assert keeps that
+    /// guarantee honest against a misbehaving indexer.
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)]
+    fn narrow_set(&self, set: u64) -> usize {
+        debug_assert!(set < self.indexer.n_set(), "indexer set {set} out of range");
+        set as usize
+    }
+
     /// Probes for `block`; returns its way on a hit.
     fn probe(&self, set: usize, block: u64) -> Option<usize> {
         let base = set * self.assoc;
-        self.lines[base..base + self.assoc]
-            .iter()
-            .position(|l| l.valid && l.block == block)
+        (0..self.assoc).find(|&i| self.flags[base + i] & VALID != 0 && self.tags[base + i] == block)
     }
 
     /// Simulates an access to a *block address* (no offset bits).
@@ -151,7 +203,7 @@ impl Cache {
     /// Returns `true` on a hit. Lower-level code that already works in
     /// block units (e.g. writeback traffic) uses this directly.
     pub fn access_block(&mut self, block: u64, write: bool) -> bool {
-        let set = self.indexer.index(block) as usize;
+        let set = self.narrow_set(self.indexer.index(block));
         self.access_block_in_set(set, block, write)
     }
 
@@ -160,7 +212,26 @@ impl Cache {
     /// second evaluation of the index function.
     pub fn access_indexed(&mut self, addr: u64, write: bool) -> (usize, bool) {
         let block = self.block_of(addr);
-        let set = self.indexer.index(block) as usize;
+        let set = self.narrow_set(self.indexer.index(block));
+        (set, self.access_block_in_set(set, block, write))
+    }
+
+    /// [`Cache::access_indexed`] with a set index precomputed by a
+    /// batched front-end ([`NO_HINT`] falls back to computing it here).
+    ///
+    /// The hint must equal `indexer.index(block)` — it is a cache of the
+    /// pure index function, not an override — which debug builds assert.
+    pub fn access_indexed_hinted(&mut self, addr: u64, write: bool, hint: u32) -> (usize, bool) {
+        if hint == NO_HINT {
+            return self.access_indexed(addr, write);
+        }
+        let block = self.block_of(addr);
+        debug_assert_eq!(
+            u64::from(hint),
+            self.indexer.index(block),
+            "stale set-index hint for block {block:#x}"
+        );
+        let set = hint as usize;
         (set, self.access_block_in_set(set, block, write))
     }
 
@@ -174,9 +245,9 @@ impl Cache {
         let base = set * self.assoc;
         let mut hit_way = None;
         let mut invalid_way = None;
-        for (i, l) in self.lines[base..base + self.assoc].iter().enumerate() {
-            if l.valid {
-                if l.block == block {
+        for i in 0..self.assoc {
+            if self.flags[base + i] & VALID != 0 {
+                if self.tags[base + i] == block {
                     hit_way = Some(i);
                     break;
                 }
@@ -187,10 +258,10 @@ impl Cache {
         if let Some(way) = hit_way {
             self.stats.record(set, false, write);
             if write {
-                self.lines[base + way].dirty = true;
-                self.replacers[set].write_touch(way as u32);
+                self.flags[base + way] |= DIRTY;
+                self.repl.write_touch(set, way);
             } else {
-                self.replacers[set].touch(way as u32);
+                self.repl.touch(set, way);
             }
             #[cfg(any(debug_assertions, feature = "check"))]
             self.debug_check(set);
@@ -198,20 +269,18 @@ impl Cache {
         }
         self.stats.record(set, true, write);
         // Choose a victim: first invalid way, else the policy's pick.
-        let way = invalid_way.unwrap_or_else(|| self.replacers[set].victim() as usize);
-        let victim = &mut self.lines[base + way];
+        let way = invalid_way.unwrap_or_else(|| self.repl.victim(set));
+        let slot = base + way;
+        let victim_valid = self.flags[slot] & VALID != 0;
         #[cfg(feature = "obs")]
-        let evicted_dirty = victim.valid.then_some(victim.dirty);
-        if victim.valid && victim.dirty {
+        let evicted_dirty = victim_valid.then_some(self.flags[slot] & DIRTY != 0);
+        if victim_valid && self.flags[slot] & DIRTY != 0 {
             self.stats.record_writeback();
-            self.pending_writebacks.push(victim.block);
+            self.pending_writebacks.push(self.tags[slot]);
         }
-        *victim = Line {
-            block,
-            valid: true,
-            dirty: write,
-        };
-        self.replacers[set].fill(way as u32);
+        self.tags[slot] = block;
+        self.flags[slot] = if write { VALID | DIRTY } else { VALID };
+        self.repl.fill(set, way);
         #[cfg(feature = "obs")]
         if let (Some((level, h)), Some(dirty)) = (&self.obs, evicted_dirty) {
             h.borrow_mut().eviction(*level, set as u32, dirty);
@@ -226,30 +295,30 @@ impl Cache {
     /// line indexed to the set it sits in.
     fn check_set(&self, set: usize) -> Result<(), String> {
         let base = set * self.assoc;
-        let ways = &self.lines[base..base + self.assoc];
-        let occupancy = ways.iter().filter(|l| l.valid).count();
+        let occupancy = (0..self.assoc)
+            .filter(|&i| self.flags[base + i] & VALID != 0)
+            .count();
         if occupancy > self.assoc {
             return Err(format!(
                 "set {set}: occupancy {occupancy} exceeds {} ways",
                 self.assoc
             ));
         }
-        for (i, l) in ways.iter().enumerate() {
-            if !l.valid {
+        for i in 0..self.assoc {
+            if self.flags[base + i] & VALID == 0 {
                 continue;
             }
-            let home = self.indexer.index(l.block) as usize;
+            let block = self.tags[base + i];
+            let home = self.narrow_set(self.indexer.index(block));
             if home != set {
                 return Err(format!(
-                    "set {set} way {i}: block {:#x} belongs in set {home}",
-                    l.block
+                    "set {set} way {i}: block {block:#x} belongs in set {home}"
                 ));
             }
-            if ways[i + 1..].iter().any(|o| o.valid && o.block == l.block) {
-                return Err(format!(
-                    "set {set}: block {:#x} resident in two ways",
-                    l.block
-                ));
+            if (i + 1..self.assoc)
+                .any(|j| self.flags[base + j] & VALID != 0 && self.tags[base + j] == block)
+            {
+                return Err(format!("set {set}: block {block:#x} resident in two ways"));
             }
         }
         Ok(())
@@ -274,7 +343,7 @@ impl Cache {
                 self.stats.writebacks, self.stats.misses
             ));
         }
-        for set in 0..self.lines.len() / self.assoc {
+        for set in 0..self.tags.len() / self.assoc {
             self.check_set(set)?;
         }
         Ok(())
@@ -303,19 +372,19 @@ impl Cache {
     /// The set index `addr` maps to (for stats attribution by callers).
     #[must_use]
     pub fn set_of(&self, addr: u64) -> usize {
-        self.indexer.index(self.block_of(addr)) as usize
+        self.narrow_set(self.indexer.index(self.block_of(addr)))
     }
 
     /// Returns `true` if `addr`'s block is currently resident.
     #[must_use]
     pub fn contains(&self, addr: u64) -> bool {
         let block = self.block_of(addr);
-        let set = self.indexer.index(block) as usize;
+        let set = self.narrow_set(self.indexer.index(block));
         self.probe(set, block).is_some()
     }
 }
 
-impl CacheSim for Cache {
+impl<I: SetIndexer> CacheSim for Cache<I> {
     fn access(&mut self, addr: u64, write: bool) -> bool {
         let block = self.block_of(addr);
         self.access_block(block, write)
@@ -338,6 +407,12 @@ mod tests {
     fn tiny(hash: HashKind) -> Cache {
         // 4 sets x 2 ways x 64-B lines = 512 B.
         Cache::new(CacheConfig::new(512, 2, 64).with_hash(hash))
+    }
+
+    /// Plants a (possibly corrupt) line directly in the SoA arrays.
+    fn seed_line(c: &mut Cache, slot: usize, block: u64, dirty: bool) {
+        c.tags[slot] = block;
+        c.flags[slot] = if dirty { VALID | DIRTY } else { VALID };
     }
 
     #[test]
@@ -442,11 +517,7 @@ mod tests {
         let mut c = tiny(HashKind::Traditional);
         c.access(0, false);
         // Corrupt: the same block resident in both ways of set 0.
-        c.lines[1] = Line {
-            block: 0,
-            valid: true,
-            dirty: false,
-        };
+        seed_line(&mut c, 1, 0, false);
         let err = c.validate().unwrap_err();
         assert!(err.contains("two ways"), "{err}");
     }
@@ -456,11 +527,7 @@ mod tests {
         let mut c = tiny(HashKind::Traditional);
         c.access(0, false);
         // Corrupt: block 1 (home set 1) parked in set 0's second way.
-        c.lines[1] = Line {
-            block: 1,
-            valid: true,
-            dirty: false,
-        };
+        seed_line(&mut c, 1, 1, false);
         let err = c.validate().unwrap_err();
         assert!(err.contains("belongs in set 1"), "{err}");
     }
@@ -482,11 +549,7 @@ mod tests {
     fn per_access_check_fires_on_seeded_corruption() {
         let mut c = tiny(HashKind::Traditional);
         c.access(0, false);
-        c.lines[1] = Line {
-            block: 0,
-            valid: true,
-            dirty: false,
-        };
+        seed_line(&mut c, 1, 0, false);
         // A hit on the corrupted set trips the per-access checker (a miss
         // might evict the duplicate before the check runs).
         c.access(0, false);
@@ -499,5 +562,38 @@ mod tests {
         let cfg = CacheConfig::new(512, 2, 64); // 4 sets
         let too_big = Box::new(Traditional::new(Geometry::new(8)));
         let _ = Cache::with_indexer(cfg, too_big);
+    }
+
+    #[test]
+    fn typed_cache_matches_boxed_cache_bit_for_bit() {
+        use primecache_core::index::{Geometry, PrimeModulo};
+        let cfg = CacheConfig::new(64 * 1024, 4, 64).with_hash(HashKind::PrimeModulo);
+        let mut boxed = Cache::new(cfg);
+        let mut typed = Cache::with_typed(cfg, PrimeModulo::new(Geometry::new(cfg.n_set_phys())));
+        for i in 0..20_000u64 {
+            let addr = (i * 7919) % (1 << 24);
+            let write = i % 3 == 0;
+            assert_eq!(boxed.access(addr, write), typed.access(addr, write), "{i}");
+            assert_eq!(boxed.take_writebacks(), typed.take_writebacks(), "{i}");
+        }
+        assert_eq!(boxed.stats(), typed.stats());
+    }
+
+    #[test]
+    fn hinted_access_matches_unhinted() {
+        let cfg = CacheConfig::new(8 * 1024, 4, 64).with_hash(HashKind::Xor);
+        let mut plain = Cache::new(cfg);
+        let mut hinted = Cache::new(cfg);
+        for i in 0..5_000u64 {
+            let addr = (i * 31) % (1 << 20);
+            let write = i % 5 == 0;
+            let hint = u32::try_from(hinted.set_of(addr)).unwrap();
+            assert_eq!(
+                plain.access_indexed(addr, write),
+                hinted.access_indexed_hinted(addr, write, hint),
+                "{i}"
+            );
+        }
+        assert_eq!(plain.stats(), hinted.stats());
     }
 }

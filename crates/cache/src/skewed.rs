@@ -1,24 +1,27 @@
 //! The skewed-associative cache (Seznec's design, §3.3 / §5.3).
+//!
+//! Storage is structure-of-arrays (flat tag and packed usage-bit
+//! arrays) and the candidate-slot list is a reused scratch buffer, so
+//! the access path allocates nothing. The cache is generic over its
+//! per-bank index function type; the monomorphized drivers in
+//! `primecache-sim` instantiate it with concrete bank indexers so each
+//! bank's hash inlines into the probe loop.
 
 use primecache_core::index::{Geometry, SetIndexer, SkewDispBank, SkewXorBank, SKEW_DISP_FACTORS};
 
 #[cfg(feature = "obs")]
 use primecache_obs::{Level, ObsHandle};
 
-use crate::{CacheSim, CacheStats, SkewHashKind, SkewReplacement, SkewedConfig};
+use crate::{CacheSim, CacheStats, SkewHashKind, SkewReplacement, SkewedConfig, NO_HINT};
 
-/// One line of a direct-mapped bank, with the usage bits the inter-bank
-/// replacement policies need.
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    block: u64,
-    valid: bool,
-    dirty: bool,
-    /// Recently used (ENRU / NRUNRW).
-    r: bool,
-    /// Recently written (NRUNRW only).
-    w: bool,
-}
+/// Flag bit: the slot holds a valid line.
+const VALID: u8 = 1;
+/// Flag bit: the line is dirty.
+const DIRTY: u8 = 2;
+/// Flag bit: recently used (ENRU / NRUNRW).
+const RBIT: u8 = 4;
+/// Flag bit: recently written (NRUNRW only).
+const WBIT: u8 = 8;
 
 /// A skewed-associative cache: `banks` direct-mapped banks, each indexed by
 /// its own hash function, with ENRU or NRUNRW inter-bank replacement.
@@ -41,15 +44,21 @@ struct Line {
 /// assert!(skw.access(0xBEEF00, false));
 /// ```
 #[derive(Debug)]
-pub struct SkewedCache {
+pub struct SkewedCache<B: SetIndexer = Box<dyn SetIndexer>> {
     config: SkewedConfig,
-    indexers: Vec<Box<dyn SetIndexer>>,
+    indexers: Vec<B>,
     sets_per_bank: usize,
     ways: usize,
     line_shift: u32,
-    /// Bank-major storage:
-    /// `lines[(bank * sets_per_bank + set) * ways + way]`.
-    lines: Vec<Line>,
+    /// Bank-major block-address tags:
+    /// `tags[(bank * sets_per_bank + set) * ways + way]`.
+    tags: Vec<u64>,
+    /// Packed [`VALID`]/[`DIRTY`]/[`RBIT`]/[`WBIT`] bits, parallel to
+    /// `tags`.
+    flags: Vec<u8>,
+    /// Reused candidate-slot scratch (keeps the access path
+    /// allocation-free).
+    scratch: Vec<usize>,
     /// Round-robin tie-break counter for victim selection.
     rr: u32,
     stats: CacheStats,
@@ -70,26 +79,63 @@ pub fn bank_disp_factor(bank: u32) -> u64 {
 }
 
 impl SkewedCache {
-    /// Builds a skewed cache from its configuration.
+    /// Builds a skewed cache from its configuration (boxed per-bank
+    /// index functions).
     #[must_use]
     pub fn new(config: SkewedConfig) -> Self {
+        match config.hash() {
+            SkewHashKind::Xor => Self::with_banks(config, |b, g| {
+                Box::new(SkewXorBank::new(g, b)) as Box<dyn SetIndexer>
+            }),
+            SkewHashKind::PrimeDisplacement => Self::with_banks(config, |b, g| {
+                Box::new(SkewDispBank::new(g, bank_disp_factor(b))) as Box<dyn SetIndexer>
+            }),
+        }
+    }
+}
+
+impl<B: SetIndexer> SkewedCache<B> {
+    /// Builds a skewed cache with a concrete per-bank index function,
+    /// monomorphizing every bank's hash into the probe loop. `make` is
+    /// called once per bank with `(bank, geometry)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bank indexer does not map into exactly
+    /// `sets_per_bank` sets, or if the set count cannot be addressed in
+    /// 32 bits (a >4G-set configuration fails loudly here instead of
+    /// aliasing sets).
+    #[must_use]
+    pub fn with_banks(config: SkewedConfig, make: impl Fn(u32, Geometry) -> B) -> Self {
         let geom = Geometry::new(config.sets_per_bank());
-        let indexers: Vec<Box<dyn SetIndexer>> = (0..config.banks())
-            .map(|b| match config.hash() {
-                SkewHashKind::Xor => Box::new(SkewXorBank::new(geom, b)) as Box<dyn SetIndexer>,
-                SkewHashKind::PrimeDisplacement => {
-                    Box::new(SkewDispBank::new(geom, bank_disp_factor(b))) as Box<dyn SetIndexer>
-                }
-            })
-            .collect();
-        let sets_per_bank = config.sets_per_bank() as usize;
+        let indexers: Vec<B> = (0..config.banks()).map(|b| make(b, geom)).collect();
+        for (b, ix) in indexers.iter().enumerate() {
+            assert!(
+                ix.n_set() == config.sets_per_bank(),
+                "bank {b} indexer maps {} sets, config has {}",
+                ix.n_set(),
+                config.sets_per_bank()
+            );
+        }
+        assert!(
+            config.sets_per_bank() < u64::from(NO_HINT),
+            "{} sets per bank cannot be addressed in 32 bits",
+            config.sets_per_bank()
+        );
+        let sets_per_bank = usize::try_from(config.sets_per_bank()).expect("sets fit usize");
         let ways = config.ways_per_bank() as usize;
+        let total_lines = sets_per_bank
+            .checked_mul(config.banks() as usize)
+            .and_then(|n| n.checked_mul(ways))
+            .expect("bank * set * way count overflows usize");
         Self {
             indexers,
             sets_per_bank,
             ways,
             line_shift: config.line_bytes().trailing_zeros(),
-            lines: vec![Line::default(); sets_per_bank * config.banks() as usize * ways],
+            tags: vec![0; total_lines],
+            flags: vec![0; total_lines],
+            scratch: Vec::with_capacity(config.banks() as usize * ways),
             rr: 0,
             stats: CacheStats::new(sets_per_bank),
             pending_writebacks: Vec::new(),
@@ -112,9 +158,9 @@ impl SkewedCache {
     /// bank-major. Not on the access path.
     #[must_use]
     pub fn occupancy(&self) -> Vec<u64> {
-        self.lines
+        self.flags
             .chunks(self.ways)
-            .map(|set| set.iter().filter(|l| l.valid).count() as u64)
+            .map(|set| set.iter().filter(|&&f| f & VALID != 0).count() as u64)
             .collect()
     }
 
@@ -129,12 +175,13 @@ impl SkewedCache {
         std::mem::take(&mut self.pending_writebacks)
     }
 
-    /// The per-bank set indexes for a block.
-    fn bank_sets(&self, block: u64) -> Vec<usize> {
-        self.indexers
-            .iter()
-            .map(|ix| ix.index(block) as usize)
-            .collect()
+    /// Narrows an indexer-produced set index to `usize` (lossless:
+    /// [`SkewedCache::with_banks`] guarantees `sets_per_bank < 2^32`).
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)]
+    fn narrow_set(&self, set: u64) -> usize {
+        debug_assert!(set < self.config.sets_per_bank(), "bank set out of range");
+        set as usize
     }
 
     /// First storage slot of (bank, set); the set's ways follow
@@ -144,15 +191,21 @@ impl SkewedCache {
         (bank * self.sets_per_bank + set) * self.ways
     }
 
-    /// Every candidate line slot of an access: all ways of every bank's
-    /// indexed set.
-    fn candidate_slots(&self, sets: &[usize]) -> Vec<usize> {
-        let mut slots = Vec::with_capacity(sets.len() * self.ways);
-        for (b, &set) in sets.iter().enumerate() {
+    /// Fills `slots` with every candidate line slot of `block` (all ways
+    /// of every bank's indexed set) and returns the bank-0 set (the
+    /// stats-attribution axis).
+    fn collect_candidates(&self, block: u64, slots: &mut Vec<usize>) -> usize {
+        slots.clear();
+        let mut stat_set = 0usize;
+        for (b, ix) in self.indexers.iter().enumerate() {
+            let set = self.narrow_set(ix.index(block));
+            if b == 0 {
+                stat_set = set;
+            }
             let base = self.slot(b, set);
             slots.extend(base..base + self.ways);
         }
-        slots
+        stat_set
     }
 
     /// Picks the victim among the candidate lines (indexes into the
@@ -160,19 +213,22 @@ impl SkewedCache {
     fn pick_victim(&mut self, slots: &[usize]) -> usize {
         let n = slots.len();
         // Invalid lines first.
-        if let Some(i) = (0..n).find(|&i| !self.lines[slots[i]].valid) {
+        if let Some(i) = (0..n).find(|&i| self.flags[slots[i]] & VALID == 0) {
             return i;
         }
-        let class_of = |l: &Line| -> u32 {
-            match self.config.replacement() {
-                SkewReplacement::Enru => u32::from(l.r),
+        let repl = self.config.replacement();
+        let class_of = |f: u8| -> u32 {
+            match repl {
+                SkewReplacement::Enru => u32::from(f & RBIT != 0),
                 // NRUNRW priority: (!r,!w) < (!r,w) < (r,!w) < (r,w).
-                SkewReplacement::Nrunrw => (u32::from(l.r) << 1) | u32::from(l.w),
+                SkewReplacement::Nrunrw => {
+                    (u32::from(f & RBIT != 0) << 1) | u32::from(f & WBIT != 0)
+                }
             }
         };
         let best_class = slots
             .iter()
-            .map(|&s| class_of(&self.lines[s]))
+            .map(|&s| class_of(self.flags[s]))
             .min()
             .expect("at least one candidate");
         // Round-robin among the best class.
@@ -180,7 +236,7 @@ impl SkewedCache {
         let start = self.rr as usize % n;
         for off in 0..n {
             let i = (start + off) % n;
-            if class_of(&self.lines[slots[i]]) == best_class {
+            if class_of(self.flags[slots[i]]) == best_class {
                 return i;
             }
         }
@@ -192,12 +248,11 @@ impl SkewedCache {
     fn age(&mut self, slots: &[usize], keep: usize) {
         if slots
             .iter()
-            .all(|&s| !self.lines[s].valid || self.lines[s].r)
+            .all(|&s| self.flags[s] & VALID == 0 || self.flags[s] & RBIT != 0)
         {
             for (b, &s) in slots.iter().enumerate() {
                 if b != keep {
-                    self.lines[s].r = false;
-                    self.lines[s].w = false;
+                    self.flags[s] &= !(RBIT | WBIT);
                 }
             }
         }
@@ -205,48 +260,66 @@ impl SkewedCache {
 
     /// Simulates an access to a block address.
     pub fn access_block(&mut self, block: u64, write: bool) -> bool {
-        let sets = self.bank_sets(block);
-        let slots = self.candidate_slots(&sets);
-        // Attribute stats to the bank-0 set (the natural histogram axis).
-        let stat_set = sets[0];
+        self.access_block_indexed(block, write).1
+    }
+
+    /// Simulates an access to a block address, also returning the bank-0
+    /// set for stats attribution (computed once, alongside the probe).
+    pub fn access_block_indexed(&mut self, block: u64, write: bool) -> (usize, bool) {
+        // The scratch buffer is detached while borrowed so the probe can
+        // take `&mut self`; every return path restores it.
+        let mut slots = std::mem::take(&mut self.scratch);
+        let stat_set = self.collect_candidates(block, &mut slots);
+        let hit = self.access_at_candidates(block, write, stat_set, &slots);
+        self.scratch = slots;
+        (stat_set, hit)
+    }
+
+    /// Simulates an access to a byte address, returning `(stat_set, hit)`.
+    pub fn access_indexed(&mut self, addr: u64, write: bool) -> (usize, bool) {
+        self.access_block_indexed(addr >> self.line_shift, write)
+    }
+
+    /// The probe/fill path over an already-collected candidate list.
+    fn access_at_candidates(
+        &mut self,
+        block: u64,
+        write: bool,
+        stat_set: usize,
+        slots: &[usize],
+    ) -> bool {
         for (i, &slot) in slots.iter().enumerate() {
-            let line = self.lines[slot];
-            if line.valid && line.block == block {
+            if self.flags[slot] & VALID != 0 && self.tags[slot] == block {
                 self.stats.record(stat_set, false, write);
-                let line = &mut self.lines[slot];
-                line.r = true;
-                line.w |= write;
-                self.age(&slots, i);
+                // NB: dirty is set at fill time only — write hits mark the
+                // NRUNRW `w` usage bit but do not re-dirty the line (the
+                // behavior the check-battery oracle pins).
+                self.flags[slot] |= RBIT | if write { WBIT } else { 0 };
+                self.age(slots, i);
                 #[cfg(any(debug_assertions, feature = "check"))]
-                self.debug_check(block, &slots);
+                self.debug_check(block, slots);
                 return true;
             }
         }
         self.stats.record(stat_set, true, write);
-        let victim_i = self.pick_victim(&slots);
+        let victim_i = self.pick_victim(slots);
         let slot = slots[victim_i];
-        let victim = &mut self.lines[slot];
+        let victim_valid = self.flags[slot] & VALID != 0;
         #[cfg(feature = "obs")]
-        let evicted_dirty = victim.valid.then_some(victim.dirty);
-        if victim.valid && victim.dirty {
+        let evicted_dirty = victim_valid.then_some(self.flags[slot] & DIRTY != 0);
+        if victim_valid && self.flags[slot] & DIRTY != 0 {
             self.stats.record_writeback();
-            self.pending_writebacks.push(victim.block);
+            self.pending_writebacks.push(self.tags[slot]);
         }
         #[cfg(feature = "obs")]
         if let (Some((level, h)), Some(dirty)) = (&self.obs, evicted_dirty) {
             h.borrow_mut().eviction(*level, stat_set as u32, dirty);
         }
-        let victim = &mut self.lines[slot];
-        *victim = Line {
-            block,
-            valid: true,
-            dirty: write,
-            r: true,
-            w: write,
-        };
-        self.age(&slots, victim_i);
+        self.tags[slot] = block;
+        self.flags[slot] = VALID | RBIT | if write { DIRTY | WBIT } else { 0 };
+        self.age(slots, victim_i);
         #[cfg(any(debug_assertions, feature = "check"))]
-        self.debug_check(block, &slots);
+        self.debug_check(block, slots);
         false
     }
 
@@ -269,23 +342,23 @@ impl SkewedCache {
             ));
         }
         let mut seen = std::collections::HashMap::new();
-        for (i, l) in self.lines.iter().enumerate() {
-            if !l.valid {
+        for i in 0..self.tags.len() {
+            if self.flags[i] & VALID == 0 {
                 continue;
             }
+            let block = self.tags[i];
             let bank = i / (self.sets_per_bank * self.ways);
             let set = (i / self.ways) % self.sets_per_bank;
-            let home = self.indexers[bank].index(l.block) as usize;
+            let home = self.narrow_set(self.indexers[bank].index(block));
             if home != set {
                 return Err(format!(
-                    "bank {bank} set {set}: block {:#x} belongs in set {home}",
-                    l.block
+                    "bank {bank} set {set}: block {block:#x} belongs in set {home}"
                 ));
             }
-            if let Some(prev) = seen.insert(l.block, (bank, set)) {
+            if let Some(prev) = seen.insert(block, (bank, set)) {
                 return Err(format!(
-                    "block {:#x} resident twice: bank {} set {} and bank {bank} set {set}",
-                    l.block, prev.0, prev.1
+                    "block {block:#x} resident twice: bank {} set {} and bank {bank} set {set}",
+                    prev.0, prev.1
                 ));
             }
         }
@@ -309,7 +382,7 @@ impl SkewedCache {
         );
         let copies = slots
             .iter()
-            .filter(|&&s| self.lines[s].valid && self.lines[s].block == block)
+            .filter(|&&s| self.flags[s] & VALID != 0 && self.tags[s] == block)
             .count();
         assert!(
             copies == 1,
@@ -321,22 +394,22 @@ impl SkewedCache {
     /// The bank-0 set index `addr` maps to (the stats-attribution axis).
     #[must_use]
     pub fn stat_set_of(&self, addr: u64) -> usize {
-        self.indexers[0].index(addr >> self.line_shift) as usize
+        self.narrow_set(self.indexers[0].index(addr >> self.line_shift))
     }
 
     /// Returns `true` if `addr`'s block is resident in any bank.
     #[must_use]
     pub fn contains(&self, addr: u64) -> bool {
         let block = addr >> self.line_shift;
-        let sets = self.bank_sets(block);
-        self.candidate_slots(&sets).iter().any(|&slot| {
-            let l = &self.lines[slot];
-            l.valid && l.block == block
+        self.indexers.iter().enumerate().any(|(b, ix)| {
+            let set = self.narrow_set(ix.index(block));
+            let base = self.slot(b, set);
+            (base..base + self.ways).any(|s| self.flags[s] & VALID != 0 && self.tags[s] == block)
         })
     }
 }
 
-impl CacheSim for SkewedCache {
+impl<B: SetIndexer> CacheSim for SkewedCache<B> {
     fn access(&mut self, addr: u64, write: bool) -> bool {
         self.access_block(addr >> self.line_shift, write)
     }
@@ -356,6 +429,12 @@ mod tests {
 
     fn paper_skew(hash: SkewHashKind) -> SkewedCache {
         SkewedCache::new(SkewedConfig::new(512 * 1024, 4, 64, hash))
+    }
+
+    /// Plants a (possibly corrupt) line directly in the SoA arrays.
+    fn seed_line(c: &mut SkewedCache, slot: usize, block: u64, flags: u8) {
+        c.tags[slot] = block;
+        c.flags[slot] = flags;
     }
 
     #[test]
@@ -471,13 +550,7 @@ mod tests {
         let block = 0x12345u64;
         let set = c.indexers[1].index(block) as usize;
         let slot = c.slot(1, set);
-        c.lines[slot] = Line {
-            block,
-            valid: true,
-            dirty: false,
-            r: true,
-            w: false,
-        };
+        seed_line(&mut c, slot, block, VALID | RBIT);
         let err = c.validate().unwrap_err();
         assert!(err.contains("resident twice"), "{err}");
     }
@@ -490,13 +563,7 @@ mod tests {
         let block = 0xDEADu64;
         let wrong_set = (c.indexers[2].index(block) as usize + 1) % c.sets_per_bank;
         let slot = c.slot(2, wrong_set);
-        c.lines[slot] = Line {
-            block,
-            valid: true,
-            dirty: false,
-            r: false,
-            w: false,
-        };
+        seed_line(&mut c, slot, block, VALID);
         let err = c.validate().unwrap_err();
         assert!(err.contains("belongs in set"), "{err}");
     }
@@ -510,13 +577,7 @@ mod tests {
         c.access_block(block, false);
         let set = c.indexers[1].index(block) as usize;
         let slot = c.slot(1, set);
-        c.lines[slot] = Line {
-            block,
-            valid: true,
-            dirty: false,
-            r: true,
-            w: false,
-        };
+        seed_line(&mut c, slot, block, VALID | RBIT);
         // A re-reference sees the block twice among its candidates.
         c.access_block(block, false);
     }
@@ -531,5 +592,20 @@ mod tests {
             (c.stats().hits, c.stats().misses, c.stats().writebacks)
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn typed_banks_match_boxed_banks_bit_for_bit() {
+        let cfg = SkewedConfig::new(64 * 1024, 4, 64, SkewHashKind::PrimeDisplacement);
+        let mut boxed = SkewedCache::new(cfg);
+        let mut typed =
+            SkewedCache::with_banks(cfg, |b, g| SkewDispBank::new(g, bank_disp_factor(b)));
+        for i in 0..20_000u64 {
+            let addr = (i * 7919) % (1 << 24);
+            let write = i % 3 == 0;
+            assert_eq!(boxed.access(addr, write), typed.access(addr, write), "{i}");
+            assert_eq!(boxed.take_writebacks(), typed.take_writebacks(), "{i}");
+        }
+        assert_eq!(boxed.stats(), typed.stats());
     }
 }

@@ -18,8 +18,8 @@ use crate::oracle::{
 use crate::prop::{forall_result, Rng, Shrink};
 
 use primecache_cache::{
-    Cache, CacheConfig, CacheSim, ReplacementKind, SkewHashKind, SkewReplacement, SkewedCache,
-    SkewedConfig, VictimCache,
+    Cache, CacheConfig, CacheSim, FullyAssociative, ReplacementKind, SkewHashKind, SkewReplacement,
+    SkewedCache, SkewedConfig, VictimCache,
 };
 use primecache_core::hw::{
     mersenne_fold, IterativeLinear, Polynomial, SubtractSelect, TlbAssist, Wired2039,
@@ -589,6 +589,51 @@ fn skewed_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
         .collect()
 }
 
+fn fully_assoc_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    // The fully-associative cache tracks recency with packed age stamps
+    // in a min-heap (not an ordered map); pit it against the single-set
+    // LRU oracle at two capacities — tiny (constant thrash, every miss
+    // evicts) and moderate (hit/miss mix, heap several levels deep).
+    [
+        ("cache/fully_assoc/16-line", 16u64),
+        ("cache/fully_assoc/96-line", 96u64),
+    ]
+    .into_iter()
+    .map(|(name, lines)| {
+        run_unit(
+            cfg,
+            name,
+            stream_cases(cfg),
+            STREAM_LEN,
+            // Domain ~8x capacity so the LRU order, not just presence,
+            // decides most outcomes; `lines` as the stride base keeps
+            // the adversarial classes folding onto themselves.
+            move |rng| gen_stream(rng, 8 * lines, lines),
+            move |stream: &Vec<(u64, bool)>| {
+                let mut fast = FullyAssociative::new(lines * 64, 64);
+                let mut oracle = OracleCache::new(1, lines as usize, OraclePolicy::Lru, |_| 0);
+                for (i, &(block, write)) in stream.iter().enumerate() {
+                    let fast_hit = fast.access_block(block, write);
+                    let want = oracle.access_block(block, write);
+                    assert_eq!(
+                        fast_hit, want.hit,
+                        "access {i} (block {block:#x}, write {write}): hit/miss mismatch"
+                    );
+                    let fast_wb = fast.take_writebacks();
+                    let want_wb: Vec<u64> = want.writeback.into_iter().collect();
+                    assert_eq!(
+                        fast_wb, want_wb,
+                        "access {i} (block {block:#x}): writeback mismatch"
+                    );
+                }
+                let s = fast.stats();
+                assert_eq!(s.hits + s.misses, s.accesses, "stat integrity after replay");
+            },
+        )
+    })
+    .collect()
+}
+
 fn victim_unit(cfg: &BatteryConfig) -> UnitReport {
     // 4 KB 2-way main cache (32 sets) with a 4-entry victim buffer.
     let cc = CacheConfig::new(4 * 1024, 2, 64);
@@ -676,6 +721,7 @@ pub fn run_battery(cfg: &BatteryConfig) -> Vec<UnitReport> {
     out.extend(fastmod_units(cfg));
     out.extend(set_assoc_units(cfg));
     out.extend(skewed_units(cfg));
+    out.extend(fully_assoc_units(cfg));
     out.push(victim_unit(cfg));
     out.extend(dram_units(cfg));
     out
@@ -747,6 +793,8 @@ mod tests {
             "cache/set_assoc/pMod",
             "cache/skewed/SKW",
             "cache/skewed/skw+pDisp",
+            "cache/fully_assoc/16-line",
+            "cache/fully_assoc/96-line",
             "cache/victim",
             "mem/dram",
         ] {

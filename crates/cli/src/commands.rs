@@ -30,7 +30,8 @@ USAGE:
   pcache metrics --stride S                balance/concentration at a stride
   pcache metrics --app <name> [--refs N]   same metrics over a workload trace
   pcache taxonomy [--refs N]               three-C miss decomposition
-  pcache bench [--scheme S] [--refs N]     simulator throughput (refs/sec)
+  pcache bench [--scheme S] [--refs N] [--strict]
+                                           simulator throughput (refs/sec)
   pcache analyze [--json]                  static certificates + config lints
   pcache analyze --self-check [--refs N]   cross-validate the static analyzer
   pcache conc-check [--bound N] [--check NAME] [--replay SEED]
@@ -240,12 +241,15 @@ pub fn sweep(args: &[String]) -> i32 {
 }
 
 /// `pcache bench [--scheme S] [--refs N] [--out FILE] [--baseline FILE]
-/// [--max-regress PCT]`
+/// [--max-regress PCT] [--strict]`
 ///
 /// Measures end-to-end simulator throughput (simulated memory references
 /// per wall-clock second) over the whole workload suite, one row per
 /// scheme. `--out` writes the `BENCH_throughput.json` document;
-/// `--baseline` turns the run into a regression gate.
+/// `--baseline` turns the run into a regression gate. A measured scheme
+/// with no baseline entry is *ungated* — it always warns loudly, and
+/// with `--strict` (CI) it fails the run, so new schemes cannot slip
+/// past the perf floor unbaselined.
 pub fn bench(args: &[String]) -> i32 {
     let refs = match flag_parsed(args, "--refs", 50_000u64) {
         Ok(v) => v,
@@ -311,6 +315,20 @@ pub fn bench(args: &[String]) -> i32 {
         if baseline.is_empty() {
             eprintln!("baseline {path} contains no scheme entries");
             return 1;
+        }
+        let strict = args.iter().any(|a| a == "--strict");
+        let missing = report.missing_from_baseline(&baseline);
+        if !missing.is_empty() {
+            eprintln!(
+                "WARNING: {} scheme(s) measured but absent from baseline {path} \
+                 (ungated by the regression check): {}",
+                missing.len(),
+                missing.join(", ")
+            );
+            if strict {
+                eprintln!("--strict: unbaselined schemes are an error; add entries to {path}");
+                return 1;
+            }
         }
         let regressions = report.regressions(&baseline, max_regress);
         if !regressions.is_empty() {

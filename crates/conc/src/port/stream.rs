@@ -157,6 +157,50 @@ impl<B: Backend, T: Send + 'static> ChunkStream<B, T> {
         }
     }
 
+    /// Next whole chunk, preserving item order with [`next_item`]: a
+    /// partially consumed current chunk is returned first (its remaining
+    /// items), then whole chunks come off the channel. `None` once the
+    /// producer has finished and everything is consumed.
+    ///
+    /// Interleaving `next_chunk` and `next_item` is sound — the
+    /// concatenation of everything returned is always the produced item
+    /// sequence. Back-pressure accounting matches `next_item`: a pull
+    /// that finds the channel empty counts one blocked wait.
+    ///
+    /// [`next_item`]: ChunkStream::next_item
+    pub fn next_chunk(&mut self) -> Option<Vec<T>> {
+        let rest: Vec<T> = std::mem::replace(&mut self.chunk, Vec::new().into_iter()).collect();
+        if !rest.is_empty() {
+            return Some(rest);
+        }
+        loop {
+            let rx = self.rx.as_ref()?;
+            let received = match rx.try_recv() {
+                TryRecv::Item(chunk) => Some(chunk),
+                TryRecv::Empty => {
+                    self.blocked_waits += 1;
+                    rx.recv()
+                }
+                TryRecv::Disconnected => None,
+            };
+            match received {
+                Some(chunk) => {
+                    self.chunks += 1;
+                    // Producers only send non-empty chunks, but tolerate
+                    // an empty one rather than return a confusing
+                    // `Some(vec![])`.
+                    if !chunk.is_empty() {
+                        return Some(chunk);
+                    }
+                }
+                None => {
+                    self.rx = None;
+                    return None;
+                }
+            }
+        }
+    }
+
     /// Back-pressure counters: `(chunks, blocked_waits)` — chunks pulled
     /// from the producer, and how many of those pulls found the channel
     /// empty and had to block.

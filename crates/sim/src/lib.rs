@@ -38,4 +38,7 @@ pub mod throughput;
 
 pub use artifact::{build_report, report_for_run};
 pub use config::{MachineConfig, Scheme};
-pub use run::{run_trace, run_workload, run_workload_warm, RunResult};
+pub use run::{
+    run_trace, run_trace_reference, run_workload, run_workload_reference, run_workload_warm,
+    RunResult,
+};

@@ -1,10 +1,31 @@
 //! Single-run driver.
+//!
+//! The public entry points ([`run_trace`], [`run_workload`],
+//! [`run_workload_warm`]) dispatch **once** per run on the scheme's L2
+//! organization and hash kind, then hand the whole trace to a driver
+//! monomorphized over the concrete cache and index-function types — no
+//! per-reference `dyn` dispatch on the hot path. The streamed drivers
+//! additionally precompute L2 set indexes a chunk at a time
+//! ([`primecache_workloads::EventStream::next_chunk`]) and pass them to
+//! the hierarchy as hints.
+//!
+//! All drivers are bit-identical to the dynamically-dispatched
+//! reference path, kept as [`run_trace_reference`]; the
+//! `batched_equivalence` integration test proves it per workload and
+//! scheme (stats, writeback order, fingerprints).
 
-use primecache_cache::{CacheStats, Hierarchy};
+use primecache_cache::{
+    bank_disp_factor, Cache, CacheStats, FullyAssociative, Hierarchy, HierarchyConfig,
+    L2Organization, L2Sim, SkewHashKind, SkewedCache, NO_HINT,
+};
+use primecache_core::index::{
+    Geometry, HashKind, PrimeDisplacement, PrimeModulo, SetIndexer, SkewDispBank, SkewXorBank,
+    Traditional, Xor,
+};
 use primecache_cpu::{Cpu, ExecBreakdown};
 use primecache_mem::{Dram, DramStats};
 use primecache_trace::Event;
-use primecache_workloads::Workload;
+use primecache_workloads::{EventStream, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::{MachineConfig, Scheme};
@@ -32,13 +53,352 @@ impl RunResult {
     }
 }
 
+/// Per-scheme L2 set-index precomputation for the batched drivers.
+///
+/// The hinter owns a copy of the *same* index function the L2 cache was
+/// built with, so a hint is exactly the value the cache would compute
+/// (debug builds assert this inside the cache).
+trait L2Hint {
+    /// The L2 set index of a block address, or [`NO_HINT`] when the
+    /// organization has no single per-access set (skewed, FA).
+    fn l2_hint(&self, block: u64) -> u32;
+}
+
+/// No precomputation: skewed and fully-associative L2s probe all their
+/// candidate locations anyway.
+struct NoHint;
+
+impl L2Hint for NoHint {
+    #[inline]
+    fn l2_hint(&self, _block: u64) -> u32 {
+        NO_HINT
+    }
+}
+
+/// Precomputes set indexes with a concrete index function (the
+/// set-associative schemes).
+struct IndexHint<I: SetIndexer>(I);
+
+impl<I: SetIndexer> L2Hint for IndexHint<I> {
+    #[inline]
+    #[allow(clippy::cast_possible_truncation)]
+    fn l2_hint(&self, block: u64) -> u32 {
+        // Lossless: cache constructors reject >= 2^32-set configurations,
+        // and this is a copy of the cache's own index function.
+        let set = self.0.index(block);
+        debug_assert!(set < u64::from(NO_HINT), "set {set} out of hint range");
+        set as u32
+    }
+}
+
+/// `(event, L2 set hint)` pairs pulled chunk-at-a-time from an
+/// [`EventStream`]: each chunk's set indexes are computed in one batch
+/// pass before any event is simulated.
+struct HintedChunks<H: L2Hint> {
+    stream: EventStream,
+    hinter: H,
+    l2_line_shift: u32,
+    buf: std::vec::IntoIter<(Event, u32)>,
+}
+
+impl<H: L2Hint> HintedChunks<H> {
+    fn new(stream: EventStream, hinter: H, l2_line_bytes: u64) -> Self {
+        Self {
+            stream,
+            hinter,
+            l2_line_shift: l2_line_bytes.trailing_zeros(),
+            buf: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl<H: L2Hint> Iterator for HintedChunks<H> {
+    type Item = (Event, u32);
+
+    fn next(&mut self) -> Option<(Event, u32)> {
+        loop {
+            if let Some(pair) = self.buf.next() {
+                return Some(pair);
+            }
+            let chunk = self.stream.next_chunk()?;
+            let shift = self.l2_line_shift;
+            let hinted: Vec<(Event, u32)> = chunk
+                .into_iter()
+                .map(|ev| {
+                    let hint = ev
+                        .addr()
+                        .map_or(NO_HINT, |a| self.hinter.l2_hint(a >> shift));
+                    (ev, hint)
+                })
+                .collect();
+            self.buf = hinted.into_iter();
+        }
+    }
+}
+
+/// One monomorphized run request; [`dispatch`] resolves the scheme's L2
+/// and hinter types once and calls [`DriverOp::exec`] with them.
+trait DriverOp {
+    fn exec<X: L2Sim, H: L2Hint>(self, hcfg: HierarchyConfig, l2: X, hinter: H) -> RunResult;
+}
+
+/// Resolves `scheme` to concrete L2 cache + hinter types and runs `op`
+/// monomorphized over them. This is the once-per-run dispatch that
+/// replaces per-reference `Box<dyn SetIndexer>` calls.
+fn dispatch<Op: DriverOp>(machine: &MachineConfig, scheme: Scheme, op: Op) -> RunResult {
+    let hcfg = machine.hierarchy_config(scheme);
+    match hcfg.l2 {
+        L2Organization::SetAssoc(cfg) => {
+            let geom = Geometry::new(cfg.n_set_phys());
+            match cfg.hash() {
+                HashKind::Traditional => {
+                    let ix = Traditional::new(geom);
+                    op.exec(hcfg, Cache::with_typed(cfg, ix), IndexHint(ix))
+                }
+                HashKind::Xor => {
+                    let ix = Xor::new(geom);
+                    op.exec(hcfg, Cache::with_typed(cfg, ix), IndexHint(ix))
+                }
+                HashKind::PrimeModulo => {
+                    let ix = PrimeModulo::new(geom);
+                    op.exec(hcfg, Cache::with_typed(cfg, ix), IndexHint(ix))
+                }
+                HashKind::PrimeDisplacement => {
+                    let ix = PrimeDisplacement::paper_default(geom);
+                    op.exec(hcfg, Cache::with_typed(cfg, ix), IndexHint(ix))
+                }
+            }
+        }
+        L2Organization::Skewed(cfg) => match cfg.hash() {
+            SkewHashKind::Xor => op.exec(
+                hcfg,
+                SkewedCache::with_banks(cfg, |b, g| SkewXorBank::new(g, b)),
+                NoHint,
+            ),
+            SkewHashKind::PrimeDisplacement => op.exec(
+                hcfg,
+                SkewedCache::with_banks(cfg, |b, g| SkewDispBank::new(g, bank_disp_factor(b))),
+                NoHint,
+            ),
+        },
+        L2Organization::FullyAssociative {
+            size_bytes,
+            line_bytes,
+        } => op.exec(hcfg, FullyAssociative::new(size_bytes, line_bytes), NoHint),
+    }
+}
+
+/// Builds the L1 for a hierarchy: monomorphized [`Traditional`] for the
+/// paper's L1 (always traditional indexing), boxed otherwise, then runs
+/// `and_then` with the assembled hierarchy.
+fn with_hierarchy<X, R>(
+    hcfg: HierarchyConfig,
+    l2: X,
+    and_then: impl FnOnce(HierarchyDispatch<X>) -> R,
+) -> R
+where
+    X: L2Sim,
+{
+    if hcfg.l1.hash() == HashKind::Traditional {
+        let l1 = Cache::with_typed(
+            hcfg.l1,
+            Traditional::new(Geometry::new(hcfg.l1.n_set_phys())),
+        );
+        and_then(HierarchyDispatch::Mono(Hierarchy::with_parts(hcfg, l1, l2)))
+    } else {
+        and_then(HierarchyDispatch::BoxedL1(Hierarchy::with_parts(
+            hcfg,
+            Cache::new(hcfg.l1),
+            l2,
+        )))
+    }
+}
+
+/// The two L1 shapes [`with_hierarchy`] can produce.
+enum HierarchyDispatch<X: L2Sim> {
+    Mono(Hierarchy<X, Traditional>),
+    BoxedL1(Hierarchy<X, Box<dyn SetIndexer>>),
+}
+
+/// Runs one hinted event sequence to completion and packages the result.
+fn drive<X>(
+    machine: &MachineConfig,
+    scheme: Scheme,
+    hcfg: HierarchyConfig,
+    l2: X,
+    trace: impl IntoIterator<Item = (Event, u32)>,
+) -> RunResult
+where
+    X: L2Sim,
+{
+    with_hierarchy(hcfg, l2, |mut hd| {
+        let mut dram = Dram::new(machine.mem);
+        let mut cpu = Cpu::new(machine.cpu);
+        let (breakdown, l1, l2, dram_stats) = match &mut hd {
+            HierarchyDispatch::Mono(h) => {
+                let b = cpu.run_hinted(trace, h, &mut dram);
+                (b, h.l1_stats().clone(), h.l2_stats().clone(), *dram.stats())
+            }
+            HierarchyDispatch::BoxedL1(h) => {
+                let b = cpu.run_hinted(trace, h, &mut dram);
+                (b, h.l1_stats().clone(), h.l2_stats().clone(), *dram.stats())
+            }
+        };
+        RunResult {
+            scheme,
+            breakdown,
+            l1,
+            l2,
+            dram: dram_stats,
+        }
+    })
+}
+
+/// [`run_trace`]'s op: drive an arbitrary event iterator (monomorphized
+/// caches, no batching — hints need chunked input).
+struct TraceOp<'m, T> {
+    trace: T,
+    machine: &'m MachineConfig,
+    scheme: Scheme,
+}
+
+impl<T: IntoIterator<Item = Event>> DriverOp for TraceOp<'_, T> {
+    fn exec<X: L2Sim, H: L2Hint>(self, hcfg: HierarchyConfig, l2: X, _hinter: H) -> RunResult {
+        drive(
+            self.machine,
+            self.scheme,
+            hcfg,
+            l2,
+            self.trace.into_iter().map(|ev| (ev, NO_HINT)),
+        )
+    }
+}
+
+/// [`run_workload`]'s op: drive an [`EventStream`] chunk-batched, with
+/// per-chunk L2 set-index precomputation.
+struct StreamOp<'m> {
+    stream: EventStream,
+    machine: &'m MachineConfig,
+    scheme: Scheme,
+}
+
+impl DriverOp for StreamOp<'_> {
+    fn exec<X: L2Sim, H: L2Hint>(self, hcfg: HierarchyConfig, l2: X, hinter: H) -> RunResult {
+        let line = l2_line_bytes(&hcfg.l2);
+        let hinted = HintedChunks::new(self.stream, hinter, line);
+        drive(self.machine, self.scheme, hcfg, l2, hinted)
+    }
+}
+
+/// [`run_workload_warm`]'s op: chunk-batched like [`StreamOp`], with the
+/// warm/measure stat reset spliced mid-stream.
+struct WarmStreamOp<'m> {
+    stream: EventStream,
+    machine: &'m MachineConfig,
+    scheme: Scheme,
+    warm_refs: u64,
+}
+
+impl DriverOp for WarmStreamOp<'_> {
+    fn exec<X: L2Sim, H: L2Hint>(self, hcfg: HierarchyConfig, l2: X, hinter: H) -> RunResult {
+        let scheme = self.scheme;
+        let machine = self.machine;
+        let warm_refs = self.warm_refs;
+        let line = l2_line_bytes(&hcfg.l2);
+        let mut hinted = HintedChunks::new(self.stream, hinter, line);
+        with_hierarchy(hcfg, l2, |mut hd| {
+            let mut dram = Dram::new(machine.mem);
+            let mut cpu = Cpu::new(machine.cpu);
+
+            // Warm phase: pull events until `warm_refs` memory references
+            // have passed. The boundary falls immediately *after* the
+            // event that completes the `warm_refs`-th reference, exactly
+            // where the materialized-split implementation cut.
+            let mut seen = 0u64;
+            let mut boundary = false;
+            let warm = std::iter::from_fn(|| {
+                if boundary {
+                    return None;
+                }
+                let (ev, hint) = hinted.next()?;
+                if ev.is_memory() {
+                    seen += 1;
+                }
+                if seen >= warm_refs {
+                    boundary = true;
+                }
+                Some((ev, hint))
+            });
+
+            let (breakdown, l1, l2, dram_stats) = match &mut hd {
+                HierarchyDispatch::Mono(h) => {
+                    let _ = cpu.run_hinted(warm, h, &mut dram);
+                    h.reset_stats();
+                    dram.new_epoch();
+                    let b = cpu.run_hinted(&mut hinted, h, &mut dram);
+                    (b, h.l1_stats().clone(), h.l2_stats().clone(), *dram.stats())
+                }
+                HierarchyDispatch::BoxedL1(h) => {
+                    let _ = cpu.run_hinted(warm, h, &mut dram);
+                    h.reset_stats();
+                    dram.new_epoch();
+                    let b = cpu.run_hinted(&mut hinted, h, &mut dram);
+                    (b, h.l1_stats().clone(), h.l2_stats().clone(), *dram.stats())
+                }
+            };
+            RunResult {
+                scheme,
+                breakdown,
+                l1,
+                l2,
+                dram: dram_stats,
+            }
+        })
+    }
+}
+
+/// The L2 line size of an organization.
+fn l2_line_bytes(l2: &L2Organization) -> u64 {
+    match l2 {
+        L2Organization::SetAssoc(c) => c.line_bytes(),
+        L2Organization::Skewed(c) => c.line_bytes(),
+        L2Organization::FullyAssociative { line_bytes, .. } => *line_bytes,
+    }
+}
+
 /// Runs an explicit event stream under a scheme on the paper's machine.
 ///
 /// Accepts anything iterable — a materialized `Vec<Event>` or a lazy
 /// [`primecache_workloads::EventStream`] — so peak memory can stay O(1)
-/// in trace length.
+/// in trace length. The caches are monomorphized over the scheme's
+/// index functions (selected here, once).
 #[must_use]
 pub fn run_trace<T>(trace: T, scheme: Scheme, machine: &MachineConfig) -> RunResult
+where
+    T: IntoIterator<Item = Event>,
+{
+    #[cfg(any(debug_assertions, feature = "check"))]
+    machine.check_scheme(scheme);
+    dispatch(
+        machine,
+        scheme,
+        TraceOp {
+            trace,
+            machine,
+            scheme,
+        },
+    )
+}
+
+/// The dynamically-dispatched reference driver: `Box<dyn SetIndexer>`
+/// caches behind [`Hierarchy::new`], exactly the pre-batching hot path.
+///
+/// Kept as the differential baseline for the monomorphized drivers —
+/// the `batched_equivalence` integration test asserts bit-identical
+/// stats, writeback order, and breakdowns against it. Not intended for
+/// performance work.
+#[must_use]
+pub fn run_trace_reference<T>(trace: T, scheme: Scheme, machine: &MachineConfig) -> RunResult
 where
     T: IntoIterator<Item = Event>,
 {
@@ -57,10 +417,23 @@ where
     }
 }
 
+/// [`run_workload`] on the dynamically-dispatched reference driver:
+/// the same streamed trace, driven event-at-a-time through boxed-index
+/// caches. The before side of the before/after throughput tables
+/// (`pcache bench`/`throughput --reference`); results are bit-identical
+/// to [`run_workload`], only slower.
+#[must_use]
+pub fn run_workload_reference(workload: &Workload, scheme: Scheme, target_refs: u64) -> RunResult {
+    let machine = MachineConfig::paper_default();
+    run_trace_reference(workload.events(target_refs), scheme, &machine)
+}
+
 /// Runs a workload under a scheme on the paper's default machine.
 ///
 /// `target_refs` controls the trace length (memory references). The
-/// trace is streamed from a generator thread, never materialized.
+/// trace is streamed from a generator thread, never materialized; the
+/// driver pulls it chunk-at-a-time and precomputes each chunk's L2 set
+/// indexes before simulating it.
 ///
 /// # Examples
 ///
@@ -73,10 +446,17 @@ where
 /// ```
 #[must_use]
 pub fn run_workload(workload: &Workload, scheme: Scheme, target_refs: u64) -> RunResult {
-    run_trace(
-        workload.events(target_refs),
+    let machine = MachineConfig::paper_default();
+    #[cfg(any(debug_assertions, feature = "check"))]
+    machine.check_scheme(scheme);
+    dispatch(
+        &machine,
         scheme,
-        &MachineConfig::paper_default(),
+        StreamOp {
+            stream: workload.events(target_refs),
+            machine: &machine,
+            scheme,
+        },
     )
 }
 
@@ -107,46 +487,18 @@ pub fn run_workload_warm(
     measure_refs: u64,
 ) -> RunResult {
     let machine = MachineConfig::paper_default();
-    let mut stream = workload.events(warm_refs + measure_refs);
-
-    let mut hierarchy = Hierarchy::new(machine.hierarchy_config(scheme));
-    let mut dram = Dram::new(machine.mem);
-    let mut cpu = Cpu::new(machine.cpu);
-
-    // Warm phase: pull events off the shared stream until `warm_refs`
-    // memory references have passed. The boundary falls immediately
-    // *after* the event that completes the `warm_refs`-th reference,
-    // exactly where the old split-a-materialized-Vec implementation cut.
-    let mut seen = 0u64;
-    let mut boundary = false;
-    let warm = std::iter::from_fn(|| {
-        if boundary {
-            return None;
-        }
-        let ev = stream.next()?;
-        if ev.is_memory() {
-            seen += 1;
-        }
-        if seen >= warm_refs {
-            boundary = true;
-        }
-        Some(ev)
-    });
-    let _ = cpu.run(warm, &mut hierarchy, &mut dram);
-
-    // Mid-stream reset: statistics and the cycle clock restart, cache
-    // and DRAM *state* (tags, LRU, open rows) carries over.
-    hierarchy.reset_stats();
-    dram.new_epoch();
-
-    let breakdown = cpu.run(&mut stream, &mut hierarchy, &mut dram);
-    RunResult {
+    #[cfg(any(debug_assertions, feature = "check"))]
+    machine.check_scheme(scheme);
+    dispatch(
+        &machine,
         scheme,
-        breakdown,
-        l1: hierarchy.l1_stats().clone(),
-        l2: hierarchy.l2_stats().clone(),
-        dram: *dram.stats(),
-    }
+        WarmStreamOp {
+            stream: workload.events(warm_refs + measure_refs),
+            machine: &machine,
+            scheme,
+            warm_refs,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -202,7 +554,8 @@ mod tests {
 
     /// The pre-streaming `run_workload_warm` materialized the combined
     /// trace and split it at the warm boundary. Reproduce that path here
-    /// and assert the mid-stream-reset implementation is bit-identical.
+    /// (on the reference dyn driver) and assert the mid-stream-reset
+    /// batched implementation is bit-identical.
     fn warm_via_materialized_split(
         workload: &primecache_workloads::Workload,
         scheme: Scheme,
@@ -271,6 +624,27 @@ mod tests {
             let materialized = run_trace(w.trace(15_000), Scheme::PrimeModulo, &machine);
             assert_eq!(streamed.breakdown, materialized.breakdown, "{name}");
             assert_eq!(streamed.l2, materialized.l2, "{name}");
+        }
+    }
+
+    #[test]
+    fn batched_drivers_match_reference_quick() {
+        // A quick per-scheme smoke of what the root `batched_equivalence`
+        // battery proves exhaustively: the monomorphized chunk-batched
+        // driver is bit-identical to the dyn reference path.
+        let machine = MachineConfig::paper_default();
+        let w = by_name("mcf").unwrap();
+        for scheme in [
+            Scheme::PrimeModulo,
+            Scheme::Skewed,
+            Scheme::FullyAssociative,
+        ] {
+            let batched = run_workload(w, scheme, 8_000);
+            let reference = run_trace_reference(w.trace(8_000), scheme, &machine);
+            assert_eq!(batched.breakdown, reference.breakdown, "{scheme:?}");
+            assert_eq!(batched.l1, reference.l1, "{scheme:?}");
+            assert_eq!(batched.l2, reference.l2, "{scheme:?}");
+            assert_eq!(batched.dram, reference.dram, "{scheme:?}");
         }
     }
 }

@@ -13,9 +13,9 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use primecache_workloads::all;
+use primecache_workloads::{all, Workload};
 
-use crate::{run_workload, Scheme};
+use crate::{run_workload, run_workload_reference, RunResult, Scheme};
 
 /// Throughput of one scheme across the whole workload suite.
 #[derive(Debug, Clone)]
@@ -42,9 +42,27 @@ pub struct ThroughputReport {
 }
 
 /// Measures end-to-end refs/sec for each scheme: all 23 workloads,
-/// `refs_per_workload` references each, streamed.
+/// `refs_per_workload` references each, streamed through the batched
+/// monomorphized drivers (the production hot path).
 #[must_use]
 pub fn measure(schemes: &[Scheme], refs_per_workload: u64) -> ThroughputReport {
+    measure_with(schemes, refs_per_workload, run_workload)
+}
+
+/// [`measure`] on the pre-batching reference driver (`Box<dyn
+/// SetIndexer>` caches, event-at-a-time). Same results, slower — the
+/// "before" column of the README/DESIGN before/after tables, measured
+/// on the same machine in the same session as the batched numbers.
+#[must_use]
+pub fn measure_reference(schemes: &[Scheme], refs_per_workload: u64) -> ThroughputReport {
+    measure_with(schemes, refs_per_workload, run_workload_reference)
+}
+
+fn measure_with(
+    schemes: &[Scheme],
+    refs_per_workload: u64,
+    runner: fn(&Workload, Scheme, u64) -> RunResult,
+) -> ThroughputReport {
     let suite = all();
     let per_scheme = schemes
         .iter()
@@ -52,7 +70,7 @@ pub fn measure(schemes: &[Scheme], refs_per_workload: u64) -> ThroughputReport {
             let start = Instant::now();
             let mut refs = 0u64;
             for w in suite {
-                let r = run_workload(w, scheme, refs_per_workload);
+                let r = runner(w, scheme, refs_per_workload);
                 refs += r.l1.accesses;
             }
             let seconds = start.elapsed().as_secs_f64();
@@ -102,10 +120,29 @@ impl ThroughputReport {
         out
     }
 
+    /// Schemes in this report that have no baseline entry — and are
+    /// therefore **not gated** by [`ThroughputReport::regressions`].
+    ///
+    /// A newly added scheme silently slipping past the regression gate
+    /// is exactly how a perf floor rots; callers must surface these as a
+    /// loud warning (and CI, via `--strict`, as a hard failure) until a
+    /// baseline entry lands.
+    #[must_use]
+    pub fn missing_from_baseline(&self, baseline: &BTreeMap<String, f64>) -> Vec<String> {
+        self.schemes
+            .iter()
+            .filter(|s| !baseline.contains_key(s.scheme.label()))
+            .map(|s| s.scheme.label().to_owned())
+            .collect()
+    }
+
     /// Compares this report against a committed baseline and returns one
     /// message per scheme whose refs/sec fell more than `max_regress`
-    /// (a fraction, e.g. `0.30`) below the baseline value. Schemes
-    /// absent from the baseline are skipped.
+    /// (a fraction, e.g. `0.30`) below the baseline value.
+    ///
+    /// Schemes absent from the baseline are **not** gated here — collect
+    /// them with [`ThroughputReport::missing_from_baseline`] and treat
+    /// them as an error in CI.
     #[must_use]
     pub fn regressions(&self, baseline: &BTreeMap<String, f64>, max_regress: f64) -> Vec<String> {
         self.schemes
@@ -219,17 +256,49 @@ mod tests {
     }
 
     #[test]
-    fn schemes_missing_from_baseline_are_skipped() {
+    fn schemes_missing_from_baseline_are_reported_not_gated() {
+        // The old behavior silently skipped unknown schemes — a scheme
+        // could land, never get a baseline entry, and regress forever
+        // without tripping CI. `regressions` still only gates schemes
+        // with a baseline, but `missing_from_baseline` must name every
+        // ungated scheme so callers can warn (or fail, in CI).
+        let report = ThroughputReport {
+            refs_per_workload: 1,
+            workloads: 23,
+            schemes: vec![
+                SchemeThroughput {
+                    scheme: Scheme::FullyAssociative,
+                    refs: 23,
+                    seconds: 1.0,
+                    refs_per_sec: 1.0,
+                },
+                SchemeThroughput {
+                    scheme: Scheme::Base,
+                    refs: 23,
+                    seconds: 1.0,
+                    refs_per_sec: 99.0,
+                },
+            ],
+        };
+        let baseline: BTreeMap<String, f64> = [("Base".to_owned(), 100.0)].into();
+        assert!(report.regressions(&baseline, 0.3).is_empty());
+        assert_eq!(report.missing_from_baseline(&baseline), vec!["FA"]);
+        assert!(report.missing_from_baseline(&BTreeMap::new()).len() == 2);
+    }
+
+    #[test]
+    fn fully_covered_baseline_reports_nothing_missing() {
         let report = ThroughputReport {
             refs_per_workload: 1,
             workloads: 23,
             schemes: vec![SchemeThroughput {
-                scheme: Scheme::FullyAssociative,
+                scheme: Scheme::Xor,
                 refs: 23,
                 seconds: 1.0,
-                refs_per_sec: 1.0,
+                refs_per_sec: 50.0,
             }],
         };
-        assert!(report.regressions(&BTreeMap::new(), 0.3).is_empty());
+        let baseline: BTreeMap<String, f64> = [("XOR".to_owned(), 100.0)].into();
+        assert!(report.missing_from_baseline(&baseline).is_empty());
     }
 }

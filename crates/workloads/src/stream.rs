@@ -91,6 +91,17 @@ impl EventStream {
     pub fn stream_config(&self) -> (usize, usize) {
         self.inner.config()
     }
+
+    /// Next whole chunk of events (at most `chunk_events` long), or
+    /// `None` once the generator is exhausted. The batched drivers in
+    /// `primecache-sim` precompute L2 set indexes over whole chunks.
+    ///
+    /// Order-compatible with the `Iterator` view: the concatenation of
+    /// chunks (interleaved with any `next()` pulls) is exactly the
+    /// generated event sequence.
+    pub fn next_chunk(&mut self) -> Option<Vec<Event>> {
+        self.inner.next_chunk()
+    }
 }
 
 impl Iterator for EventStream {
@@ -175,6 +186,41 @@ mod tests {
     fn empty_target_yields_empty_stream() {
         let events: Vec<Event> = EventStream::spawn(counting, 0).collect();
         assert!(events.is_empty());
+    }
+
+    #[test]
+    fn chunked_pull_matches_materialized() {
+        let mut stream = EventStream::spawn(counting, 10_000);
+        let mut chunked = Vec::new();
+        while let Some(chunk) = stream.next_chunk() {
+            assert!(!chunk.is_empty());
+            assert!(chunk.len() <= STREAM_CHUNK);
+            chunked.extend(chunk);
+        }
+        assert!(stream.next_chunk().is_none(), "stream stays exhausted");
+        let buffered = crate::util::materialize(counting, 10_000);
+        assert_eq!(chunked, buffered);
+    }
+
+    #[test]
+    fn interleaved_item_and_chunk_pulls_preserve_order() {
+        // Pull a few items, then a chunk (which must return the rest of
+        // the partially consumed chunk first), then drain: concatenation
+        // must equal the buffered sequence.
+        // > STREAM_CHUNK refs so the trace spans several chunks.
+        let target = 3 * STREAM_CHUNK as u64;
+        let mut stream = EventStream::spawn(counting, target);
+        let mut got = Vec::new();
+        for _ in 0..7 {
+            got.push(stream.next().unwrap());
+        }
+        got.extend(stream.next_chunk().unwrap());
+        got.push(stream.next().unwrap());
+        while let Some(chunk) = stream.next_chunk() {
+            got.extend(chunk);
+        }
+        let buffered = crate::util::materialize(counting, target);
+        assert_eq!(got, buffered);
     }
 
     #[test]
