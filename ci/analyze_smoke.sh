@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Smoke-runs the static analyzer over a small corpus of DSL schemes:
+# the self-check battery (kernel brute-force, Theorem 1, sampled
+# histograms, expression differential), the built-in report, one scheme
+# per exact model family, one deliberately opaque scheme (warns but
+# certifies sampled), and one composite modulus that the certificate
+# gate must reject. Runs in the debug-test job, so debug build on
+# purpose — the gate assertions only fire there.
+set -eu
+cd "$(dirname "$0")/.."
+
+PCACHE="cargo run -q -p primecache-cli --bin pcache --"
+
+$PCACHE analyze --self-check
+$PCACHE analyze >/dev/null
+
+# One expression per exact lowering family: Residue, Linear, Affine.
+for src in 'a % 2039' '(a ^ (a >> 11)) & 2047' \
+    '((9 * (a >> 11)) + (a & 2047)) & 2047'; do
+    $PCACHE analyze --expr "$src" >/dev/null
+done
+
+# Opaque fallback: sampled certificate, warning-level lint, exit 0.
+$PCACHE analyze --expr '((a % 2039) ^ (a >> 13)) & 2047' >/dev/null
+
+# Composite modulus must be rejected with a nonzero exit.
+if $PCACHE analyze --expr 'a % 2046' >/dev/null 2>&1; then
+    echo "ERROR: composite modulus passed the certificate gate" >&2
+    exit 1
+fi
+
+echo "analyze smoke passed"

@@ -15,9 +15,12 @@
 //! * the **Theorem 1** verdict: whether strided sequences are provably
 //!   conflict-free for every stride not a multiple of `n_set`.
 
+use primecache_core::expr::Expr;
 use primecache_core::index::{Geometry, HashKind, SKEW_DISP_FACTORS};
 use primecache_primes::{factorize, is_prime};
 
+use crate::gf2::input_mask;
+use crate::lower::lower_expr;
 use crate::model::{model_of, skew_disp_model, skew_xor_model, xor_folded_model, IndexModel};
 
 /// Sequence invariance (Property 2 of §2.2): whether the next set of a
@@ -95,6 +98,11 @@ pub struct Certificate {
     pub invariance: Invariance,
     /// Theorem 1 verdict.
     pub theorem1: Theorem1,
+    /// Whether every field above is *proved* from the algebraic family
+    /// (linear / residue / affine). `false` for the
+    /// [`IndexModel::Opaque`] family, whose permutation, balance, and
+    /// conflict-stride fields are sampled estimates.
+    pub exact: bool,
     /// The symbolic model, for downstream cross-validation.
     pub model: IndexModel,
 }
@@ -130,6 +138,7 @@ fn certify_linear(name: String, model: IndexModel, invariance: Invariance) -> Ce
         balance_bound,
         invariance,
         theorem1,
+        exact: true,
         conflict_strides: kernel,
         model,
     }
@@ -161,6 +170,7 @@ fn certify_residue(name: String, model: IndexModel) -> Certificate {
         balance_bound: 1.0,
         invariance: Invariance::Full,
         theorem1,
+        exact: true,
         conflict_strides: strides,
         model,
     }
@@ -198,6 +208,7 @@ fn certify_affine(name: String, model: IndexModel) -> Certificate {
         balance_bound: 1.0,
         invariance: Invariance::Partial,
         theorem1,
+        exact: true,
         conflict_strides: strides,
         model,
     }
@@ -225,6 +236,7 @@ pub fn certify_kind(kind: HashKind, geom: Geometry, in_bits: u32) -> Certificate
         HashKind::Xor => certify_linear(kind.label().to_owned(), model, Invariance::None),
         HashKind::PrimeModulo => certify_residue(kind.label().to_owned(), model),
         HashKind::PrimeDisplacement => certify_affine(kind.label().to_owned(), model),
+        HashKind::Expr(id) => certify_expr(id.name().to_owned(), id.folded(), in_bits),
     }
 }
 
@@ -255,6 +267,111 @@ pub fn certify_skew_disp_bank(geom: Geometry, factor: u64, in_bits: u32) -> Cert
         format!("skw+pDisp[{factor}]"),
         skew_disp_model(geom, factor, in_bits),
     )
+}
+
+/// Certifies a DSL expression over `in_bits` address bits.
+///
+/// The expression is lowered (see [`lower_expr`]) and dispatched to the
+/// certifier of the family it provably belongs to; expressions matching
+/// no exact family get a *sampled* certificate with
+/// [`Certificate::exact`] `false`.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_analyze::{certify_expr, Theorem1};
+/// use primecache_core::expr::parse;
+///
+/// // The paper's pMod, written by a user.
+/// let e = parse("a % 2039").unwrap();
+/// let c = certify_expr("my-pmod".to_owned(), &e, 26);
+/// assert_eq!(c.theorem1, Theorem1::Holds { modulus: 2039 });
+/// assert!(c.exact);
+/// ```
+#[must_use]
+pub fn certify_expr(name: String, e: &Expr, in_bits: u32) -> Certificate {
+    let model = lower_expr(e, in_bits);
+    match &model {
+        IndexModel::Linear(m) => {
+            // A map reading only the low out_bits window is the
+            // traditional family: sequence invariant. Anything mixing in
+            // tag bits is XOR-style: not invariant.
+            let window = input_mask(m.out_bits());
+            let invariance = if (0..m.out_bits()).all(|i| m.row(i) & !window == 0) {
+                Invariance::Full
+            } else {
+                Invariance::None
+            };
+            certify_linear(name, model, invariance)
+        }
+        IndexModel::Residue { .. } => certify_residue(name, model),
+        IndexModel::Affine { .. } => certify_affine(name, model),
+        IndexModel::Opaque { .. } => certify_opaque(name, model),
+    }
+}
+
+/// Sampled certificate for the opaque family. Every field is evidence,
+/// not proof — `exact` is `false`, and downstream consumers (the lint
+/// pass, the CLI report) surface that.
+fn certify_opaque(name: String, model: IndexModel) -> Certificate {
+    let IndexModel::Opaque { in_bits, n_set, .. } = model else {
+        unreachable!("certify_opaque takes an opaque model");
+    };
+    let mask = input_mask(in_bits);
+    // Permutation: does the first aligned window of n_set addresses map
+    // onto the sets exactly once? Exhaustive when the window is small.
+    let permutation = n_set <= (1 << 16) && n_set <= mask.saturating_add(1) && {
+        let n = usize::try_from(n_set).expect("bounded above");
+        let mut seen = vec![false; n];
+        (0..n_set).all(|a| {
+            let s = usize::try_from(model.eval(a)).expect("set < n_set bound");
+            s < n && !std::mem::replace(&mut seen[s], true)
+        })
+    };
+    // Balance: sampled load histogram over the masked address domain.
+    let samples = 1u64 << 16;
+    let n = usize::try_from(n_set.min(1 << 20)).expect("clamped");
+    let mut hist = vec![0u64; n.max(1)];
+    let mut a = 0x243F_6A88_85A3_08D3u64;
+    for step in 0..samples {
+        a = a.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(step);
+        let s = usize::try_from(model.eval(a & mask)).expect("set < n_set bound");
+        if let Some(h) = hist.get_mut(s) {
+            *h += 1;
+        }
+    }
+    let ideal = samples as f64 / n_set as f64;
+    let balance_bound = hist.iter().copied().max().unwrap_or(0) as f64 / ideal;
+    // Conflict strides: small deltas whose carry-free companions collide
+    // in every sample (necessary evidence, not a kernel).
+    let mut strides = Vec::new();
+    for d in 1..=n_set.saturating_mul(4).min(1 << 14) {
+        if model.is_conflict_delta(d) {
+            strides.push(d);
+            if strides.len() >= 16 {
+                break;
+            }
+        }
+    }
+    let theorem1 = match strides.first() {
+        Some(&d) => Theorem1::Fails { witness_stride: d },
+        None => Theorem1::NoGuarantee,
+    };
+    Certificate {
+        name,
+        n_set,
+        in_bits,
+        rank: model.rank(),
+        kernel_dim: u32::try_from(strides.len()).expect("at most 16"),
+        permutation,
+        balanced: permutation && balance_bound <= 1.05,
+        balance_bound,
+        invariance: Invariance::None,
+        theorem1,
+        exact: false,
+        conflict_strides: strides,
+        model,
+    }
 }
 
 /// Certifies every indexer family the repo implements: the four

@@ -25,19 +25,21 @@
 pub mod certificate;
 pub mod gf2;
 pub mod lint;
+pub mod lower;
 pub mod model;
 pub mod report;
 pub mod verify;
 
 pub use certificate::{
-    certify_all, certify_kind, certify_skew_disp_bank, certify_skew_xor_bank, certify_xor_folded,
-    Certificate, Invariance, Theorem1,
+    certify_all, certify_expr, certify_kind, certify_skew_disp_bank, certify_skew_xor_bank,
+    certify_xor_folded, Certificate, Invariance, Theorem1,
 };
 pub use gf2::{input_mask, Gf2Matrix};
 pub use lint::{
-    has_errors, lint_displacement, lint_kind, lint_modulus, lint_skew_disp, lint_skew_xor,
-    lint_sweep_shape, Lint, LintLevel,
+    has_errors, lint_displacement, lint_expr, lint_kind, lint_modulus, lint_skew_disp,
+    lint_skew_xor, lint_sweep_shape, Lint, LintLevel,
 };
+pub use lower::lower_expr;
 pub use model::{model_of, skew_disp_model, skew_xor_model, xor_folded_model, IndexModel};
-pub use report::{certificate_json, lint_json, report_json};
+pub use report::{certificate_json, lint_json, report_json, REPORT_SCHEMA, REPORT_VERSION};
 pub use verify::{self_check, CheckResult, SelfCheck};

@@ -17,14 +17,19 @@
 //! | `high-fragmentation` | warning | > 5% of physical sets wasted |
 //! | `pathological-null-space` | warning | XOR-family conflict stride ≤ 4·n_set |
 //! | `idle-sweep-workers` | warning | sweep dispatches fewer tasks than workers |
+//! | `set-space-exceeds-geometry` | error | expression addresses more sets than exist |
+//! | `rank-deficient-linear-map` | error | expression's GF(2) map misses output bits |
+//! | `opaque-index-model` | warning | expression certified by sampling only |
 //!
 //! Errors mean the configuration defeats the scheme's own premise;
 //! warnings flag hazards the paper itself documents (§3.3) or sweeps
 //! that cannot use the machine they run on.
 
+use primecache_core::expr::ExprId;
 use primecache_core::index::{Geometry, HashKind};
 use primecache_primes::{factorize, is_prime};
 
+use crate::lower::lower_expr;
 use crate::model::{model_of, skew_xor_model, IndexModel};
 
 /// Severity of a lint finding.
@@ -282,7 +287,86 @@ pub fn lint_kind(kind: HashKind, geom: Geometry) -> Vec<Lint> {
             lint_modulus(geom, modulus)
         }
         HashKind::PrimeDisplacement => lint_displacement(geom, 9),
+        HashKind::Expr(id) => lint_expr(geom, id),
     }
+}
+
+/// Lints a registered DSL expression against a geometry: the certificate
+/// gate for user-defined schemes.
+///
+/// The expression is lowered over the **full 64-bit address** (so rank
+/// and null-space findings describe the map the cache will actually run,
+/// not a windowed restriction) and judged by the family it lands in:
+///
+/// * **Residue** — the modulus must be prime and fit the geometry
+///   ([`lint_modulus`]): a composite modulus is exactly the degenerate
+///   "pMod" the paper's Theorem 1 assumes away, and is rejected.
+/// * **Affine** — the factor must be odd ([`lint_displacement`]).
+/// * **Linear** — the map must reach every output bit
+///   (`rank-deficient-linear-map` error), and a small null-space
+///   generator is surfaced like the built-in XOR lints.
+/// * **Opaque** — certified by sampling only: a warning, so simulation
+///   proceeds but the run is visibly uncertified.
+///
+/// Any expression addressing more sets than physically exist is an error
+/// regardless of family.
+#[must_use]
+pub fn lint_expr(geom: Geometry, id: ExprId) -> Vec<Lint> {
+    let mut out = Vec::new();
+    if id.n_set() > geom.n_set_phys() {
+        out.push(Lint::error(
+            "set-space-exceeds-geometry",
+            format!(
+                "`{}` addresses {} sets but the geometry has only {} — \
+                 mask or reduce the result",
+                id.source(),
+                id.n_set(),
+                geom.n_set_phys()
+            ),
+        ));
+        return out;
+    }
+    match lower_expr(id.folded(), 64) {
+        IndexModel::Residue { modulus, .. } => out.extend(lint_modulus(geom, modulus)),
+        IndexModel::Affine { factor, .. } => out.extend(lint_displacement(geom, factor)),
+        model @ IndexModel::Linear(_) => {
+            if let IndexModel::Linear(m) = &model {
+                if m.rank() < m.out_bits() {
+                    out.push(Lint::error(
+                        "rank-deficient-linear-map",
+                        format!(
+                            "`{}`: rank {} < {} output bits — some sets are \
+                             unreachable",
+                            id.source(),
+                            m.rank(),
+                            m.out_bits()
+                        ),
+                    ));
+                }
+            }
+            if let Some(&d) = model.conflict_generators().first() {
+                if d <= geom.n_set_phys() * 4 {
+                    out.push(Lint::warning(
+                        "pathological-null-space",
+                        format!(
+                            "{}: carry-free multiples of stride {d} collapse \
+                             onto one set (null-space generator)",
+                            id.name()
+                        ),
+                    ));
+                }
+            }
+        }
+        IndexModel::Opaque { .. } => out.push(Lint::warning(
+            "opaque-index-model",
+            format!(
+                "`{}` matches no exact algebraic family: its certificate \
+                 is sampled, not proved",
+                id.source()
+            ),
+        )),
+    }
+    out
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 //! all universal conflict strides, and [`IndexModel::conflict_generators`]
 //! enumerates a basis of it.
 
+use primecache_core::expr::Expr;
 use primecache_core::index::Geometry;
 use primecache_core::index::HashKind;
 
@@ -53,6 +54,22 @@ pub enum IndexModel {
         /// Address bits modeled.
         in_bits: u32,
     },
+    /// A user expression that matches none of the exact algebraic
+    /// families (e.g. a residue XOR-ed with tag bits). The model is the
+    /// folded expression tree itself; certificates over it are *sampled*
+    /// evidence, never proofs, and are marked non-exact
+    /// (`Certificate::exact == false`). Soundness is preserved by
+    /// claiming nothing: [`IndexModel::conflict_generators`] is empty for
+    /// this family.
+    Opaque {
+        /// The folded expression (see `primecache_core::expr::fold`).
+        expr: Expr,
+        /// Address bits modeled; evaluation masks the input to this width.
+        in_bits: u32,
+        /// Upper bound on the sets addressed (`value_bound + 1` over the
+        /// masked domain).
+        n_set: u64,
+    },
 }
 
 impl IndexModel {
@@ -74,6 +91,7 @@ impl IndexModel {
                 let x = a & input_mask(*index_bits);
                 factor.wrapping_mul(t).wrapping_add(x) & input_mask(*index_bits)
             }
+            IndexModel::Opaque { expr, in_bits, .. } => expr.eval(a & input_mask(*in_bits)),
         }
     }
 
@@ -84,6 +102,7 @@ impl IndexModel {
             IndexModel::Linear(m) => 1u64 << m.out_bits(),
             IndexModel::Residue { modulus, .. } => *modulus,
             IndexModel::Affine { index_bits, .. } => 1u64 << index_bits,
+            IndexModel::Opaque { n_set, .. } => *n_set,
         }
     }
 
@@ -92,15 +111,36 @@ impl IndexModel {
     pub fn in_bits(&self) -> u32 {
         match self {
             IndexModel::Linear(m) => m.in_bits(),
-            IndexModel::Residue { in_bits, .. } | IndexModel::Affine { in_bits, .. } => *in_bits,
+            IndexModel::Residue { in_bits, .. }
+            | IndexModel::Affine { in_bits, .. }
+            | IndexModel::Opaque { in_bits, .. } => *in_bits,
         }
     }
 
     /// Whether `d` is a universal carry-free conflict stride: every pair
     /// `(a, a + d)` with `a & d == 0` maps to the same set.
+    ///
+    /// For the three algebraic families this is exact (`H(d) = 0` via the
+    /// group law); for [`IndexModel::Opaque`] no group law holds, so the
+    /// answer is *sampled evidence* — `d` collides at `a = 0` and at a
+    /// spread of carry-free companions — never a proof.
     #[must_use]
     pub fn is_conflict_delta(&self, d: u64) -> bool {
-        self.eval(d) == 0
+        match self {
+            IndexModel::Opaque { in_bits, .. } => {
+                if self.eval(d) != self.eval(0) {
+                    return false;
+                }
+                let mask = input_mask(*in_bits);
+                let mut a = 0x9E37_79B9_7F4A_7C15u64;
+                (0..64).all(|_| {
+                    a = a.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(d);
+                    let free = a & mask & !d;
+                    self.eval(free | d) == self.eval(free)
+                })
+            }
+            _ => self.eval(d) == 0,
+        }
     }
 
     /// Generators of the universal conflict strides (the eviction-pattern
@@ -148,6 +188,10 @@ impl IndexModel {
                 out.sort_unstable();
                 out
             }
+            // No group law, no certified universal strides: claiming
+            // nothing is the sound answer. Sampled candidates live in the
+            // non-exact certificate instead.
+            IndexModel::Opaque { .. } => Vec::new(),
         }
     }
 
@@ -160,6 +204,7 @@ impl IndexModel {
             IndexModel::Linear(m) => m.rank(),
             IndexModel::Residue { modulus, .. } => 64 - modulus.leading_zeros(),
             IndexModel::Affine { index_bits, .. } => *index_bits,
+            IndexModel::Opaque { n_set, .. } => 64 - n_set.saturating_sub(1).leading_zeros(),
         }
     }
 }
@@ -215,6 +260,7 @@ pub fn model_of(kind: HashKind, geom: Geometry, in_bits: u32) -> IndexModel {
             index_bits: k,
             in_bits,
         },
+        HashKind::Expr(id) => crate::lower::lower_expr(id.folded(), in_bits),
     }
 }
 

@@ -7,6 +7,14 @@
 use crate::certificate::{Certificate, Theorem1};
 use crate::lint::{Lint, LintLevel};
 
+/// Schema identifier stamped into every [`report_json`] document, mirroring
+/// the versioned `primecache.run-report` convention used by the simulator.
+pub const REPORT_SCHEMA: &str = "primecache.analyze-report";
+
+/// Schema version stamped into every [`report_json`] document. Bump when a
+/// field is added, removed, or changes meaning.
+pub const REPORT_VERSION: u32 = 1;
+
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -49,7 +57,7 @@ pub fn certificate_json(c: &Certificate, stride_limit: usize) -> String {
         "{{\"name\":{},\"n_set\":{},\"in_bits\":{},\"rank\":{},\
          \"kernel_dim\":{},\"conflict_strides\":{},\"permutation\":{},\
          \"balanced\":{},\"balance_bound\":{},\"invariance\":{},\
-         \"theorem1\":{}}}",
+         \"exact\":{},\"theorem1\":{}}}",
         json_string(&c.name),
         c.n_set,
         c.in_bits,
@@ -60,6 +68,7 @@ pub fn certificate_json(c: &Certificate, stride_limit: usize) -> String {
         c.balanced,
         c.balance_bound,
         json_string(c.invariance.label()),
+        c.exact,
         theorem1_json(&c.theorem1),
     )
 }
@@ -85,7 +94,9 @@ pub fn report_json(certs: &[Certificate], lints: &[Lint]) -> String {
     let cert_objs: Vec<String> = certs.iter().map(|c| certificate_json(c, 16)).collect();
     let lint_objs: Vec<String> = lints.iter().map(lint_json).collect();
     format!(
-        "{{\"certificates\":[{}],\"lints\":[{}]}}",
+        "{{\"schema\":{},\"version\":{},\"certificates\":[{}],\"lints\":[{}]}}",
+        json_string(REPORT_SCHEMA),
+        REPORT_VERSION,
         cert_objs.join(","),
         lint_objs.join(",")
     )
@@ -121,6 +132,14 @@ mod tests {
         let j = report_json(&[c], &[]);
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"lints\":[]"));
+        assert!(j.contains("\"schema\":\"primecache.analyze-report\""));
+        assert!(j.contains("\"version\":1"));
+    }
+
+    #[test]
+    fn exact_flag_is_emitted() {
+        let c = certify_kind(HashKind::PrimeModulo, Geometry::new(2048), 26);
+        assert!(certificate_json(&c, 16).contains("\"exact\":true"));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! 4. **Theorem 1** — every stride below a prime modulus really is
 //!    conflict-free, and every `Fails` witness really collapses.
 
+use primecache_core::expr::builtins;
 use primecache_core::index::{
     Geometry, HashKind, PrimeModulo, SetIndexer, SkewDispBank, SkewXorBank, XorFolded,
     SKEW_DISP_FACTORS,
@@ -21,6 +22,7 @@ use primecache_core::index::{
 
 use crate::certificate::{certify_all, Theorem1};
 use crate::gf2::input_mask;
+use crate::lower::lower_expr;
 use crate::model::{model_of, skew_disp_model, skew_xor_model, xor_folded_model, IndexModel};
 
 /// Outcome of one self-check stage.
@@ -246,6 +248,53 @@ fn check_theorem1(geom: Geometry, bank_geom: Geometry, in_bits: u32) -> CheckRes
     }
 }
 
+fn check_expr_differential(geom: Geometry, in_bits: u32) -> CheckResult {
+    use primecache_core::expr::register_anonymous;
+
+    let mut sources = vec![
+        builtins::traditional_src(geom),
+        builtins::xor_src(geom),
+        builtins::xor_folded_src(geom),
+        builtins::pmod_src(geom),
+        builtins::pdisp_src(geom, 9),
+        // A mixed expression that matches no exact family: exercises the
+        // sound Opaque fallback of the lowering.
+        "((a % 61) ^ (a >> 7)) & 63".to_owned(),
+    ];
+    for bank in 0..4 {
+        sources.push(builtins::skew_xor_bank_src(geom, bank));
+    }
+    let mut cases = 0u64;
+    let mut failure = None;
+    'outer: for src in sources {
+        let id = match register_anonymous(&src) {
+            Ok(id) => id,
+            Err(e) => {
+                failure = Some(format!("`{src}` failed to compile: {e}"));
+                break;
+            }
+        };
+        let model = lower_expr(id.folded(), in_bits);
+        let closure = id.indexer();
+        for a in 0..(1u64 << in_bits) {
+            cases += 1;
+            let fast = closure.index(a);
+            let slow = model.eval(a);
+            if fast != slow {
+                failure = Some(format!(
+                    "`{src}`: closure {fast} != abstract model {slow} at a = {a:#x}"
+                ));
+                break 'outer;
+            }
+        }
+    }
+    CheckResult {
+        name: "expr-differential",
+        cases,
+        failure,
+    }
+}
+
 /// Runs the full self-check battery: exhaustive on a 64-set geometry,
 /// sampled on the paper's 2048-set L2.
 #[must_use]
@@ -262,6 +311,7 @@ pub fn self_check() -> SelfCheck {
             check_balance_certificates(small, small_banks, 14),
             check_theorem1(small, small_banks, 14),
             check_theorem1(paper, paper_banks, 26),
+            check_expr_differential(small, 14),
         ],
     }
 }

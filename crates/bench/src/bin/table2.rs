@@ -45,6 +45,7 @@ fn main() {
             HashKind::Xor => "various",
             HashKind::PrimeModulo => "all s except k*n_set",
             HashKind::PrimeDisplacement => "most odd, all even s",
+            HashKind::Expr(_) => unreachable!("HashKind::ALL lists only built-in kinds"),
         };
         rows.push(vec![
             kind.label().to_owned(),

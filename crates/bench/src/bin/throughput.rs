@@ -14,6 +14,7 @@
 //! check; it always prints a loud warning, and with `--strict` (the CI
 //! default) it fails the run so new schemes can't dodge the floor.
 
+use primecache_core::expr::register;
 use primecache_sim::throughput::{baseline_refs_per_sec, measure, measure_reference};
 use primecache_sim::Scheme;
 
@@ -47,10 +48,16 @@ fn main() {
             "batched drivers"
         }
     );
+    // The built-in schemes plus one DSL-compiled scheme: pMod re-expressed
+    // in the expression language, so the compiled-closure hot path is held
+    // to the same regression floor as the hand-written indexers.
+    let expr_pmod = register("expr:pMod", "a % 2039").expect("builtin pMod source compiles");
+    let mut schemes = Scheme::ALL.to_vec();
+    schemes.push(Scheme::Expr(expr_pmod));
     let report = if reference {
-        measure_reference(&Scheme::ALL, refs)
+        measure_reference(&schemes, refs)
     } else {
-        measure(&Scheme::ALL, refs)
+        measure(&schemes, refs)
     };
     for s in &report.schemes {
         println!(

@@ -161,6 +161,9 @@ fn scalar_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
             HashKind::Xor => ref_xor(a, 2048),
             HashKind::PrimeModulo => ref_prime_modulo(a, 2039),
             HashKind::PrimeDisplacement => ref_prime_displacement(a, 2048, 9),
+            // `HashKind::ALL` lists only the built-in kinds; DSL schemes
+            // are covered by `expr_units`.
+            HashKind::Expr(_) => unreachable!("ALL contains no Expr kind"),
         };
         out.push(run_unit(
             cfg,
@@ -351,6 +354,126 @@ fn scalar_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
 }
 
 // ---------------------------------------------------------------------------
+// Expression-DSL units: the dual-compilation differential oracle.
+// ---------------------------------------------------------------------------
+
+/// Pits both compilations of the expression DSL against each other and
+/// against the hand-written indexers:
+///
+/// 1. **Closure vs hard path** — every built-in scheme re-expressed in
+///    the DSL must agree with its hand-written indexer block-for-block.
+/// 2. **Closure vs abstract model** — the fast compiled closure and the
+///    statically lowered [`primecache_analyze::IndexModel`] must agree
+///    over the model's input window, including the sampled Opaque
+///    fallback.
+fn expr_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    use primecache_analyze::lower_expr;
+    use primecache_core::expr::{builtins, register_anonymous};
+
+    let mut out = Vec::new();
+    let n = cfg.addrs_per_unit;
+    let geom = Geometry::new(2048);
+    let bank_geom = Geometry::new(512);
+    let full = u64::MAX;
+
+    // Closure vs hand-written indexer, full 64-bit addresses.
+    type RefFn = Box<dyn Fn(u64) -> u64 + Send + Sync>;
+    let vs_hard: Vec<(String, String, RefFn)> = vec![
+        (
+            "expr/Base".to_owned(),
+            builtins::traditional_src(geom),
+            Box::new(|a| ref_traditional(a, 2048)),
+        ),
+        (
+            "expr/XOR".to_owned(),
+            builtins::xor_src(geom),
+            Box::new(|a| ref_xor(a, 2048)),
+        ),
+        (
+            "expr/XOR-fold".to_owned(),
+            builtins::xor_folded_src(geom),
+            Box::new(|a| ref_xor_folded(a, 2048)),
+        ),
+        (
+            "expr/pMod".to_owned(),
+            builtins::pmod_src(geom),
+            Box::new(|a| ref_prime_modulo(a, 2039)),
+        ),
+        (
+            "expr/pDisp".to_owned(),
+            builtins::pdisp_src(geom, 9),
+            Box::new(|a| ref_prime_displacement(a, 2048, 9)),
+        ),
+        (
+            "expr/SKW-bank1".to_owned(),
+            builtins::skew_xor_bank_src(bank_geom, 1),
+            Box::new(|a| ref_skew_xor(a, 512, 1)),
+        ),
+        (
+            "expr/skw+pDisp-9".to_owned(),
+            builtins::skew_disp_bank_src(bank_geom, 9),
+            Box::new(|a| ref_prime_displacement(a, 512, 9)),
+        ),
+    ];
+    for (name, src, reference) in vs_hard {
+        let id = register_anonymous(&src).expect("builtin source compiles");
+        let idx = id.indexer();
+        let strides = adversarial_strides(idx.n_set());
+        out.push(run_unit(
+            cfg,
+            &name,
+            n,
+            1,
+            move |rng| gen_addr(rng, full, &strides),
+            move |&a| {
+                assert_eq!(
+                    idx.index(a),
+                    reference(a),
+                    "DSL closure `{}` disagrees with the hand-written \
+                     indexer at block {a:#x}",
+                    id.source()
+                );
+            },
+        ));
+    }
+
+    // Closure vs statically lowered abstract model over the model's
+    // 26-bit input window: one representative per model family.
+    for (name, src) in [
+        ("expr/model-linear", builtins::xor_src(geom)),
+        ("expr/model-residue", builtins::pmod_src(geom)),
+        ("expr/model-affine", builtins::pdisp_src(geom, 9)),
+        (
+            "expr/model-opaque",
+            "((a % 2039) ^ (a >> 13)) & 2047".to_owned(),
+        ),
+    ] {
+        let id = register_anonymous(&src).expect("source compiles");
+        let model = lower_expr(id.folded(), 26);
+        let idx = id.indexer();
+        let mask = (1u64 << 26) - 1;
+        let strides = adversarial_strides(idx.n_set());
+        out.push(run_unit(
+            cfg,
+            name,
+            n,
+            1,
+            move |rng| gen_addr(rng, mask, &strides),
+            move |&a| {
+                assert_eq!(
+                    idx.index(a),
+                    model.eval(a),
+                    "dual compilations of `{}` diverge at block {a:#x}",
+                    id.source()
+                );
+            },
+        ));
+    }
+
+    out
+}
+
+// ---------------------------------------------------------------------------
 // Strength-reduced modulo units (the FastMod reciprocal on the hot path).
 // ---------------------------------------------------------------------------
 
@@ -465,6 +588,7 @@ fn set_assoc_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
             HashKind::Xor => ref_xor(block, 32),
             HashKind::PrimeModulo => ref_prime_modulo(block, 31),
             HashKind::PrimeDisplacement => ref_prime_displacement(block, 32, 9),
+            HashKind::Expr(_) => unreachable!("ALL contains no Expr kind"),
         };
         out.push(run_unit(
             cfg,
@@ -718,6 +842,7 @@ fn dram_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
 #[must_use]
 pub fn run_battery(cfg: &BatteryConfig) -> Vec<UnitReport> {
     let mut out = scalar_units(cfg);
+    out.extend(expr_units(cfg));
     out.extend(fastmod_units(cfg));
     out.extend(set_assoc_units(cfg));
     out.extend(skewed_units(cfg));
@@ -779,6 +904,17 @@ mod tests {
             "index/XOR-fold",
             "index/SKW-bank0",
             "index/skw+pDisp-9",
+            "expr/Base",
+            "expr/XOR",
+            "expr/XOR-fold",
+            "expr/pMod",
+            "expr/pDisp",
+            "expr/SKW-bank1",
+            "expr/skw+pDisp-9",
+            "expr/model-linear",
+            "expr/model-residue",
+            "expr/model-affine",
+            "expr/model-opaque",
             "index/pMod-fastmod-251",
             "index/pMod-fastmod-2039",
             "index/pMod-fastmod-16381",

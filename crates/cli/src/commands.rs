@@ -1,7 +1,8 @@
 //! CLI subcommand implementations.
 
 use primecache_analyze::{
-    certify_all, has_errors, model_of, report_json, self_check, xor_folded_model, Theorem1,
+    certify_all, certify_expr, has_errors, model_of, report_json, self_check, xor_folded_model,
+    Theorem1,
 };
 use primecache_core::index::{Geometry, HashKind, SetIndexer, XorFolded};
 use primecache_core::metrics::{
@@ -33,6 +34,8 @@ USAGE:
   pcache bench [--scheme S] [--refs N] [--strict]
                                            simulator throughput (refs/sec)
   pcache analyze [--json]                  static certificates + config lints
+  pcache analyze --expr 'SRC' [--name N] [--json]
+                                           certify one DSL index expression
   pcache analyze --self-check [--refs N]   cross-validate the static analyzer
   pcache conc-check [--bound N] [--check NAME] [--replay SEED]
                                            model-check the concurrency protocols
@@ -45,11 +48,21 @@ USAGE:
   pcache trace <app> --out FILE [--refs N] dump a binary trace
   pcache inspect FILE                      summarize a binary trace
 
-SCHEMES: Base, 8-way, XOR, pMod, pDisp, SKW, skw+pDisp, FA
+SCHEMES: Base, 8-way, XOR, pMod, pDisp, SKW, skw+pDisp, FA,
+         or a DSL expression: expr:'a % 2039' (see DESIGN.md for the grammar;
+         the scheme is statically certified before any simulation runs)
 ";
 
-fn parse_scheme(label: &str) -> Option<Scheme> {
-    Scheme::ALL.into_iter().find(|s| s.label() == label)
+fn parse_scheme(label: &str) -> Result<Scheme, String> {
+    if let Some(src) = label.strip_prefix("expr:") {
+        return primecache_core::expr::register_anonymous(src)
+            .map(Scheme::Expr)
+            .map_err(|e| format!("invalid expression scheme '{src}': {e}"));
+    }
+    Scheme::ALL
+        .into_iter()
+        .find(|s| s.label() == label)
+        .ok_or_else(|| format!("unknown scheme '{label}' (built-ins or expr:<src>)"))
 }
 
 /// `pcache list [--verbose]`
@@ -123,9 +136,12 @@ pub fn run(args: &[String]) -> i32 {
         return 2;
     };
     let scheme_label = flag_value(args, "--scheme").unwrap_or("pMod");
-    let Some(scheme) = parse_scheme(scheme_label) else {
-        eprintln!("unknown scheme '{scheme_label}'");
-        return 2;
+    let scheme = match parse_scheme(scheme_label) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
     };
     let refs = match flag_parsed(args, "--refs", 200_000u64) {
         Ok(v) => v,
@@ -261,9 +277,9 @@ pub fn bench(args: &[String]) -> i32 {
     let schemes: Vec<Scheme> = match flag_value(args, "--scheme") {
         None => Scheme::ALL.to_vec(),
         Some(label) => match parse_scheme(label) {
-            Some(s) => vec![s],
-            None => {
-                eprintln!("unknown scheme '{label}'");
+            Ok(s) => vec![s],
+            Err(e) => {
+                eprintln!("{e}");
                 return 2;
             }
         },
@@ -442,10 +458,14 @@ fn analysis_geometries(machine: &MachineConfig) -> (Geometry, Geometry) {
     (geom, bank_geom)
 }
 
-/// `pcache analyze [--json]` / `pcache analyze --self-check [--refs N]`
+/// `pcache analyze [--json]` / `pcache analyze --expr 'SRC'` /
+/// `pcache analyze --self-check [--refs N]`
 pub fn analyze(args: &[String]) -> i32 {
     if args.iter().any(|a| a == "--self-check") {
         return analyze_self_check(args);
+    }
+    if let Some(src) = flag_value(args, "--expr") {
+        return analyze_expr(src, args);
     }
     let machine = MachineConfig::paper_default();
     let (geom, bank_geom) = analysis_geometries(&machine);
@@ -530,6 +550,75 @@ pub fn analyze(args: &[String]) -> i32 {
         }
     }
     i32::from(has_errors(&bare))
+}
+
+/// `pcache analyze --expr 'SRC' [--name N] [--json]`: compile one DSL
+/// index expression, lower it to its abstract model, and print the
+/// certificate plus the lints the paper machine's L2 geometry raises —
+/// the same gate `--scheme expr:SRC` simulation runs behind.
+fn analyze_expr(src: &str, args: &[String]) -> i32 {
+    let registered = match flag_value(args, "--name") {
+        Some(name) => primecache_core::expr::register(name, src),
+        None => primecache_core::expr::register_anonymous(src),
+    };
+    let id = match registered {
+        Ok(id) => id,
+        Err(e) => {
+            eprintln!("invalid expression '{src}': {e}");
+            return 2;
+        }
+    };
+    let machine = MachineConfig::paper_default();
+    let (geom, _) = analysis_geometries(&machine);
+    let in_bits = (2 * geom.index_bits() + 4).min(64);
+    let cert = certify_expr(id.name().to_owned(), id.folded(), in_bits);
+    let lints = machine.lint_scheme(Scheme::Expr(id));
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report_json(std::slice::from_ref(&cert), &lints));
+        return i32::from(has_errors(&lints));
+    }
+    println!("expression: {src}");
+    println!("  folded:      {}", id.folded());
+    println!(
+        "  certificate: {} ({} sets over {} address bits)",
+        if cert.exact {
+            "exact"
+        } else {
+            "sampled (opaque model)"
+        },
+        cert.n_set,
+        cert.in_bits
+    );
+    println!("  rank {} / kernel dim {}", cert.rank, cert.kernel_dim);
+    println!(
+        "  permutation: {}; balance bound {:.2}{}",
+        if cert.permutation { "yes" } else { "no" },
+        cert.balance_bound,
+        if cert.balanced { "" } else { " (UNBALANCED)" }
+    );
+    match cert.smallest_conflict_stride() {
+        Some(d) => println!("  smallest conflict stride: {d}"),
+        None => println!("  no universal conflict stride found"),
+    }
+    match &cert.theorem1 {
+        Theorem1::Holds { modulus } => println!("  theorem 1: holds (p = {modulus})"),
+        Theorem1::Fails { witness_stride } => {
+            println!("  theorem 1: fails (witness stride {witness_stride})");
+        }
+        Theorem1::NoGuarantee => println!("  theorem 1: no guarantee"),
+    }
+    if lints.is_empty() {
+        println!("  lints: clean — `--scheme expr:{src}` will simulate");
+    } else {
+        println!("  lints:");
+        for l in &lints {
+            println!("    {l}");
+        }
+        if has_errors(&lints) {
+            println!("  the simulator's certificate gate REJECTS this scheme");
+        }
+    }
+    i32::from(has_errors(&lints))
 }
 
 /// `pcache analyze --self-check [--refs N]`: the full static-vs-concrete
@@ -776,9 +865,12 @@ pub fn report(args: &[String]) -> i32 {
         return 2;
     };
     let scheme_label = flag_value(args, "--scheme").unwrap_or("pMod");
-    let Some(scheme) = parse_scheme(scheme_label) else {
-        eprintln!("unknown scheme '{scheme_label}'");
-        return 2;
+    let scheme = match parse_scheme(scheme_label) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
     };
     let refs = match flag_parsed(args, "--refs", 200_000u64) {
         Ok(v) => v,
@@ -875,9 +967,12 @@ fn trace_events_run(args: &[String]) -> i32 {
         return 2;
     };
     let scheme_label = flag_value(args, "--scheme").unwrap_or("pMod");
-    let Some(scheme) = parse_scheme(scheme_label) else {
-        eprintln!("unknown scheme '{scheme_label}'");
-        return 2;
+    let scheme = match parse_scheme(scheme_label) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
     };
     let (refs, sample, ring) = match (
         flag_parsed(args, "--refs", 50_000u64),

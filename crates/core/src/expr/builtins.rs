@@ -1,0 +1,161 @@
+//! DSL source text for every hard-coded index function.
+//!
+//! The acceptance bar for the expression language is that each built-in
+//! scheme is *expressible*: the source built here must evaluate
+//! bit-identically to the corresponding hard-coded indexer on every block
+//! address, and its abstract lowering must produce the same certificate as
+//! the hard-coded model (both pinned by tests). The builders are
+//! parameterized by [`Geometry`] so the equivalence holds at any
+//! power-of-two set count.
+
+use crate::index::Geometry;
+use primecache_primes::prev_prime;
+
+/// Traditional (Base) indexing: the low index bits, `a & mask`.
+#[must_use]
+pub fn traditional_src(geom: Geometry) -> String {
+    format!("a & {}", geom.index_mask())
+}
+
+/// XOR indexing: first tag chunk XOR index bits, `(a ^ (a >> k)) & mask`.
+///
+/// The mask distributes over XOR, so this equals
+/// `x(a) ^ tag_chunk(a, 1)` of the hard-coded [`Xor`](crate::index::Xor).
+#[must_use]
+pub fn xor_src(geom: Geometry) -> String {
+    format!("(a ^ (a >> {})) & {}", geom.index_bits(), geom.index_mask())
+}
+
+/// Fully-folded XOR: every `k`-bit chunk of the address XOR-ed together,
+/// `(a ^ (a >> k) ^ (a >> 2k) ^ …) & mask` over all chunk shifts below 64.
+#[must_use]
+pub fn xor_folded_src(geom: Geometry) -> String {
+    let k = geom.index_bits();
+    let mut src = String::from("(a");
+    let mut shift = k;
+    while shift < 64 {
+        src.push_str(&format!(" ^ (a >> {shift})"));
+        shift += k;
+    }
+    src.push_str(&format!(") & {}", geom.index_mask()));
+    src
+}
+
+/// Prime modulo (pMod): `a % p` with `p` the largest prime not exceeding
+/// the physical set count — the paper's headline scheme.
+#[must_use]
+pub fn pmod_src(geom: Geometry) -> String {
+    let p = prev_prime(geom.n_set_phys()).expect("geometry guarantees n_set_phys >= 2");
+    format!("a % {p}")
+}
+
+/// Prime displacement (pDisp): `((f * T) + x) mod 2^k` written as
+/// `((f * (a >> k)) + (a & mask)) & mask`.
+///
+/// Matches the hard-coded
+/// [`PrimeDisplacement`](crate::index::PrimeDisplacement) for any factor:
+/// wrapping arithmetic truncated by the mask agrees with arithmetic
+/// mod `2^k`.
+#[must_use]
+pub fn pdisp_src(geom: Geometry, factor: u64) -> String {
+    let k = geom.index_bits();
+    let mask = geom.index_mask();
+    format!("(({factor} * (a >> {k})) + (a & {mask})) & {mask}")
+}
+
+/// Seznec skewing function for one bank (SKW): `rotate(t1, bank mod k) ^ x`
+/// spelled with shifts — the left-rotate of the first tag chunk splits into
+/// a masked `<<` and a `>>` over disjoint bit ranges, whose OR is an XOR.
+#[must_use]
+pub fn skew_xor_bank_src(geom: Geometry, bank: u32) -> String {
+    let k = geom.index_bits();
+    let mask = geom.index_mask();
+    let r = bank % k;
+    if r == 0 {
+        return format!("(a & {mask}) ^ ((a >> {k}) & {mask})");
+    }
+    format!(
+        "(a & {mask}) ^ ((((a >> {k}) & {mask}) << {r}) & {mask}) ^ (((a >> {k}) & {mask}) >> {})",
+        k - r
+    )
+}
+
+/// Prime-displacement skewing function for one bank (skw+pDisp): identical
+/// shape to [`pdisp_src`] with the bank's factor.
+#[must_use]
+pub fn skew_disp_bank_src(geom: Geometry, factor: u64) -> String {
+    pdisp_src(geom, factor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{fold, parse};
+    use crate::index::{
+        PrimeDisplacement, PrimeModulo, SetIndexer, SkewXorBank, Traditional, Xor, XorFolded,
+        SKEW_DISP_FACTORS,
+    };
+
+    /// Sample addresses exercising every tag chunk, including ones beyond
+    /// 32 bits and the all-ones extreme.
+    const ADDRS: [u64; 10] = [
+        0,
+        1,
+        2039,
+        2048,
+        4095,
+        0xDEAD_BEEF,
+        0xABCD_EF01_2345,
+        1 << 45,
+        u64::MAX - 7,
+        u64::MAX,
+    ];
+
+    fn assert_matches(src: &str, hard: &dyn SetIndexer) {
+        let e = fold(&parse(src).unwrap());
+        for &a in &ADDRS {
+            assert_eq!(
+                e.eval(a),
+                hard.index(a),
+                "{} vs `{src}` at a = {a:#x}",
+                hard.name()
+            );
+        }
+    }
+
+    #[test]
+    fn every_builtin_scheme_is_expressible() {
+        for phys in [64u64, 512, 2048, 16384] {
+            let g = Geometry::new(phys);
+            assert_matches(&traditional_src(g), &Traditional::new(g));
+            assert_matches(&xor_src(g), &Xor::new(g));
+            assert_matches(&xor_folded_src(g), &XorFolded::new(g));
+            assert_matches(&pmod_src(g), &PrimeModulo::new(g));
+            assert_matches(&pdisp_src(g, 9), &PrimeDisplacement::paper_default(g));
+        }
+    }
+
+    #[test]
+    fn every_skew_bank_is_expressible() {
+        let g = Geometry::new(512);
+        for bank in 0..4 {
+            assert_matches(&skew_xor_bank_src(g, bank), &SkewXorBank::new(g, bank));
+        }
+        for &f in &SKEW_DISP_FACTORS {
+            assert_matches(
+                &skew_disp_bank_src(g, f),
+                &crate::index::SkewDispBank::new(g, f),
+            );
+        }
+    }
+
+    #[test]
+    fn skew_rotation_wraps_like_the_hard_coded_bank() {
+        // Bank number beyond index_bits wraps (bank mod k), including the
+        // r == 0 branch.
+        let g = Geometry::new(16);
+        for bank in [0u32, 3, 4, 7] {
+            assert_matches(&skew_xor_bank_src(g, bank), &SkewXorBank::new(g, bank));
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The hot-path compilation: folded AST → stack-machine program, plus the
+//! conservative range analysis that bounds the set count.
+//!
+//! The program is a flat opcode vector in the Steel/Rucket style — a
+//! post-order emission with every constant operand baked into its opcode,
+//! so evaluation is a single allocation-free loop over a fixed-size
+//! operand stack. Any `% const` compiles to a precomputed
+//! [`FastMod`] reciprocal, the same strength reduction the hard-coded
+//! pMod indexer uses.
+
+use std::fmt;
+
+use crate::index::FastMod;
+
+use super::ast::{BinOp, Expr};
+use super::parse::ParseError;
+
+/// Maximum operand-stack depth a compiled program may use. Deep enough
+/// for any sane index function (a balanced tree of 2^64 leaves); the
+/// compiler rejects expressions that exceed it instead of overflowing.
+pub const MAX_DEPTH: usize = 64;
+
+/// Why an expression could not be registered/compiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// The source failed to parse (span included).
+    Parse(ParseError),
+    /// The expression uses a shape the compiler rejects: a non-constant
+    /// multiplier, modulus, or shift amount; a zero modulus; or nesting
+    /// beyond [`MAX_DEPTH`].
+    Unsupported(String),
+    /// The value range is unbounded, so no finite set count exists — mask
+    /// (`& m`) or reduce (`% m`) the result.
+    Unbounded,
+    /// The scheme name is already registered with a different source.
+    NameConflict(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Parse(e) => write!(f, "{e}"),
+            ExprError::Unsupported(msg) => write!(f, "unsupported expression: {msg}"),
+            ExprError::Unbounded => write!(
+                f,
+                "the expression's value range is unbounded; mask the result \
+                 (`& m`) or take a modulus (`% m`) so it addresses a finite set space"
+            ),
+            ExprError::NameConflict(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// One stack-machine instruction of a compiled index expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Push the block address.
+    PushAddr,
+    /// Push a constant.
+    PushConst(u64),
+    /// Pop two operands, push their bitwise OR.
+    Or,
+    /// Pop two operands, push their bitwise XOR.
+    Xor,
+    /// Pop two operands, push their bitwise AND.
+    And,
+    /// Pop two operands, push their wrapping sum.
+    Add,
+    /// Shift the top of stack left by a constant (< 64).
+    Shl(u32),
+    /// Shift the top of stack right by a constant (< 64).
+    Shr(u32),
+    /// Multiply the top of stack by a constant (wrapping).
+    MulConst(u64),
+    /// Reduce the top of stack modulo a constant via a precomputed
+    /// [`FastMod`] reciprocal.
+    ModConst(FastMod),
+}
+
+/// A compiled index expression: a flat opcode vector evaluated over a
+/// fixed-size operand stack. Built by [`compile`]; the registry wraps it
+/// as a [`SetIndexer`](crate::index::SetIndexer) via
+/// [`ExprIndexer`](super::ExprIndexer).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    ops: Vec<Op>,
+    depth: usize,
+}
+
+impl Program {
+    /// The instruction sequence, in evaluation order.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The operand-stack depth the program needs (≤ [`MAX_DEPTH`]).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Evaluates the program at block address `a`.
+    ///
+    /// Bit-identical to [`Expr::eval`] on the folded source tree for every
+    /// address (the differential oracle pins this).
+    #[must_use]
+    #[inline]
+    pub fn eval(&self, a: u64) -> u64 {
+        let mut st = [0u64; MAX_DEPTH];
+        let mut sp = 0usize;
+        for op in &self.ops {
+            match *op {
+                Op::PushAddr => {
+                    st[sp] = a;
+                    sp += 1;
+                }
+                Op::PushConst(c) => {
+                    st[sp] = c;
+                    sp += 1;
+                }
+                Op::Or => {
+                    sp -= 1;
+                    st[sp - 1] |= st[sp];
+                }
+                Op::Xor => {
+                    sp -= 1;
+                    st[sp - 1] ^= st[sp];
+                }
+                Op::And => {
+                    sp -= 1;
+                    st[sp - 1] &= st[sp];
+                }
+                Op::Add => {
+                    sp -= 1;
+                    st[sp - 1] = st[sp - 1].wrapping_add(st[sp]);
+                }
+                Op::Shl(s) => st[sp - 1] <<= s,
+                Op::Shr(s) => st[sp - 1] >>= s,
+                Op::MulConst(c) => st[sp - 1] = st[sp - 1].wrapping_mul(c),
+                Op::ModConst(fm) => st[sp - 1] = fm.reduce(st[sp - 1]),
+            }
+        }
+        st[0]
+    }
+}
+
+/// Compiles a **folded** expression (see [`fold`](super::fold)) into a
+/// stack program.
+///
+/// # Errors
+///
+/// [`ExprError::Unsupported`] when a multiplier, modulus, or shift amount
+/// is not a constant (the DSL is mul-by-const / mod-by-const by design —
+/// that is what keeps the abstract lowering decidable), when a modulus is
+/// zero, or when the tree nests beyond [`MAX_DEPTH`].
+pub fn compile(e: &Expr) -> Result<Program, ExprError> {
+    let mut p = Program {
+        ops: Vec::new(),
+        depth: 0,
+    };
+    let mut sp = 0usize;
+    emit(e, &mut p, &mut sp)?;
+    debug_assert_eq!(sp, 1, "emission must leave exactly the result");
+    Ok(p)
+}
+
+fn emit(e: &Expr, p: &mut Program, sp: &mut usize) -> Result<(), ExprError> {
+    let push = |p: &mut Program, op: Op, sp: &mut usize| -> Result<(), ExprError> {
+        *sp += 1;
+        if *sp > MAX_DEPTH {
+            return Err(ExprError::Unsupported(format!(
+                "expression nests deeper than {MAX_DEPTH} operands"
+            )));
+        }
+        p.depth = p.depth.max(*sp);
+        p.ops.push(op);
+        Ok(())
+    };
+    match e {
+        Expr::Addr => push(p, Op::PushAddr, sp),
+        Expr::Const(c) => push(p, Op::PushConst(*c), sp),
+        Expr::Bin(op, l, r) => match op {
+            BinOp::Or | BinOp::Xor | BinOp::And | BinOp::Add => {
+                emit(l, p, sp)?;
+                emit(r, p, sp)?;
+                *sp -= 1;
+                p.ops.push(match op {
+                    BinOp::Or => Op::Or,
+                    BinOp::Xor => Op::Xor,
+                    BinOp::And => Op::And,
+                    _ => Op::Add,
+                });
+                Ok(())
+            }
+            BinOp::Mod => {
+                let Expr::Const(m) = **r else {
+                    return Err(ExprError::Unsupported(
+                        "the modulus (right operand of `%`) must be a constant".into(),
+                    ));
+                };
+                if m == 0 {
+                    return Err(ExprError::Unsupported("the modulus must be nonzero".into()));
+                }
+                emit(l, p, sp)?;
+                p.ops.push(Op::ModConst(FastMod::new(m)));
+                Ok(())
+            }
+            BinOp::Mul => {
+                // fold() canonicalizes a constant factor to the right.
+                let Expr::Const(c) = **r else {
+                    return Err(ExprError::Unsupported(
+                        "one operand of `*` must be a constant".into(),
+                    ));
+                };
+                emit(l, p, sp)?;
+                p.ops.push(Op::MulConst(c));
+                Ok(())
+            }
+            BinOp::Shl | BinOp::Shr => {
+                let Expr::Const(s) = **r else {
+                    return Err(ExprError::Unsupported(
+                        "the shift amount must be a constant".into(),
+                    ));
+                };
+                let Some(s) = u32::try_from(s).ok().filter(|s| *s < 64) else {
+                    return Err(ExprError::Unsupported(
+                        "the shift amount must be below 64".into(),
+                    ));
+                };
+                emit(l, p, sp)?;
+                p.ops.push(if *op == BinOp::Shl {
+                    Op::Shl(s)
+                } else {
+                    Op::Shr(s)
+                });
+                Ok(())
+            }
+        },
+    }
+}
+
+/// Conservative inclusive upper bound of the expression's value when the
+/// block address is at most `addr_bound`. Saturates at `u64::MAX`
+/// (meaning: unbounded for practical purposes).
+#[must_use]
+pub fn value_bound(e: &Expr, addr_bound: u64) -> u64 {
+    /// Smallest all-ones mask covering every value up to `x` — sound for
+    /// combining bitwise operands whose bounds are not themselves masks.
+    fn cover(x: u64) -> u64 {
+        if x == 0 {
+            0
+        } else {
+            u64::MAX >> x.leading_zeros()
+        }
+    }
+    match e {
+        Expr::Addr => addr_bound,
+        Expr::Const(c) => *c,
+        Expr::Bin(op, l, r) => {
+            let bl = value_bound(l, addr_bound);
+            let br = value_bound(r, addr_bound);
+            match op {
+                BinOp::Or | BinOp::Xor => cover(bl) | cover(br),
+                BinOp::And => bl.min(br),
+                BinOp::Add => bl.saturating_add(br),
+                BinOp::Mul => bl.saturating_mul(br),
+                // `x % 0` evaluates to 0, so `max(br, 1) - 1` covers both.
+                BinOp::Mod => bl.min(br.max(1) - 1),
+                BinOp::Shl => match **r {
+                    Expr::Const(s) if s >= 64 => 0,
+                    Expr::Const(s) => {
+                        let s = u32::try_from(s).expect("s < 64");
+                        if bl.leading_zeros() < s {
+                            u64::MAX
+                        } else {
+                            bl << s
+                        }
+                    }
+                    _ => u64::MAX,
+                },
+                BinOp::Shr => match **r {
+                    Expr::Const(s) if s >= 64 => 0,
+                    Expr::Const(s) => bl >> s,
+                    // A variable shift can be 0; the bound cannot shrink.
+                    _ => bl,
+                },
+            }
+        }
+    }
+}
+
+/// The number of sets the expression can address over addresses up to
+/// `addr_bound`: `value_bound + 1`, or `None` when unbounded.
+#[must_use]
+pub fn set_bound(e: &Expr, addr_bound: u64) -> Option<u64> {
+    value_bound(e, addr_bound).checked_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::fold::fold;
+    use crate::expr::parse::parse;
+
+    fn program(src: &str) -> Program {
+        compile(&fold(&parse(src).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn compiled_program_matches_tree_eval() {
+        for src in [
+            "a & 2047",
+            "(a ^ (a >> 11)) & 2047",
+            "a % 2039",
+            "((9 * (a >> 11)) + (a & 2047)) & 2047",
+            "(a[20:9] | 1) % 509",
+            "((a % 2039) ^ (a >> 13)) & 2047",
+        ] {
+            let tree = fold(&parse(src).unwrap());
+            let prog = compile(&tree).unwrap();
+            for a in [0u64, 1, 2039, 4096, 0xABCD_EF01_2345, u64::MAX] {
+                assert_eq!(prog.eval(a), tree.eval(a), "{src} at a = {a:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn modulo_uses_fastmod() {
+        let p = program("a % 2039");
+        assert!(matches!(p.ops(), [Op::PushAddr, Op::ModConst(_)]));
+        assert_eq!(p.eval(123_456_789), 123_456_789 % 2039);
+    }
+
+    #[test]
+    fn rejects_non_constant_operands() {
+        for src in ["a * a", "a % a", "a << a", "a >> (a & 1)", "a % 0"] {
+            let e = compile(&fold(&parse(src).unwrap()));
+            assert!(e.is_err(), "{src} should not compile");
+        }
+    }
+
+    #[test]
+    fn rejects_pathological_nesting() {
+        // Right-leaning XOR chain: each level holds one pending operand.
+        let src = format!("{}a{}", "(a ^ ".repeat(70), ")".repeat(70));
+        let e = compile(&fold(&parse(&src).unwrap()));
+        assert!(matches!(e, Err(ExprError::Unsupported(_))), "{e:?}");
+    }
+
+    #[test]
+    fn range_bounds_are_sound_and_tight_where_it_matters() {
+        let cases = [
+            ("a & 2047", 2047),
+            ("a % 2039", 2038),
+            ("(a ^ (a >> 11)) & 2047", 2047),
+            ("((9 * (a >> 11)) + (a & 2047)) & 2047", 2047),
+            ("(a & 3) + (a & 12)", 15),
+            ("(a & 7) << 2", 28),
+        ];
+        for (src, want) in cases {
+            let e = fold(&parse(src).unwrap());
+            assert_eq!(value_bound(&e, u64::MAX), want, "{src}");
+        }
+        assert_eq!(set_bound(&fold(&parse("a").unwrap()), u64::MAX), None);
+        assert_eq!(set_bound(&fold(&parse("a * 3").unwrap()), u64::MAX), None);
+    }
+}

@@ -1,0 +1,114 @@
+//! Constant folding and strength reduction over the DSL AST.
+//!
+//! The pass is semantics-preserving on the **full** `u64` address domain
+//! (the compiled closure never masks its input), and it is what makes the
+//! two compilations line up: the hot-path compiler and the abstract
+//! lowering both consume the folded tree, so `x % 2^k` becomes the same
+//! `x & (2^k - 1)` on both sides.
+
+use super::ast::{BinOp, Expr};
+
+/// Folds constant subtrees and strength-reduces the standard identities:
+///
+/// | shape                  | result                  |
+/// |------------------------|-------------------------|
+/// | `const op const`       | evaluated               |
+/// | `c op x` (commutative) | `x op c`                |
+/// | `x + 0`, `x ^ 0`, `x \| 0`, `x << 0`, `x >> 0`, `x * 1`, `x & !0` | `x` |
+/// | `x & 0`, `x * 0`, `x << 64+`, `x >> 64+`, `x % 1` | `0` |
+/// | `x * 2^s`              | `x << s`                |
+/// | `x % 2^s`              | `x & (2^s - 1)`         |
+///
+/// Idempotent: folding a folded tree returns it unchanged.
+#[must_use]
+pub fn fold(e: &Expr) -> Expr {
+    let Expr::Bin(op, l, r) = e else {
+        return e.clone();
+    };
+    let op = *op;
+    let l = fold(l);
+    let r = fold(r);
+    if let (&Expr::Const(a), &Expr::Const(b)) = (&l, &r) {
+        return Expr::Const(op.apply(a, b));
+    }
+    // Canonicalize: the constant operand of a commutative operator goes on
+    // the right, so the reductions below (and the compiler, and the
+    // abstract lowering's structural matches) only look one way.
+    let commutative = matches!(
+        op,
+        BinOp::Or | BinOp::Xor | BinOp::And | BinOp::Add | BinOp::Mul
+    );
+    let (l, r) = if commutative && matches!(l, Expr::Const(_)) {
+        (r, l)
+    } else {
+        (l, r)
+    };
+    if let Expr::Const(c) = r {
+        match (op, c) {
+            (BinOp::Or | BinOp::Xor | BinOp::Add | BinOp::Shl | BinOp::Shr, 0) => return l,
+            (BinOp::Shl | BinOp::Shr, s) if s >= 64 => return Expr::Const(0),
+            (BinOp::And | BinOp::Mul, 0) => return Expr::Const(0),
+            (BinOp::And, u64::MAX) => return l,
+            (BinOp::Mul, 1) => return l,
+            (BinOp::Mul, m) if m.is_power_of_two() => {
+                return Expr::bin(BinOp::Shl, l, Expr::Const(m.trailing_zeros().into()));
+            }
+            (BinOp::Mod, 1) => return Expr::Const(0),
+            (BinOp::Mod, m) if m.is_power_of_two() => {
+                return Expr::bin(BinOp::And, l, Expr::Const(m - 1));
+            }
+            _ => return Expr::bin(op, l, Expr::Const(c)),
+        }
+    }
+    Expr::bin(op, l, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::parse::parse;
+
+    fn folded(src: &str) -> Expr {
+        fold(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn constants_evaluate() {
+        assert_eq!(folded("3 * 5 + 1"), Expr::Const(16));
+        assert_eq!(folded("(1 << 11) + 2047"), Expr::Const(4095));
+    }
+
+    #[test]
+    fn strength_reduction() {
+        assert_eq!(folded("a % 2048"), folded("a & 2047"));
+        assert_eq!(folded("a * 8"), folded("a << 3"));
+        assert_eq!(folded("a * 1"), Expr::Addr);
+        assert_eq!(folded("a % 1"), Expr::Const(0));
+        assert_eq!(folded("a + 0"), Expr::Addr);
+        assert_eq!(folded("a >> 77"), Expr::Const(0));
+    }
+
+    #[test]
+    fn commutative_constants_move_right() {
+        assert_eq!(folded("9 * a"), folded("a * 9"));
+        assert_eq!(folded("2047 & a"), folded("a & 2047"));
+    }
+
+    #[test]
+    fn fold_preserves_semantics_on_full_addresses() {
+        for src in [
+            "a % 2048",
+            "a * 6",
+            "(3 * a + a) & 511",
+            "a[20:9] ^ (a % 4096)",
+            "((a << 2) >> 2) % 32",
+        ] {
+            let raw = parse(src).unwrap();
+            let opt = fold(&raw);
+            assert_eq!(opt, fold(&opt), "fold not idempotent for {src}");
+            for a in [0u64, 1, 2047, 2048, 0xDEAD_BEEF, u64::MAX, u64::MAX - 7] {
+                assert_eq!(raw.eval(a), opt.eval(a), "{src} at a = {a:#x}");
+            }
+        }
+    }
+}

@@ -1,0 +1,435 @@
+//! Hand-rolled recursive-descent parser for the index-expression DSL.
+//!
+//! Zero dependencies, spans on every error. The grammar (loosest to
+//! tightest binding; every binary level is left-associative):
+//!
+//! ```text
+//! expr  := or
+//! or    := xor  ( "|" xor )*
+//! xor   := and  ( "^" and )*
+//! and   := shift ( "&" shift )*
+//! shift := add  ( ("<<" | ">>") add )*
+//! add   := mul  ( "+" mul )*
+//! mul   := post ( ("*" | "%") post )*
+//! post  := prim ( "[" NUM ":" NUM "]" )*
+//! prim  := "a" | "addr" | NUM | "(" expr ")"
+//! NUM   := decimal or 0x-prefixed hexadecimal u64 literal
+//! ```
+//!
+//! The slice `e[hi:lo]` (bit `hi` down to bit `lo`, inclusive) desugars to
+//! `(e >> lo) & mask(hi - lo + 1)` at parse time.
+
+use std::fmt;
+
+use super::ast::{BinOp, Expr};
+
+/// A half-open byte range into the source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first offending character.
+    pub start: usize,
+    /// Byte offset one past the last offending character.
+    pub end: usize,
+}
+
+/// A parse failure pointing at the offending span of the source.
+///
+/// Malformed input is always reported this way — the parser never panics
+/// (pinned by a property test over mutated sources).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong / what was expected instead.
+    pub message: String,
+    /// Where in the source it went wrong.
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at byte {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>, start: usize, end: usize) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+        span: Span { start, end },
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tok {
+    Addr,
+    Num(u64),
+    Or,
+    Xor,
+    And,
+    Shl,
+    Shr,
+    Add,
+    Mul,
+    Mod,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Colon,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, Span)>, ParseError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let start = i;
+        let tok = match b[i] {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                i += 1;
+                continue;
+            }
+            b'|' => Tok::Or,
+            b'^' => Tok::Xor,
+            b'&' => Tok::And,
+            b'+' => Tok::Add,
+            b'*' => Tok::Mul,
+            b'%' => Tok::Mod,
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b':' => Tok::Colon,
+            b'<' => {
+                if b.get(i + 1) == Some(&b'<') {
+                    i += 1;
+                    Tok::Shl
+                } else {
+                    return err("expected `<<`", start, start + 1);
+                }
+            }
+            b'>' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    i += 1;
+                    Tok::Shr
+                } else {
+                    return err("expected `>>`", start, start + 1);
+                }
+            }
+            b'0'..=b'9' => {
+                let (radix, digits_at) =
+                    if b[i] == b'0' && matches!(b.get(i + 1), Some(b'x' | b'X')) {
+                        (16, i + 2)
+                    } else {
+                        (10, i)
+                    };
+                let mut j = digits_at;
+                while j < b.len() && (b[j] as char).is_ascii_alphanumeric() {
+                    j += 1;
+                }
+                let text = &src[digits_at..j];
+                if text.is_empty() {
+                    return err("expected hex digits after `0x`", start, j.max(start + 2));
+                }
+                let value = u64::from_str_radix(text, radix);
+                let n = match value {
+                    Ok(v) => v,
+                    Err(_) => {
+                        return err(
+                            format!("invalid u64 literal `{}`", &src[start..j]),
+                            start,
+                            j,
+                        )
+                    }
+                };
+                i = j;
+                out.push((Tok::Num(n), Span { start, end: j }));
+                continue;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut j = i;
+                while j < b.len() && ((b[j] as char).is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                if word != "a" && word != "addr" {
+                    return err(
+                        format!("unknown identifier `{word}`; the block address is `a`"),
+                        i,
+                        j,
+                    );
+                }
+                i = j;
+                out.push((Tok::Addr, Span { start, end: j }));
+                continue;
+            }
+            c => {
+                return err(
+                    format!("unexpected character `{}`", char::from(c)),
+                    start,
+                    start + 1,
+                )
+            }
+        };
+        i += 1;
+        out.push((tok, Span { start, end: i }));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    toks: &'a [(Tok, Span)],
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<Tok> {
+        self.toks.get(self.pos).map(|&(t, _)| t)
+    }
+
+    fn here(&self) -> Span {
+        self.toks.get(self.pos).map_or(
+            Span {
+                start: self.src_len,
+                end: self.src_len,
+            },
+            |&(_, s)| s,
+        )
+    }
+
+    fn bump(&mut self) -> Option<(Tok, Span)> {
+        let t = self.toks.get(self.pos).copied();
+        self.pos += usize::from(t.is_some());
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<Span, ParseError> {
+        let span = self.here();
+        match self.bump() {
+            Some((t, s)) if t == want => Ok(s),
+            _ => err(
+                format!("expected {what}"),
+                span.start,
+                span.end.max(span.start),
+            ),
+        }
+    }
+
+    /// One left-associative binary level: `next (ops next)*`.
+    fn level(
+        &mut self,
+        ops: &[(Tok, BinOp)],
+        next: &dyn Fn(&mut Self) -> Result<Expr, ParseError>,
+    ) -> Result<Expr, ParseError> {
+        let mut e = next(self)?;
+        while let Some(t) = self.peek() {
+            let Some(&(_, op)) = ops.iter().find(|&&(tok, _)| tok == t) else {
+                break;
+            };
+            self.bump();
+            e = Expr::bin(op, e, next(self)?);
+        }
+        Ok(e)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        self.level(&[(Tok::Or, BinOp::Or)], &Self::xor_expr)
+    }
+
+    fn xor_expr(&mut self) -> Result<Expr, ParseError> {
+        self.level(&[(Tok::Xor, BinOp::Xor)], &Self::and_expr)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        self.level(&[(Tok::And, BinOp::And)], &Self::shift_expr)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, ParseError> {
+        self.level(
+            &[(Tok::Shl, BinOp::Shl), (Tok::Shr, BinOp::Shr)],
+            &Self::add_expr,
+        )
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        self.level(&[(Tok::Add, BinOp::Add)], &Self::mul_expr)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        self.level(
+            &[(Tok::Mul, BinOp::Mul), (Tok::Mod, BinOp::Mod)],
+            &Self::postfix_expr,
+        )
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        while self.peek() == Some(Tok::LBracket) {
+            self.bump();
+            let (hi, hi_span) = self.number("a bit position (the slice's high bit)")?;
+            self.expect(Tok::Colon, "`:` between the slice bounds")?;
+            let (lo, lo_span) = self.number("a bit position (the slice's low bit)")?;
+            let close = self.expect(Tok::RBracket, "`]` closing the slice")?;
+            if hi > 63 {
+                return err(
+                    "slice bits must be within 0..=63",
+                    hi_span.start,
+                    hi_span.end,
+                );
+            }
+            if lo > hi {
+                return err(
+                    format!("slice low bit {lo} exceeds high bit {hi}"),
+                    lo_span.start,
+                    close.end,
+                );
+            }
+            // Desugar a[hi:lo] => (a >> lo) & mask(hi - lo + 1).
+            let width = hi - lo + 1;
+            let mask = if width >= 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let shifted = if lo == 0 {
+                e
+            } else {
+                Expr::bin(BinOp::Shr, e, Expr::Const(lo))
+            };
+            e = Expr::bin(BinOp::And, shifted, Expr::Const(mask));
+        }
+        Ok(e)
+    }
+
+    fn number(&mut self, what: &str) -> Result<(u64, Span), ParseError> {
+        let span = self.here();
+        match self.bump() {
+            Some((Tok::Num(n), s)) => Ok((n, s)),
+            _ => err(format!("expected {what}"), span.start, span.end),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let span = self.here();
+        match self.bump() {
+            Some((Tok::Addr, _)) => Ok(Expr::Addr),
+            Some((Tok::Num(n), _)) => Ok(Expr::Const(n)),
+            Some((Tok::LParen, open)) => {
+                let e = self.or_expr()?;
+                match self.bump() {
+                    Some((Tok::RParen, _)) => Ok(e),
+                    _ => err("unclosed `(`", open.start, open.end),
+                }
+            }
+            _ => err(
+                "expected the address `a`, a constant, or `(`",
+                span.start,
+                span.end,
+            ),
+        }
+    }
+}
+
+/// Parses a DSL source string into an [`Expr`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending span for any malformed
+/// input: unknown identifiers, stray characters, unbalanced parentheses,
+/// overflowing literals, bad slices, or trailing tokens.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    if p.peek().is_none() {
+        return err("empty expression", 0, 0);
+    }
+    let e = p.or_expr()?;
+    if let Some(&(_, s)) = toks.get(p.pos) {
+        return err("unexpected trailing input", s.start, src.len());
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_paper_schemes() {
+        let e = parse("(a ^ (a >> 11)) & 2047").unwrap();
+        assert_eq!(
+            e.eval(0x1234_5678),
+            ((0x1234_5678u64 >> 11) ^ 0x1234_5678) & 2047
+        );
+        let m = parse("a % 2039").unwrap();
+        assert_eq!(m.eval(1 << 40), (1u64 << 40) % 2039);
+    }
+
+    #[test]
+    fn precedence_mirrors_c() {
+        // `*`/`%` bind tighter than `+`, which binds tighter than shifts,
+        // which bind tighter than `&`, `^`, `|`.
+        let e = parse("a + 3 * 2 & 7").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::And,
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Addr,
+                    Expr::bin(BinOp::Mul, Expr::Const(3), Expr::Const(2)),
+                ),
+                Expr::Const(7),
+            )
+        );
+    }
+
+    #[test]
+    fn slices_desugar_to_shift_and_mask() {
+        assert_eq!(parse("a[13:3]").unwrap(), parse("(a >> 3) & 2047").unwrap());
+        assert_eq!(parse("a[10:0]").unwrap(), parse("a & 2047").unwrap());
+        assert_eq!(
+            parse("addr[63:0]").unwrap(),
+            parse("a & 0xFFFFFFFFFFFFFFFF").unwrap()
+        );
+    }
+
+    #[test]
+    fn hex_literals_parse() {
+        assert_eq!(parse("0x7FF").unwrap(), Expr::Const(2047));
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let e = parse("a ^ bogus").unwrap_err();
+        assert_eq!((e.span.start, e.span.end), (4, 9));
+        assert!(e.message.contains("bogus"), "{e}");
+
+        let e = parse("(a ^ 3").unwrap_err();
+        assert_eq!(e.span.start, 0);
+
+        let e = parse("a <").unwrap_err();
+        assert_eq!(e.span.start, 2);
+
+        let e = parse("a % 99999999999999999999").unwrap_err();
+        assert!(e.message.contains("u64"), "{e}");
+
+        let e = parse("a[3:9]").unwrap_err();
+        assert!(e.message.contains("exceeds"), "{e}");
+
+        let e = parse("").unwrap_err();
+        assert_eq!(e.span.start, 0);
+
+        let e = parse("a a").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+}

@@ -11,6 +11,7 @@
 //! roughly 16–20 of them (FO4-equivalent), so an L1 hit (3 cycles) offers
 //! ~50 stages of slack — which every scheme here clears easily.
 
+use crate::expr::{BinOp, Expr};
 use crate::index::{Geometry, HashKind};
 
 /// Combinational-depth estimate of one index computation.
@@ -91,12 +92,19 @@ pub fn index_latency(kind: HashKind, geom: Geometry) -> IndexLatency {
         // p = 9 = 1001b: T + 8T + x = three addends, truncated (no
         // selector, the mask is free).
         HashKind::PrimeDisplacement => (3, 0),
+        // A user expression is profiled by the most expensive structure
+        // its folded tree contains: a residue like pMod, a multiply/add
+        // datapath like pDisp, an XOR/OR network, or bare wiring.
+        HashKind::Expr(id) => expr_stage_profile(id.folded()),
     };
     let csa = csa_levels(addends.max(2));
-    let total = match kind {
-        HashKind::Traditional => 0,
-        HashKind::Xor => 1,
-        _ => 2 * csa + cpa_stages + select_stages,
+    // Schemes with no addends are pure wiring plus `select_stages` of
+    // logic (Traditional 0, XOR 1); anything with an adder tree pays the
+    // CSA compression, the final prefix add, and the selector.
+    let total = if addends == 0 {
+        select_stages
+    } else {
+        2 * csa + cpa_stages + select_stages
     };
     IndexLatency {
         kind,
@@ -105,6 +113,25 @@ pub fn index_latency(kind: HashKind, geom: Geometry) -> IndexLatency {
         cpa_stages,
         select_stages,
         total_stages: total,
+    }
+}
+
+/// `(addends, select_stages)` profile of a user expression, mirroring the
+/// built-in profiles: a `% const` needs the §3.1.1 polynomial unit (pMod's
+/// profile), a multiply/add datapath matches pDisp, a pure XOR/OR network
+/// is one gate level, and anything else is wire selection.
+fn expr_stage_profile(e: &Expr) -> (u32, u32) {
+    let has = |ops: &'static [BinOp]| {
+        e.contains(&|n| matches!(n, Expr::Bin(op, _, _) if ops.contains(op)))
+    };
+    if has(&[BinOp::Mod]) {
+        (6, 2)
+    } else if has(&[BinOp::Mul, BinOp::Add]) {
+        (3, 0)
+    } else if has(&[BinOp::Xor, BinOp::Or]) {
+        (0, 1)
+    } else {
+        (0, 0)
     }
 }
 

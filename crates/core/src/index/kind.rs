@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use super::{Geometry, PrimeDisplacement, PrimeModulo, SetIndexer, Traditional, Xor};
+use crate::expr::ExprId;
 
 /// The single-function hash schemes of the paper's evaluation, as a
 /// configuration value.
@@ -31,11 +32,15 @@ pub enum HashKind {
     PrimeModulo,
     /// `(9·T + x) mod n_set` — the paper's default factor (`pDisp`).
     PrimeDisplacement,
+    /// A user-defined index expression, registered through
+    /// [`crate::expr::register`] and referenced by its interned id.
+    Expr(ExprId),
 }
 
 impl HashKind {
-    /// All single-function kinds, in the order the paper's figures list
-    /// them.
+    /// All built-in single-function kinds, in the order the paper's
+    /// figures list them (user [`HashKind::Expr`] schemes are open-ended
+    /// and not enumerable).
     pub const ALL: [HashKind; 4] = [
         HashKind::Traditional,
         HashKind::Xor,
@@ -51,6 +56,7 @@ impl HashKind {
             HashKind::Xor => Box::new(Xor::new(geom)),
             HashKind::PrimeModulo => Box::new(PrimeModulo::new(geom)),
             HashKind::PrimeDisplacement => Box::new(PrimeDisplacement::paper_default(geom)),
+            HashKind::Expr(id) => Box::new(id.indexer()),
         }
     }
 
@@ -62,6 +68,7 @@ impl HashKind {
             HashKind::Xor => "XOR",
             HashKind::PrimeModulo => "pMod",
             HashKind::PrimeDisplacement => "pDisp",
+            HashKind::Expr(id) => id.name(),
         }
     }
 }

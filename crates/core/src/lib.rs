@@ -25,7 +25,10 @@
 //!   polynomial method, the Mersenne fold, the wired-permutation 2039-set
 //!   unit of Figs. 3–4, and the TLB-assisted split computation,
 //! * [`metrics`] — balance, concentration, sequence invariance and the
-//!   uniformity ratio used to classify applications (§4).
+//!   uniformity ratio used to classify applications (§4),
+//! * [`expr`] — a tiny expression language for user-defined index
+//!   functions, compiled once into a hot-path closure and once into the
+//!   statically certified model consumed by `primecache-analyze`.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@
 #![warn(clippy::cast_possible_truncation)]
 
 pub mod analysis;
+pub mod expr;
 pub mod hw;
 pub mod index;
 pub mod metrics;

@@ -5,6 +5,7 @@ use primecache_cache::{
     bank_disp_factor, CacheConfig, HierarchyConfig, L2Organization, ReplacementKind, SkewHashKind,
     SkewedConfig,
 };
+use primecache_core::expr::ExprId;
 use primecache_core::index::{Geometry, HashKind};
 use primecache_cpu::CpuConfig;
 use primecache_mem::MemConfig;
@@ -29,6 +30,11 @@ pub enum Scheme {
     SkewedPrimeDisplacement,
     /// Fully-associative same-size L2 (`FA`, Figs. 11/12).
     FullyAssociative,
+    /// A user-defined index function compiled from the expression DSL
+    /// (`expr:<src>` on the CLI), run as a 4-way L2. The scheme is gated
+    /// by the static certificate: [`MachineConfig::check_scheme`] rejects
+    /// it before simulation when the lowered model lints with errors.
+    Expr(ExprId),
 }
 
 impl Scheme {
@@ -70,7 +76,8 @@ impl Scheme {
         Scheme::FullyAssociative,
     ];
 
-    /// Display label matching the paper's figures.
+    /// Display label matching the paper's figures. DSL schemes report
+    /// their registered expression name.
     #[must_use]
     pub fn label(self) -> &'static str {
         match self {
@@ -82,6 +89,7 @@ impl Scheme {
             Scheme::Skewed => "SKW",
             Scheme::SkewedPrimeDisplacement => "skw+pDisp",
             Scheme::FullyAssociative => "FA",
+            Scheme::Expr(id) => id.name(),
         }
     }
 }
@@ -159,6 +167,7 @@ impl MachineConfig {
                 size_bytes: self.l2_size,
                 line_bytes: self.l2_line,
             },
+            Scheme::Expr(id) => set_assoc(4, HashKind::Expr(id)),
         }
     }
 
@@ -299,5 +308,28 @@ mod tests {
         assert_eq!(Scheme::SINGLE_HASH.len(), 5);
         assert_eq!(Scheme::MULTI_HASH.len(), 4);
         assert_eq!(Scheme::MISS_REDUCTION.len(), 5);
+    }
+
+    #[test]
+    fn expr_scheme_flows_through_the_lint_gate() {
+        use primecache_core::expr::register_anonymous;
+        let m = MachineConfig::paper_default();
+        let good = register_anonymous("a % 2039").expect("valid expression");
+        let lints = m.lint_scheme(Scheme::Expr(good));
+        assert!(!primecache_analyze::has_errors(&lints), "{lints:?}");
+        m.check_scheme(Scheme::Expr(good)); // must not panic
+        assert_eq!(Scheme::Expr(good).label(), "expr:a % 2039");
+
+        let bad = register_anonymous("a % 2046").expect("valid expression");
+        let lints = m.lint_scheme(Scheme::Expr(bad));
+        assert!(lints.iter().any(|l| l.code == "non-prime-modulus"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-prime-modulus")]
+    fn composite_modulus_expr_is_rejected_before_simulation() {
+        let m = MachineConfig::paper_default();
+        let bad = primecache_core::expr::register_anonymous("a % 2046").expect("valid expression");
+        m.check_scheme(Scheme::Expr(bad));
     }
 }

@@ -167,6 +167,10 @@ fn dispatch<Op: DriverOp>(machine: &MachineConfig, scheme: Scheme, op: Op) -> Ru
                     let ix = PrimeDisplacement::paper_default(geom);
                     op.exec(hcfg, Cache::with_typed(cfg, ix), IndexHint(ix))
                 }
+                HashKind::Expr(id) => {
+                    let ix = id.indexer();
+                    op.exec(hcfg, Cache::with_typed(cfg, ix), IndexHint(ix))
+                }
             }
         }
         L2Organization::Skewed(cfg) => match cfg.hash() {
@@ -625,6 +629,30 @@ mod tests {
             assert_eq!(streamed.breakdown, materialized.breakdown, "{name}");
             assert_eq!(streamed.l2, materialized.l2, "{name}");
         }
+    }
+
+    #[test]
+    fn dsl_pmod_scheme_matches_builtin_pmod_bit_for_bit() {
+        // The DSL-compiled `a % 2039` closure must be indistinguishable
+        // from the hand-written pMod indexer inside the batched driver:
+        // same sets, same hints, same latency class, same stats.
+        let id = primecache_core::expr::register_anonymous("a % 2039").expect("valid expression");
+        let w = by_name("tree").unwrap();
+        let expr = run_workload(w, Scheme::Expr(id), 20_000);
+        let pmod = run_workload(w, Scheme::PrimeModulo, 20_000);
+        assert_eq!(expr.breakdown, pmod.breakdown);
+        assert_eq!(expr.l1, pmod.l1);
+        assert_eq!(expr.l2, pmod.l2);
+        assert_eq!(expr.dram, pmod.dram);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-prime-modulus")]
+    fn run_trace_rejects_uncertified_expr_scheme_before_simulation() {
+        let id = primecache_core::expr::register_anonymous("a % 2046").expect("valid expression");
+        let machine = MachineConfig::paper_default();
+        let _ = run_trace(Vec::new(), Scheme::Expr(id), &machine);
     }
 
     #[test]

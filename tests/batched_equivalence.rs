@@ -14,6 +14,7 @@ use primecache::cache::{
     bank_disp_factor, Cache, FullyAssociative, Hierarchy, HierarchyConfig, L2Organization, L2Sim,
     SkewHashKind, SkewedCache, NO_HINT,
 };
+use primecache::core::expr::register_anonymous;
 use primecache::core::index::{
     Geometry, HashKind, PrimeDisplacement, PrimeModulo, SetIndexer, SkewDispBank, SkewXorBank,
     Traditional, Xor,
@@ -120,7 +121,13 @@ fn diff_writeback_sequences<X: L2Sim>(
 #[test]
 fn writeback_sequences_identical_scalar_vs_batched() {
     let machine = MachineConfig::paper_default();
-    for &scheme in &Scheme::ALL {
+    // The built-in schemes plus a DSL-compiled one, so the expression
+    // closure's hinted fast path is held to the same writeback-order
+    // contract as the hand-written indexers.
+    let expr_pmod = register_anonymous("a % 2039").expect("pMod source compiles");
+    let mut schemes = Scheme::ALL.to_vec();
+    schemes.push(Scheme::Expr(expr_pmod));
+    for &scheme in &schemes {
         let hcfg = machine.hierarchy_config(scheme);
         let label = scheme.label();
         // Mirror the once-per-run dispatch in the sim crate: same typed
@@ -159,6 +166,15 @@ fn writeback_sequences_identical_scalar_vs_batched() {
                     }
                     HashKind::PrimeDisplacement => {
                         let ix = PrimeDisplacement::paper_default(geom);
+                        diff_writeback_sequences(
+                            hcfg,
+                            Cache::with_typed(cfg, ix),
+                            |b| ix.index(b) as u32,
+                            label,
+                        );
+                    }
+                    HashKind::Expr(id) => {
+                        let ix = id.indexer();
                         diff_writeback_sequences(
                             hcfg,
                             Cache::with_typed(cfg, ix),

@@ -2,8 +2,12 @@
 //! predictions vs brute-force enumeration, vs the cache simulator, and vs
 //! the 23 workload models' measured set-index distributions.
 
-use primecache::analyze::{certify_all, certify_kind, model_of, xor_folded_model, Theorem1};
+use primecache::analyze::{
+    certify_all, certify_expr, certify_kind, certify_skew_disp_bank, certify_skew_xor_bank,
+    certify_xor_folded, lower_expr, model_of, xor_folded_model, IndexModel, Theorem1,
+};
 use primecache::cache::{Cache, CacheConfig, CacheSim};
+use primecache::core::expr::{builtins, register_anonymous};
 use primecache::core::index::{Geometry, HashKind, SetIndexer, XorFolded};
 use primecache::core::metrics::set_histogram;
 use primecache::workloads::all;
@@ -157,6 +161,110 @@ fn workload_distributions_stay_inside_the_static_image() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn dsl_lowered_kernel_equals_brute_force_null_space() {
+    // For linear DSL expressions, the lowered GF(2) kernel basis must
+    // span *exactly* the deltas that brute-force enumeration finds to be
+    // universal conflict strides — no missing generators, no extras.
+    let in_bits = 10u32;
+    for k in [2u32, 3, 4] {
+        let geom = Geometry::new(1 << k);
+        for src in [
+            builtins::traditional_src(geom),
+            builtins::xor_src(geom),
+            builtins::xor_folded_src(geom),
+            builtins::skew_xor_bank_src(geom, 1),
+        ] {
+            let id = register_anonymous(&src).expect("builtin source compiles");
+            let model = lower_expr(id.folded(), in_bits);
+            let IndexModel::Linear(m) = &model else {
+                panic!("`{src}` must lower to a linear model, got {model:?}");
+            };
+            // Enumerate the span of the kernel basis inside the window.
+            let basis = m.kernel_basis();
+            let mut span = std::collections::HashSet::new();
+            for bits in 0..(1u64 << basis.len()) {
+                let v = basis
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| bits >> i & 1 == 1)
+                    .fold(0u64, |acc, (_, &b)| acc ^ b);
+                span.insert(v);
+            }
+            let idx = id.indexer();
+            for d in 1..(1u64 << in_bits) {
+                let brute = brute_conflict(&idx, d, in_bits, 0x9E37_79B9);
+                assert_eq!(
+                    span.contains(&d),
+                    brute,
+                    "`{src}` ({} sets): kernel span vs brute force at delta {d:#x}",
+                    1u64 << k
+                );
+                assert_eq!(
+                    model.is_conflict_delta(d),
+                    brute,
+                    "`{src}` ({} sets): is_conflict_delta vs brute force at {d:#x}",
+                    1u64 << k
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dsl_reexpressed_builtins_certify_identically_to_hard_coded_models() {
+    // Every built-in scheme, re-expressed in the DSL, must yield a
+    // certificate equal field-for-field (including the symbolic model)
+    // to the one derived from its hand-coded model.
+    let geom = Geometry::new(2048);
+    let bank_geom = Geometry::new(512);
+    let in_bits = 26;
+    let mut cases = vec![
+        (
+            certify_kind(HashKind::Traditional, geom, in_bits),
+            builtins::traditional_src(geom),
+        ),
+        (
+            certify_kind(HashKind::Xor, geom, in_bits),
+            builtins::xor_src(geom),
+        ),
+        (
+            certify_kind(HashKind::PrimeModulo, geom, in_bits),
+            builtins::pmod_src(geom),
+        ),
+        (
+            certify_kind(HashKind::PrimeDisplacement, geom, in_bits),
+            builtins::pdisp_src(geom, 9),
+        ),
+        (
+            certify_xor_folded(geom, in_bits),
+            builtins::xor_folded_src(geom),
+        ),
+    ];
+    for bank in 0..4 {
+        cases.push((
+            certify_skew_xor_bank(bank_geom, bank, in_bits),
+            builtins::skew_xor_bank_src(bank_geom, bank),
+        ));
+    }
+    for factor in primecache::core::index::SKEW_DISP_FACTORS {
+        cases.push((
+            certify_skew_disp_bank(bank_geom, factor, in_bits),
+            builtins::skew_disp_bank_src(bank_geom, factor),
+        ));
+    }
+    for (hard, src) in cases {
+        let id = register_anonymous(&src).expect("builtin source compiles");
+        let dsl = certify_expr(hard.name.clone(), id.folded(), in_bits);
+        assert!(dsl.exact, "`{src}` must lower to an exact family");
+        assert_eq!(
+            dsl, hard,
+            "`{src}`: DSL-lowered certificate diverges from the \
+             hand-coded model's"
+        );
     }
 }
 
