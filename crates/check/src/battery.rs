@@ -794,6 +794,134 @@ fn victim_unit(cfg: &BatteryConfig) -> UnitReport {
 }
 
 // ---------------------------------------------------------------------------
+// Trace codec units: the compact encoded-trace wire format.
+// ---------------------------------------------------------------------------
+
+/// Maps a shrinkable `(kind, payload, flag)` tuple to a trace event.
+/// `kind % 5` selects the variant, so shrinking a kind toward zero walks
+/// the case toward plain `Work` events; payloads keep their full 64-bit
+/// range for `Load`/`Store` (the delta encoder must survive arbitrary
+/// jumps, including to/from `u64::MAX`).
+fn tuple_event(&(kind, payload, flag): &(u64, u64, bool)) -> primecache_trace::Event {
+    use primecache_trace::Event;
+    match kind % 5 {
+        0 => Event::Work(payload as u32),
+        1 => Event::FpWork(payload as u32),
+        2 => Event::Branch { mispredict: flag },
+        3 => Event::Load {
+            addr: payload,
+            dep: flag,
+        },
+        _ => Event::Store { addr: payload },
+    }
+}
+
+/// An adversarial codec payload: uniform 64-bit values mixed with the
+/// delta encoder's worst cases — tiny values, values at the top of the
+/// range (so consecutive addresses produce maximum-magnitude wrapping
+/// deltas), and near-power-of-two boundaries where varint group counts
+/// change.
+fn gen_codec_payload(rng: &mut Rng) -> u64 {
+    match rng.range_u64(0, 6) {
+        0 => rng.next_u64(),
+        1 => rng.range_u64(0, 16),
+        2 => u64::MAX - rng.range_u64(0, 16),
+        3 => (1u64 << rng.range_u64(1, 64)).wrapping_sub(rng.range_u64(0, 2)),
+        4 => rng.next_u64() & 0xFFFF,
+        _ => rng.next_u64() | (1 << 63),
+    }
+}
+
+fn codec_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    use primecache_trace::encode::{read_varint, unzigzag, write_varint, zigzag};
+    use primecache_trace::EncodedTrace;
+    let n = cfg.addrs_per_unit;
+    let mut out = Vec::new();
+
+    // LEB128 varint: every u64 round-trips, the encoding is the minimal
+    // 7-bit-group length, and decoding consumes exactly what encoding
+    // produced even with trailing bytes present.
+    out.push(run_unit(
+        cfg,
+        "codec/varint",
+        n,
+        1,
+        gen_codec_payload,
+        |&v| {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let groups = (64 - v.leading_zeros() as usize).div_ceil(7).max(1);
+            assert_eq!(buf.len(), groups, "non-minimal varint for {v:#x}");
+            buf.push(0xAB); // trailing noise must not be consumed
+            let mut pos = 0usize;
+            let back = read_varint(&buf, &mut pos).expect("round trip decodes");
+            assert_eq!(back, v, "varint round trip");
+            assert_eq!(pos, groups, "decode consumed the wrong length");
+        },
+    ));
+
+    // Zigzag: every delta (as the wrapping difference of two payloads)
+    // round-trips, and sign-magnitude ordering holds — small magnitudes
+    // of either sign get small codes.
+    out.push(run_unit(
+        cfg,
+        "codec/zigzag",
+        n,
+        1,
+        |rng| (gen_codec_payload(rng), gen_codec_payload(rng)),
+        |&(a, b)| {
+            let delta = b.wrapping_sub(a) as i64;
+            assert_eq!(unzigzag(zigzag(delta)), delta, "zigzag round trip");
+            assert_eq!(
+                a.wrapping_add(unzigzag(zigzag(delta)) as u64),
+                b,
+                "wrapping delta reconstruction"
+            );
+            if (-64..64).contains(&delta) {
+                assert!(zigzag(delta) < 128, "small delta {delta} got a large code");
+            }
+        },
+    ));
+
+    // Whole-trace round trip over adversarial event sequences: encode →
+    // decode_all, encode → replay, and encode → to_bytes → from_bytes →
+    // decode must all reproduce the exact input sequence, for chunk
+    // sizes that leave partial final chunks.
+    let stream = stream_cases(cfg);
+    out.push(run_unit(
+        cfg,
+        "codec/event-roundtrip",
+        stream,
+        STREAM_LEN,
+        |rng| {
+            rng.vec(STREAM_LEN, STREAM_LEN + 1, |r| {
+                (r.range_u64(0, 5), gen_codec_payload(r), r.bool())
+            })
+        },
+        |tuples: &Vec<(u64, u64, bool)>| {
+            let events: Vec<primecache_trace::Event> = tuples.iter().map(tuple_event).collect();
+            for chunk_events in [1usize, 7, 64, STREAM_LEN + 3] {
+                let trace = EncodedTrace::encode(&events, chunk_events);
+                assert_eq!(
+                    trace.decode_all().expect("decode"),
+                    events,
+                    "decode_all ({chunk_events}-event chunks)"
+                );
+                let replayed: Vec<primecache_trace::Event> = trace.replay().collect();
+                assert_eq!(replayed, events, "replay ({chunk_events}-event chunks)");
+                let framed = EncodedTrace::from_bytes(&trace.to_bytes()).expect("reframe");
+                assert_eq!(
+                    framed.decode_all().expect("decode reframed"),
+                    events,
+                    "frame round trip ({chunk_events}-event chunks)"
+                );
+            }
+        },
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
 // DRAM stream unit.
 // ---------------------------------------------------------------------------
 
@@ -848,6 +976,7 @@ pub fn run_battery(cfg: &BatteryConfig) -> Vec<UnitReport> {
     out.extend(skewed_units(cfg));
     out.extend(fully_assoc_units(cfg));
     out.push(victim_unit(cfg));
+    out.extend(codec_units(cfg));
     out.extend(dram_units(cfg));
     out
 }
@@ -932,6 +1061,9 @@ mod tests {
             "cache/fully_assoc/16-line",
             "cache/fully_assoc/96-line",
             "cache/victim",
+            "codec/varint",
+            "codec/zigzag",
+            "codec/event-roundtrip",
             "mem/dram",
         ] {
             assert!(

@@ -11,7 +11,9 @@ use primecache_core::metrics::{
 use primecache_sim::experiments::miss_taxonomy;
 use primecache_sim::report::render_table;
 use primecache_sim::suite::run_sweep;
-use primecache_sim::throughput::{baseline_refs_per_sec, measure};
+use primecache_sim::throughput::{
+    baseline_refs_per_sec, measure, measure_gen_only, measure_replayed,
+};
 use primecache_sim::{run_workload, MachineConfig, Scheme};
 use primecache_trace::{read_trace, write_trace, TraceStats};
 use primecache_workloads::profile::profile_of;
@@ -31,8 +33,12 @@ USAGE:
   pcache metrics --stride S                balance/concentration at a stride
   pcache metrics --app <name> [--refs N]   same metrics over a workload trace
   pcache taxonomy [--refs N]               three-C miss decomposition
-  pcache bench [--scheme S] [--refs N] [--strict]
-                                           simulator throughput (refs/sec)
+  pcache bench [--scheme S] [--refs N] [--strict] [--live | --gen-only]
+                                           simulator throughput (refs/sec);
+                                           default records once and replays
+                                           per scheme; --live streams per
+                                           scheme; --gen-only times only the
+                                           trace pipeline stages
   pcache analyze [--json]                  static certificates + config lints
   pcache analyze --expr 'SRC' [--name N] [--json]
                                            certify one DSL index expression
@@ -40,7 +46,9 @@ USAGE:
   pcache conc-check [--bound N] [--check NAME] [--replay SEED]
                                            model-check the concurrency protocols
   pcache report <app> [--scheme S] [--refs N] [--out FILE] [--compact]
-                                           self-describing run report (JSON)
+               [--replay]                  self-describing run report (JSON);
+                                           --replay simulates from a recorded
+                                           trace and adds trace_store.* metrics
   pcache trace-events <app> [--scheme S] [--refs N] [--sample N] [--ring N]
                       [--out FILE]         per-access event trace (JSONL)
   pcache trace-events --sweep [--refs N] [--out FILE]
@@ -253,16 +261,30 @@ pub fn sweep(args: &[String]) -> i32 {
     }
     println!("execution time normalized to Base ({refs} refs):\n");
     print!("{}", render_table(&header, &rows));
+    if let Some(st) = sweep.store {
+        println!(
+            "\ntrace store: {} workloads recorded once ({} events, {} KB encoded), \
+             {} replays served",
+            st.records,
+            st.events,
+            st.encoded_bytes / 1024,
+            st.replays
+        );
+    }
     0
 }
 
 /// `pcache bench [--scheme S] [--refs N] [--out FILE] [--baseline FILE]
-/// [--max-regress PCT] [--strict]`
+/// [--max-regress PCT] [--strict] [--live | --gen-only]`
 ///
 /// Measures end-to-end simulator throughput (simulated memory references
 /// per wall-clock second) over the whole workload suite, one row per
-/// scheme. `--out` writes the `BENCH_throughput.json` document;
-/// `--baseline` turns the run into a regression gate. A measured scheme
+/// scheme. The default mode records the suite once and replays it per
+/// scheme (the `run_sweep` dataflow), reporting the trace-pipeline
+/// stages alongside; `--live` times the old generate-per-scheme
+/// streaming path; `--gen-only` times only the pipeline stages, no
+/// simulation. `--out` writes the `BENCH_throughput.json` document;
+/// `--baseline` turns the run into a regression gate. A measured entry
 /// with no baseline entry is *ungated* — it always warns loudly, and
 /// with `--strict` (CI) it fails the run, so new schemes cannot slip
 /// past the perf floor unbaselined.
@@ -291,8 +313,20 @@ pub fn bench(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let report = measure(&schemes, refs);
-    let rows: Vec<Vec<String>> = report
+    let live = args.iter().any(|a| a == "--live");
+    let gen_only = args.iter().any(|a| a == "--gen-only");
+    if live && gen_only {
+        eprintln!("--live and --gen-only are mutually exclusive");
+        return 2;
+    }
+    let report = if gen_only {
+        measure_gen_only(refs)
+    } else if live {
+        measure(&schemes, refs)
+    } else {
+        measure_replayed(&schemes, refs)
+    };
+    let mut rows: Vec<Vec<String>> = report
         .schemes
         .iter()
         .map(|s| {
@@ -304,13 +338,28 @@ pub fn bench(args: &[String]) -> i32 {
             ]
         })
         .collect();
+    rows.extend(report.extras.iter().map(|e| {
+        vec![
+            e.label.to_owned(),
+            e.refs.to_string(),
+            format!("{:.2}", e.seconds),
+            format!("{:.0}", e.refs_per_sec),
+        ]
+    }));
+    let mode = if gen_only {
+        "trace pipeline only"
+    } else if live {
+        "live streaming"
+    } else {
+        "recorded replay"
+    };
     println!(
-        "simulator throughput: {refs} refs/workload x {} workloads per scheme:\n",
+        "simulator throughput ({mode}): {refs} refs/workload x {} workloads per scheme:\n",
         report.workloads
     );
     print!(
         "{}",
-        render_table(&["scheme", "refs", "seconds", "refs/sec"], &rows)
+        render_table(&["entry", "refs", "seconds", "refs/sec"], &rows)
     );
     if let Some(out) = flag_value(args, "--out") {
         if let Err(e) = std::fs::write(out, report.to_json()) {
@@ -336,13 +385,13 @@ pub fn bench(args: &[String]) -> i32 {
         let missing = report.missing_from_baseline(&baseline);
         if !missing.is_empty() {
             eprintln!(
-                "WARNING: {} scheme(s) measured but absent from baseline {path} \
+                "WARNING: {} entr(y/ies) measured but absent from baseline {path} \
                  (ungated by the regression check): {}",
                 missing.len(),
                 missing.join(", ")
             );
             if strict {
-                eprintln!("--strict: unbaselined schemes are an error; add entries to {path}");
+                eprintln!("--strict: unbaselined entries are an error; add entries to {path}");
                 return 1;
             }
         }
@@ -355,7 +404,7 @@ pub fn bench(args: &[String]) -> i32 {
             return 1;
         }
         println!(
-            "no scheme regressed more than {:.0}% vs {path}",
+            "no entry regressed more than {:.0}% vs {path}",
             max_regress * 100.0
         );
     }
@@ -848,16 +897,23 @@ fn metrics_app(app: &str, args: &[String]) -> i32 {
     0
 }
 
-/// `pcache report <app> [--scheme S] [--refs N] [--out FILE] [--compact]`
+/// `pcache report <app> [--scheme S] [--refs N] [--out FILE] [--compact]
+/// [--replay]`
 ///
 /// Runs one simulation and emits the versioned `primecache.run-report`
 /// JSON document: provenance (config fingerprint, git revision, wall and
 /// simulated time), the execution breakdown, per-level cache and DRAM
 /// totals, and — when built with the `obs` feature — the full named
-/// metric dump.
+/// metric dump. With `--replay`, the simulation consumes a recorded
+/// trace instead of a live generator (bit-identical results); the
+/// metric dump then includes the `trace_store.*` family and the replay
+/// path's `stream.*` counters.
 pub fn report(args: &[String]) -> i32 {
     let Some(name) = positional(args) else {
-        eprintln!("usage: pcache report <app> [--scheme S] [--refs N] [--out FILE] [--compact]");
+        eprintln!(
+            "usage: pcache report <app> [--scheme S] [--refs N] [--out FILE] \
+             [--compact] [--replay]"
+        );
         return 2;
     };
     let Some(workload) = by_name(name) else {
@@ -879,16 +935,36 @@ pub fn report(args: &[String]) -> i32 {
             return 2;
         }
     };
+    let replay = args.iter().any(|a| a == "--replay");
     #[cfg(feature = "obs")]
-    let report = primecache_sim::observe::observed_report(
-        workload,
-        scheme,
-        refs,
-        primecache_obs::ObsConfig::default(),
-    )
-    .0;
+    let report = if replay {
+        primecache_sim::observe::observed_report_replayed(
+            workload,
+            scheme,
+            refs,
+            primecache_obs::ObsConfig::default(),
+        )
+        .0
+    } else {
+        primecache_sim::observe::observed_report(
+            workload,
+            scheme,
+            refs,
+            primecache_obs::ObsConfig::default(),
+        )
+        .0
+    };
     #[cfg(not(feature = "obs"))]
-    let report = primecache_sim::report_for_run(workload, scheme, refs);
+    let report = {
+        if replay {
+            eprintln!(
+                "note: this pcache was built without the `obs` feature; --replay \
+                 results are bit-identical to the live path, and the trace_store.* \
+                 metrics need an obs build"
+            );
+        }
+        primecache_sim::report_for_run(workload, scheme, refs)
+    };
     let text = if args.iter().any(|a| a == "--compact") {
         let mut t = report.to_json().render();
         t.push('\n');

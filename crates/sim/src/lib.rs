@@ -39,6 +39,6 @@ pub mod throughput;
 pub use artifact::{build_report, report_for_run};
 pub use config::{MachineConfig, Scheme};
 pub use run::{
-    run_trace, run_trace_reference, run_workload, run_workload_reference, run_workload_warm,
-    RunResult,
+    run_recorded, run_replay, run_trace, run_trace_reference, run_workload, run_workload_recorded,
+    run_workload_reference, run_workload_warm, RunResult,
 };

@@ -7,6 +7,13 @@
 //! counters, the harvested [`Metrics`] carry the per-cause stall
 //! attribution (the Fig. 8 stack, subdivided), the streaming-pipeline
 //! back-pressure counters, and the end-of-run L2 occupancy histogram.
+//!
+//! [`run_workload_observed_replayed`] is the same instrumented run fed
+//! from a recorded trace instead of a live generator: the workload is
+//! recorded once into a [`TraceStore`] and simulated from a replay
+//! cursor, with `trace_store.*` metrics describing the store and the
+//! `stream.*` metrics reflecting the replay path (chunk cadence
+//! identical to streaming, zero blocked waits, zero channel depth).
 
 use std::rc::Rc;
 use std::time::Instant;
@@ -15,7 +22,7 @@ use primecache_cache::Hierarchy;
 use primecache_cpu::Cpu;
 use primecache_mem::Dram;
 use primecache_obs::{Histogram, Metrics, ObsConfig, Recorder, RunReport};
-use primecache_workloads::Workload;
+use primecache_workloads::{EventChunks, TraceStore, Workload};
 
 use crate::{artifact, MachineConfig, RunResult, Scheme};
 
@@ -44,6 +51,50 @@ pub fn run_workload_observed(
     target_refs: u64,
     cfg: ObsConfig,
 ) -> ObservedRun {
+    observe_source(workload.events(target_refs), scheme, cfg)
+}
+
+/// [`run_workload_observed`] fed from a recorded trace: `workload` is
+/// recorded once into a single-entry [`TraceStore`] and the simulation
+/// consumes a replay cursor. Results are bit-identical to the live run;
+/// the metrics additionally carry `trace_store.records`,
+/// `trace_store.replays`, and `trace_store.encoded_bytes`, and the
+/// `stream.*` family describes the replay path (same chunk cadence,
+/// `blocked_waits` and `channel_depth` pinned at zero — a replay never
+/// waits on a generator).
+#[must_use]
+pub fn run_workload_observed_replayed(
+    workload: &Workload,
+    scheme: Scheme,
+    target_refs: u64,
+    cfg: ObsConfig,
+) -> ObservedRun {
+    let store = TraceStore::record_all(std::slice::from_ref(workload), target_refs);
+    let cursor = store.replay(workload.name).expect("workload just recorded");
+    let mut run = observe_source(cursor, scheme, cfg);
+    let st = store.stats();
+    run.metrics.set_counter(
+        "trace_store.records",
+        "traces",
+        "workload traces recorded into the store (one generation each)",
+        st.records,
+    );
+    run.metrics.set_counter(
+        "trace_store.replays",
+        "cursors",
+        "replay cursors served from the store",
+        st.replays,
+    );
+    run.metrics.set_counter(
+        "trace_store.encoded_bytes",
+        "bytes",
+        "compact encoded size of all recorded traces",
+        st.encoded_bytes,
+    );
+    run
+}
+
+fn observe_source<S: EventChunks>(mut source: S, scheme: Scheme, cfg: ObsConfig) -> ObservedRun {
     let machine = MachineConfig::paper_default();
     #[cfg(any(debug_assertions, feature = "check"))]
     machine.check_scheme(scheme);
@@ -56,8 +107,7 @@ pub fn run_workload_observed(
     let mut cpu = Cpu::new(machine.cpu);
     cpu.attach_obs(handle.clone());
 
-    let mut stream = workload.events(target_refs);
-    let breakdown = cpu.run(&mut stream, &mut hierarchy, &mut dram);
+    let breakdown = cpu.run(&mut source, &mut hierarchy, &mut dram);
     let result = RunResult {
         scheme,
         breakdown,
@@ -67,10 +117,10 @@ pub fn run_workload_observed(
     };
 
     let stalls = cpu.last_stall_attribution();
-    let (chunks, blocked_waits) = stream.stream_stats();
-    let (stream_depth, stream_chunk) = stream.stream_config();
+    let (chunks, blocked_waits) = source.chunk_stats();
+    let (stream_depth, stream_chunk) = source.chunk_config();
     let occupancy = hierarchy.l2_occupancy();
-    drop((hierarchy, dram, cpu, stream));
+    drop((hierarchy, dram, cpu, source));
     let recorder = Rc::try_unwrap(handle)
         .expect("all instrumented owners dropped")
         .into_inner();
@@ -183,6 +233,32 @@ pub fn observed_report(
     (report, run.recorder)
 }
 
+/// [`observed_report`] on the record-then-replay path: the wall-clock
+/// covers recording plus the replayed simulation, and the metric dump
+/// includes the `trace_store.*` family.
+#[must_use]
+pub fn observed_report_replayed(
+    workload: &Workload,
+    scheme: Scheme,
+    refs: u64,
+    cfg: ObsConfig,
+) -> (RunReport, Recorder) {
+    let started = Instant::now();
+    let run = run_workload_observed_replayed(workload, scheme, refs, cfg);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let report = artifact::build_report(
+        &run.result,
+        &MachineConfig::paper_default(),
+        workload.name,
+        refs,
+        wall_ms,
+        run.metrics,
+        run.recorder.events_recorded(),
+        run.recorder.events_dropped(),
+    );
+    (report, run.recorder)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -246,6 +322,37 @@ mod tests {
         assert_eq!(
             m.counter("cpu.stall.branch_cycles").unwrap(),
             run.result.breakdown.other_stall
+        );
+    }
+
+    #[test]
+    fn replayed_observation_matches_live_and_reports_the_store() {
+        let w = by_name("mcf").unwrap();
+        let live = run_workload_observed(w, Scheme::PrimeModulo, 12_000, ObsConfig::default());
+        let replayed =
+            run_workload_observed_replayed(w, Scheme::PrimeModulo, 12_000, ObsConfig::default());
+        // Bit-identical simulation: breakdown, both cache levels, DRAM.
+        assert_eq!(live.result.breakdown, replayed.result.breakdown);
+        assert_eq!(live.result.l1, replayed.result.l1);
+        assert_eq!(live.result.l2, replayed.result.l2);
+        assert_eq!(live.result.dram, replayed.result.dram);
+        // The store counters describe one record serving one replay.
+        let m = &replayed.metrics;
+        assert_eq!(m.counter("trace_store.records"), Some(1));
+        assert_eq!(m.counter("trace_store.replays"), Some(1));
+        assert!(m.counter("trace_store.encoded_bytes").unwrap() > 0);
+        assert!(live.metrics.counter("trace_store.records").is_none());
+        // Replay stream parity: same chunk cadence as the live stream,
+        // but no channel and no generator to wait on.
+        assert_eq!(
+            m.counter("stream.chunks"),
+            live.metrics.counter("stream.chunks")
+        );
+        assert_eq!(m.counter("stream.blocked_waits"), Some(0));
+        assert_eq!(m.counter("stream.channel_depth"), Some(0));
+        assert_eq!(
+            m.counter("stream.chunk_events"),
+            live.metrics.counter("stream.chunk_events")
         );
     }
 

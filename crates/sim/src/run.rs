@@ -24,8 +24,8 @@ use primecache_core::index::{
 };
 use primecache_cpu::{Cpu, ExecBreakdown};
 use primecache_mem::{Dram, DramStats};
-use primecache_trace::Event;
-use primecache_workloads::{EventStream, Workload};
+use primecache_trace::{EncodedTrace, Event, ReplayCursor};
+use primecache_workloads::{EventChunks, Workload};
 use serde::{Deserialize, Serialize};
 
 use crate::{MachineConfig, Scheme};
@@ -91,18 +91,19 @@ impl<I: SetIndexer> L2Hint for IndexHint<I> {
     }
 }
 
-/// `(event, L2 set hint)` pairs pulled chunk-at-a-time from an
-/// [`EventStream`]: each chunk's set indexes are computed in one batch
+/// `(event, L2 set hint)` pairs pulled chunk-at-a-time from any
+/// [`EventChunks`] source — a live `EventStream` or a recorded
+/// [`ReplayCursor`]: each chunk's set indexes are computed in one batch
 /// pass before any event is simulated.
-struct HintedChunks<H: L2Hint> {
-    stream: EventStream,
+struct HintedChunks<S: EventChunks, H: L2Hint> {
+    stream: S,
     hinter: H,
     l2_line_shift: u32,
     buf: std::vec::IntoIter<(Event, u32)>,
 }
 
-impl<H: L2Hint> HintedChunks<H> {
-    fn new(stream: EventStream, hinter: H, l2_line_bytes: u64) -> Self {
+impl<S: EventChunks, H: L2Hint> HintedChunks<S, H> {
+    fn new(stream: S, hinter: H, l2_line_bytes: u64) -> Self {
         Self {
             stream,
             hinter,
@@ -112,7 +113,7 @@ impl<H: L2Hint> HintedChunks<H> {
     }
 }
 
-impl<H: L2Hint> Iterator for HintedChunks<H> {
+impl<S: EventChunks, H: L2Hint> Iterator for HintedChunks<S, H> {
     type Item = (Event, u32);
 
     fn next(&mut self) -> Option<(Event, u32)> {
@@ -120,7 +121,7 @@ impl<H: L2Hint> Iterator for HintedChunks<H> {
             if let Some(pair) = self.buf.next() {
                 return Some(pair);
             }
-            let chunk = self.stream.next_chunk()?;
+            let chunk = self.stream.pull_chunk()?;
             let shift = self.l2_line_shift;
             let hinted: Vec<(Event, u32)> = chunk
                 .into_iter()
@@ -278,15 +279,15 @@ impl<T: IntoIterator<Item = Event>> DriverOp for TraceOp<'_, T> {
     }
 }
 
-/// [`run_workload`]'s op: drive an [`EventStream`] chunk-batched, with
-/// per-chunk L2 set-index precomputation.
-struct StreamOp<'m> {
-    stream: EventStream,
+/// [`run_workload`]'s / [`run_replay`]'s op: drive any [`EventChunks`]
+/// source chunk-batched, with per-chunk L2 set-index precomputation.
+struct StreamOp<'m, S: EventChunks> {
+    stream: S,
     machine: &'m MachineConfig,
     scheme: Scheme,
 }
 
-impl DriverOp for StreamOp<'_> {
+impl<S: EventChunks> DriverOp for StreamOp<'_, S> {
     fn exec<X: L2Sim, H: L2Hint>(self, hcfg: HierarchyConfig, l2: X, hinter: H) -> RunResult {
         let line = l2_line_bytes(&hcfg.l2);
         let hinted = HintedChunks::new(self.stream, hinter, line);
@@ -296,14 +297,14 @@ impl DriverOp for StreamOp<'_> {
 
 /// [`run_workload_warm`]'s op: chunk-batched like [`StreamOp`], with the
 /// warm/measure stat reset spliced mid-stream.
-struct WarmStreamOp<'m> {
-    stream: EventStream,
+struct WarmStreamOp<'m, S: EventChunks> {
+    stream: S,
     machine: &'m MachineConfig,
     scheme: Scheme,
     warm_refs: u64,
 }
 
-impl DriverOp for WarmStreamOp<'_> {
+impl<S: EventChunks> DriverOp for WarmStreamOp<'_, S> {
     fn exec<X: L2Sim, H: L2Hint>(self, hcfg: HierarchyConfig, l2: X, hinter: H) -> RunResult {
         let scheme = self.scheme;
         let machine = self.machine;
@@ -462,6 +463,46 @@ pub fn run_workload(workload: &Workload, scheme: Scheme, target_refs: u64) -> Ru
             scheme,
         },
     )
+}
+
+/// Runs a *recorded* trace replay under a scheme: the chunk-batched
+/// driver of [`run_workload`] fed from a [`ReplayCursor`] instead of a
+/// live generator stream.
+///
+/// Decode is bit-identical to live generation (the codec is lossless
+/// and the recording sink sees the same push sequence), so results
+/// match [`run_workload`] exactly — stats, writeback order, breakdowns —
+/// which the `replay_equivalence` integration test pins for all 23
+/// workloads × all 8 schemes. This is the per-cell hot path of
+/// [`crate::suite::run_sweep`]: one generation, eight replays.
+#[must_use]
+pub fn run_replay(cursor: ReplayCursor<'_>, scheme: Scheme, machine: &MachineConfig) -> RunResult {
+    #[cfg(any(debug_assertions, feature = "check"))]
+    machine.check_scheme(scheme);
+    dispatch(
+        machine,
+        scheme,
+        StreamOp {
+            stream: cursor,
+            machine,
+            scheme,
+        },
+    )
+}
+
+/// [`run_replay`] over a whole recorded trace, from its start.
+#[must_use]
+pub fn run_recorded(trace: &EncodedTrace, scheme: Scheme, machine: &MachineConfig) -> RunResult {
+    run_replay(trace.replay(), scheme, machine)
+}
+
+/// Records `workload` once (same-thread, compact encoding) and replays
+/// the recording through the batched driver — bit-identical to
+/// [`run_workload`] on the paper's default machine.
+#[must_use]
+pub fn run_workload_recorded(workload: &Workload, scheme: Scheme, target_refs: u64) -> RunResult {
+    let machine = MachineConfig::paper_default();
+    run_recorded(&workload.record(target_refs), scheme, &machine)
 }
 
 /// Runs a workload with a warmup phase: the first `warm_refs` memory

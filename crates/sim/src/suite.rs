@@ -11,10 +11,10 @@ use std::collections::BTreeMap;
 
 use primecache_conc::port::sweep::{claim_loop, store_slot};
 use primecache_conc::sync::{AtomicUsize, Mutex};
-use primecache_workloads::{all, Workload};
+use primecache_workloads::{all, TraceStore, TraceStoreStats, Workload};
 use serde::{Deserialize, Serialize};
 
-use crate::{run_workload, RunResult, Scheme};
+use crate::{run_replay, run_workload, RunResult, Scheme};
 
 /// Results of one (workload, scheme) cell of a sweep.
 #[derive(Debug, Clone, Serialize)]
@@ -54,6 +54,10 @@ pub struct Sweep {
     pub cells: BTreeMap<&'static str, BTreeMap<&'static str, Cell>>,
     /// Per-task scheduling records, in dispatch (LPT) order.
     pub tasks: Vec<TaskRecord>,
+    /// Recorded-trace store counters when the sweep ran generate-once /
+    /// replay-per-scheme, `None` when every cell generated live (target
+    /// above [`STORE_MAX_REFS`]).
+    pub store: Option<TraceStoreStats>,
 }
 
 /// A `(workload, scheme)` cell missing from a [`Sweep`].
@@ -222,15 +226,60 @@ fn task_cost(workload: &Workload, scheme: Scheme) -> u64 {
     scheme_weight * 64 + u64::from(footprint.ilog2())
 }
 
+/// Reference-target ceiling for generate-once sweeps. At the committed
+/// compactness (≈2 B/event, ≈2 events/ref) a 23-workload store at this
+/// target holds roughly `23 × 2M × 4 B ≈ 180 MB` — comfortably
+/// in-memory. Above the ceiling [`run_sweep`] falls back to live
+/// per-cell generation, which keeps peak memory O(1) in `target_refs`
+/// at the cost of regenerating each trace once per scheme.
+pub const STORE_MAX_REFS: u64 = 2_000_000;
+
+/// Records all 23 workloads in parallel (one generation each, fanned
+/// across cores with the same model-checked claim/slot protocol the
+/// sweep itself uses) into a [`TraceStore`].
+fn record_suite(workloads: &[Workload], target_refs: u64) -> TraceStore {
+    let slots: Vec<Mutex<Option<(usize, primecache_trace::EncodedTrace)>>> =
+        workloads.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let avail = std::thread::available_parallelism().map_or(4, std::num::NonZeroUsize::get);
+    let workers = avail.min(workloads.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let next = &next;
+            let slots = &slots;
+            scope.spawn(move || {
+                claim_loop(next, workloads.len(), |i| {
+                    store_slot(&slots[i], (i, workloads[i].record(target_refs)));
+                });
+            });
+        }
+    });
+    let mut store = TraceStore::new(target_refs);
+    for slot in slots {
+        let (i, trace) = slot
+            .into_inner()
+            .expect("every dispatched recording fills its slot");
+        store.insert(workloads[i].name, trace);
+    }
+    store
+}
+
 /// Runs `schemes` × all 23 workloads with `target_refs`-long traces,
 /// fanning out across CPU cores.
+///
+/// Dataflow: up to [`STORE_MAX_REFS`] refs/workload the sweep first
+/// *records* each workload exactly once (parallel, same-thread compact
+/// encoding) into a [`TraceStore`], then every `(workload, scheme)`
+/// cell replays the recording — generation cost is paid once instead of
+/// once per scheme, which makes the sweep sim-bound rather than
+/// generator-bound. Replay is bit-identical to live generation, so
+/// results are unchanged. Beyond the ceiling, cells generate live as
+/// before (O(1) memory).
 ///
 /// Scheduling: cells are dispatched longest-cost-first (`task_cost`),
 /// so a slow cell (e.g. fully-associative `charmm`) starts early instead
 /// of serializing the tail of the sweep. Each task writes into its own
-/// pre-sized result slot — no contended collection vector — and traces
-/// are streamed, so peak memory stays O(1) in `target_refs` even with
-/// every core busy.
+/// pre-sized result slot — no contended collection vector.
 #[must_use]
 pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
     // Static lint pass first: refuse to burn a 23-application sweep on a
@@ -239,6 +288,8 @@ pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
     for &s in schemes {
         machine.check_scheme(s);
     }
+    // Generate-once phase: record the suite before any cell runs.
+    let store = (target_refs <= STORE_MAX_REFS).then(|| record_suite(all(), target_refs));
     let mut tasks: Vec<(&'static Workload, Scheme)> = all()
         .iter()
         .flat_map(|w| schemes.iter().map(move |&s| (w, s)))
@@ -261,11 +312,21 @@ pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
             let next = &next;
             let tasks = &tasks;
             let slots = &slots;
+            let store = store.as_ref();
+            let machine = &machine;
             scope.spawn(move || {
                 claim_loop(next, tasks.len(), |i| {
                     let (w, s) = tasks[i];
                     let start_us = epoch.elapsed().as_micros() as u64;
-                    let result = run_workload(w, s, target_refs);
+                    let result = match store {
+                        Some(store) => {
+                            let cursor = store
+                                .replay(w.name)
+                                .expect("record phase stored every suite workload");
+                            run_replay(cursor, s, machine)
+                        }
+                        None => run_workload(w, s, target_refs),
+                    };
                     let record = TaskRecord {
                         workload: w.name,
                         scheme: s.label(),
@@ -284,7 +345,10 @@ pub fn run_sweep(schemes: &[Scheme], target_refs: u64) -> Sweep {
             });
         }
     });
-    let mut sweep = Sweep::default();
+    let mut sweep = Sweep {
+        store: store.as_ref().map(TraceStore::stats),
+        ..Sweep::default()
+    };
     for slot in slots {
         let (cell, record) = slot
             .into_inner()
@@ -375,6 +439,36 @@ mod tests {
         // LPT: dispatch order is non-increasing in cost.
         for pair in sweep.tasks.windows(2) {
             assert!(pair[0].cost >= pair[1].cost);
+        }
+        // Generate-once accounting: 23 records, one replay per cell.
+        let st = sweep.store.expect("small sweep serves from the store");
+        assert_eq!(st.records, 23);
+        assert_eq!(st.replays, 23 * 2);
+        assert_eq!(st.target_refs, 5_000);
+        assert!(st.encoded_bytes > 0);
+        assert!(st.events > 0);
+    }
+
+    #[test]
+    fn store_served_cells_match_live_generation() {
+        // The replayed sweep must be bit-identical to per-cell live
+        // generation — the sweep-level face of the replay_equivalence
+        // battery.
+        let sweep = run_sweep(&[Scheme::Base, Scheme::Xor], 4_000);
+        for name in ["tree", "mcf", "swim"] {
+            for s in [Scheme::Base, Scheme::Xor] {
+                let live = run_workload(primecache_workloads::by_name(name).unwrap(), s, 4_000);
+                let cell = sweep.get(name, s).expect("cell present");
+                assert_eq!(
+                    cell.result.breakdown,
+                    live.breakdown,
+                    "{name}/{}",
+                    s.label()
+                );
+                assert_eq!(cell.result.l1, live.l1, "{name}/{}", s.label());
+                assert_eq!(cell.result.l2, live.l2, "{name}/{}", s.label());
+                assert_eq!(cell.result.dram, live.dram, "{name}/{}", s.label());
+            }
         }
     }
 

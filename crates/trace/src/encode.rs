@@ -1,0 +1,852 @@
+//! Compact delta/varint event encoding: the recorded-trace wire format.
+//!
+//! An in-memory [`Event`] is 16 bytes; a suite-size trace at hundreds of
+//! millions of references would not fit a trace store. This module packs
+//! an event stream into independently decodable [`EncodedChunk`]s at a
+//! few bytes per event, so a sweep can generate each workload **once**
+//! and replay the recording for every scheme ([`ReplayCursor`]), and so
+//! external traces can eventually be imported through the same framing
+//! ([`EncodedTrace::to_bytes`] / [`EncodedTrace::from_bytes`]).
+//!
+//! # Wire layout (version 1)
+//!
+//! Every event starts with one tag byte:
+//!
+//! ```text
+//! bit 7 6 5 4 | 3    | 2 1 0
+//!     payload | flag | kind
+//! ```
+//!
+//! `kind` is `0` Work, `1` FpWork, `2` Branch, `3` Load, `4` Store
+//! (`5..=7` are invalid). `flag` carries `Load::dep` / `Branch::mispredict`
+//! and must be zero for the other kinds. The 4-bit `payload` nibble is
+//! kind-specific:
+//!
+//! * **Work/FpWork** — instruction counts `0..=14` are stored inline in
+//!   the nibble; `15` escapes to a LEB128 varint of the full count.
+//! * **Branch** — the nibble must be zero; the tag byte is the whole event.
+//! * **Load/Store** — addresses are delta-coded: with `delta =
+//!   addr.wrapping_sub(prev_addr)` (`prev_addr` = the previous memory
+//!   event's address, starting from the chunk's `base_addr`) and `z =
+//!   zigzag(delta)`, the nibble holds the low 4 bits of `z` and a varint
+//!   of `z >> 4` follows. Wrapping arithmetic makes the delta lossless
+//!   for *any* pair of `u64` addresses.
+//!
+//! Varints are LEB128: little-endian 7-bit groups, high bit = continue.
+//! A strided access pattern (delta fits 11 bits zigzagged) costs 2 bytes
+//! per memory event; compute and branch events cost 1. The
+//! `encoded_chunks_stay_compact` test pins the ≲5 bytes/event target on
+//! real workload traffic.
+//!
+//! Chunks are self-contained: each records the `prev_addr` context at
+//! its start (`base_addr`), so a chunk decodes without touching its
+//! predecessors and replay hands out one decoded chunk at a time —
+//! exactly the shape the batched simulation drivers consume.
+
+use crate::io::TraceCodecError;
+use crate::Event;
+
+/// Version byte written into [`EncodedTrace::to_bytes`] frames.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Magic prefix of a serialized [`EncodedTrace`] frame ("prime cache
+/// trace, encoded"); the flat legacy format uses `PCT1`.
+pub const FRAME_MAGIC: &[u8; 4] = b"PCTE";
+
+const KIND_WORK: u8 = 0;
+const KIND_FP_WORK: u8 = 1;
+const KIND_BRANCH: u8 = 2;
+const KIND_LOAD: u8 = 3;
+const KIND_STORE: u8 = 4;
+const KIND_MASK: u8 = 0x07;
+const FLAG_BIT: u8 = 0x08;
+/// Work/FpWork nibble value that escapes to a full varint count.
+const INLINE_ESCAPE: u8 = 15;
+
+/// Appends `v` as a LEB128 varint (7 bits per byte, low group first,
+/// high bit set on every byte but the last; at most 10 bytes).
+pub fn write_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint starting at `*pos`, advancing `*pos` past it.
+///
+/// # Errors
+///
+/// [`TraceCodecError::Truncated`] when the buffer ends mid-varint;
+/// [`TraceCodecError::Corrupt`] when the encoding overflows 64 bits.
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, TraceCodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or(TraceCodecError::Truncated)?;
+        *pos += 1;
+        let group = u64::from(byte & 0x7F);
+        // The 10th byte may only contribute the top bit of a u64.
+        if shift == 63 && group > 1 || shift > 63 {
+            return Err(TraceCodecError::Corrupt("varint overflows 64 bits"));
+        }
+        v |= group << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed delta to an unsigned varint-friendly value:
+/// small magnitudes of either sign become small codes.
+#[must_use]
+pub fn zigzag(delta: i64) -> u64 {
+    ((delta << 1) ^ (delta >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[must_use]
+#[allow(clippy::cast_possible_wrap)]
+pub fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Encodes one event, updating the address-delta context.
+#[allow(clippy::cast_possible_truncation)]
+fn encode_event(buf: &mut Vec<u8>, prev_addr: &mut u64, ev: Event) {
+    let addr_event = |buf: &mut Vec<u8>, prev: &mut u64, kind: u8, flag: u8, addr: u64| {
+        let z = zigzag(addr.wrapping_sub(*prev) as i64);
+        buf.push(kind | flag | (((z & 0xF) as u8) << 4));
+        write_varint(buf, z >> 4);
+        *prev = addr;
+    };
+    match ev {
+        Event::Work(n) | Event::FpWork(n) => {
+            let kind = if matches!(ev, Event::Work(_)) {
+                KIND_WORK
+            } else {
+                KIND_FP_WORK
+            };
+            if n < u32::from(INLINE_ESCAPE) {
+                buf.push(kind | ((n as u8) << 4));
+            } else {
+                buf.push(kind | (INLINE_ESCAPE << 4));
+                write_varint(buf, u64::from(n));
+            }
+        }
+        Event::Branch { mispredict } => {
+            buf.push(KIND_BRANCH | if mispredict { FLAG_BIT } else { 0 });
+        }
+        Event::Load { addr, dep } => {
+            addr_event(
+                buf,
+                prev_addr,
+                KIND_LOAD,
+                if dep { FLAG_BIT } else { 0 },
+                addr,
+            );
+        }
+        Event::Store { addr } => addr_event(buf, prev_addr, KIND_STORE, 0, addr),
+    }
+}
+
+/// Decodes one event starting at `*pos`, updating the delta context.
+#[allow(clippy::cast_possible_truncation)]
+fn decode_event(
+    bytes: &[u8],
+    pos: &mut usize,
+    prev_addr: &mut u64,
+) -> Result<Event, TraceCodecError> {
+    let &tag = bytes.get(*pos).ok_or(TraceCodecError::Truncated)?;
+    *pos += 1;
+    let kind = tag & KIND_MASK;
+    let flag = tag & FLAG_BIT != 0;
+    let nibble = tag >> 4;
+    let read_count = |pos: &mut usize| -> Result<u32, TraceCodecError> {
+        if nibble < INLINE_ESCAPE {
+            return Ok(u32::from(nibble));
+        }
+        let n = read_varint(bytes, pos)?;
+        u32::try_from(n).map_err(|_| TraceCodecError::Corrupt("work count exceeds u32"))
+    };
+    let read_addr = |pos: &mut usize, prev: &mut u64| -> Result<u64, TraceCodecError> {
+        let hi = read_varint(bytes, pos)?;
+        if hi >> 60 != 0 {
+            return Err(TraceCodecError::Corrupt("address delta overflows 64 bits"));
+        }
+        let z = (hi << 4) | u64::from(nibble);
+        let addr = prev.wrapping_add(unzigzag(z) as u64);
+        *prev = addr;
+        Ok(addr)
+    };
+    match kind {
+        KIND_WORK | KIND_FP_WORK if flag => Err(TraceCodecError::BadTag(tag)),
+        KIND_WORK => Ok(Event::Work(read_count(pos)?)),
+        KIND_FP_WORK => Ok(Event::FpWork(read_count(pos)?)),
+        KIND_BRANCH if nibble != 0 => Err(TraceCodecError::BadTag(tag)),
+        KIND_BRANCH => Ok(Event::Branch { mispredict: flag }),
+        KIND_LOAD => {
+            let addr = read_addr(pos, prev_addr)?;
+            Ok(Event::Load { addr, dep: flag })
+        }
+        KIND_STORE if flag => Err(TraceCodecError::BadTag(tag)),
+        KIND_STORE => Ok(Event::Store {
+            addr: read_addr(pos, prev_addr)?,
+        }),
+        _ => Err(TraceCodecError::BadTag(tag)),
+    }
+}
+
+/// One independently decodable span of encoded events.
+///
+/// `base_addr` is the delta context (the previous memory event's
+/// address, or 0 at trace start) in force when the chunk began, so
+/// decoding never needs the preceding chunks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedChunk {
+    events: u32,
+    base_addr: u64,
+    bytes: Vec<u8>,
+}
+
+impl EncodedChunk {
+    /// Number of events in the chunk.
+    #[must_use]
+    pub fn events(&self) -> usize {
+        self.events as usize
+    }
+
+    /// Encoded payload size in bytes.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The address-delta context at the start of the chunk.
+    #[must_use]
+    pub fn base_addr(&self) -> u64 {
+        self.base_addr
+    }
+
+    /// Decodes the chunk back into events.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceCodecError`] when the payload is truncated, carries
+    /// an invalid tag or varint, or does not end exactly at the declared
+    /// event count.
+    pub fn decode(&self) -> Result<Vec<Event>, TraceCodecError> {
+        let mut out = Vec::with_capacity(self.events as usize);
+        let mut prev = self.base_addr;
+        let mut pos = 0usize;
+        for _ in 0..self.events {
+            out.push(decode_event(&self.bytes, &mut pos, &mut prev)?);
+        }
+        if pos != self.bytes.len() {
+            return Err(TraceCodecError::Corrupt("trailing bytes after last event"));
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming encoder: push events, get an [`EncodedTrace`] of
+/// `chunk_events`-sized [`EncodedChunk`]s back.
+///
+/// This is the same-thread pull-mode recording path: no generator
+/// thread, no channel — a `TraceSink` in recording mode feeds events
+/// straight into this encoder.
+#[derive(Debug)]
+pub struct TraceEncoder {
+    chunk_events: usize,
+    chunks: Vec<EncodedChunk>,
+    buf: Vec<u8>,
+    in_chunk: u32,
+    chunk_base: u64,
+    prev_addr: u64,
+    events: u64,
+    refs: u64,
+}
+
+impl TraceEncoder {
+    /// Creates an encoder cutting chunks every `chunk_events` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `chunk_events` is zero or exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(chunk_events: usize) -> Self {
+        assert!(chunk_events > 0, "chunk_events must be positive");
+        assert!(
+            u32::try_from(chunk_events).is_ok(),
+            "chunk_events must fit u32"
+        );
+        Self {
+            chunk_events,
+            chunks: Vec::new(),
+            buf: Vec::with_capacity(chunk_events * 3),
+            in_chunk: 0,
+            chunk_base: 0,
+            prev_addr: 0,
+            events: 0,
+            refs: 0,
+        }
+    }
+
+    /// Appends one event.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        encode_event(&mut self.buf, &mut self.prev_addr, ev);
+        if ev.is_memory() {
+            self.refs += 1;
+        }
+        self.events += 1;
+        self.in_chunk += 1;
+        if self.in_chunk as usize == self.chunk_events {
+            self.flush_chunk();
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.in_chunk == 0 {
+            return;
+        }
+        let cap = self.buf.capacity();
+        self.chunks.push(EncodedChunk {
+            events: self.in_chunk,
+            base_addr: self.chunk_base,
+            bytes: std::mem::replace(&mut self.buf, Vec::with_capacity(cap)),
+        });
+        self.in_chunk = 0;
+        self.chunk_base = self.prev_addr;
+    }
+
+    /// Seals the trace, flushing any partially filled final chunk.
+    #[must_use]
+    pub fn finish(mut self) -> EncodedTrace {
+        self.flush_chunk();
+        EncodedTrace {
+            chunks: self.chunks,
+            events: self.events,
+            refs: self.refs,
+            chunk_events: self.chunk_events,
+        }
+    }
+}
+
+/// A complete recorded trace: encoded chunks plus totals.
+///
+/// Replay never re-decodes from the start: [`EncodedTrace::replay`]
+/// hands out a borrowing cursor that decodes one chunk at a time, so any
+/// number of simultaneous replays share the single encoded copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedTrace {
+    chunks: Vec<EncodedChunk>,
+    events: u64,
+    refs: u64,
+    chunk_events: usize,
+}
+
+impl EncodedTrace {
+    /// Encodes a materialized event slice (tests, importers). The
+    /// recording hot path streams through [`TraceEncoder`] instead.
+    #[must_use]
+    pub fn encode(events: &[Event], chunk_events: usize) -> Self {
+        let mut enc = TraceEncoder::new(chunk_events);
+        for &ev in events {
+            enc.push(ev);
+        }
+        enc.finish()
+    }
+
+    /// Total events recorded.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Memory references (loads + stores) recorded.
+    #[must_use]
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// The encoder's chunk size (events per full chunk).
+    #[must_use]
+    pub fn chunk_events(&self) -> usize {
+        self.chunk_events
+    }
+
+    /// The encoded chunks.
+    #[must_use]
+    pub fn chunks(&self) -> &[EncodedChunk] {
+        &self.chunks
+    }
+
+    /// Total encoded payload bytes across all chunks.
+    #[must_use]
+    pub fn encoded_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.bytes.len() as u64).sum()
+    }
+
+    /// Mean encoded bytes per event (the ≲5 B/event compactness metric).
+    #[must_use]
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.encoded_bytes() as f64 / self.events as f64
+        }
+    }
+
+    /// A zero-copy replay cursor over the encoded chunks.
+    #[must_use]
+    pub fn replay(&self) -> ReplayCursor<'_> {
+        ReplayCursor {
+            chunks: self.chunks.iter(),
+            current: Vec::new().into_iter(),
+            chunks_read: 0,
+            chunk_events: self.chunk_events,
+        }
+    }
+
+    /// Decodes the whole trace into one `Vec` (tests, importers).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first chunk's [`TraceCodecError`], if any.
+    pub fn decode_all(&self) -> Result<Vec<Event>, TraceCodecError> {
+        let mut out = Vec::with_capacity(self.events as usize);
+        for c in &self.chunks {
+            out.extend(c.decode()?);
+        }
+        Ok(out)
+    }
+
+    /// Serializes the trace with the on-disk framing:
+    ///
+    /// ```text
+    /// "PCTE" | version u8 | 3 reserved zero bytes
+    /// events u64 le | refs u64 le | chunk_events u32 le | chunk count u32 le
+    /// then per chunk: events u32 le | base_addr u64 le | len u32 le | payload
+    /// ```
+    ///
+    /// This framing is the contract an external-trace importer consumes
+    /// (ROADMAP item 3); see WORKLOADS.md for the normative description.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out =
+            Vec::with_capacity(32 + self.encoded_bytes() as usize + self.chunks.len() * 16);
+        out.extend_from_slice(FRAME_MAGIC);
+        out.push(WIRE_VERSION);
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&self.events.to_le_bytes());
+        out.extend_from_slice(&self.refs.to_le_bytes());
+        out.extend_from_slice(&(self.chunk_events as u32).to_le_bytes());
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        for c in &self.chunks {
+            out.extend_from_slice(&c.events.to_le_bytes());
+            out.extend_from_slice(&c.base_addr.to_le_bytes());
+            out.extend_from_slice(&(c.bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&c.bytes);
+        }
+        out
+    }
+
+    /// Deserializes and *fully validates* a frame written by
+    /// [`EncodedTrace::to_bytes`]: every chunk is decoded once, so a
+    /// trace accepted here can never fail during replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceCodecError`] on a bad magic or version, truncation,
+    /// trailing bytes, totals that contradict the chunks, or any invalid
+    /// chunk payload.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, TraceCodecError> {
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], TraceCodecError> {
+            let s = data.get(*pos..*pos + n).ok_or(TraceCodecError::Truncated)?;
+            *pos += n;
+            Ok(s)
+        };
+        if data.len() < 4 || &data[..4] != FRAME_MAGIC {
+            return Err(TraceCodecError::BadMagic);
+        }
+        let mut pos = 4usize;
+        let version = take(&mut pos, 1)?[0];
+        if version != WIRE_VERSION {
+            return Err(TraceCodecError::BadVersion(version));
+        }
+        if take(&mut pos, 3)? != [0u8; 3] {
+            return Err(TraceCodecError::Corrupt("nonzero reserved header bytes"));
+        }
+        let le64 = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8-byte slice"));
+        let le32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4-byte slice"));
+        let events = le64(take(&mut pos, 8)?);
+        let refs = le64(take(&mut pos, 8)?);
+        let chunk_events = le32(take(&mut pos, 4)?) as usize;
+        let n_chunks = le32(take(&mut pos, 4)?) as usize;
+        if chunk_events == 0 {
+            return Err(TraceCodecError::Corrupt("zero chunk_events"));
+        }
+        let mut chunks = Vec::with_capacity(n_chunks.min(1 << 20));
+        let (mut seen_events, mut seen_refs) = (0u64, 0u64);
+        for _ in 0..n_chunks {
+            let c_events = le32(take(&mut pos, 4)?);
+            let base_addr = le64(take(&mut pos, 8)?);
+            let len = le32(take(&mut pos, 4)?) as usize;
+            let bytes = take(&mut pos, len)?.to_vec();
+            let chunk = EncodedChunk {
+                events: c_events,
+                base_addr,
+                bytes,
+            };
+            // Validate up front: decode once, count the memory refs.
+            seen_refs += chunk.decode()?.iter().filter(|e| e.is_memory()).count() as u64;
+            seen_events += u64::from(c_events);
+            chunks.push(chunk);
+        }
+        if pos != data.len() {
+            return Err(TraceCodecError::Corrupt("trailing bytes after last chunk"));
+        }
+        if seen_events != events {
+            return Err(TraceCodecError::Corrupt("event count contradicts chunks"));
+        }
+        if seen_refs != refs {
+            return Err(TraceCodecError::Corrupt("ref count contradicts chunks"));
+        }
+        Ok(Self {
+            chunks,
+            events,
+            refs,
+            chunk_events,
+        })
+    }
+}
+
+/// Iterator/chunk cursor over a borrowed [`EncodedTrace`].
+///
+/// Replay is read-only: any number of cursors can replay the same
+/// recording concurrently, each decoding one chunk at a time (peak
+/// decoded memory is one chunk, as in the live streaming path).
+///
+/// `next_chunk` is remainder-first like
+/// `primecache_workloads::EventStream::next_chunk`: interleaving item
+/// and chunk pulls still yields the recorded sequence exactly once.
+#[derive(Debug)]
+pub struct ReplayCursor<'a> {
+    chunks: std::slice::Iter<'a, EncodedChunk>,
+    current: std::vec::IntoIter<Event>,
+    chunks_read: u64,
+    chunk_events: usize,
+}
+
+impl ReplayCursor<'_> {
+    /// Decodes and returns the next whole chunk of events (the remainder
+    /// of a partially iterated chunk first), or `None` at end of trace.
+    pub fn next_chunk(&mut self) -> Option<Vec<Event>> {
+        if self.current.len() > 0 {
+            let rest: Vec<Event> =
+                std::mem::replace(&mut self.current, Vec::new().into_iter()).collect();
+            return Some(rest);
+        }
+        self.decode_next()
+    }
+
+    fn decode_next(&mut self) -> Option<Vec<Event>> {
+        let chunk = self.chunks.next()?;
+        self.chunks_read += 1;
+        // Traces only exist validated: the encoder produced these bytes,
+        // or `from_bytes` already decoded them once.
+        Some(chunk.decode().expect("validated chunk decodes"))
+    }
+
+    /// Replay-side mirror of `EventStream::stream_stats`: `(chunks
+    /// decoded, blocked_waits)`. A replay never waits on a generator, so
+    /// `blocked_waits` is always 0 — the signature a store-served run
+    /// leaves in the obs metrics.
+    #[must_use]
+    pub fn stream_stats(&self) -> (u64, u64) {
+        (self.chunks_read, 0)
+    }
+
+    /// Replay-side mirror of `EventStream::stream_config`: `(0,
+    /// chunk_events)` — a replay has no channel, so its depth is 0.
+    #[must_use]
+    pub fn stream_config(&self) -> (usize, usize) {
+        (0, self.chunk_events)
+    }
+}
+
+impl Iterator for ReplayCursor<'_> {
+    type Item = Event;
+
+    #[inline]
+    fn next(&mut self) -> Option<Event> {
+        loop {
+            if let Some(ev) = self.current.next() {
+                return Some(ev);
+            }
+            self.current = self.decode_next()?.into_iter();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_events() -> Vec<Event> {
+        vec![
+            Event::Work(0),
+            Event::Work(14),
+            Event::Work(15),
+            Event::Work(u32::MAX),
+            Event::FpWork(7),
+            Event::FpWork(40_000),
+            Event::Branch { mispredict: false },
+            Event::Branch { mispredict: true },
+            Event::load(0),
+            Event::load(64),
+            Event::chase(u64::MAX),
+            Event::Store { addr: 0 },
+            Event::Store { addr: 0xDEAD_BEEF },
+            Event::load(1),
+        ]
+    }
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Ok(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 11 continuation bytes: too many bits for a u64.
+        let buf = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x7F];
+        let mut pos = 0;
+        assert_eq!(
+            read_varint(&buf, &mut pos),
+            Err(TraceCodecError::Corrupt("varint overflows 64 bits"))
+        );
+    }
+
+    #[test]
+    fn zigzag_round_trips_extremes() {
+        for d in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(d)), d, "{d}");
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn all_event_variants_round_trip() {
+        let events = mixed_events();
+        for chunk_events in [1usize, 3, 16, 1024] {
+            let trace = EncodedTrace::encode(&events, chunk_events);
+            assert_eq!(trace.decode_all().unwrap(), events, "chunk={chunk_events}");
+            assert_eq!(trace.events(), events.len() as u64);
+            assert_eq!(
+                trace.refs(),
+                events.iter().filter(|e| e.is_memory()).count() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn replay_cursor_matches_decode_all() {
+        let events = mixed_events();
+        let trace = EncodedTrace::encode(&events, 4);
+        let replayed: Vec<Event> = trace.replay().collect();
+        assert_eq!(replayed, events);
+        let mut chunked = Vec::new();
+        let mut cur = trace.replay();
+        while let Some(c) = cur.next_chunk() {
+            assert!(c.len() <= 4);
+            chunked.extend(c);
+        }
+        assert_eq!(chunked, events);
+        assert_eq!(cur.stream_stats(), (trace.chunks().len() as u64, 0));
+    }
+
+    #[test]
+    fn interleaved_item_and_chunk_pulls_preserve_order() {
+        let events: Vec<Event> = (0..100u64).map(|i| Event::load(i * 64)).collect();
+        let trace = EncodedTrace::encode(&events, 16);
+        let mut cur = trace.replay();
+        let mut got = Vec::new();
+        for _ in 0..7 {
+            got.push(cur.next().unwrap());
+        }
+        got.extend(cur.next_chunk().unwrap()); // remainder of chunk 1
+        got.push(cur.next().unwrap());
+        while let Some(c) = cur.next_chunk() {
+            got.extend(c);
+        }
+        assert_eq!(got, events);
+    }
+
+    #[test]
+    fn chunks_decode_independently() {
+        // Decoding chunk k alone must not need chunks 0..k.
+        let events: Vec<Event> = (0..50u64)
+            .map(|i| Event::load(i.wrapping_mul(0x9E37_79B9) << 6))
+            .collect();
+        let trace = EncodedTrace::encode(&events, 8);
+        let mut all = Vec::new();
+        for c in trace.chunks().iter().rev() {
+            let mut decoded = c.decode().unwrap();
+            decoded.extend(all);
+            all = decoded;
+        }
+        assert_eq!(all, events);
+    }
+
+    #[test]
+    fn max_magnitude_address_jumps_round_trip() {
+        let events = vec![
+            Event::load(0),
+            Event::load(u64::MAX),
+            Event::load(0),
+            Event::load(1 << 63),
+            Event::Store {
+                addr: (1 << 63) - 1,
+            },
+            Event::load(u64::MAX / 3),
+        ];
+        let trace = EncodedTrace::encode(&events, 2);
+        assert_eq!(trace.decode_all().unwrap(), events);
+    }
+
+    #[test]
+    fn strided_traffic_stays_compact() {
+        // Strided loads with small work events: the dominant trace shape.
+        let mut events = Vec::new();
+        for i in 0..10_000u64 {
+            events.push(Event::load(i * 64));
+            events.push(Event::Work(3));
+        }
+        let trace = EncodedTrace::encode(&events, 4096);
+        assert!(
+            trace.bytes_per_event() < 2.0,
+            "{} B/event",
+            trace.bytes_per_event()
+        );
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let events = mixed_events();
+        let trace = EncodedTrace::encode(&events, 4);
+        let bytes = trace.to_bytes();
+        let back = EncodedTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(back, trace);
+        assert_eq!(back.decode_all().unwrap(), events);
+    }
+
+    #[test]
+    fn empty_trace_frame_round_trips() {
+        let trace = EncodedTrace::encode(&[], 16);
+        assert_eq!(trace.events(), 0);
+        assert_eq!(trace.replay().count(), 0);
+        let back = EncodedTrace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn frame_rejects_bad_magic_and_version() {
+        let trace = EncodedTrace::encode(&mixed_events(), 4);
+        let mut bytes = trace.to_bytes();
+        assert_eq!(
+            EncodedTrace::from_bytes(b"PCT1"),
+            Err(TraceCodecError::BadMagic)
+        );
+        bytes[4] = 9;
+        assert_eq!(
+            EncodedTrace::from_bytes(&bytes),
+            Err(TraceCodecError::BadVersion(9))
+        );
+    }
+
+    #[test]
+    fn frame_rejects_truncation_everywhere() {
+        let trace = EncodedTrace::encode(&mixed_events(), 4);
+        let bytes = trace.to_bytes();
+        for cut in 4..bytes.len() {
+            let err = EncodedTrace::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    TraceCodecError::Truncated | TraceCodecError::Corrupt(_)
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_rejects_trailing_garbage_and_count_lies() {
+        let trace = EncodedTrace::encode(&mixed_events(), 4);
+        let mut bytes = trace.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            EncodedTrace::from_bytes(&bytes),
+            Err(TraceCodecError::Corrupt("trailing bytes after last chunk"))
+        );
+        let mut lied = trace.to_bytes();
+        lied[8] ^= 1; // flip a bit of the total event count
+        assert_eq!(
+            EncodedTrace::from_bytes(&lied),
+            Err(TraceCodecError::Corrupt("event count contradicts chunks"))
+        );
+    }
+
+    #[test]
+    fn corrupt_chunk_payload_rejected_at_frame_load() {
+        let trace = EncodedTrace::encode(&[Event::Work(3), Event::load(64)], 16);
+        let mut bytes = trace.to_bytes();
+        let payload_at = bytes.len() - trace.encoded_bytes() as usize;
+        bytes[payload_at] = 0x07; // invalid kind 7
+        assert!(matches!(
+            EncodedTrace::from_bytes(&bytes),
+            Err(TraceCodecError::BadTag(_) | TraceCodecError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_flag_on_flagless_kinds() {
+        // Store with the flag bit set is non-canonical and must not
+        // silently alias another event.
+        let chunk = EncodedChunk {
+            events: 1,
+            base_addr: 0,
+            bytes: vec![KIND_STORE | FLAG_BIT, 0x00],
+        };
+        assert_eq!(
+            chunk.decode(),
+            Err(TraceCodecError::BadTag(KIND_STORE | FLAG_BIT))
+        );
+    }
+}

@@ -37,7 +37,8 @@ impl Cursor<'_> {
     }
 }
 
-/// Errors produced when decoding a trace.
+/// Errors produced when decoding a trace (the flat [`read_trace`] format
+/// or the delta/varint-encoded [`crate::encode`] format).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceCodecError {
     /// The magic header was wrong or missing.
@@ -46,6 +47,11 @@ pub enum TraceCodecError {
     Truncated,
     /// An unknown record tag was found.
     BadTag(u8),
+    /// The frame declares a wire version this decoder does not speak.
+    BadVersion(u8),
+    /// The byte stream is internally inconsistent (overlong varint,
+    /// trailing garbage, a count field that contradicts the payload).
+    Corrupt(&'static str),
 }
 
 impl std::fmt::Display for TraceCodecError {
@@ -54,6 +60,8 @@ impl std::fmt::Display for TraceCodecError {
             TraceCodecError::BadMagic => write!(f, "bad trace magic"),
             TraceCodecError::Truncated => write!(f, "truncated trace stream"),
             TraceCodecError::BadTag(t) => write!(f, "unknown trace record tag {t}"),
+            TraceCodecError::BadVersion(v) => write!(f, "unsupported trace wire version {v}"),
+            TraceCodecError::Corrupt(what) => write!(f, "corrupt trace stream: {what}"),
         }
     }
 }

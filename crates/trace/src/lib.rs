@@ -18,12 +18,14 @@
 //! assert!(matches!(trace.next(), Some(Event::Load { addr: 64, .. })));
 //! ```
 
+pub mod encode;
 mod event;
 mod gen;
 mod io;
 mod stats;
 mod transforms;
 
+pub use encode::{EncodedChunk, EncodedTrace, ReplayCursor, TraceEncoder, WIRE_VERSION};
 pub use event::Event;
 pub use gen::{strided, strided_bytes, Strided};
 pub use io::{read_trace, write_trace, TraceCodecError};

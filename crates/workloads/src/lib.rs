@@ -35,9 +35,11 @@ pub mod profile;
 mod registry;
 mod sparse;
 mod spec_int;
+mod store;
 mod stream;
 mod util;
 
 pub use registry::{all, by_name, non_uniform_names, uniform_names, Workload};
+pub use store::{EventChunks, TraceStore, TraceStoreStats};
 pub use stream::EventStream;
-pub use util::{materialize, Lcg, TraceSink};
+pub use util::{materialize, record, Lcg, TraceSink};

@@ -1,9 +1,9 @@
 //! The registry of all 23 application models.
 
-use primecache_trace::Event;
+use primecache_trace::{EncodedTrace, Event};
 
 use crate::stream::EventStream;
-use crate::util::{materialize, TraceSink};
+use crate::util::{materialize, record, TraceSink};
 use crate::{grid, md, nas, pointer, sparse, spec_int};
 
 /// One application model: a named deterministic trace generator plus the
@@ -48,6 +48,16 @@ impl Workload {
     #[must_use]
     pub fn events_with(&self, target_refs: u64, depth: usize, chunk_events: usize) -> EventStream {
         EventStream::spawn_with(self.generator, target_refs, depth, chunk_events)
+    }
+
+    /// Generates the same event sequence as [`Workload::trace`] /
+    /// [`Workload::events`] **once**, on the calling thread, into a
+    /// compact delta/varint [`EncodedTrace`] that can be replayed any
+    /// number of times ([`EncodedTrace::replay`]) — the generate-once
+    /// path behind [`crate::TraceStore`] and sweep replay.
+    #[must_use]
+    pub fn record(&self, target_refs: u64) -> EncodedTrace {
+        record(self.generator, target_refs)
     }
 }
 

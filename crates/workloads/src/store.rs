@@ -1,0 +1,263 @@
+//! The in-memory recorded-trace store behind generate-once sweeps, and
+//! the [`EventChunks`] abstraction that lets the simulation drivers pull
+//! chunks from either a live generator stream or a recorded replay.
+//!
+//! A design-space sweep runs every scheme over the *identical* 23
+//! traces; generating them once per scheme makes the sweep
+//! generator-bound. A [`TraceStore`] records each workload exactly once
+//! (same-thread, straight into the compact delta/varint encoding) and
+//! then hands out any number of read-only [`ReplayCursor`]s, so the 8×
+//! redundant generation cost collapses to 1× + cheap decodes.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use primecache_trace::{EncodedTrace, Event, ReplayCursor};
+use serde::Serialize;
+
+use crate::registry::Workload;
+use crate::stream::EventStream;
+
+/// A source of trace events the batched simulation drivers can consume
+/// chunk-at-a-time: a live [`EventStream`] or a recorded
+/// [`ReplayCursor`]. Implementors must deliver the same event sequence
+/// through `next` and `next_chunk` (remainder-first on interleaving).
+pub trait EventChunks: Iterator<Item = Event> {
+    /// Next whole chunk of events, or `None` at end of trace.
+    ///
+    /// (Named `pull_chunk` rather than `next_chunk` to stay clear of the
+    /// unstable `Iterator::next_chunk`.)
+    fn pull_chunk(&mut self) -> Option<Vec<Event>>;
+
+    /// `(chunks delivered, blocked_waits)` so far. Replays never block:
+    /// their second component is always 0.
+    fn chunk_stats(&self) -> (u64, u64);
+
+    /// `(channel depth, events per chunk)`. Replays have no channel:
+    /// their depth is 0.
+    fn chunk_config(&self) -> (usize, usize);
+}
+
+impl EventChunks for EventStream {
+    fn pull_chunk(&mut self) -> Option<Vec<Event>> {
+        self.next_chunk()
+    }
+
+    fn chunk_stats(&self) -> (u64, u64) {
+        self.stream_stats()
+    }
+
+    fn chunk_config(&self) -> (usize, usize) {
+        self.stream_config()
+    }
+}
+
+impl EventChunks for ReplayCursor<'_> {
+    fn pull_chunk(&mut self) -> Option<Vec<Event>> {
+        self.next_chunk()
+    }
+
+    fn chunk_stats(&self) -> (u64, u64) {
+        self.stream_stats()
+    }
+
+    fn chunk_config(&self) -> (usize, usize) {
+        self.stream_config()
+    }
+}
+
+/// Counters a [`TraceStore`] exposes to observability and sweep reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TraceStoreStats {
+    /// Workload traces recorded (one generation each).
+    pub records: u64,
+    /// Replay cursors handed out (generations *avoided*, after the
+    /// first, for every record replayed more than once).
+    pub replays: u64,
+    /// Total encoded bytes held across all records.
+    pub encoded_bytes: u64,
+    /// Total events across all records.
+    pub events: u64,
+    /// The reference target every record was generated to.
+    pub target_refs: u64,
+}
+
+/// An in-memory map of workload name → recorded [`EncodedTrace`].
+///
+/// Records are written once (single generation per workload per sweep)
+/// and replayed many times; `replay` takes `&self`, so a parallel sweep
+/// shares one store across all workers with no locking on the replay
+/// path.
+#[derive(Debug)]
+pub struct TraceStore {
+    target_refs: u64,
+    entries: BTreeMap<&'static str, EncodedTrace>,
+    replays: AtomicU64,
+}
+
+impl TraceStore {
+    /// Creates an empty store whose records will target `target_refs`
+    /// memory references each.
+    #[must_use]
+    pub fn new(target_refs: u64) -> Self {
+        Self {
+            target_refs,
+            entries: BTreeMap::new(),
+            replays: AtomicU64::new(0),
+        }
+    }
+
+    /// Records every workload in `workloads` (serially, on the calling
+    /// thread). Sweep drivers that want parallel recording insert
+    /// per-worker results via [`TraceStore::insert`] instead.
+    #[must_use]
+    pub fn record_all(workloads: &[Workload], target_refs: u64) -> Self {
+        let mut store = Self::new(target_refs);
+        for w in workloads {
+            store.record(w);
+        }
+        store
+    }
+
+    /// Generates and stores `workload`'s trace at the store's target.
+    pub fn record(&mut self, workload: &Workload) {
+        self.insert(workload.name, workload.record(self.target_refs));
+    }
+
+    /// Stores an already-recorded trace under `name` (replacing any
+    /// previous record).
+    pub fn insert(&mut self, name: &'static str, trace: EncodedTrace) {
+        self.entries.insert(name, trace);
+    }
+
+    /// A replay cursor over `name`'s record, or `None` when the
+    /// workload was never recorded. Each call counts one served replay.
+    #[must_use]
+    pub fn replay(&self, name: &str) -> Option<ReplayCursor<'_>> {
+        let trace = self.entries.get(name)?;
+        self.replays.fetch_add(1, Ordering::Relaxed);
+        Some(trace.replay())
+    }
+
+    /// The recorded trace for `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&EncodedTrace> {
+        self.entries.get(name)
+    }
+
+    /// The reference target each record was generated to.
+    #[must_use]
+    pub fn target_refs(&self) -> u64 {
+        self.target_refs
+    }
+
+    /// Number of workloads recorded.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Replay cursors handed out so far.
+    #[must_use]
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+
+    /// Total encoded bytes held.
+    #[must_use]
+    pub fn encoded_bytes(&self) -> u64 {
+        self.entries.values().map(EncodedTrace::encoded_bytes).sum()
+    }
+
+    /// Total events held.
+    #[must_use]
+    pub fn events(&self) -> u64 {
+        self.entries.values().map(EncodedTrace::events).sum()
+    }
+
+    /// Total memory references held.
+    #[must_use]
+    pub fn refs(&self) -> u64 {
+        self.entries.values().map(EncodedTrace::refs).sum()
+    }
+
+    /// Snapshot of the store's counters.
+    #[must_use]
+    pub fn stats(&self) -> TraceStoreStats {
+        TraceStoreStats {
+            records: self.records(),
+            replays: self.replays(),
+            encoded_bytes: self.encoded_bytes(),
+            events: self.events(),
+            target_refs: self.target_refs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::by_name;
+
+    #[test]
+    fn store_replays_the_recorded_sequence() {
+        let w = by_name("swim").unwrap();
+        let mut store = TraceStore::new(5_000);
+        store.record(w);
+        let live: Vec<Event> = w.trace(5_000);
+        let replayed: Vec<Event> = store.replay("swim").unwrap().collect();
+        assert_eq!(replayed, live);
+        // Replays are repeatable and independent.
+        let again: Vec<Event> = store.replay("swim").unwrap().collect();
+        assert_eq!(again, live);
+        assert_eq!(store.replays(), 2);
+        assert_eq!(store.records(), 1);
+        assert!(store.encoded_bytes() > 0);
+    }
+
+    #[test]
+    fn missing_workload_yields_none() {
+        let store = TraceStore::new(100);
+        assert!(store.replay("nope").is_none());
+        assert_eq!(store.replays(), 0);
+    }
+
+    #[test]
+    fn concurrent_replays_share_one_record() {
+        let w = by_name("mcf").unwrap();
+        let mut store = TraceStore::new(2_000);
+        store.record(w);
+        let expect: Vec<Event> = w.trace(2_000);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let store = &store;
+                let expect = &expect;
+                scope.spawn(move || {
+                    let got: Vec<Event> = store.replay("mcf").unwrap().collect();
+                    assert_eq!(&got, expect);
+                });
+            }
+        });
+        assert_eq!(store.stats().replays, 4);
+    }
+
+    #[test]
+    fn event_chunks_is_object_safe_enough_for_both_sources() {
+        // The same driver-side consumption pattern must see the same
+        // events from a live stream and a replay cursor.
+        fn drain(mut src: impl EventChunks) -> (Vec<Event>, u64) {
+            let mut out = Vec::new();
+            while let Some(chunk) = src.pull_chunk() {
+                out.extend(chunk);
+            }
+            (out, src.chunk_stats().0)
+        }
+        let w = by_name("tree").unwrap();
+        let store = TraceStore::record_all(&[*w], 3_000);
+        let (live, live_chunks) = drain(w.events(3_000));
+        let (replayed, replay_chunks) = drain(store.replay("tree").unwrap());
+        assert_eq!(replayed, live);
+        // Same chunk cadence: recording cuts chunks at STREAM_CHUNK too.
+        assert_eq!(replay_chunks, live_chunks);
+    }
+}

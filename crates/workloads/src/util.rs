@@ -2,7 +2,7 @@
 
 use primecache_conc::port::stream::ChunkSink;
 use primecache_conc::StdBackend;
-use primecache_trace::Event;
+use primecache_trace::{EncodedTrace, Event, TraceEncoder};
 
 /// A 64-bit linear congruential generator (Knuth's MMIX multiplier).
 ///
@@ -25,6 +25,7 @@ pub struct Lcg {
 
 impl Lcg {
     /// Creates a generator from a seed.
+    #[inline]
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self {
@@ -33,6 +34,7 @@ impl Lcg {
     }
 
     /// Next raw 64-bit value.
+    #[inline]
     pub fn next_u64(&mut self) -> u64 {
         self.state = self
             .state
@@ -48,21 +50,34 @@ impl Lcg {
 
     /// Uniform value in `[0, bound)`.
     ///
+    /// The plain-modulo reduction has the classic modulo bias (values
+    /// below `2^64 mod bound` are marginally more likely). That bias is
+    /// **intentional and frozen**: every committed workload trace,
+    /// fingerprint, and figure derives from this exact draw sequence, and
+    /// a "fairer" rejection-sampling loop would consume a
+    /// data-dependent number of raw draws — silently re-seeding every
+    /// downstream address. At the bounds the workloads use (≤ 2^26) the
+    /// bias is < 2^-38 and has no bearing on the set-index distributions
+    /// the paper measures. Do not change the reduction.
+    ///
     /// # Panics
     ///
     /// Panics if `bound == 0`.
+    #[inline]
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
         self.next_u64() % bound
     }
 
     /// Bernoulli draw with probability `num/denom`.
+    #[inline]
     pub fn chance(&mut self, num: u64, denom: u64) -> bool {
         self.below(denom) < num
     }
 
     /// A Zipf-ish skewed draw in `[0, bound)`: smaller values much more
     /// likely (used for hot-node selection in graph workloads).
+    #[inline]
     pub fn skewed(&mut self, bound: u64) -> u64 {
         let r = self.next_u64();
         // Square a uniform fraction: density ~ 1/(2*sqrt(x)).
@@ -89,6 +104,11 @@ enum Output {
     /// the consumer hangs up, which makes [`TraceSink::done`] return true
     /// so the generator unwinds early instead of producing into the void.
     Channel(ChunkSink<StdBackend, Event>),
+    /// Same-thread pull-mode recording: events go straight into a
+    /// delta/varint [`TraceEncoder`] — no generator thread, no channel
+    /// hop — producing the compact [`EncodedTrace`] a
+    /// [`crate::TraceStore`] replays to every scheme of a sweep.
+    Record(TraceEncoder),
 }
 
 /// Builder that appends events while tracking how many memory references
@@ -131,6 +151,17 @@ impl TraceSink {
         }
     }
 
+    /// Creates a recording sink that encodes events on the calling
+    /// thread in `chunk_events`-sized encoded chunks (used by
+    /// [`record`] / [`crate::Workload::record`]).
+    pub(crate) fn for_recording(target_refs: u64, chunk_events: usize) -> Self {
+        Self {
+            out: Output::Record(TraceEncoder::new(chunk_events)),
+            refs: 0,
+            target: target_refs,
+        }
+    }
+
     /// Memory references emitted so far.
     #[must_use]
     pub fn refs(&self) -> u64 {
@@ -150,32 +181,38 @@ impl TraceSink {
         self.refs >= self.target || matches!(&self.out, Output::Channel(sink) if sink.is_closed())
     }
 
+    #[inline]
     fn push(&mut self, ev: Event) {
         match &mut self.out {
             Output::Buffer(events) => events.push(ev),
             Output::Channel(sink) => sink.push(ev),
+            Output::Record(enc) => enc.push(ev),
         }
     }
 
     /// Emits an independent load.
+    #[inline]
     pub fn load(&mut self, addr: u64) {
         self.push(Event::load(addr));
         self.refs += 1;
     }
 
     /// Emits a serializing (pointer-chase) load.
+    #[inline]
     pub fn chase(&mut self, addr: u64) {
         self.push(Event::chase(addr));
         self.refs += 1;
     }
 
     /// Emits a store.
+    #[inline]
     pub fn store(&mut self, addr: u64) {
         self.push(Event::Store { addr });
         self.refs += 1;
     }
 
     /// Emits `n` instructions of integer compute.
+    #[inline]
     pub fn work(&mut self, n: u32) {
         if n > 0 {
             self.push(Event::Work(n));
@@ -184,6 +221,7 @@ impl TraceSink {
 
     /// Emits `n` instructions of floating-point compute (issued through
     /// the 4-wide FP units of Table 3).
+    #[inline]
     pub fn fp_work(&mut self, n: u32) {
         if n > 0 {
             self.push(Event::FpWork(n));
@@ -191,11 +229,13 @@ impl TraceSink {
     }
 
     /// Emits a branch.
+    #[inline]
     pub fn branch(&mut self, mispredict: bool) {
         self.push(Event::Branch { mispredict });
     }
 
-    /// Flushes any partially filled streaming chunk (no-op when buffering).
+    /// Flushes any partially filled streaming chunk (no-op when
+    /// buffering or recording — the encoder flushes in `into_recorded`).
     pub(crate) fn finish(&mut self) {
         if let Output::Channel(sink) = &mut self.out {
             sink.finish();
@@ -206,13 +246,31 @@ impl TraceSink {
     ///
     /// # Panics
     ///
-    /// Panics when called on a streaming sink; streamed events have
-    /// already been handed to the consumer.
+    /// Panics when called on a streaming or recording sink; streamed
+    /// events have already been handed to the consumer, recorded ones to
+    /// the encoder.
     #[must_use]
     pub fn into_events(self) -> Vec<Event> {
         match self.out {
             Output::Buffer(events) => events,
-            Output::Channel(_) => panic!("into_events on a streaming TraceSink"),
+            Output::Channel(_) | Output::Record(_) => {
+                panic!("into_events on a non-buffering TraceSink")
+            }
+        }
+    }
+
+    /// Finishes a recorded trace, sealing the final encoded chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a sink that is not in recording mode.
+    #[must_use]
+    pub fn into_recorded(self) -> EncodedTrace {
+        match self.out {
+            Output::Record(enc) => enc.finish(),
+            Output::Buffer(_) | Output::Channel(_) => {
+                panic!("into_recorded on a non-recording TraceSink")
+            }
         }
     }
 }
@@ -227,6 +285,20 @@ pub fn materialize(generator: fn(&mut TraceSink), target_refs: u64) -> Vec<Event
     let mut sink = TraceSink::with_target(target_refs);
     generator(&mut sink);
     sink.into_events()
+}
+
+/// Runs a streaming generator to completion on the *calling* thread,
+/// encoding its events into a compact [`EncodedTrace`].
+///
+/// This is the pull-mode recording path: it produces exactly the event
+/// sequence [`materialize`] / [`crate::EventStream`] deliver (generators
+/// are deterministic and output-mode-blind), but skips the spawn+channel
+/// hop and stores the result at a few bytes per event instead of 16.
+#[must_use]
+pub fn record(generator: fn(&mut TraceSink), target_refs: u64) -> EncodedTrace {
+    let mut sink = TraceSink::for_recording(target_refs, STREAM_CHUNK);
+    generator(&mut sink);
+    sink.into_recorded()
 }
 
 #[cfg(test)]
@@ -325,6 +397,31 @@ mod tests {
         assert_eq!(got.len() as u64, n);
         assert_eq!(got[0], Event::load(0));
         assert_eq!(got[got.len() - 1], Event::load((n - 1) * 64));
+    }
+
+    #[test]
+    fn recorded_trace_matches_materialized() {
+        fn tiny(t: &mut TraceSink) {
+            let mut g = Lcg::new(99);
+            while !t.done() {
+                t.load(g.below(1 << 20) * 64);
+                t.work(3);
+                t.branch(g.chance(1, 10));
+            }
+        }
+        let recorded = record(tiny, 40_000);
+        let buffered = materialize(tiny, 40_000);
+        assert_eq!(recorded.decode_all().unwrap(), buffered);
+        assert_eq!(recorded.events(), buffered.len() as u64);
+        assert_eq!(recorded.refs(), 40_000);
+        // Chunk boundaries mirror the streaming path's STREAM_CHUNK.
+        assert_eq!(recorded.chunk_events(), STREAM_CHUNK);
+        // The compactness target the format exists for.
+        assert!(
+            recorded.bytes_per_event() < 5.0,
+            "{} B/event",
+            recorded.bytes_per_event()
+        );
     }
 
     #[test]
