@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# External-ingestion smoke for the PR gate: generate a workload trace,
+# export it as both a PCTE frame and TRACE_FORMAT.md text, import the
+# text back, and require the conversion to be byte-identical to the
+# native frame (`cmp`); then simulate both imports and require
+# identical results, run a 2-tenant interference sweep end-to-end, and
+# check that every malformed-input class fails with a clean error (exit
+# code 1, no panic). Run locally with `sh ci/ingest_smoke.sh`;
+# INGEST_REFS overrides the trace length.
+set -eu
+
+REFS="${INGEST_REFS:-2000}"
+
+[ -f Cargo.toml ] || { echo "run from the repository root" >&2; exit 2; }
+
+PCACHE="cargo run --release -q -p primecache-cli --bin pcache --"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT INT TERM
+
+echo "==> export swim ($REFS refs) as PCTE frame and text"
+$PCACHE trace swim --refs "$REFS" --format pcte --out "$TMP/native.pcte"
+$PCACHE trace swim --refs "$REFS" --format text --out "$TMP/native.txt"
+
+echo "==> import the text export and compare frames byte-for-byte"
+$PCACHE import "$TMP/native.txt" --out "$TMP/reimported.pcte" | tee "$TMP/import.txt"
+cmp "$TMP/native.pcte" "$TMP/reimported.pcte" \
+  || { echo "text round trip is not byte-identical" >&2; exit 1; }
+grep -q "fingerprint" "$TMP/import.txt" \
+  || { echo "import output lost the provenance fingerprint" >&2; exit 1; }
+
+echo "==> simulate both imports; results must match line-for-line"
+$PCACHE import "$TMP/native.txt" --run --scheme pMod | grep -A2 "simulated under" \
+  > "$TMP/run-text.txt"
+$PCACHE import "$TMP/native.pcte" --run --scheme pMod | grep -A2 "simulated under" \
+  > "$TMP/run-pcte.txt"
+diff "$TMP/run-text.txt" "$TMP/run-pcte.txt" \
+  || { echo "text and PCTE imports simulate differently" >&2; exit 1; }
+
+echo "==> inspect recognizes the PCTE frame"
+$PCACHE inspect "$TMP/native.pcte" > "$TMP/inspect.txt"
+grep -q "PCTE frame" "$TMP/inspect.txt" \
+  || { echo "inspect failed to recognize the frame" >&2; exit 1; }
+
+echo "==> 2-tenant interference sweep (workload + imported file as tenants)"
+$PCACHE sweep --tenants tree,"$TMP/native.pcte" --refs "$REFS" --quantum 2000
+
+echo "==> malformed inputs must fail cleanly (exit 1, no panic)"
+head -c 20 "$TMP/native.pcte" > "$TMP/truncated.pcte"
+printf 'L 0x40\nQ 9\n' > "$TMP/badtag.txt"
+printf 'L zzz\n' > "$TMP/badaddr.txt"
+for bad in truncated.pcte badtag.txt badaddr.txt; do
+  if $PCACHE import "$TMP/$bad" 2> "$TMP/err.txt"; then
+    echo "malformed input $bad was accepted" >&2; exit 1
+  fi
+  [ -s "$TMP/err.txt" ] || { echo "$bad failed without a message" >&2; exit 1; }
+done
+
+echo "ingest smoke passed ($REFS refs)"

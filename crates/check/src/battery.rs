@@ -922,6 +922,72 @@ fn codec_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
 }
 
 // ---------------------------------------------------------------------------
+// Ingest units: the text trace grammar against the event codec.
+// ---------------------------------------------------------------------------
+
+fn ingest_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    use primecache_ingest::text::{format_event, parse_line, write_text};
+    use primecache_ingest::{import_bytes, SourceFormat};
+    use primecache_workloads::STREAM_CHUNK;
+
+    let mut out = Vec::new();
+
+    // Per-event round trip: the canonical text form of every event
+    // parses back to the identical event (the grammar is lossless for
+    // the simulator's own vocabulary, TRACE_FORMAT.md §text).
+    out.push(run_unit(
+        cfg,
+        "ingest/text-roundtrip",
+        cfg.addrs_per_unit,
+        1,
+        |rng| (rng.range_u64(0, 5), gen_codec_payload(rng), rng.bool()),
+        |tuple| {
+            let ev = tuple_event(tuple);
+            let line = format_event(ev);
+            let back = parse_line(&line)
+                .unwrap_or_else(|e| panic!("canonical line '{line}' rejected: {e}"))
+                .unwrap_or_else(|| panic!("canonical line '{line}' parsed as silent"));
+            assert_eq!(back, ev, "text round trip via '{line}'");
+        },
+    ));
+
+    // Whole-stream equivalence: text-export → import must reproduce the
+    // recorded frame byte-for-byte for adversarial event sequences —
+    // the same invariant `pcache import` and ci/ingest_smoke.sh rely on.
+    let stream = stream_cases(cfg);
+    out.push(run_unit(
+        cfg,
+        "ingest/frame-reencode",
+        stream,
+        STREAM_LEN,
+        |rng| {
+            rng.vec(STREAM_LEN, STREAM_LEN + 1, |r| {
+                (r.range_u64(0, 5), gen_codec_payload(r), r.bool())
+            })
+        },
+        |tuples: &Vec<(u64, u64, bool)>| {
+            let events: Vec<primecache_trace::Event> = tuples.iter().map(tuple_event).collect();
+            let recorded = primecache_trace::EncodedTrace::encode(&events, STREAM_CHUNK);
+            let mut text = Vec::new();
+            write_text(events.iter().copied(), &mut text).expect("Vec<u8> write");
+            let imported = import_bytes(&text).expect("canonical text imports");
+            assert_eq!(imported.stats.format, SourceFormat::Text);
+            assert_eq!(
+                imported.trace.to_bytes(),
+                recorded.to_bytes(),
+                "frame bytes"
+            );
+            assert_eq!(
+                imported.trace.fingerprint(),
+                recorded.fingerprint(),
+                "fingerprint"
+            );
+        },
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------------
 // DRAM stream unit.
 // ---------------------------------------------------------------------------
 
@@ -977,6 +1043,7 @@ pub fn run_battery(cfg: &BatteryConfig) -> Vec<UnitReport> {
     out.extend(fully_assoc_units(cfg));
     out.push(victim_unit(cfg));
     out.extend(codec_units(cfg));
+    out.extend(ingest_units(cfg));
     out.extend(dram_units(cfg));
     out
 }

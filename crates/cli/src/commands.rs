@@ -8,16 +8,21 @@ use primecache_core::index::{Geometry, HashKind, SetIndexer, XorFolded};
 use primecache_core::metrics::{
     balance, concentration, strided_addresses, uniformity_ratio, violation_fraction, OnlineMetrics,
 };
+use primecache_ingest::text::write_text;
+use primecache_ingest::{import_path, SourceFormat};
 use primecache_sim::experiments::miss_taxonomy;
 use primecache_sim::report::render_table;
 use primecache_sim::suite::run_sweep;
 use primecache_sim::throughput::{
     baseline_refs_per_sec, measure, measure_gen_only, measure_replayed,
 };
-use primecache_sim::{run_workload, MachineConfig, Scheme};
-use primecache_trace::{read_trace, write_trace, TraceStats};
+use primecache_sim::{
+    run_chunks, run_tenant_mix, run_workload, tenant_solo_baseline, MachineConfig, RunResult,
+    Scheme,
+};
+use primecache_trace::{read_trace, write_trace, EncodedTrace, TraceStats, FRAME_MAGIC};
 use primecache_workloads::profile::profile_of;
-use primecache_workloads::{all, by_name};
+use primecache_workloads::{all, by_name, MixConfig, TenantMix};
 
 use crate::args::{flag_parsed, flag_value, positional};
 
@@ -53,8 +58,21 @@ USAGE:
                       [--out FILE]         per-access event trace (JSONL)
   pcache trace-events --sweep [--refs N] [--out FILE]
                                            sweep-task scheduling trace (JSONL)
-  pcache trace <app> --out FILE [--refs N] dump a binary trace
-  pcache inspect FILE                      summarize a binary trace
+  pcache trace <app> --out FILE [--refs N] [--format pct1|pcte|text]
+                                           dump a trace (flat binary, recorded
+                                           PCTE frame, or importable text)
+  pcache import FILE [--out FILE] [--run] [--scheme S]
+                                           validate + convert an external trace
+                                           (text, PCTE, or flat PCT1; grammar in
+                                           TRACE_FORMAT.md); --out writes the
+                                           PCTE conversion, --run simulates it
+  pcache sweep --tenants A,B[,...] [--refs N] [--quantum Q] [--seed S]
+                                           interleave N workloads (or trace
+                                           files) through one shared L2 and
+                                           report per-scheme, per-tenant
+                                           interference miss blowup
+  pcache inspect FILE                      summarize a binary trace (flat PCT1
+                                           or PCTE frame)
 
 SCHEMES: Base, 8-way, XOR, pMod, pDisp, SKW, skw+pDisp, FA,
          or a DSL expression: expr:'a % 2039' (see DESIGN.md for the grammar;
@@ -235,8 +253,11 @@ const SWEEP_SCHEMES: [Scheme; 5] = [
     Scheme::SkewedPrimeDisplacement,
 ];
 
-/// `pcache sweep [--refs N]`
+/// `pcache sweep [--refs N]` / `pcache sweep --tenants A,B[,...]`
 pub fn sweep(args: &[String]) -> i32 {
+    if flag_value(args, "--tenants").is_some() {
+        return sweep_tenants(args);
+    }
     let refs = match flag_parsed(args, "--refs", 100_000u64) {
         Ok(v) => v,
         Err(e) => {
@@ -271,6 +292,113 @@ pub fn sweep(args: &[String]) -> i32 {
             st.replays
         );
     }
+    0
+}
+
+/// `pcache sweep --tenants A,B[,...] [--refs N] [--quantum Q] [--seed S]`
+///
+/// Builds a deterministic multi-tenant mix — each token is a workload
+/// name (recorded at `--refs`) or an importable trace file — and runs it
+/// through every sweep scheme on one shared hierarchy. For each tenant
+/// the table compares its L2 misses inside the mix against its solo
+/// baseline (same tagged address stream, no co-tenants); the blowup
+/// ratio is pure inter-tenant interference.
+fn sweep_tenants(args: &[String]) -> i32 {
+    let spec = flag_value(args, "--tenants").expect("caller checked the flag");
+    let defaults = MixConfig::default();
+    let (refs, quantum, seed) = match (
+        flag_parsed(args, "--refs", 50_000u64),
+        flag_parsed(args, "--quantum", defaults.quantum_instructions),
+        flag_parsed(args, "--seed", defaults.seed),
+    ) {
+        (Ok(r), Ok(q), Ok(s)) => (r, q, s),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    if quantum == 0 {
+        eprintln!("--quantum must be positive (instructions per scheduling slice)");
+        return 2;
+    }
+    let mut tenants = Vec::new();
+    for tok in spec.split(',').filter(|t| !t.is_empty()) {
+        if let Some(w) = by_name(tok) {
+            tenants.push((w.name.to_owned(), w.record(refs)));
+        } else if std::path::Path::new(tok).is_file() {
+            let label = std::path::Path::new(tok)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(tok)
+                .to_owned();
+            match import_path(tok) {
+                Ok(i) => tenants.push((label, i.trace)),
+                Err(e) => {
+                    eprintln!("cannot import tenant '{tok}': {e}");
+                    return 1;
+                }
+            }
+        } else {
+            eprintln!(
+                "unknown tenant '{tok}': neither a workload (try `pcache list`) \
+                 nor a trace file"
+            );
+            return 2;
+        }
+    }
+    if tenants.is_empty() {
+        eprintln!("--tenants needs at least one workload name or trace file");
+        return 2;
+    }
+    let n = tenants.len();
+    let names: Vec<String> = tenants.iter().map(|(t, _)| t.clone()).collect();
+    let mix = TenantMix::new(
+        tenants,
+        MixConfig {
+            quantum_instructions: quantum,
+            seed,
+            ..defaults
+        },
+    );
+    let machine = MachineConfig::paper_default();
+    let mut header: Vec<String> = vec!["scheme".into(), "L2 miss%".into()];
+    for name in &names {
+        header.push(format!("{name} shared"));
+        header.push(format!("{name} solo"));
+        header.push(format!("{name} blowup"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    let mut quanta = 0u64;
+    let mut switches = 0u64;
+    for scheme in SWEEP_SCHEMES {
+        let run = run_tenant_mix(&mix, scheme, &machine);
+        let mut row = vec![
+            scheme.label().to_owned(),
+            format!("{:.2}", run.aggregate.l2.miss_rate() * 100.0),
+        ];
+        for (i, lane) in run.lanes.iter().enumerate() {
+            let (_, solo_l2) = tenant_solo_baseline(&mix, i, scheme, &machine);
+            row.push(lane.l2.misses.to_string());
+            row.push(solo_l2.misses.to_string());
+            row.push(format!(
+                "x{:.3}",
+                lane.l2.misses as f64 / solo_l2.misses.max(1) as f64
+            ));
+        }
+        rows.push(row);
+        quanta = run.mix.quanta;
+        switches = run.mix.switches;
+    }
+    println!(
+        "{n} tenants time-sliced through one shared hierarchy \
+         ({quantum}-instruction quanta, seed {seed:#x}):\n"
+    );
+    print!("{}", render_table(&header_refs, &rows));
+    println!(
+        "\nschedule: {quanta} quanta, {switches} tenant switches \
+         (deterministic; L2 misses per tenant, solo = same stream alone)"
+    );
     0
 }
 
@@ -1120,10 +1248,16 @@ fn trace_events_sweep(args: &[String]) -> i32 {
     emit_jsonl(args, &events)
 }
 
-/// `pcache trace <app> --out FILE [--refs N]`
+/// `pcache trace <app> --out FILE [--refs N] [--format pct1|pcte|text]`
+///
+/// `pct1` (default) is the flat binary dump, `pcte` the chunked
+/// recorded-trace frame, `text` the line-oriented grammar of
+/// TRACE_FORMAT.md. The `pcte` and `text` exports come from the same
+/// recording, so `pcache import` of the text file reproduces the PCTE
+/// file byte-for-byte (same fingerprint) — `ci/ingest_smoke.sh` pins it.
 pub fn trace(args: &[String]) -> i32 {
     let Some(name) = positional(args) else {
-        eprintln!("usage: pcache trace <app> --out FILE [--refs N]");
+        eprintln!("usage: pcache trace <app> --out FILE [--refs N] [--format pct1|pcte|text]");
         return 2;
     };
     let Some(workload) = by_name(name) else {
@@ -1141,21 +1275,137 @@ pub fn trace(args: &[String]) -> i32 {
             return 2;
         }
     };
-    let events = workload.trace(refs);
-    let bytes = write_trace(&events);
+    let format = flag_value(args, "--format").unwrap_or("pct1");
+    let (label, n_events, bytes) = match format {
+        "pct1" => {
+            let events = workload.trace(refs);
+            let bytes = write_trace(&events);
+            ("flat PCT1", events.len() as u64, bytes)
+        }
+        "pcte" => {
+            let trace = workload.record(refs);
+            ("PCTE frame", trace.events(), trace.to_bytes())
+        }
+        "text" => {
+            let trace = workload.record(refs);
+            let events = trace.decode_all().expect("a fresh recording decodes");
+            let mut buf = Vec::new();
+            write_text(events, &mut buf).expect("Vec<u8> writes cannot fail");
+            ("text", trace.events(), buf)
+        }
+        other => {
+            eprintln!("unknown --format '{other}' (pct1, pcte, or text)");
+            return 2;
+        }
+    };
     if let Err(e) = std::fs::write(out, &bytes) {
         eprintln!("cannot write {out}: {e}");
         return 1;
     }
     println!(
-        "wrote {} events ({} bytes) to {out}",
-        events.len(),
+        "wrote {n_events} events ({} bytes, {label}) to {out}",
         bytes.len()
     );
     0
 }
 
-/// `pcache inspect FILE`
+/// `pcache import FILE [--out FILE] [--run] [--scheme S]`
+///
+/// Validates an external trace (line-oriented text, a PCTE frame, or a
+/// legacy flat PCT1 dump — sniffed by magic), converts it to the
+/// recorded PCTE form, and prints provenance: source shape, event and
+/// reference counts, address range, encoded size, and the frame
+/// fingerprint. `--out` writes the conversion; `--run` simulates the
+/// imported trace through the standard batched driver.
+pub fn import(args: &[String]) -> i32 {
+    let Some(path) = positional(args) else {
+        eprintln!("usage: pcache import FILE [--out FILE] [--run] [--scheme S]");
+        return 2;
+    };
+    let imported = match import_path(path) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("cannot import {path}: {e}");
+            return 1;
+        }
+    };
+    let st = &imported.stats;
+    println!("{path}: valid {} source", st.format);
+    if st.format == SourceFormat::Text {
+        println!(
+            "  lines: {} ({} blank or comment-only)",
+            st.lines, st.silent_lines
+        );
+    }
+    println!(
+        "  events: {} ({} loads, {} stores, {} branches), {} refs, {} instructions",
+        st.events,
+        st.loads,
+        st.stores,
+        st.branches,
+        st.refs(),
+        st.instructions
+    );
+    match st.addr_range {
+        Some((lo, hi)) => println!("  address range: {lo:#x}..={hi:#x}"),
+        None => println!("  address range: (no memory events)"),
+    }
+    println!(
+        "  converted: {} chunks, {:.2} bytes/event, fingerprint {:016x}",
+        imported.trace.chunks().len(),
+        imported.trace.bytes_per_event(),
+        imported.trace.fingerprint()
+    );
+    if let Some(out) = flag_value(args, "--out") {
+        let bytes = imported.trace.to_bytes();
+        if let Err(e) = std::fs::write(out, &bytes) {
+            eprintln!("cannot write {out}: {e}");
+            return 1;
+        }
+        println!("  wrote PCTE frame ({} bytes) to {out}", bytes.len());
+    }
+    if args.iter().any(|a| a == "--run") {
+        let scheme_label = flag_value(args, "--scheme").unwrap_or("pMod");
+        let scheme = match parse_scheme(scheme_label) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        };
+        let machine = MachineConfig::paper_default();
+        let r = run_chunks(imported.chunks(), scheme, &machine);
+        print_run_summary(&r);
+    }
+    0
+}
+
+/// The `--run` tail of [`import`]: a compact, diff-stable simulation
+/// summary (`ci/ingest_smoke.sh` compares these lines across the text
+/// and binary imports of the same trace).
+fn print_run_summary(r: &RunResult) {
+    println!(
+        "simulated under {}: {} cycles (busy {}, other {}, mem {})",
+        r.scheme,
+        r.breakdown.total(),
+        r.breakdown.busy,
+        r.breakdown.other_stall,
+        r.breakdown.mem_stall
+    );
+    println!(
+        "  L1: {} accesses, {} misses; L2: {} accesses, {} misses, {} writebacks",
+        r.l1.accesses, r.l1.misses, r.l2.accesses, r.l2.misses, r.l2.writebacks
+    );
+    println!(
+        "  DRAM: {} reads, {} writes, {:.1}% row hits",
+        r.dram.reads,
+        r.dram.writes,
+        r.dram.row_hit_rate() * 100.0
+    );
+}
+
+/// `pcache inspect FILE` — summarizes a flat PCT1 dump or a chunked
+/// PCTE frame (recognized by magic).
 pub fn inspect(args: &[String]) -> i32 {
     let Some(path) = positional(args) else {
         eprintln!("usage: pcache inspect FILE");
@@ -1168,6 +1418,31 @@ pub fn inspect(args: &[String]) -> i32 {
             return 1;
         }
     };
+    if data.starts_with(FRAME_MAGIC) {
+        let trace = match EncodedTrace::from_bytes_diagnose(&data) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot decode {path}: {e}");
+                return 1;
+            }
+        };
+        let events = trace.decode_all().expect("a validated frame decodes");
+        let stats: TraceStats = events.iter().collect();
+        println!(
+            "{path}: PCTE frame, {} events, {} refs in {} chunks",
+            trace.events(),
+            trace.refs(),
+            trace.chunks().len()
+        );
+        println!(
+            "  encoded: {} bytes ({:.2} bytes/event), fingerprint {:016x}",
+            data.len(),
+            trace.bytes_per_event(),
+            trace.fingerprint()
+        );
+        print_trace_stats(&stats);
+        return 0;
+    }
     let events = match read_trace(&data) {
         Ok(ev) => ev,
         Err(e) => {
@@ -1177,6 +1452,12 @@ pub fn inspect(args: &[String]) -> i32 {
     };
     let stats: TraceStats = events.iter().collect();
     println!("{path}: {} events", events.len());
+    print_trace_stats(&stats);
+    0
+}
+
+/// The per-kind event breakdown shared by both [`inspect`] branches.
+fn print_trace_stats(stats: &TraceStats) {
     println!("  instructions: {}", stats.instructions);
     println!(
         "  loads: {} ({} dependent), stores: {}",
@@ -1190,5 +1471,4 @@ pub fn inspect(args: &[String]) -> i32 {
         "  memory intensity: {:.1}%",
         stats.memory_intensity() * 100.0
     );
-    0
 }

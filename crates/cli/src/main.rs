@@ -11,7 +11,9 @@
 //! pcache conc-check [--bound N]            model-check the concurrency protocols
 //! pcache report <app> [--out FILE]         self-describing run report (JSON)
 //! pcache trace-events <app>|--sweep        event trace (JSONL)
-//! pcache trace <app> --out FILE [--refs N] dump a binary trace
+//! pcache trace <app> --out FILE [--refs N] dump a trace (pct1/pcte/text)
+//! pcache import FILE [--run]               validate + convert an external trace
+//! pcache sweep --tenants A,B [--refs N]    multi-tenant interference sweep
 //! pcache inspect FILE                      summarize a binary trace
 //! ```
 
@@ -32,6 +34,7 @@ fn main() {
         Some("report") => commands::report(&argv[1..]),
         Some("trace-events") => commands::trace_events(&argv[1..]),
         Some("trace") => commands::trace(&argv[1..]),
+        Some("import") => commands::import(&argv[1..]),
         Some("inspect") => commands::inspect(&argv[1..]),
         Some("help" | "--help" | "-h") | None => {
             print!("{}", commands::USAGE);

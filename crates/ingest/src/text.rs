@@ -1,0 +1,470 @@
+//! The line-oriented text trace grammar: parser, formatter, and
+//! streaming reader.
+//!
+//! One record per line (full grammar, error classes, and examples in
+//! `TRACE_FORMAT.md`):
+//!
+//! | line | event |
+//! |---|---|
+//! | `I addr` | instruction fetch → `Work(1)` (no I-cache is modelled; the address is validated, then dropped) |
+//! | `L addr` / `L addr d` | `Load { dep: false / true }` |
+//! | `S addr` | `Store` |
+//! | `W n` / `F n` | `Work(n)` / `FpWork(n)` |
+//! | `B` / `B m` | `Branch { mispredict: false / true }` |
+//!
+//! Addresses are hexadecimal (optional `0x` prefix, optional
+//! cachegrind-style `,size` suffix — parsed, then ignored); counts are
+//! decimal. `#` starts a comment; blank lines are skipped. Every error
+//! carries the 1-based line number it occurred on.
+
+use primecache_trace::Event;
+
+/// Longest accepted line, in bytes (excluding the newline). Lines past
+/// this are rejected as [`TextErrorKind::LineTooLong`] without being
+/// buffered, so a malformed gigabyte-long "line" cannot balloon memory.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// What went wrong on a line. The variants are the normative error
+/// classes of `TRACE_FORMAT.md` §text-grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextErrorKind {
+    /// The line exceeds [`MAX_LINE_BYTES`] (payload: bytes seen before
+    /// giving up).
+    LineTooLong(usize),
+    /// The line is not valid UTF-8.
+    NotUtf8,
+    /// The first field is not one of `I L S W F B`.
+    UnknownTag(String),
+    /// A required field is absent (payload: what was expected).
+    MissingField(&'static str),
+    /// An address field did not parse as hexadecimal (with optional
+    /// `0x` prefix and `,size` suffix).
+    BadAddress(String),
+    /// A count field did not parse as a decimal `u32`.
+    BadCount(String),
+    /// The optional marker field was not `d` (dependent load) or `m`
+    /// (mispredicted branch).
+    BadMarker(String),
+    /// Extra field after a complete record.
+    TrailingField(String),
+    /// The underlying reader failed (payload: the I/O error text).
+    Io(String),
+}
+
+impl std::fmt::Display for TextErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextErrorKind::LineTooLong(n) => {
+                write!(f, "line exceeds {MAX_LINE_BYTES} bytes ({n}+ read)")
+            }
+            TextErrorKind::NotUtf8 => write!(f, "line is not valid UTF-8"),
+            TextErrorKind::UnknownTag(t) => {
+                write!(f, "unknown record tag `{t}` (expected I, L, S, W, F, or B)")
+            }
+            TextErrorKind::MissingField(what) => write!(f, "missing {what} field"),
+            TextErrorKind::BadAddress(t) => write!(f, "bad hexadecimal address `{t}`"),
+            TextErrorKind::BadCount(t) => write!(f, "bad decimal count `{t}`"),
+            TextErrorKind::BadMarker(t) => {
+                write!(f, "bad marker `{t}` (expected `d` on L or `m` on B)")
+            }
+            TextErrorKind::TrailingField(t) => write!(f, "trailing field `{t}`"),
+            TextErrorKind::Io(e) => write!(f, "read failed: {e}"),
+        }
+    }
+}
+
+/// A text-import failure located at a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line the error occurred on.
+    pub line: u64,
+    /// The error class.
+    pub kind: TextErrorKind,
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Parses an address token: hex digits with optional `0x`/`0X` prefix
+/// and optional `,size` decimal suffix (accepted for cachegrind
+/// compatibility, then discarded — the simulator derives line-sized
+/// blocks from the address alone).
+fn parse_addr(token: &str) -> Result<u64, TextErrorKind> {
+    let bad = || TextErrorKind::BadAddress(token.to_string());
+    let (addr, size) = match token.split_once(',') {
+        Some((a, s)) => (a, Some(s)),
+        None => (token, None),
+    };
+    if let Some(size) = size {
+        if size.is_empty() || !size.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(bad());
+        }
+    }
+    let digits = addr
+        .strip_prefix("0x")
+        .or_else(|| addr.strip_prefix("0X"))
+        .unwrap_or(addr);
+    if digits.is_empty() {
+        return Err(bad());
+    }
+    u64::from_str_radix(digits, 16).map_err(|_| bad())
+}
+
+/// Parses a decimal `u32` count token.
+fn parse_count(token: &str) -> Result<u32, TextErrorKind> {
+    token
+        .parse::<u32>()
+        .map_err(|_| TextErrorKind::BadCount(token.to_string()))
+}
+
+/// Parses one line. `Ok(None)` means the line carries no event (blank,
+/// or comment-only). The `#` comment strip happens here, so trailing
+/// comments after a record are legal.
+pub fn parse_line(line: &str) -> Result<Option<Event>, TextErrorKind> {
+    let line = line.split_once('#').map_or(line, |(pre, _)| pre);
+    let mut fields = line.split_ascii_whitespace();
+    let Some(tag) = fields.next() else {
+        return Ok(None);
+    };
+    let addr_field =
+        |fields: &mut std::str::SplitAsciiWhitespace<'_>| -> Result<u64, TextErrorKind> {
+            parse_addr(
+                fields
+                    .next()
+                    .ok_or(TextErrorKind::MissingField("address"))?,
+            )
+        };
+    let event = match tag {
+        // Instruction fetch: one instruction of pipeline work. The
+        // machine models no instruction cache (see TRACE_FORMAT.md),
+        // so the address is validated and then dropped.
+        "I" => {
+            let _ = addr_field(&mut fields)?;
+            Event::Work(1)
+        }
+        "L" => {
+            let addr = addr_field(&mut fields)?;
+            let dep = match fields.next() {
+                None => false,
+                Some("d") => true,
+                Some(other) => return Err(TextErrorKind::BadMarker(other.to_string())),
+            };
+            Event::Load { addr, dep }
+        }
+        "S" => Event::Store {
+            addr: addr_field(&mut fields)?,
+        },
+        "W" => Event::Work(parse_count(
+            fields.next().ok_or(TextErrorKind::MissingField("count"))?,
+        )?),
+        "F" => Event::FpWork(parse_count(
+            fields.next().ok_or(TextErrorKind::MissingField("count"))?,
+        )?),
+        "B" => Event::Branch {
+            mispredict: match fields.next() {
+                None => false,
+                Some("m") => true,
+                Some(other) => return Err(TextErrorKind::BadMarker(other.to_string())),
+            },
+        },
+        other => return Err(TextErrorKind::UnknownTag(other.to_string())),
+    };
+    if let Some(extra) = fields.next() {
+        return Err(TextErrorKind::TrailingField(extra.to_string()));
+    }
+    Ok(Some(event))
+}
+
+/// Formats one event as its canonical text line (no trailing newline).
+/// Total inverse of [`parse_line`]: `parse_line(&format_event(ev)) ==
+/// Ok(Some(ev))` for every event — the `ingest/text-roundtrip`
+/// differential unit in `primecache-check` proves it on adversarial
+/// streams.
+#[must_use]
+pub fn format_event(ev: Event) -> String {
+    match ev {
+        Event::Work(n) => format!("W {n}"),
+        Event::FpWork(n) => format!("F {n}"),
+        Event::Branch { mispredict: false } => "B".to_string(),
+        Event::Branch { mispredict: true } => "B m".to_string(),
+        Event::Load { addr, dep: false } => format!("L {addr:#x}"),
+        Event::Load { addr, dep: true } => format!("L {addr:#x} d"),
+        Event::Store { addr } => format!("S {addr:#x}"),
+    }
+}
+
+/// Writes `events` as a text trace (one canonical line per event,
+/// preceded by a comment header). The output re-imports losslessly.
+///
+/// # Errors
+///
+/// Propagates the writer's I/O errors.
+pub fn write_text<W: std::io::Write, I: IntoIterator<Item = Event>>(
+    events: I,
+    mut w: W,
+) -> std::io::Result<()> {
+    writeln!(w, "# primecache text trace (see TRACE_FORMAT.md)")?;
+    for ev in events {
+        writeln!(w, "{}", format_event(ev))?;
+    }
+    Ok(())
+}
+
+/// Streaming line-by-line event reader: an iterator of
+/// `Result<Event, TextError>` over any `BufRead` source. Stops at the
+/// first error (the error is yielded once, then the iterator ends).
+#[derive(Debug)]
+pub struct TextEvents<R> {
+    reader: R,
+    buf: Vec<u8>,
+    line: u64,
+    event_lines: u64,
+    done: bool,
+}
+
+impl<R: std::io::BufRead> TextEvents<R> {
+    /// Wraps a buffered reader positioned at the start of a text trace.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: Vec::with_capacity(128),
+            line: 0,
+            event_lines: 0,
+            done: false,
+        }
+    }
+
+    /// Lines consumed so far (including blank and comment lines).
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.line
+    }
+
+    /// Lines that carried no event (blank or comment-only).
+    #[must_use]
+    pub fn silent_lines(&self) -> u64 {
+        self.line - self.event_lines
+    }
+
+    /// Reads the next line into `self.buf`, enforcing the length cap.
+    /// Returns `Ok(false)` at EOF.
+    fn fill_line(&mut self) -> Result<bool, TextErrorKind> {
+        use std::io::{BufRead as _, Read as _};
+        self.buf.clear();
+        // Cap + 2 budget: a line of exactly MAX_LINE_BYTES plus its
+        // newline still fits; anything longer trips the check below
+        // without buffering the rest of the oversized line.
+        let budget = (MAX_LINE_BYTES + 2) as u64;
+        let n = self
+            .reader
+            .by_ref()
+            .take(budget)
+            .read_until(b'\n', &mut self.buf)
+            .map_err(|e| TextErrorKind::Io(e.to_string()))?;
+        if n == 0 {
+            return Ok(false);
+        }
+        if self.buf.last() == Some(&b'\n') {
+            self.buf.pop();
+            if self.buf.last() == Some(&b'\r') {
+                self.buf.pop();
+            }
+        }
+        if self.buf.len() > MAX_LINE_BYTES {
+            return Err(TextErrorKind::LineTooLong(self.buf.len()));
+        }
+        Ok(true)
+    }
+}
+
+impl<R: std::io::BufRead> Iterator for TextEvents<R> {
+    type Item = Result<Event, TextError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while !self.done {
+            self.line += 1;
+            let fail = |line: u64, kind| Some(Err(TextError { line, kind }));
+            match self.fill_line() {
+                Err(kind) => {
+                    self.done = true;
+                    return fail(self.line, kind);
+                }
+                Ok(false) => {
+                    self.line -= 1; // nothing was read
+                    self.done = true;
+                    return None;
+                }
+                Ok(true) => {}
+            }
+            let Ok(text) = std::str::from_utf8(&self.buf) else {
+                self.done = true;
+                return fail(self.line, TextErrorKind::NotUtf8);
+            };
+            match parse_line(text) {
+                Ok(None) => {}
+                Ok(Some(ev)) => {
+                    self.event_lines += 1;
+                    return Some(Ok(ev));
+                }
+                Err(kind) => {
+                    self.done = true;
+                    return fail(self.line, kind);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_accepts_the_documented_forms() {
+        for (line, want) in [
+            ("I 0x4006f0", Event::Work(1)),
+            ("L 1a40", Event::load(0x1a40)),
+            ("L 0x1a40,8", Event::load(0x1a40)),
+            ("L 1a40 d", Event::chase(0x1a40)),
+            ("S 0X2000", Event::Store { addr: 0x2000 }),
+            ("W 12", Event::Work(12)),
+            ("W 0", Event::Work(0)),
+            ("F 4", Event::FpWork(4)),
+            ("B", Event::Branch { mispredict: false }),
+            ("B m", Event::Branch { mispredict: true }),
+            ("  L 40  # trailing comment", Event::load(0x40)),
+        ] {
+            assert_eq!(parse_line(line), Ok(Some(want)), "{line:?}");
+        }
+        for silent in ["", "   ", "# whole-line comment", "\t"] {
+            assert_eq!(parse_line(silent), Ok(None), "{silent:?}");
+        }
+    }
+
+    #[test]
+    fn grammar_rejects_each_error_class() {
+        use TextErrorKind as K;
+        for (line, want) in [
+            ("X 123", K::UnknownTag("X".into())),
+            ("L", K::MissingField("address")),
+            ("W", K::MissingField("count")),
+            ("L zz", K::BadAddress("zz".into())),
+            ("L 0x", K::BadAddress("0x".into())),
+            ("L 40,xy", K::BadAddress("40,xy".into())),
+            (
+                "L 10000000000000000",
+                K::BadAddress("10000000000000000".into()),
+            ),
+            ("W 1f", K::BadCount("1f".into())),
+            ("W 4294967296", K::BadCount("4294967296".into())),
+            ("W -3", K::BadCount("-3".into())),
+            ("L 40 x", K::BadMarker("x".into())),
+            ("B d", K::BadMarker("d".into())),
+            ("S 40 d", K::TrailingField("d".into())),
+            ("L 40 d d", K::TrailingField("d".into())),
+            ("B m 7", K::TrailingField("7".into())),
+        ] {
+            assert_eq!(parse_line(line), Err(want), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        for ev in [
+            Event::Work(0),
+            Event::Work(1),
+            Event::Work(u32::MAX),
+            Event::FpWork(7),
+            Event::Branch { mispredict: false },
+            Event::Branch { mispredict: true },
+            Event::load(0),
+            Event::chase(u64::MAX),
+            Event::Store { addr: 0xDEAD_BEEF },
+        ] {
+            assert_eq!(parse_line(&format_event(ev)), Ok(Some(ev)), "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn reader_streams_events_with_line_numbers() {
+        let src = "# header\nL 40\n\nS 80\nW 3\n";
+        let events: Vec<_> = TextEvents::new(src.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(
+            events,
+            vec![
+                Event::load(0x40),
+                Event::Store { addr: 0x80 },
+                Event::Work(3)
+            ]
+        );
+        let mut reader = TextEvents::new(src.as_bytes());
+        assert_eq!(reader.by_ref().count(), 3);
+        assert_eq!(reader.lines(), 5);
+        assert_eq!(reader.silent_lines(), 2);
+    }
+
+    #[test]
+    fn reader_reports_the_failing_line_and_stops() {
+        let src = "L 40\nL 80\nbogus line\nL c0\n";
+        let mut reader = TextEvents::new(src.as_bytes());
+        assert_eq!(reader.next(), Some(Ok(Event::load(0x40))));
+        assert_eq!(reader.next(), Some(Ok(Event::load(0x80))));
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.kind, TextErrorKind::UnknownTag("bogus".into()));
+        assert!(err.to_string().starts_with("line 3:"));
+        assert_eq!(reader.next(), None, "errors end the stream");
+    }
+
+    #[test]
+    fn overlong_line_rejected_without_buffering_it() {
+        let mut src = b"L 40\n".to_vec();
+        src.extend(std::iter::repeat_n(b'a', MAX_LINE_BYTES + 100));
+        let mut reader = TextEvents::new(&src[..]);
+        assert_eq!(reader.next(), Some(Ok(Event::load(0x40))));
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, TextErrorKind::LineTooLong(_)));
+        // The cap bounds what was read: budget, not the whole line.
+        if let TextErrorKind::LineTooLong(n) = err.kind {
+            assert!(n <= MAX_LINE_BYTES + 2, "buffered {n} bytes");
+        }
+    }
+
+    #[test]
+    fn max_length_line_is_accepted() {
+        // "W 7" padded with trailing spaces to exactly MAX_LINE_BYTES.
+        let mut line = "W 7".to_string();
+        line.push_str(&" ".repeat(MAX_LINE_BYTES - line.len()));
+        let src = format!("{line}\nL 40\n");
+        let events: Vec<_> = TextEvents::new(src.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(events, vec![Event::Work(7), Event::load(0x40)]);
+    }
+
+    #[test]
+    fn non_utf8_line_rejected() {
+        let src = b"L 40\n\xFF\xFE bogus\n";
+        let mut reader = TextEvents::new(&src[..]);
+        assert_eq!(reader.next(), Some(Ok(Event::load(0x40))));
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.kind, TextErrorKind::NotUtf8);
+    }
+
+    #[test]
+    fn missing_final_newline_still_parses() {
+        let events: Vec<_> = TextEvents::new(&b"L 40\nS 80"[..])
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap();
+        assert_eq!(events, vec![Event::load(0x40), Event::Store { addr: 0x80 }]);
+    }
+}

@@ -51,7 +51,7 @@ pub fn run_workload_observed(
     target_refs: u64,
     cfg: ObsConfig,
 ) -> ObservedRun {
-    observe_source(workload.events(target_refs), scheme, cfg)
+    observe_chunks(workload.events(target_refs), scheme, cfg)
 }
 
 /// [`run_workload_observed`] fed from a recorded trace: `workload` is
@@ -71,7 +71,7 @@ pub fn run_workload_observed_replayed(
 ) -> ObservedRun {
     let store = TraceStore::record_all(std::slice::from_ref(workload), target_refs);
     let cursor = store.replay(workload.name).expect("workload just recorded");
-    let mut run = observe_source(cursor, scheme, cfg);
+    let mut run = observe_chunks(cursor, scheme, cfg);
     let st = store.stats();
     run.metrics.set_counter(
         "trace_store.records",
@@ -94,7 +94,19 @@ pub fn run_workload_observed_replayed(
     run
 }
 
-fn observe_source<S: EventChunks>(mut source: S, scheme: Scheme, cfg: ObsConfig) -> ObservedRun {
+/// Runs any [`EventChunks`] source with observability attached — the
+/// instrumented sibling of [`crate::run_chunks`]. This is the shared
+/// engine behind [`run_workload_observed`] and
+/// [`run_workload_observed_replayed`], and is public so imported traces
+/// ([`primecache_ingest`](https://docs.rs/primecache-ingest)'s cursors)
+/// and multi-tenant mixes get the same exact counters as native
+/// workloads.
+#[must_use]
+pub fn observe_chunks<S: EventChunks>(
+    mut source: S,
+    scheme: Scheme,
+    cfg: ObsConfig,
+) -> ObservedRun {
     let machine = MachineConfig::paper_default();
     #[cfg(any(debug_assertions, feature = "check"))]
     machine.check_scheme(scheme);

@@ -477,13 +477,26 @@ pub fn run_workload(workload: &Workload, scheme: Scheme, target_refs: u64) -> Ru
 /// [`crate::suite::run_sweep`]: one generation, eight replays.
 #[must_use]
 pub fn run_replay(cursor: ReplayCursor<'_>, scheme: Scheme, machine: &MachineConfig) -> RunResult {
+    run_chunks(cursor, scheme, machine)
+}
+
+/// Runs any [`EventChunks`] source through the chunk-batched driver.
+///
+/// This is the generic entry behind [`run_replay`]: a recorded
+/// [`ReplayCursor`], an imported trace's cursor, or a multi-tenant
+/// [`primecache_workloads::MixCursor`] all drive the identical
+/// monomorphized hot path, so results across sources differ only by
+/// their event sequences — pinned by `tests/ingest_equivalence.rs`
+/// (single-tenant mix == plain replay, bit-exactly).
+#[must_use]
+pub fn run_chunks<S: EventChunks>(stream: S, scheme: Scheme, machine: &MachineConfig) -> RunResult {
     #[cfg(any(debug_assertions, feature = "check"))]
     machine.check_scheme(scheme);
     dispatch(
         machine,
         scheme,
         StreamOp {
-            stream: cursor,
+            stream,
             machine,
             scheme,
         },

@@ -241,16 +241,53 @@ impl EncodedChunk {
     /// an invalid tag or varint, or does not end exactly at the declared
     /// event count.
     pub fn decode(&self) -> Result<Vec<Event>, TraceCodecError> {
+        self.decode_at().map_err(|(_, e)| e)
+    }
+
+    /// [`EncodedChunk::decode`] with the payload offset at which decoding
+    /// failed (the start of the offending event, or the end of the last
+    /// event on trailing garbage).
+    fn decode_at(&self) -> Result<Vec<Event>, (usize, TraceCodecError)> {
         let mut out = Vec::with_capacity(self.events as usize);
         let mut prev = self.base_addr;
         let mut pos = 0usize;
         for _ in 0..self.events {
-            out.push(decode_event(&self.bytes, &mut pos, &mut prev)?);
+            let at = pos;
+            out.push(decode_event(&self.bytes, &mut pos, &mut prev).map_err(|e| (at, e))?);
         }
         if pos != self.bytes.len() {
-            return Err(TraceCodecError::Corrupt("trailing bytes after last event"));
+            return Err((
+                pos,
+                TraceCodecError::Corrupt("trailing bytes after last event"),
+            ));
         }
         Ok(out)
+    }
+}
+
+/// A frame-decoding failure located at a byte offset.
+///
+/// [`EncodedTrace::from_bytes_diagnose`] returns this instead of a bare
+/// [`TraceCodecError`] so importers can point at the exact offending byte
+/// of an external file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// Byte offset into the frame where decoding failed: the start of
+    /// the field (or encoded event) that could not be read.
+    pub offset: usize,
+    /// What went wrong there.
+    pub error: TraceCodecError,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte offset {}: {}", self.offset, self.error)
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
     }
 }
 
@@ -435,8 +472,9 @@ impl EncodedTrace {
     /// then per chunk: events u32 le | base_addr u64 le | len u32 le | payload
     /// ```
     ///
-    /// This framing is the contract an external-trace importer consumes
-    /// (ROADMAP item 3); see WORKLOADS.md for the normative description.
+    /// This framing is the contract the `primecache-ingest` importer and
+    /// `pcache import` consume; TRACE_FORMAT.md is the normative
+    /// description.
     #[must_use]
     #[allow(clippy::cast_possible_truncation)]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -468,30 +506,53 @@ impl EncodedTrace {
     /// trailing bytes, totals that contradict the chunks, or any invalid
     /// chunk payload.
     pub fn from_bytes(data: &[u8]) -> Result<Self, TraceCodecError> {
-        let take = |pos: &mut usize, n: usize| -> Result<&[u8], TraceCodecError> {
-            let s = data.get(*pos..*pos + n).ok_or(TraceCodecError::Truncated)?;
+        Self::from_bytes_diagnose(data).map_err(|e| e.error)
+    }
+
+    /// [`EncodedTrace::from_bytes`] with byte-offset error reporting: a
+    /// failure carries the offset of the header field, chunk header, or
+    /// encoded event that could not be decoded. This is what `pcache
+    /// import` prints for a corrupt `PCTE` file.
+    ///
+    /// # Errors
+    ///
+    /// The same rejections as [`EncodedTrace::from_bytes`], as
+    /// [`FrameError`]s.
+    pub fn from_bytes_diagnose(data: &[u8]) -> Result<Self, FrameError> {
+        let at = |offset: usize, error: TraceCodecError| FrameError { offset, error };
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], FrameError> {
+            let s = data
+                .get(*pos..*pos + n)
+                .ok_or(at(*pos, TraceCodecError::Truncated))?;
             *pos += n;
             Ok(s)
         };
         if data.len() < 4 || &data[..4] != FRAME_MAGIC {
-            return Err(TraceCodecError::BadMagic);
+            return Err(at(0, TraceCodecError::BadMagic));
         }
         let mut pos = 4usize;
         let version = take(&mut pos, 1)?[0];
         if version != WIRE_VERSION {
-            return Err(TraceCodecError::BadVersion(version));
+            return Err(at(4, TraceCodecError::BadVersion(version)));
         }
         if take(&mut pos, 3)? != [0u8; 3] {
-            return Err(TraceCodecError::Corrupt("nonzero reserved header bytes"));
+            return Err(at(
+                5,
+                TraceCodecError::Corrupt("nonzero reserved header bytes"),
+            ));
         }
         let le64 = |s: &[u8]| u64::from_le_bytes(s.try_into().expect("8-byte slice"));
         let le32 = |s: &[u8]| u32::from_le_bytes(s.try_into().expect("4-byte slice"));
         let events = le64(take(&mut pos, 8)?);
         let refs = le64(take(&mut pos, 8)?);
+        let chunk_events_at = pos;
         let chunk_events = le32(take(&mut pos, 4)?) as usize;
         let n_chunks = le32(take(&mut pos, 4)?) as usize;
         if chunk_events == 0 {
-            return Err(TraceCodecError::Corrupt("zero chunk_events"));
+            return Err(at(
+                chunk_events_at,
+                TraceCodecError::Corrupt("zero chunk_events"),
+            ));
         }
         let mut chunks = Vec::with_capacity(n_chunks.min(1 << 20));
         let (mut seen_events, mut seen_refs) = (0u64, 0u64);
@@ -499,6 +560,7 @@ impl EncodedTrace {
             let c_events = le32(take(&mut pos, 4)?);
             let base_addr = le64(take(&mut pos, 8)?);
             let len = le32(take(&mut pos, 4)?) as usize;
+            let payload_at = pos;
             let bytes = take(&mut pos, len)?.to_vec();
             let chunk = EncodedChunk {
                 events: c_events,
@@ -506,18 +568,30 @@ impl EncodedTrace {
                 bytes,
             };
             // Validate up front: decode once, count the memory refs.
-            seen_refs += chunk.decode()?.iter().filter(|e| e.is_memory()).count() as u64;
+            let decoded = chunk
+                .decode_at()
+                .map_err(|(off, e)| at(payload_at + off, e))?;
+            seen_refs += decoded.iter().filter(|e| e.is_memory()).count() as u64;
             seen_events += u64::from(c_events);
             chunks.push(chunk);
         }
         if pos != data.len() {
-            return Err(TraceCodecError::Corrupt("trailing bytes after last chunk"));
+            return Err(at(
+                pos,
+                TraceCodecError::Corrupt("trailing bytes after last chunk"),
+            ));
         }
         if seen_events != events {
-            return Err(TraceCodecError::Corrupt("event count contradicts chunks"));
+            return Err(at(
+                8,
+                TraceCodecError::Corrupt("event count contradicts chunks"),
+            ));
         }
         if seen_refs != refs {
-            return Err(TraceCodecError::Corrupt("ref count contradicts chunks"));
+            return Err(at(
+                16,
+                TraceCodecError::Corrupt("ref count contradicts chunks"),
+            ));
         }
         Ok(Self {
             chunks,
@@ -525,6 +599,38 @@ impl EncodedTrace {
             refs,
             chunk_events,
         })
+    }
+
+    /// A 64-bit FNV-1a fingerprint of the serialized frame — exactly the
+    /// hash of the [`EncodedTrace::to_bytes`] output, computed without
+    /// materializing it. Two traces fingerprint equal iff their framed
+    /// bytes are equal (same events *and* same chunk cadence), so this is
+    /// the cheap bit-exactness check `pcache import`, `pcache inspect`,
+    /// and `ci/ingest_smoke.sh` compare.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut feed = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        feed(FRAME_MAGIC);
+        feed(&[WIRE_VERSION, 0, 0, 0]);
+        feed(&self.events.to_le_bytes());
+        feed(&self.refs.to_le_bytes());
+        feed(&(self.chunk_events as u32).to_le_bytes());
+        feed(&(self.chunks.len() as u32).to_le_bytes());
+        for c in &self.chunks {
+            feed(&c.events.to_le_bytes());
+            feed(&c.base_addr.to_le_bytes());
+            feed(&(c.bytes.len() as u32).to_le_bytes());
+            feed(&c.bytes);
+        }
+        h
     }
 }
 
@@ -847,6 +953,68 @@ mod tests {
         assert_eq!(
             chunk.decode(),
             Err(TraceCodecError::BadTag(KIND_STORE | FLAG_BIT))
+        );
+    }
+
+    #[test]
+    fn fingerprint_hashes_the_framed_bytes() {
+        let trace = EncodedTrace::encode(&mixed_events(), 4);
+        // Reference: FNV-1a over the materialized frame.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &trace.to_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        assert_eq!(trace.fingerprint(), h);
+        // Same events, different chunk cadence → different frame bytes.
+        let rechunked = EncodedTrace::encode(&mixed_events(), 5);
+        assert_ne!(trace.fingerprint(), rechunked.fingerprint());
+        // A frame round trip preserves the fingerprint.
+        let back = EncodedTrace::from_bytes(&trace.to_bytes()).unwrap();
+        assert_eq!(back.fingerprint(), trace.fingerprint());
+    }
+
+    #[test]
+    fn diagnose_reports_the_failing_offset() {
+        let trace = EncodedTrace::encode(&mixed_events(), 4);
+        let bytes = trace.to_bytes();
+
+        // Truncation: the reported offset is where the missing field
+        // began, which is always within the truncated prefix.
+        for cut in 4..bytes.len() {
+            let err = EncodedTrace::from_bytes_diagnose(&bytes[..cut]).unwrap_err();
+            assert!(err.offset <= cut, "cut {cut}: offset {}", err.offset);
+        }
+
+        // Bad version sits at byte 4.
+        let mut v = bytes.clone();
+        v[4] = 9;
+        let err = EncodedTrace::from_bytes_diagnose(&v).unwrap_err();
+        assert_eq!((err.offset, err.error), (4, TraceCodecError::BadVersion(9)));
+
+        // A corrupt event tag is located exactly: first chunk's payload
+        // starts after the 32-byte header and a 16-byte chunk header.
+        let mut c = bytes.clone();
+        c[48] = 0x07; // invalid kind 7 on the first encoded event
+        let err = EncodedTrace::from_bytes_diagnose(&c).unwrap_err();
+        assert_eq!(err.offset, 48, "{err}");
+        assert_eq!(err.error, TraceCodecError::BadTag(0x07));
+
+        // Display carries the offset for human-facing importer messages.
+        assert!(err.to_string().contains("byte offset 48"));
+    }
+
+    #[test]
+    fn diagnose_matches_from_bytes_verdict() {
+        let trace = EncodedTrace::encode(&mixed_events(), 4);
+        let mut bytes = trace.to_bytes();
+        bytes.push(0xAA);
+        assert_eq!(
+            EncodedTrace::from_bytes(&bytes).unwrap_err(),
+            EncodedTrace::from_bytes_diagnose(&bytes).unwrap_err().error
+        );
+        assert_eq!(
+            EncodedTrace::from_bytes_diagnose(&trace.to_bytes()).unwrap(),
+            trace
         );
     }
 }

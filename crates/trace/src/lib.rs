@@ -25,7 +25,9 @@ mod io;
 mod stats;
 mod transforms;
 
-pub use encode::{EncodedChunk, EncodedTrace, ReplayCursor, TraceEncoder, WIRE_VERSION};
+pub use encode::{
+    EncodedChunk, EncodedTrace, FrameError, ReplayCursor, TraceEncoder, FRAME_MAGIC, WIRE_VERSION,
+};
 pub use event::Event;
 pub use gen::{strided, strided_bytes, Strided};
 pub use io::{read_trace, write_trace, TraceCodecError};

@@ -37,9 +37,11 @@ mod sparse;
 mod spec_int;
 mod store;
 mod stream;
+pub mod tenant;
 mod util;
 
 pub use registry::{all, by_name, non_uniform_names, uniform_names, Workload};
 pub use store::{EventChunks, TraceStore, TraceStoreStats};
 pub use stream::EventStream;
-pub use util::{materialize, record, Lcg, TraceSink};
+pub use tenant::{MixConfig, MixCursor, MixStats, TenantMix};
+pub use util::{materialize, record, Lcg, TraceSink, STREAM_CHUNK};

@@ -66,6 +66,24 @@ impl EventChunks for ReplayCursor<'_> {
     }
 }
 
+/// Mirror of the standard library's `Iterator for &mut I`: a driver can
+/// consume a mutable borrow and leave the source inspectable afterwards
+/// (e.g. an importer stream whose deferred parse error the caller checks
+/// once the run finishes).
+impl<S: EventChunks + ?Sized> EventChunks for &mut S {
+    fn pull_chunk(&mut self) -> Option<Vec<Event>> {
+        (**self).pull_chunk()
+    }
+
+    fn chunk_stats(&self) -> (u64, u64) {
+        (**self).chunk_stats()
+    }
+
+    fn chunk_config(&self) -> (usize, usize) {
+        (**self).chunk_config()
+    }
+}
+
 /// Counters a [`TraceStore`] exposes to observability and sweep reports.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
 pub struct TraceStoreStats {

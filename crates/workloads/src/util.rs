@@ -87,12 +87,18 @@ impl Lcg {
 }
 
 /// Default events per channel chunk when a sink streams to an
-/// [`crate::EventStream`] (overridable via [`crate::Workload::events_with`]).
+/// [`crate::EventStream`] (overridable via [`crate::Workload::events_with`]),
+/// and the chunk cadence of every recorded trace ([`record`]).
 ///
 /// Large enough to amortize channel synchronization over thousands of
 /// events, small enough that peak buffered memory (chunk × channel depth)
 /// stays well under a megabyte.
-pub(crate) const STREAM_CHUNK: usize = 16384;
+///
+/// Public because bit-exact trace round trips depend on it: an importer
+/// that re-encodes an exported trace must cut chunks at the same cadence
+/// to reproduce the recorded frame byte-for-byte (`primecache-ingest`
+/// does, and `ci/ingest_smoke.sh` `cmp`s the files).
+pub const STREAM_CHUNK: usize = 16384;
 
 /// Where a [`TraceSink`] delivers its events.
 #[derive(Debug)]

@@ -21,6 +21,10 @@
 //! * [`heap`] — allocator models (bump / buddy / size-class) reproducing
 //!   the address layouts behind the paper's padded-struct pathologies,
 //! * [`workloads`] — synthetic models of the paper's 23 applications,
+//!   plus the multi-tenant trace interleaver ([`workloads::TenantMix`]),
+//! * [`ingest`] — external trace ingestion: the line-oriented text
+//!   importer and `PCTE` frame reader behind `pcache import`
+//!   (`TRACE_FORMAT.md` is the normative wire spec),
 //! * [`sim`] — the experiment framework that regenerates every table and
 //!   figure,
 //! * [`analyze`] — the static conflict-miss analyzer: symbolic
@@ -57,6 +61,7 @@ pub use primecache_cache as cache;
 pub use primecache_core as core;
 pub use primecache_cpu as cpu;
 pub use primecache_heap as heap;
+pub use primecache_ingest as ingest;
 pub use primecache_mem as mem;
 pub use primecache_obs as obs;
 pub use primecache_primes as primes;
