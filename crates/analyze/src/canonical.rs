@@ -1,0 +1,278 @@
+//! Canonical forms for [`IndexModel`]s, so models produced by different
+//! pipelines can be compared for *partition equality*.
+//!
+//! The black-box recovery engine (`crates/attack`) observes an index
+//! function only through conflicts — "do `a` and `b` share a set?" —
+//! which determines the function up to a relabeling of the set numbers,
+//! never the labels themselves. Raw model equality is therefore the
+//! wrong differential-oracle predicate: the attack may legitimately
+//! return `a mod 2048` where the static analyzer wrote the low-bits
+//! GF(2) matrix, or a row-recombined matrix with the same row space.
+//! [`canonicalize`] collapses those presentations:
+//!
+//! * **Linear** maps reduce to the unique reduced row-echelon basis of
+//!   their row space ([`crate::gf2::Gf2Matrix::row_space_rref`]) — equal
+//!   row space ⟺ equal partition up to relabeling.
+//! * **Residue** with a power-of-two modulus `2^k` *is* the traditional
+//!   low-bits map and normalizes to that Linear form (`modulus == 1`
+//!   degenerates to the empty matrix: a single set, e.g. what a
+//!   fully-associative cache looks like to a conflict probe).
+//! * **Affine** reduces its factor mod `2^k`; factor ≡ 0 degenerates to
+//!   the low-bits Linear form (`(0·T + x) mod 2^k = x`).
+//! * **Opaque** keeps only the observable envelope (`in_bits`, `n_set`):
+//!   a black box that fits no family has no finite certificate to
+//!   compare, so opaque-vs-opaque equality is deliberately coarse.
+//!
+//! Two canonical forms comparing equal is an *exact* statement for the
+//! three algebraic families: the partitions of `0..2^in_bits` agree
+//! everywhere. The battery unit `attack/canonical-eq` fuzzes this
+//! soundness direction against sampled evaluation.
+
+use crate::gf2::input_mask;
+use crate::model::IndexModel;
+
+/// A model reduced to the invariant a conflict observer can actually
+/// measure. See the module docs for the normalization rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanonicalModel {
+    /// GF(2)-linear partition: the unique RREF basis of the row space,
+    /// pivots ascending. An empty basis is the constant map (one set).
+    Linear {
+        /// Address bits modeled.
+        in_bits: u32,
+        /// RREF row masks, pivot columns strictly ascending.
+        rows: Vec<u64>,
+    },
+    /// `a mod modulus` with a non-power-of-two modulus.
+    Residue {
+        /// Address bits modeled.
+        in_bits: u32,
+        /// The modulus.
+        modulus: u64,
+    },
+    /// `(factor·T + x) mod 2^index_bits` with `factor mod 2^index_bits`
+    /// nonzero.
+    Affine {
+        /// Address bits modeled.
+        in_bits: u32,
+        /// Set-index width `k`.
+        index_bits: u32,
+        /// Displacement factor, already reduced mod `2^index_bits`.
+        factor: u64,
+    },
+    /// No exact family: only the observable envelope is retained.
+    Opaque {
+        /// Address bits modeled.
+        in_bits: u32,
+        /// Upper bound on the sets addressed.
+        n_set: u64,
+    },
+}
+
+impl CanonicalModel {
+    /// Short family tag (`linear` / `residue` / `affine` / `opaque`),
+    /// used by reports and the CLI table.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            CanonicalModel::Linear { .. } => "linear",
+            CanonicalModel::Residue { .. } => "residue",
+            CanonicalModel::Affine { .. } => "affine",
+            CanonicalModel::Opaque { .. } => "opaque",
+        }
+    }
+}
+
+impl std::fmt::Display for CanonicalModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanonicalModel::Linear { in_bits, rows } => {
+                write!(f, "linear[{in_bits}b; ")?;
+                if rows.is_empty() {
+                    write!(f, "0 rows (1 set)")?;
+                } else {
+                    let shown: Vec<String> = rows.iter().map(|r| format!("{r:#x}")).collect();
+                    write!(f, "{}", shown.join(" "))?;
+                }
+                write!(f, "]")
+            }
+            CanonicalModel::Residue { in_bits, modulus } => {
+                write!(f, "residue[{in_bits}b; mod {modulus}]")
+            }
+            CanonicalModel::Affine {
+                in_bits,
+                index_bits,
+                factor,
+            } => write!(f, "affine[{in_bits}b; {factor}*T + x mod 2^{index_bits}]"),
+            CanonicalModel::Opaque { in_bits, n_set } => {
+                write!(f, "opaque[{in_bits}b; <={n_set} sets]")
+            }
+        }
+    }
+}
+
+/// The low-bits identity partition over `k` index bits as a canonical
+/// Linear form (the normal form shared by `Base`, `Residue {2^k}` and
+/// `Affine {factor ≡ 0}`).
+fn low_bits_linear(k: u32, in_bits: u32) -> CanonicalModel {
+    CanonicalModel::Linear {
+        in_bits,
+        rows: (0..k).map(|i| 1u64 << i).collect(),
+    }
+}
+
+/// Reduces a model to its canonical form. Equality of the results is
+/// partition equality (up to set relabeling) for the exact families;
+/// see the module docs for the exact normalization rules.
+///
+/// # Examples
+///
+/// ```
+/// use primecache_analyze::{canonicalize, model_of, IndexModel};
+/// use primecache_core::index::{Geometry, HashKind};
+///
+/// // `Base` and `a mod 2048` induce the same partition: equal forms.
+/// let base = model_of(HashKind::Traditional, Geometry::new(2048), 26);
+/// let residue = IndexModel::Residue { modulus: 2048, in_bits: 26 };
+/// assert_eq!(canonicalize(&base), canonicalize(&residue));
+/// ```
+#[must_use]
+pub fn canonicalize(model: &IndexModel) -> CanonicalModel {
+    match model {
+        IndexModel::Linear(m) => CanonicalModel::Linear {
+            in_bits: m.in_bits(),
+            rows: m.row_space_rref(),
+        },
+        IndexModel::Residue { modulus, in_bits } => {
+            if modulus.is_power_of_two() {
+                low_bits_linear(modulus.trailing_zeros(), *in_bits)
+            } else {
+                CanonicalModel::Residue {
+                    in_bits: *in_bits,
+                    modulus: *modulus,
+                }
+            }
+        }
+        IndexModel::Affine {
+            factor,
+            index_bits,
+            in_bits,
+        } => {
+            let f = factor & input_mask(*index_bits);
+            if f == 0 {
+                low_bits_linear(*index_bits, *in_bits)
+            } else {
+                CanonicalModel::Affine {
+                    in_bits: *in_bits,
+                    index_bits: *index_bits,
+                    factor: f,
+                }
+            }
+        }
+        IndexModel::Opaque { in_bits, n_set, .. } => CanonicalModel::Opaque {
+            in_bits: *in_bits,
+            n_set: *n_set,
+        },
+    }
+}
+
+/// Whether two models induce the same conflict partition, judged by
+/// canonical form.
+#[must_use]
+pub fn models_equivalent(a: &IndexModel, b: &IndexModel) -> bool {
+    canonicalize(a) == canonicalize(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gf2::Gf2Matrix;
+    use crate::model::model_of;
+    use primecache_core::index::{Geometry, HashKind};
+
+    #[test]
+    fn row_scrambled_linear_maps_are_equal() {
+        // Same row space, different presentation: out1' = out0 ^ out1.
+        let a = Gf2Matrix::new(vec![0b0011, 0b1100], 8);
+        let b = Gf2Matrix::new(vec![0b1111, 0b1100], 8);
+        assert!(models_equivalent(
+            &IndexModel::Linear(a),
+            &IndexModel::Linear(b)
+        ));
+    }
+
+    #[test]
+    fn independent_row_changes_the_form() {
+        let a = Gf2Matrix::new(vec![0b0011], 8);
+        let b = Gf2Matrix::new(vec![0b0011, 0b0100], 8);
+        assert!(!models_equivalent(
+            &IndexModel::Linear(a),
+            &IndexModel::Linear(b)
+        ));
+    }
+
+    #[test]
+    fn power_of_two_residue_is_base() {
+        let base = model_of(HashKind::Traditional, Geometry::new(2048), 26);
+        let residue = IndexModel::Residue {
+            modulus: 2048,
+            in_bits: 26,
+        };
+        assert_eq!(canonicalize(&base), canonicalize(&residue));
+    }
+
+    #[test]
+    fn trivial_residue_is_the_empty_matrix() {
+        let one_set = IndexModel::Residue {
+            modulus: 1,
+            in_bits: 26,
+        };
+        assert_eq!(
+            canonicalize(&one_set),
+            CanonicalModel::Linear {
+                in_bits: 26,
+                rows: Vec::new()
+            }
+        );
+    }
+
+    #[test]
+    fn affine_factor_reduces_mod_2k() {
+        let a = IndexModel::Affine {
+            factor: 9,
+            index_bits: 11,
+            in_bits: 26,
+        };
+        let b = IndexModel::Affine {
+            factor: 9 + 2048,
+            index_bits: 11,
+            in_bits: 26,
+        };
+        assert!(models_equivalent(&a, &b));
+        // Factor ≡ 0 collapses to the low-bits map.
+        let zero = IndexModel::Affine {
+            factor: 4096,
+            index_bits: 11,
+            in_bits: 26,
+        };
+        let base = model_of(HashKind::Traditional, Geometry::new(2048), 26);
+        assert!(models_equivalent(&zero, &base));
+    }
+
+    #[test]
+    fn families_do_not_cross_unless_degenerate() {
+        let pmod = model_of(HashKind::PrimeModulo, Geometry::new(2048), 26);
+        let pdisp = model_of(HashKind::PrimeDisplacement, Geometry::new(2048), 26);
+        let xor = model_of(HashKind::Xor, Geometry::new(2048), 26);
+        assert!(!models_equivalent(&pmod, &pdisp));
+        assert!(!models_equivalent(&pmod, &xor));
+        assert!(!models_equivalent(&pdisp, &xor));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let pmod = model_of(HashKind::PrimeModulo, Geometry::new(2048), 26);
+        assert_eq!(canonicalize(&pmod).to_string(), "residue[26b; mod 2039]");
+        assert_eq!(canonicalize(&pmod).family(), "residue");
+    }
+}

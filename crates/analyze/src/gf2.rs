@@ -136,6 +136,18 @@ impl Gf2Matrix {
         Gf2Matrix::new(restricted, k.max(1)).rank() == k
     }
 
+    /// The unique reduced row-echelon basis of the row space, pivots
+    /// ascending. Two matrices have the same row space — i.e. induce the
+    /// same partition of addresses into sets, up to a relabeling of the
+    /// set numbers — exactly when this basis is equal, which is what makes
+    /// it the canonical form a black-box observer can be checked against:
+    /// conflict observations determine a linear map only up to an
+    /// invertible recombination of its output bits.
+    #[must_use]
+    pub fn row_space_rref(&self) -> Vec<u64> {
+        self.rref().0
+    }
+
     /// Reduced row-echelon form of the nonzero rows, with the pivot
     /// column of each returned row.
     fn rref(&self) -> (Vec<u64>, Vec<u32>) {

@@ -22,6 +22,7 @@
 //! concrete indexers and brute-force conflict counting — exhaustively on
 //! small geometries, by sampling on the paper's 512 KB L2.
 
+pub mod canonical;
 pub mod certificate;
 pub mod gf2;
 pub mod lint;
@@ -30,6 +31,7 @@ pub mod model;
 pub mod report;
 pub mod verify;
 
+pub use canonical::{canonicalize, models_equivalent, CanonicalModel};
 pub use certificate::{
     certify_all, certify_expr, certify_kind, certify_skew_disp_bank, certify_skew_xor_bank,
     certify_xor_folded, Certificate, Invariance, Theorem1,
@@ -41,5 +43,7 @@ pub use lint::{
 };
 pub use lower::lower_expr;
 pub use model::{model_of, skew_disp_model, skew_xor_model, xor_folded_model, IndexModel};
-pub use report::{certificate_json, lint_json, report_json, REPORT_SCHEMA, REPORT_VERSION};
+pub use report::{
+    canonical_json, certificate_json, lint_json, report_json, REPORT_SCHEMA, REPORT_VERSION,
+};
 pub use verify::{self_check, CheckResult, SelfCheck};

@@ -357,14 +357,26 @@ pub fn lint_expr(geom: Geometry, id: ExprId) -> Vec<Lint> {
                 }
             }
         }
-        IndexModel::Opaque { .. } => out.push(Lint::warning(
-            "opaque-index-model",
-            format!(
-                "`{}` matches no exact algebraic family: its certificate \
-                 is sampled, not proved",
-                id.source()
-            ),
-        )),
+        IndexModel::Opaque { n_set, .. } => {
+            out.push(Lint::warning(
+                "opaque-index-model",
+                format!(
+                    "`{}` matches no exact algebraic family: its certificate \
+                     is sampled, not proved",
+                    id.source()
+                ),
+            ));
+            out.push(Lint::warning(
+                "brute-force-certification",
+                format!(
+                    "`{}` lowers to the Opaque fallback: certification \
+                     degrades to brute-force sampling over up to {n_set} \
+                     sets, and black-box recovery (`pcache attack`) can \
+                     only declare it Opaque, never reconstruct it",
+                    id.source()
+                ),
+            ));
+        }
     }
     out
 }

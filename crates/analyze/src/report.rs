@@ -4,6 +4,7 @@
 //! renders JSON by hand — the schema is small and stable, and the output
 //! is consumed by scripts, not re-parsed by the workspace.
 
+use crate::canonical::{canonicalize, CanonicalModel};
 use crate::certificate::{Certificate, Theorem1};
 use crate::lint::{Lint, LintLevel};
 
@@ -13,7 +14,12 @@ pub const REPORT_SCHEMA: &str = "primecache.analyze-report";
 
 /// Schema version stamped into every [`report_json`] document. Bump when a
 /// field is added, removed, or changes meaning.
-pub const REPORT_VERSION: u32 = 1;
+///
+/// History: v1 — certificates + lints; v2 — each certificate additionally
+/// carries its `canonical` model form (the partition invariant the attack
+/// differential oracle compares against; see DESIGN.md §4c for the
+/// versioning policy).
+pub const REPORT_VERSION: u32 = 2;
 
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -48,6 +54,34 @@ fn theorem1_json(t: &Theorem1) -> String {
     }
 }
 
+/// Renders a canonical model form as a JSON object (the `canonical`
+/// field of a v2 certificate and of attack-report entries).
+#[must_use]
+pub fn canonical_json(c: &CanonicalModel) -> String {
+    let body = match c {
+        CanonicalModel::Linear { in_bits, rows } => format!(
+            "\"in_bits\":{in_bits},\"rows\":{}",
+            json_u64_array(rows, rows.len())
+        ),
+        CanonicalModel::Residue { in_bits, modulus } => {
+            format!("\"in_bits\":{in_bits},\"modulus\":{modulus}")
+        }
+        CanonicalModel::Affine {
+            in_bits,
+            index_bits,
+            factor,
+        } => format!("\"in_bits\":{in_bits},\"index_bits\":{index_bits},\"factor\":{factor}"),
+        CanonicalModel::Opaque { in_bits, n_set } => {
+            format!("\"in_bits\":{in_bits},\"n_set\":{n_set}")
+        }
+    };
+    format!(
+        "{{\"family\":{},{body},\"display\":{}}}",
+        json_string(c.family()),
+        json_string(&c.to_string())
+    )
+}
+
 /// Renders one certificate as a JSON object. At most `stride_limit`
 /// conflict-stride generators are emitted (they can number in the tens
 /// for wide addresses).
@@ -57,7 +91,7 @@ pub fn certificate_json(c: &Certificate, stride_limit: usize) -> String {
         "{{\"name\":{},\"n_set\":{},\"in_bits\":{},\"rank\":{},\
          \"kernel_dim\":{},\"conflict_strides\":{},\"permutation\":{},\
          \"balanced\":{},\"balance_bound\":{},\"invariance\":{},\
-         \"exact\":{},\"theorem1\":{}}}",
+         \"exact\":{},\"theorem1\":{},\"canonical\":{}}}",
         json_string(&c.name),
         c.n_set,
         c.in_bits,
@@ -70,6 +104,7 @@ pub fn certificate_json(c: &Certificate, stride_limit: usize) -> String {
         json_string(c.invariance.label()),
         c.exact,
         theorem1_json(&c.theorem1),
+        canonical_json(&canonicalize(&c.model)),
     )
 }
 
@@ -133,7 +168,19 @@ mod tests {
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"lints\":[]"));
         assert!(j.contains("\"schema\":\"primecache.analyze-report\""));
-        assert!(j.contains("\"version\":1"));
+        assert!(j.contains("\"version\":2"));
+    }
+
+    #[test]
+    fn v2_certificates_carry_the_canonical_form() {
+        let c = certify_kind(HashKind::PrimeModulo, Geometry::new(2048), 26);
+        let j = certificate_json(&c, 16);
+        assert!(j.contains("\"canonical\":{\"family\":\"residue\""));
+        assert!(j.contains("\"modulus\":2039"));
+        let lin = certify_kind(HashKind::Traditional, Geometry::new(64), 16);
+        let j = certificate_json(&lin, 16);
+        assert!(j.contains("\"family\":\"linear\""));
+        assert!(j.contains("\"rows\":[1,2,4,8,16,32]"));
     }
 
     #[test]

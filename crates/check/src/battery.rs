@@ -1032,6 +1032,146 @@ fn dram_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
     .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Attack units: black-box recovery vs known ground-truth models.
+// ---------------------------------------------------------------------------
+
+/// Derives a random GF(2) ground-truth matrix from a case seed: 2–6 rows
+/// over a 12-bit window (possibly dependent — the canonical form is the
+/// row space, so redundancy must not matter).
+fn case_matrix(seed: u64, in_bits: u32) -> primecache_analyze::Gf2Matrix {
+    let mut rng = Rng::new(seed ^ 0x6F2A);
+    let mask = (1u64 << in_bits) - 1;
+    let n_rows = rng.range_usize(2, 7);
+    let rows: Vec<u64> = (0..n_rows).map(|_| rng.next_u64() & mask).collect();
+    primecache_analyze::Gf2Matrix::new(rows, in_bits)
+}
+
+/// The three recovery units are seed-driven: each case derives a random
+/// ground-truth model, wraps it in a [`ModelOracle`], runs the black-box
+/// recovery, and asserts canonical-form agreement — the same differential
+/// oracle `pcache attack` applies to the real schemes, here under fuzzed
+/// geometries with shrinkable case seeds.
+fn attack_units(cfg: &BatteryConfig) -> Vec<UnitReport> {
+    use primecache_analyze::{canonicalize, models_equivalent, IndexModel};
+    use primecache_attack::{recover, RecoveryConfig, Verdict};
+    use primecache_core::probe::ModelOracle;
+
+    const IN_BITS: u32 = 12;
+    // One recovery campaign probes a few hundred times; weight cases
+    // accordingly so the battery budget buys a comparable effort.
+    const CASE_WEIGHT: usize = 256;
+    let cases = cfg.addrs_per_unit.div_ceil(CASE_WEIGHT);
+    let mut out = Vec::new();
+
+    out.push(run_unit(
+        cfg,
+        "attack/gf2-recover",
+        cases,
+        CASE_WEIGHT,
+        |rng| rng.next_u64(),
+        |&seed: &u64| {
+            let matrix = case_matrix(seed, IN_BITS);
+            let truth = IndexModel::Linear(matrix);
+            let n_phys = truth.n_set().next_power_of_two();
+            let eval = |a: u64| truth.eval(a);
+            let mut oracle = ModelOracle::new(eval, n_phys, 1, IN_BITS);
+            let rec = recover(&mut oracle, &RecoveryConfig::default());
+            let Verdict::Model(got) = &rec.verdict else {
+                panic!("linear ground truth declared {:?}", rec.verdict);
+            };
+            assert!(
+                models_equivalent(got, &truth),
+                "recovered {} != ground truth {}",
+                canonicalize(got),
+                canonicalize(&truth)
+            );
+        },
+    ));
+
+    out.push(run_unit(
+        cfg,
+        "attack/residue-recover",
+        cases,
+        CASE_WEIGHT,
+        |rng| rng.next_u64(),
+        |&seed: &u64| {
+            let mut rng = Rng::new(seed ^ 0x4E51);
+            let modulus = rng.range_u64(2, 258);
+            let truth = IndexModel::Residue {
+                modulus,
+                in_bits: IN_BITS + 2,
+            };
+            let n_phys = modulus.next_power_of_two();
+            let eval = |a: u64| truth.eval(a);
+            let mut oracle = ModelOracle::new(eval, n_phys, 1, IN_BITS + 2);
+            let rec = recover(&mut oracle, &RecoveryConfig::default());
+            let Verdict::Model(got) = &rec.verdict else {
+                panic!(
+                    "residue ground truth (mod {modulus}) declared {:?}",
+                    rec.verdict
+                );
+            };
+            assert!(
+                models_equivalent(got, &truth),
+                "recovered {} != ground truth {}",
+                canonicalize(got),
+                canonicalize(&truth)
+            );
+        },
+    ));
+
+    out.push(run_unit(
+        cfg,
+        "attack/canonical-eq",
+        cases,
+        CASE_WEIGHT,
+        |rng| rng.next_u64(),
+        |&seed: &u64| {
+            let mut rng = Rng::new(seed ^ 0xCA01);
+            let matrix = case_matrix(seed, IN_BITS);
+            // Invertible row scramble: swaps and row-additions preserve
+            // the row space, so canonical equality must survive them.
+            let mut rows: Vec<u64> = (0..matrix.out_bits()).map(|i| matrix.row(i)).collect();
+            for _ in 0..16 {
+                let i = rng.range_usize(0, rows.len());
+                let j = rng.range_usize(0, rows.len());
+                if i == j {
+                    let last = rows.len() - 1;
+                    rows.swap(0, last);
+                } else {
+                    rows[i] ^= rows[j];
+                }
+            }
+            let scrambled =
+                IndexModel::Linear(primecache_analyze::Gf2Matrix::new(rows.clone(), IN_BITS));
+            let truth = IndexModel::Linear(matrix);
+            assert!(
+                models_equivalent(&truth, &scrambled),
+                "row scramble changed the canonical form: {} vs {}",
+                canonicalize(&truth),
+                canonicalize(&scrambled)
+            );
+            // Dropping rank must change it.
+            if canonicalize(&truth)
+                != canonicalize(&IndexModel::Linear(primecache_analyze::Gf2Matrix::new(
+                    Vec::new(),
+                    IN_BITS,
+                )))
+            {
+                let empty =
+                    IndexModel::Linear(primecache_analyze::Gf2Matrix::new(Vec::new(), IN_BITS));
+                assert!(
+                    !models_equivalent(&truth, &empty),
+                    "nonzero row space compared equal to the empty one"
+                );
+            }
+        },
+    ));
+
+    out
+}
+
 /// Runs every differential unit and returns one report per unit.
 #[must_use]
 pub fn run_battery(cfg: &BatteryConfig) -> Vec<UnitReport> {
@@ -1045,6 +1185,7 @@ pub fn run_battery(cfg: &BatteryConfig) -> Vec<UnitReport> {
     out.extend(codec_units(cfg));
     out.extend(ingest_units(cfg));
     out.extend(dram_units(cfg));
+    out.extend(attack_units(cfg));
     out
 }
 

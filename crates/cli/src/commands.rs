@@ -4,6 +4,9 @@ use primecache_analyze::{
     certify_all, certify_expr, has_errors, model_of, report_json, self_check, xor_folded_model,
     Theorem1,
 };
+use primecache_attack::{
+    attack_report_json, eviction_cost, AttackEntry, EvictConfig, RecoveryConfig,
+};
 use primecache_core::index::{Geometry, HashKind, SetIndexer, XorFolded};
 use primecache_core::metrics::{
     balance, concentration, strided_addresses, uniformity_ratio, violation_fraction, OnlineMetrics,
@@ -17,8 +20,8 @@ use primecache_sim::throughput::{
     baseline_refs_per_sec, measure, measure_gen_only, measure_replayed,
 };
 use primecache_sim::{
-    run_chunks, run_tenant_mix, run_workload, tenant_solo_baseline, MachineConfig, RunResult,
-    Scheme,
+    run_chunks, run_tenant_mix, run_workload, static_model, tenant_solo_baseline, MachineConfig,
+    RunResult, Scheme, SimOracle, PROBE_BITS,
 };
 use primecache_trace::{read_trace, write_trace, EncodedTrace, TraceStats, FRAME_MAGIC};
 use primecache_workloads::profile::profile_of;
@@ -48,6 +51,11 @@ USAGE:
   pcache analyze --expr 'SRC' [--name N] [--json]
                                            certify one DSL index expression
   pcache analyze --self-check [--refs N]   cross-validate the static analyzer
+  pcache attack [--scheme S | --expr SRC] [--json] [--seed N]
+                                           black-box index recovery +
+                                           eviction-set construction cost;
+                                           checks every recovered model
+                                           against the static one
   pcache conc-check [--bound N] [--check NAME] [--replay SEED]
                                            model-check the concurrency protocols
   pcache report <app> [--scheme S] [--refs N] [--out FILE] [--compact]
@@ -1471,4 +1479,163 @@ fn print_trace_stats(stats: &TraceStats) {
         "  memory intensity: {:.1}%",
         stats.memory_intensity() * 100.0
     );
+}
+
+/// `pcache attack [--scheme S | --expr SRC] [--json] [--seed N]`: run the
+/// black-box recovery engine and the three-tier eviction-set cost
+/// measurement against one scheme (or all eight built-ins), and check
+/// every recovered model against the static analyzer's — the
+/// differential oracle. Exit code 1 when any scheme disagrees.
+pub fn attack(args: &[String]) -> i32 {
+    let seed = match flag_parsed(args, "--seed", 0x5EEDu64) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let schemes: Vec<Scheme> = if let Some(src) = flag_value(args, "--expr") {
+        match parse_scheme(&format!("expr:{src}")) {
+            Ok(s) => vec![s],
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    } else if let Some(label) = flag_value(args, "--scheme") {
+        match parse_scheme(label) {
+            Ok(s) => vec![s],
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    } else {
+        Scheme::ALL.to_vec()
+    };
+    let machine = MachineConfig::paper_default();
+    for &scheme in &schemes {
+        let lints = machine.lint_scheme(scheme);
+        if has_errors(&lints) {
+            eprintln!(
+                "refusing to attack degenerate {} configuration:",
+                scheme.label()
+            );
+            for l in &lints {
+                eprintln!("  {l}");
+            }
+            return 2;
+        }
+    }
+    let entries: Vec<AttackEntry> = schemes
+        .iter()
+        .map(|&s| attack_scheme(&machine, s, seed))
+        .collect();
+    let all_agree = entries.iter().all(|e| e.agrees_static);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", attack_report_json(&entries));
+        return i32::from(!all_agree);
+    }
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| {
+            let recovered = match &e.recovery.verdict {
+                primecache_attack::Verdict::Model(m) => {
+                    primecache_analyze::canonicalize(m).to_string()
+                }
+                primecache_attack::Verdict::Opaque { .. } => "opaque (declared)".to_owned(),
+            };
+            let tier = |name: &str| {
+                e.eviction.tier(name).map_or_else(
+                    || "—".to_owned(),
+                    |t| {
+                        if t.success {
+                            format!("{} refs", t.cost.refs)
+                        } else if t.detail.starts_with("skipped") {
+                            "skipped".to_owned()
+                        } else if t.detail.starts_with("recovery declared") {
+                            "no model".to_owned()
+                        } else {
+                            "resists".to_owned()
+                        }
+                    },
+                )
+            };
+            vec![
+                e.scheme.clone(),
+                recovered,
+                e.recovery.cost.probes.to_string(),
+                e.recovery.cost.refs.to_string(),
+                if e.agrees_static { "agree" } else { "MISMATCH" }.to_owned(),
+                tier("naive-stride"),
+                tier("random-pool"),
+                tier("informed"),
+            ]
+        })
+        .collect();
+    println!(
+        "black-box recovery + eviction-set cost over {PROBE_BITS} address bits \
+         (informed tier includes recovery cost):\n"
+    );
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scheme",
+                "recovered model",
+                "probes",
+                "refs",
+                "vs static",
+                "naive evict",
+                "pool evict",
+                "informed evict"
+            ],
+            &rows
+        )
+    );
+    println!();
+    if all_agree {
+        println!(
+            "differential oracle: all {} scheme(s) agree with the static analyzer",
+            entries.len()
+        );
+        0
+    } else {
+        println!("differential oracle: MISMATCH — recovered and static models differ");
+        1
+    }
+}
+
+/// One scheme's full attack campaign: recovery against the direct probe
+/// shape, then eviction-set cost against the native organization.
+fn attack_scheme(machine: &MachineConfig, scheme: Scheme, seed: u64) -> AttackEntry {
+    let rcfg = RecoveryConfig {
+        seed,
+        ..RecoveryConfig::default()
+    };
+    let mut direct = SimOracle::direct(machine, scheme, PROBE_BITS);
+    let recovery = primecache_attack::recover(&mut direct, &rcfg);
+    let statik = static_model(machine, scheme, PROBE_BITS);
+    let agrees_static = recovery.verdict.matches_static(statik.as_ref());
+    let informed = match &recovery.verdict {
+        primecache_attack::Verdict::Model(m) => Some(m.clone()),
+        primecache_attack::Verdict::Opaque { .. } => None,
+    };
+    let mut native = SimOracle::native(machine, scheme, PROBE_BITS);
+    let eviction = eviction_cost(
+        &mut native,
+        informed.as_ref(),
+        recovery.cost,
+        &EvictConfig {
+            seed,
+            ..EvictConfig::default()
+        },
+    );
+    AttackEntry {
+        scheme: scheme.label().to_owned(),
+        recovery,
+        agrees_static,
+        static_canonical: statik.as_ref().map(primecache_analyze::canonicalize),
+        eviction,
+    }
 }

@@ -51,3 +51,4 @@ pub mod expr;
 pub mod hw;
 pub mod index;
 pub mod metrics;
+pub mod probe;

@@ -31,6 +31,7 @@ pub mod experiments;
 pub mod export;
 #[cfg(feature = "obs")]
 pub mod observe;
+pub mod oracle;
 pub mod report;
 mod run;
 pub mod suite;
@@ -39,6 +40,7 @@ pub mod throughput;
 
 pub use artifact::{build_report, report_for_run};
 pub use config::{MachineConfig, Scheme};
+pub use oracle::{static_model, SimOracle, PROBE_BITS};
 pub use run::{
     run_chunks, run_recorded, run_replay, run_trace, run_trace_reference, run_workload,
     run_workload_recorded, run_workload_reference, run_workload_warm, RunResult,

@@ -31,6 +31,7 @@ mod grid;
 mod md;
 mod nas;
 mod pointer;
+pub mod probe;
 pub mod profile;
 mod registry;
 mod sparse;

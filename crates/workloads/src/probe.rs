@@ -1,0 +1,150 @@
+//! Attacker probe-trace generators.
+//!
+//! The attack engine (`crates/attack`) crafts tiny, fully deterministic
+//! block-address traces and observes only miss counts. The builders here
+//! are the *trace side* of that campaign — re-access probes, eviction
+//! probes, stride candidate ladders, seeded random pools — shared by the
+//! simulator-backed oracle, the check battery, and the root differential
+//! test so every consumer probes with byte-identical traces.
+//!
+//! Block traces convert to ordinary [`Event`] traces with
+//! [`probe_events`], so a probe can also be replayed through the full
+//! trace-driven drivers (every access is a serializing load: a probe
+//! measures occupancy, and overlapping its misses would let the timing
+//! model reorder the eviction the probe exists to observe).
+
+use primecache_trace::Event;
+
+use crate::util::Lcg;
+
+/// The `[a, b, a]` same-set re-access probe (direct-mapped probing).
+#[must_use]
+pub fn pairwise_probe(a: u64, b: u64) -> [u64; 3] {
+    [a, b, a]
+}
+
+/// The `[victim, candidates.., victim]` eviction probe.
+#[must_use]
+pub fn eviction_probe(victim: u64, candidates: &[u64]) -> Vec<u64> {
+    let mut trace = Vec::with_capacity(candidates.len() + 2);
+    trace.push(victim);
+    trace.extend_from_slice(candidates);
+    trace.push(victim);
+    trace
+}
+
+/// `count` stride candidates `victim + i·stride` (i = 1..=count), keeping
+/// only distinct blocks inside the `in_bits` probing window.
+#[must_use]
+pub fn stride_candidates(victim: u64, stride: u64, count: u32, in_bits: u32) -> Vec<u64> {
+    let limit = if in_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << in_bits) - 1
+    };
+    (1..=u64::from(count))
+        .filter_map(|i| {
+            let c = victim.checked_add(i.checked_mul(stride)?)?;
+            (c <= limit && c != victim).then_some(c)
+        })
+        .collect()
+}
+
+/// The naive attacker's stride ladder for a cache with `n_set` physical
+/// sets over an `in_bits` window: multiples of the set count
+/// (traditional indexing falls here), the classic `n ± 1` XOR strides,
+/// and every power of two from the index width up (page-like strides;
+/// prime-displacement's tag-annihilation stride `2^(2k)` is one of
+/// them). None of these is a multiple of a prime modulus — which is
+/// exactly the Theorem-1 hardening the attack report quantifies.
+#[must_use]
+pub fn naive_strides(n_set: u64, in_bits: u32) -> Vec<u64> {
+    let mut out = vec![n_set, n_set + 1, n_set.saturating_sub(1).max(1), 2 * n_set];
+    let k = n_set.next_power_of_two().trailing_zeros();
+    for j in k..in_bits.min(63) {
+        out.push(1u64 << j);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// A seeded pool of `count` distinct random blocks inside the `in_bits`
+/// window, excluding `victim` (the raw material of the random-pool
+/// eviction tier).
+#[must_use]
+pub fn random_pool(seed: u64, count: usize, in_bits: u32, victim: u64) -> Vec<u64> {
+    let mask = if in_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << in_bits) - 1
+    };
+    let mut rng = Lcg::new(seed ^ 0xA77A_C4E5_u64);
+    let mut seen = std::collections::HashSet::with_capacity(count + 1);
+    seen.insert(victim);
+    let mut pool = Vec::with_capacity(count);
+    while pool.len() < count {
+        let b = rng.next_u64() & mask;
+        if seen.insert(b) {
+            pool.push(b);
+        }
+    }
+    pool
+}
+
+/// Converts a block-address probe into a replayable event trace over
+/// `line_bytes` lines: serializing loads, one per block.
+#[must_use]
+pub fn probe_events(blocks: &[u64], line_bytes: u64) -> Vec<Event> {
+    blocks
+        .iter()
+        .map(|&b| Event::chase(b * line_bytes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_are_shaped_right() {
+        assert_eq!(pairwise_probe(1, 2), [1, 2, 1]);
+        assert_eq!(eviction_probe(7, &[1, 2]), vec![7, 1, 2, 7]);
+    }
+
+    #[test]
+    fn stride_candidates_stay_in_window_and_distinct() {
+        let c = stride_candidates(0, 1 << 20, 8, 22);
+        assert_eq!(c, vec![1 << 20, 2 << 20, 3 << 20]);
+        let all = stride_candidates(3, 5, 4, 26);
+        assert_eq!(all, vec![8, 13, 18, 23]);
+    }
+
+    #[test]
+    fn naive_strides_cover_the_classic_attacks() {
+        let s = naive_strides(2048, 26);
+        assert!(s.contains(&2048)); // traditional
+        assert!(s.contains(&2049)); // XOR
+        assert!(s.contains(&(1 << 22))); // pDisp tag annihilation
+        assert!(!s.contains(&2039)); // never the prime modulus
+    }
+
+    #[test]
+    fn random_pool_is_deterministic_distinct_and_avoids_victim() {
+        let a = random_pool(9, 500, 20, 42);
+        let b = random_pool(9, 500, 20, 42);
+        assert_eq!(a, b);
+        assert_eq!(
+            a.iter().collect::<std::collections::HashSet<_>>().len(),
+            500
+        );
+        assert!(!a.contains(&42));
+        assert!(a.iter().all(|&x| x < (1 << 20)));
+    }
+
+    #[test]
+    fn probe_events_are_serializing_loads() {
+        let ev = probe_events(&[3, 5], 64);
+        assert_eq!(ev, vec![Event::chase(192), Event::chase(320)]);
+    }
+}

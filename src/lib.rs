@@ -30,6 +30,9 @@
 //! * [`analyze`] — the static conflict-miss analyzer: symbolic
 //!   GF(2)/residue models of every index function, per-indexer
 //!   certificates, and the config lint pass,
+//! * [`attack`] — the adversarial counterpart: black-box recovery of
+//!   index functions from conflict probes, the recovered-vs-static
+//!   differential oracle, and eviction-set construction cost,
 //! * [`obs`] — the observability layer: typed metrics, event tracing,
 //!   and the self-describing [`obs::RunReport`] artifact (see
 //!   `OBSERVABILITY.md`).
@@ -57,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub use primecache_analyze as analyze;
+pub use primecache_attack as attack;
 pub use primecache_cache as cache;
 pub use primecache_core as core;
 pub use primecache_cpu as cpu;
